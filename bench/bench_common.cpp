@@ -1,0 +1,44 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace compact::bench {
+
+core::synthesis_options mip_options(double gamma, double time_limit) {
+  core::synthesis_options options;
+  options.method = core::labeling_method::weighted_mip;
+  options.gamma = gamma;
+  options.time_limit_seconds = time_limit;
+  return options;
+}
+
+core::synthesis_options oct_options(double time_limit) {
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  options.time_limit_seconds = time_limit;
+  return options;
+}
+
+double reduction_percent(double ours, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (1.0 - ours / baseline);
+}
+
+double normalized_average(const std::vector<double>& ours,
+                          const std::vector<double>& baseline) {
+  check(ours.size() == baseline.size() && !ours.empty(),
+        "normalized_average: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ours.size(); ++i)
+    sum += baseline[i] == 0.0 ? 1.0 : ours[i] / baseline[i];
+  return sum / static_cast<double>(ours.size());
+}
+
+void shape_check(bool holds, const std::string& claim) {
+  std::cout << "SHAPE-CHECK [" << (holds ? "PASS" : "FAIL") << "] " << claim
+            << "\n";
+}
+
+}  // namespace compact::bench

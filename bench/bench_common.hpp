@@ -1,0 +1,39 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Conventions (see DESIGN.md, experiment index): every binary prints the
+// paper's rows for OUR benchmark equivalents, then a SHAPE-CHECK block
+// summarizing whether the paper's qualitative claims hold. Absolute numbers
+// differ from the paper (different netlists, solvers and hardware); the
+// shape — who wins and by roughly what factor — is the reproduction target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compact.hpp"
+#include "frontend/benchgen.hpp"
+#include "util/table.hpp"
+
+namespace compact::bench {
+
+/// Per-circuit time budget for the NP-hard labeling engines. Kept small so
+/// the whole harness runs in minutes; the paper used 3-hour limits and also
+/// reports non-converged instances (Fig. 11).
+inline constexpr double default_time_limit = 5.0;
+
+[[nodiscard]] core::synthesis_options mip_options(
+    double gamma = 0.5, double time_limit = default_time_limit);
+[[nodiscard]] core::synthesis_options oct_options(
+    double time_limit = default_time_limit);
+
+/// Percentage reduction of `ours` versus `baseline` (positive = smaller).
+[[nodiscard]] double reduction_percent(double ours, double baseline);
+
+/// Arithmetic mean of per-row ratios ours/baseline ("normalized average").
+[[nodiscard]] double normalized_average(const std::vector<double>& ours,
+                                        const std::vector<double>& baseline);
+
+/// Print the standard shape-check line.
+void shape_check(bool holds, const std::string& claim);
+
+}  // namespace compact::bench

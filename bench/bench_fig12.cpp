@@ -1,0 +1,57 @@
+// Figure 12: normalized power and computation delay of COMPACT versus the
+// prior flow-based mapping [16]. Power is the number of literal-programmed
+// memristors; delay is rows + 1 (one programming step per wordline plus one
+// evaluation step, Section VIII). Expected shape: COMPACT <= baseline on
+// both, with delay cut roughly in half or better (paper: power -19%,
+// delay -56%).
+#include <iostream>
+
+#include "baseline/staircase.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace compact;
+
+  std::cout << "== Fig 12: power & delay vs prior flow-based mapping [16] "
+               "==\n\n";
+  table t({"benchmark", "power[16]", "powerCOMPACT", "norm_power",
+           "delay[16]", "delayCOMPACT", "norm_delay"});
+
+  std::vector<double> ours_power, base_power, ours_delay, base_delay;
+  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
+    const core::synthesis_result ours = core::synthesize_network(
+        spec.net, bench::mip_options(0.5, bench::default_time_limit));
+    const core::synthesis_result base =
+        baseline::staircase_synthesize_network(spec.net);
+
+    ours_power.push_back(ours.stats.power_proxy);
+    base_power.push_back(base.stats.power_proxy);
+    ours_delay.push_back(ours.stats.delay_steps);
+    base_delay.push_back(base.stats.delay_steps);
+    t.add_row({spec.name, cell(base.stats.power_proxy),
+               cell(ours.stats.power_proxy),
+               cell(ours.stats.power_proxy /
+                        std::max(1.0, static_cast<double>(
+                                          base.stats.power_proxy)),
+                    3),
+               cell(base.stats.delay_steps), cell(ours.stats.delay_steps),
+               cell(ours.stats.delay_steps /
+                        std::max(1.0, static_cast<double>(
+                                          base.stats.delay_steps)),
+                    3)});
+  }
+  t.print(std::cout);
+
+  const double power_ratio = bench::normalized_average(ours_power, base_power);
+  const double delay_ratio = bench::normalized_average(ours_delay, base_delay);
+  std::cout << "\nnormalized averages: power " << cell(power_ratio, 3)
+            << " (paper 0.81), delay " << cell(delay_ratio, 3)
+            << " (paper 0.44)\n\n";
+  bench::shape_check(power_ratio <= 1.0,
+                     "COMPACT's power never exceeds the baseline's "
+                     "(shared SBDD edges <= summed ROBDD edges)");
+  bench::shape_check(delay_ratio < 0.7,
+                     "COMPACT cuts delay substantially via fewer rows "
+                     "(paper: -56%)");
+  return 0;
+}

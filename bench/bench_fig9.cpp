@@ -1,0 +1,53 @@
+// Figure 9: non-dominated (rows, columns) crossbar designs found by
+// sweeping gamma in [0, 1] for the cavlc- and int2float-equivalents.
+// A design is non-dominated if no other design has both fewer rows and
+// fewer columns. Expected shape: a small Pareto front trading rows for
+// columns around the square point, as in the paper's listed fronts.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace compact;
+
+  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
+    if (spec.name.find("cavlc") == std::string::npos &&
+        spec.name.find("int2float") == std::string::npos)
+      continue;
+
+    std::cout << "== Fig 9: gamma sweep on " << spec.name << " ==\n\n";
+    std::vector<std::pair<int, int>> designs;  // (rows, cols)
+    table t({"gamma", "rows", "cols", "S", "D"});
+    for (const double gamma :
+         {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+      const core::synthesis_result r = core::synthesize_network(
+          spec.net, bench::mip_options(gamma, bench::default_time_limit));
+      designs.emplace_back(r.stats.rows, r.stats.columns);
+      t.add_row({cell(gamma, 1), cell(r.stats.rows), cell(r.stats.columns),
+                 cell(r.stats.semiperimeter), cell(r.stats.max_dimension)});
+    }
+    t.print(std::cout);
+
+    // Extract the non-dominated set.
+    std::sort(designs.begin(), designs.end());
+    designs.erase(std::unique(designs.begin(), designs.end()), designs.end());
+    std::vector<std::pair<int, int>> front;
+    for (const auto& d : designs) {
+      bool dominated = false;
+      for (const auto& other : designs)
+        if (other != d && other.first <= d.first &&
+            other.second <= d.second)
+          dominated = true;
+      if (!dominated) front.push_back(d);
+    }
+    std::cout << "\nnon-dominated designs (rows, cols):";
+    for (const auto& [rows, cols] : front)
+      std::cout << " (" << rows << ", " << cols << ")";
+    std::cout << "\n\n";
+    bench::shape_check(!front.empty() && front.size() <= designs.size(),
+                       "gamma sweep exposes a Pareto front of distinct "
+                       "row/column trade-offs for " + spec.name);
+  }
+  return 0;
+}

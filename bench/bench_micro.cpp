@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark): throughput of the individual engines
+// the COMPACT flow is built from. Not a paper artifact — these guard against
+// performance regressions in the substrates.
+#include <benchmark/benchmark.h>
+
+#include "analog/mna.hpp"
+#include "bdd/stats.hpp"
+#include "core/compact.hpp"
+#include "core/labelers.hpp"
+#include "frontend/benchgen.hpp"
+#include "frontend/to_bdd.hpp"
+#include "graph/oct.hpp"
+#include "graph/product.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "util/rng.hpp"
+#include "xbar/evaluate.hpp"
+
+namespace {
+
+using namespace compact;
+
+void BM_BddBuildAdder(benchmark::State& state) {
+  const frontend::network net =
+      frontend::make_ripple_adder(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m);
+    benchmark::DoNotOptimize(built.roots.data());
+  }
+}
+BENCHMARK(BM_BddBuildAdder)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BddIteThroughput(benchmark::State& state) {
+  rng random(5);
+  for (auto _ : state) {
+    bdd::manager m(16);
+    bdd::node_handle f = m.constant(false);
+    for (int i = 0; i < 200; ++i) {
+      const int v = static_cast<int>(random.next_below(16));
+      f = random.next_bool() ? m.apply_or(f, m.var(v))
+                             : m.apply_xor(f, m.var(v));
+    }
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BddIteThroughput);
+
+void BM_OctOnParityGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  bdd::manager m(n);
+  bdd::node_handle f = m.var(0);
+  for (int v = 1; v < n; ++v) f = m.apply_xor(f, m.var(v));
+  const core::bdd_graph g = core::build_bdd_graph(m, {f}, {"f"});
+  for (auto _ : state) {
+    const graph::oct_result r = graph::odd_cycle_transversal(g.g);
+    benchmark::DoNotOptimize(r.size);
+  }
+}
+BENCHMARK(BM_OctOnParityGraph)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_SimplexVertexCoverRelaxation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  milp::model m;
+  for (int i = 0; i < n; ++i) m.add_variable(0.0, 1.0, 1.0, false, "");
+  for (int i = 0; i < n; ++i)
+    m.add_constraint({{i, 1.0}, {(i + 1) % n, 1.0}},
+                     milp::relation::greater_equal, 1.0);
+  for (auto _ : state) {
+    const milp::lp_result r = milp::solve_lp(m);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_SimplexVertexCoverRelaxation)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_CrossbarEvaluate(benchmark::State& state) {
+  const frontend::network net = frontend::make_comparator(8);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  const core::synthesis_result r =
+      core::synthesize(m, built.roots, built.names, options);
+  rng random(7);
+  std::vector<bool> a(static_cast<std::size_t>(net.input_count()));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = random.next_bool();
+    benchmark::DoNotOptimize(xbar::evaluate(r.design, a));
+  }
+}
+BENCHMARK(BM_CrossbarEvaluate);
+
+void BM_AnalogSolve(benchmark::State& state) {
+  const frontend::network net = frontend::make_comparator(4);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  const core::synthesis_result r =
+      core::synthesize(m, built.roots, built.names, options);
+  rng random(7);
+  std::vector<bool> a(static_cast<std::size_t>(net.input_count()));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = random.next_bool();
+    benchmark::DoNotOptimize(analog::simulate(r.design, a));
+  }
+}
+BENCHMARK(BM_AnalogSolve);
+
+void BM_EndToEndOctSynthesis(benchmark::State& state) {
+  const frontend::network net = frontend::make_priority_encoder(16);
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  for (auto _ : state) {
+    const core::synthesis_result r = core::synthesize_network(net, options);
+    benchmark::DoNotOptimize(r.stats.semiperimeter);
+  }
+}
+BENCHMARK(BM_EndToEndOctSynthesis);
+
+}  // namespace

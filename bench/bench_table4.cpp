@@ -1,0 +1,80 @@
+// Table IV: COMPACT (gamma = 0.5) versus the prior flow-based mapping [16]
+// (staircase; every BDD node takes a wordline AND a bitline).
+//
+// Expected shape (Section VIII-D): staircase S ~= 1.9-2.0 n while COMPACT
+// S ~= 1.1 n; large reductions in rows, columns, D, S and area (paper: 56%,
+// 77%, 85%, 55%, 89%), at the cost of much longer synthesis time (the
+// labeling is NP-hard while the staircase is linear).
+#include <iostream>
+
+#include "baseline/staircase.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace compact;
+
+  std::cout << "== Table IV: COMPACT (gamma=0.5) vs staircase baseline [16] "
+               "==\n\n";
+  table t({"benchmark", "method", "nodes", "rows", "cols", "D", "S", "area",
+           "S/n", "time_s"});
+
+  std::vector<double> ours_s, base_s, ours_d, base_d, ours_area, base_area,
+      ours_rows, base_rows, ours_time, base_time;
+
+  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
+    const core::synthesis_result ours = core::synthesize_network(
+        spec.net, bench::mip_options(0.5, bench::default_time_limit));
+    const core::synthesis_result base =
+        baseline::staircase_synthesize_network(spec.net);
+
+    auto add = [&](const char* method, const core::synthesis_result& r) {
+      const double s_over_n =
+          r.stats.graph_nodes == 0
+              ? 0.0
+              : static_cast<double>(r.stats.semiperimeter) /
+                    static_cast<double>(r.stats.graph_nodes);
+      t.add_row({spec.name, method, cell(r.stats.graph_nodes),
+                 cell(r.stats.rows), cell(r.stats.columns),
+                 cell(r.stats.max_dimension), cell(r.stats.semiperimeter),
+                 cell(r.stats.area), cell(s_over_n, 2),
+                 cell(r.stats.synthesis_seconds, 2)});
+    };
+    add("staircase", base);
+    add("COMPACT", ours);
+
+    ours_s.push_back(ours.stats.semiperimeter);
+    base_s.push_back(base.stats.semiperimeter);
+    ours_d.push_back(ours.stats.max_dimension);
+    base_d.push_back(base.stats.max_dimension);
+    ours_area.push_back(static_cast<double>(ours.stats.area));
+    base_area.push_back(static_cast<double>(base.stats.area));
+    ours_rows.push_back(ours.stats.rows);
+    base_rows.push_back(base.stats.rows);
+    ours_time.push_back(ours.stats.synthesis_seconds);
+    base_time.push_back(std::max(base.stats.synthesis_seconds, 1e-6));
+  }
+  t.print(std::cout);
+
+  std::cout << "\naverage reductions vs staircase (paper in parens):\n"
+            << "  rows  " << cell(100.0 * (1.0 - bench::normalized_average(ours_rows, base_rows)), 1)
+            << "% (56%)\n"
+            << "  D     " << cell(100.0 * (1.0 - bench::normalized_average(ours_d, base_d)), 1)
+            << "% (85%)\n"
+            << "  S     " << cell(100.0 * (1.0 - bench::normalized_average(ours_s, base_s)), 1)
+            << "% (55%)\n"
+            << "  area  " << cell(100.0 * (1.0 - bench::normalized_average(ours_area, base_area)), 1)
+            << "% (89%)\n"
+            << "  synthesis-time blowup "
+            << cell(bench::normalized_average(ours_time, base_time), 0)
+            << "x (paper: ~2650x)\n\n";
+
+  bench::shape_check(bench::normalized_average(ours_s, base_s) < 0.75,
+                     "COMPACT cuts the semiperimeter substantially "
+                     "(paper: -55%)");
+  bench::shape_check(bench::normalized_average(ours_area, base_area) < 0.5,
+                     "COMPACT cuts the area substantially (paper: -89%)");
+  bench::shape_check(bench::normalized_average(ours_time, base_time) > 10.0,
+                     "COMPACT pays a large synthesis-time premium "
+                     "(NP-hard labeling; paper: ~2650x)");
+  return 0;
+}

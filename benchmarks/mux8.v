@@ -1,0 +1,13 @@
+module mux8 (s0, s1, s2, d0, d1, d2, d3, d4, d5, d6, d7, y);
+  input s0, s1, s2, d0, d1, d2, d3, d4, d5, d6, d7;
+  output y;
+  wire g_n0, g_n1, g_n2, g_n3, g_n4, g_n5, g_n6;
+  assign g_n0 = (s0 & d1) | (~s0 & d0);
+  assign g_n1 = (s0 & d3) | (~s0 & d2);
+  assign g_n2 = (s0 & d5) | (~s0 & d4);
+  assign g_n3 = (s0 & d7) | (~s0 & d6);
+  assign g_n4 = (s1 & g_n1) | (~s1 & g_n0);
+  assign g_n5 = (s1 & g_n3) | (~s1 & g_n2);
+  assign g_n6 = (s2 & g_n5) | (~s2 & g_n4);
+  assign y = (g_n6);
+endmodule

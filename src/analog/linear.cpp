@@ -1,0 +1,51 @@
+#include "analog/linear.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace compact::analog {
+
+std::vector<double> solve_dense(matrix a, std::vector<double> b) {
+  const int n = a.rows();
+  check(a.cols() == n, "solve_dense: matrix must be square");
+  check(static_cast<int>(b.size()) == n, "solve_dense: rhs size mismatch");
+
+  // Forward elimination with partial pivoting.
+  for (int k = 0; k < n; ++k) {
+    int pivot = k;
+    double best = std::abs(a.at(k, k));
+    for (int r = k + 1; r < n; ++r) {
+      if (std::abs(a.at(r, k)) > best) {
+        best = std::abs(a.at(r, k));
+        pivot = r;
+      }
+    }
+    check(best > 1e-14, "solve_dense: matrix is singular");
+    if (pivot != k) {
+      for (int c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(pivot, c));
+      std::swap(b[static_cast<std::size_t>(k)],
+                b[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / a.at(k, k);
+    for (int r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) * inv;
+      if (factor == 0.0) continue;
+      for (int c = k; c < n; ++c) a.at(r, c) -= factor * a.at(k, c);
+      b[static_cast<std::size_t>(r)] -=
+          factor * b[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      sum -= a.at(r, c) * x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = sum / a.at(r, r);
+  }
+  return x;
+}
+
+}  // namespace compact::analog

@@ -1,0 +1,36 @@
+// Dense linear algebra for the analog solver: LU factorization with partial
+// pivoting. Crossbar conductance matrices are small (semiperimeter-sized,
+// symmetric positive definite after grounding), so a dense solve is both
+// simple and fast.
+#pragma once
+
+#include <vector>
+
+namespace compact::analog {
+
+/// Row-major dense matrix.
+class matrix {
+ public:
+  matrix(int rows, int cols) : rows_(rows), cols_(cols),
+                               data_(static_cast<std::size_t>(rows) *
+                                     static_cast<std::size_t>(cols)) {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] double& at(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by LU with partial pivoting. A must be square and
+/// nonsingular (throws compact::error otherwise). A and b are consumed.
+[[nodiscard]] std::vector<double> solve_dense(matrix a, std::vector<double> b);
+
+}  // namespace compact::analog

@@ -1,0 +1,75 @@
+#include "analog/margins.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "xbar/evaluate.hpp"
+
+namespace compact::analog {
+namespace {
+
+template <typename Visitor>
+void sweep_assignments(int variable_count, const margin_options& options,
+                       Visitor&& visit) {
+  if (variable_count <= options.exhaustive_limit) {
+    std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
+    const std::uint64_t total = 1ULL << variable_count;
+    for (std::uint64_t bits = 0; bits < total; ++bits) {
+      for (int v = 0; v < variable_count; ++v)
+        assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+      visit(assignment);
+    }
+  } else {
+    rng random(options.seed);
+    std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
+    for (int s = 0; s < options.samples; ++s) {
+      for (int v = 0; v < variable_count; ++v)
+        assignment[static_cast<std::size_t>(v)] = random.next_bool();
+      visit(assignment);
+    }
+  }
+}
+
+}  // namespace
+
+margin_report measure_margins(const xbar::crossbar& design,
+                              int variable_count, const device_model& model,
+                              const margin_options& options) {
+  margin_report report;
+  sweep_assignments(variable_count, options, [&](const std::vector<bool>& a) {
+    ++report.checked_assignments;
+    const std::vector<bool> reachable = xbar::reachable_rows(design, a);
+    const analog_result sim = simulate(design, a, model);
+    for (std::size_t o = 0; o < design.outputs().size(); ++o) {
+      const bool expected =
+          reachable[static_cast<std::size_t>(design.outputs()[o].row)];
+      const double v = sim.output_voltages[o];
+      if (expected)
+        report.min_high_voltage = std::min(report.min_high_voltage, v);
+      else
+        report.max_low_voltage = std::max(report.max_low_voltage, v);
+    }
+  });
+  report.margin = report.min_high_voltage - report.max_low_voltage;
+  report.separable = report.margin > 0.0;
+  return report;
+}
+
+double minimal_working_ratio(const xbar::crossbar& design, int variable_count,
+                             device_model model, double step,
+                             double max_ratio, const margin_options& options) {
+  for (double ratio = step; ratio <= max_ratio; ratio *= step) {
+    model.r_off = model.r_on * ratio;
+    const margin_report report =
+        measure_margins(design, variable_count, model, options);
+    // Correct sensing with the configured threshold requires the threshold
+    // to sit inside the (min_high, max_low) gap.
+    const double threshold_voltage = model.threshold * model.v_in;
+    if (report.separable && report.min_high_voltage >= threshold_voltage &&
+        report.max_low_voltage < threshold_voltage)
+      return ratio;
+  }
+  return 0.0;
+}
+
+}  // namespace compact::analog

@@ -1,0 +1,50 @@
+// Sensing-margin analysis.
+//
+// The paper verifies designs with SPICE at one device corner; real designs
+// additionally care about the *margin* between the weakest logic-1 output
+// voltage and the strongest logic-0 leakage (sneak paths through off
+// devices erode it as crossbars grow). This module sweeps assignments to
+// measure that margin and searches the minimal R_off/R_on ratio at which a
+// design still senses correctly.
+#pragma once
+
+#include <cstdint>
+
+#include "analog/mna.hpp"
+#include "bdd/manager.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::analog {
+
+struct margin_options {
+  int exhaustive_limit = 10;  // enumerate up to 2^limit assignments
+  int samples = 256;          // sampled sweep above the limit
+  std::uint64_t seed = 99;
+};
+
+struct margin_report {
+  double min_high_voltage = 1.0;  // weakest sensed logic 1
+  double max_low_voltage = 0.0;   // strongest leakage at a logic 0
+  double margin = 1.0;            // min_high - max_low
+  bool separable = true;          // some threshold distinguishes 0 from 1
+  long long checked_assignments = 0;
+};
+
+/// Sweep assignments of `variable_count` inputs and report the sensing
+/// margins of every output, using digital evaluation as the reference.
+[[nodiscard]] margin_report measure_margins(const xbar::crossbar& design,
+                                            int variable_count,
+                                            const device_model& model = {},
+                                            const margin_options& options = {});
+
+/// Smallest R_off/R_on ratio (powers of `step`) at which the design still
+/// senses every swept assignment correctly with the model's threshold.
+/// Returns 0.0 when even the largest tested ratio fails.
+[[nodiscard]] double minimal_working_ratio(const xbar::crossbar& design,
+                                           int variable_count,
+                                           device_model model = {},
+                                           double step = 10.0,
+                                           double max_ratio = 1e8,
+                                           const margin_options& options = {});
+
+}  // namespace compact::analog

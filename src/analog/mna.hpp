@@ -1,0 +1,43 @@
+// Analog verification of crossbar designs via nodal analysis.
+//
+// Substitutes for the paper's SPICE validation (Section VIII, using the
+// memristor model of [33]): every junction is a resistor at R_on or R_off
+// depending on its programmed literal and the input assignment; the input
+// wordline is driven by an ideal source V_in, each output wordline is tied
+// to ground through a sensing resistor, and every other nanowire floats.
+// Solving the conductance system yields the sensed output voltages; an
+// output reads logic 1 when its voltage exceeds `threshold * v_in`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace compact::analog {
+
+struct device_model {
+  double r_on = 1e2;       // low resistive state, ohms
+  double r_off = 1e8;      // high resistive state, ohms
+  double r_sense = 1e4;    // sensing resistor, ohms
+  double v_in = 1.0;       // drive voltage, volts
+  double threshold = 0.3;  // logic-1 threshold as a fraction of v_in
+};
+
+struct analog_result {
+  std::vector<double> output_voltages;  // parallel to design.outputs()
+  std::vector<bool> output_logic;       // thresholded
+};
+
+/// Solve the programmed crossbar under `assignment`.
+[[nodiscard]] analog_result simulate(const xbar::crossbar& design,
+                                     const std::vector<bool>& assignment,
+                                     const device_model& model = {});
+
+/// Convenience: thresholded value of one named output.
+[[nodiscard]] bool simulate_output(const xbar::crossbar& design,
+                                   const std::vector<bool>& assignment,
+                                   const std::string& output_name,
+                                   const device_model& model = {});
+
+}  // namespace compact::analog

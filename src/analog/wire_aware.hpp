@@ -1,0 +1,51 @@
+// Wire-resistance-aware crossbar simulation (IR drop).
+//
+// The ideal MNA model (analog/mna.hpp) treats every nanowire as one
+// electrical node, as SPICE decks for small arrays often do. Real nanowires
+// have per-segment resistance, so current through a long wordline drops
+// voltage along it — the effect that ultimately caps crossbar dimensions,
+// and thus interacts directly with the paper's max-dimension objective.
+//
+// Here every junction contributes two nodes (top/wordline layer and
+// bottom/bitline layer); adjacent same-wire nodes are joined by r_wire and
+// the programmed device joins the layers. The resulting sparse SPD system
+// is solved with Jacobi-preconditioned conjugate gradients.
+#pragma once
+
+#include <vector>
+
+#include "analog/mna.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::analog {
+
+struct wire_model {
+  device_model device;     // R_on / R_off / sensing / threshold
+  double r_wire = 1.0;     // ohms per wire segment between junctions
+  double cg_tolerance = 1e-10;
+  int cg_max_iterations = 20000;
+};
+
+struct wire_aware_result {
+  std::vector<double> output_voltages;  // parallel to design.outputs()
+  std::vector<bool> output_logic;
+  int cg_iterations = 0;
+  bool converged = true;
+};
+
+/// Solve the distributed crossbar. The input wordline is driven at its
+/// column-0 end; each output is sensed at its wordline's far (last-column)
+/// end through the sensing resistor.
+[[nodiscard]] wire_aware_result simulate_wire_aware(
+    const xbar::crossbar& design, const std::vector<bool>& assignment,
+    const wire_model& model = {});
+
+/// Worst-case IR drop of the design: the largest loss of output voltage
+/// versus the ideal (zero-wire-resistance) model over sampled assignments.
+[[nodiscard]] double worst_ir_drop(const xbar::crossbar& design,
+                                   int variable_count,
+                                   const wire_model& model = {},
+                                   int samples = 32,
+                                   std::uint64_t seed = 5);
+
+}  // namespace compact::analog

@@ -1,0 +1,80 @@
+#include "baseline/staircase.hpp"
+
+#include <algorithm>
+
+#include "core/compose.hpp"
+#include "core/mapping.hpp"
+#include "frontend/to_bdd.hpp"
+#include "util/stopwatch.hpp"
+
+namespace compact::baseline {
+namespace {
+
+core::synthesis_stats stats_of(const xbar::crossbar& design,
+                               std::size_t nodes, std::size_t edges,
+                               int vh_count) {
+  core::synthesis_stats stats;
+  stats.graph_nodes = nodes;
+  stats.graph_edges = edges;
+  stats.vh_count = vh_count;
+  stats.rows = design.rows();
+  stats.columns = design.columns();
+  stats.semiperimeter = design.semiperimeter();
+  stats.max_dimension = design.max_dimension();
+  stats.area = design.area();
+  stats.power_proxy = design.active_device_count();
+  stats.delay_steps = design.delay_steps();
+  stats.optimal = true;  // the construction is deterministic, not optimized
+  return stats;
+}
+
+}  // namespace
+
+core::synthesis_result staircase_synthesize(
+    const bdd::manager& m, const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names) {
+  stopwatch clock;
+  const core::bdd_graph graph = core::build_bdd_graph(m, roots, names);
+  core::labeling labels = core::all_vh_labeling(graph.g.node_count());
+  core::mapping_result mapped = core::map_to_crossbar(graph, labels);
+  core::synthesis_result result{std::move(mapped.design), std::move(labels),
+                                {}};
+  result.stats =
+      stats_of(result.design, graph.g.node_count(), graph.g.edge_count(),
+               static_cast<int>(graph.g.node_count()));
+  result.stats.synthesis_seconds = clock.seconds();
+  return result;
+}
+
+core::synthesis_result staircase_synthesize_network(
+    const frontend::network& net) {
+  stopwatch clock;
+  const auto output_count = static_cast<int>(net.outputs().size());
+  check(output_count > 0, "staircase: network has no outputs");
+
+  std::vector<core::synthesis_result> parts;
+  parts.reserve(static_cast<std::size_t>(output_count));
+  std::size_t total_nodes = 0;
+  std::size_t total_edges = 0;
+  for (int o = 0; o < output_count; ++o) {
+    bdd::manager m(net.input_count());
+    const bdd::node_handle root = frontend::build_output(net, m, o);
+    parts.push_back(staircase_synthesize(
+        m, {root}, {net.outputs()[static_cast<std::size_t>(o)].name}));
+    total_nodes += parts.back().stats.graph_nodes;
+    total_edges += parts.back().stats.graph_edges;
+  }
+
+  std::vector<const xbar::crossbar*> blocks;
+  blocks.reserve(parts.size());
+  for (const core::synthesis_result& part : parts)
+    blocks.push_back(&part.design);
+
+  core::synthesis_result result{core::compose_diagonal(blocks), {}, {}};
+  result.stats = stats_of(result.design, total_nodes, total_edges,
+                          static_cast<int>(total_nodes));
+  result.stats.synthesis_seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace compact::baseline

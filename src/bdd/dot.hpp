@@ -1,0 +1,18 @@
+// Graphviz export of (shared) BDDs, mirroring CUDD's DumpDot output style:
+// solid arcs for high/then edges, dashed arcs for low/else edges.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace compact::bdd {
+
+/// Write the multi-rooted DAG in dot format. `root_names` (if non-empty)
+/// must parallel `roots` and labels the external pointers.
+void write_dot(const manager& m, const std::vector<node_handle>& roots,
+               const std::vector<std::string>& root_names, std::ostream& os);
+
+}  // namespace compact::bdd

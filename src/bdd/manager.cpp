@@ -1,0 +1,180 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace compact::bdd {
+namespace {
+
+// Unique-table key packing: 10 bits of variable, 27 bits per child handle.
+constexpr int var_bits = 10;
+constexpr int handle_bits = 27;
+constexpr std::uint32_t max_variables = (1u << var_bits) - 1;
+constexpr std::uint32_t max_nodes = (1u << handle_bits) - 1;
+
+std::uint64_t pack(std::int32_t var, node_handle low, node_handle high) {
+  return (static_cast<std::uint64_t>(var) << (2 * handle_bits)) |
+         (static_cast<std::uint64_t>(low) << handle_bits) |
+         static_cast<std::uint64_t>(high);
+}
+
+}  // namespace
+
+manager::manager(int variable_count) : variable_count_(variable_count) {
+  check(variable_count >= 0 &&
+            variable_count <= static_cast<int>(max_variables),
+        "bdd::manager supports at most 1023 variables");
+  nodes_.push_back({terminal_var, false_handle, false_handle});  // 0
+  nodes_.push_back({terminal_var, true_handle, true_handle});    // 1
+}
+
+const node& manager::at(node_handle f) const {
+  check(f < nodes_.size(), "bdd: dangling node handle");
+  return nodes_[f];
+}
+
+node_handle manager::make_node(std::int32_t var, node_handle low,
+                               node_handle high) {
+  if (low == high) return low;  // reduction rule
+  const std::uint64_t key = pack(var, low, high);
+  const auto [it, inserted] =
+      unique_.try_emplace(key, static_cast<node_handle>(nodes_.size()));
+  if (inserted) {
+    check(nodes_.size() < max_nodes, "bdd: node table overflow");
+    nodes_.push_back({var, low, high});
+  }
+  return it->second;
+}
+
+node_handle manager::var(int index) {
+  check(index >= 0 && index < variable_count_, "bdd: variable out of range");
+  return make_node(index, false_handle, true_handle);
+}
+
+node_handle manager::nvar(int index) {
+  check(index >= 0 && index < variable_count_, "bdd: variable out of range");
+  return make_node(index, true_handle, false_handle);
+}
+
+node_handle manager::ite(node_handle f, node_handle g, node_handle h) {
+  // Terminal cases.
+  if (f == true_handle) return g;
+  if (f == false_handle) return h;
+  if (g == h) return g;
+  if (g == true_handle && h == false_handle) return f;
+
+  const ite_key key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
+    return it->second;
+
+  const std::int32_t top =
+      std::min({level(f), level(g), level(h)});
+
+  auto cofactor = [&](node_handle u, bool high) {
+    if (level(u) != top) return u;
+    return high ? nodes_[u].high : nodes_[u].low;
+  };
+
+  const node_handle high =
+      ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const node_handle low =
+      ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const node_handle result = make_node(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+node_handle manager::apply_not(node_handle f) {
+  return ite(f, false_handle, true_handle);
+}
+
+node_handle manager::apply_and(node_handle f, node_handle g) {
+  return ite(f, g, false_handle);
+}
+
+node_handle manager::apply_or(node_handle f, node_handle g) {
+  return ite(f, true_handle, g);
+}
+
+node_handle manager::apply_xor(node_handle f, node_handle g) {
+  return ite(f, apply_not(g), g);
+}
+
+node_handle manager::apply_xnor(node_handle f, node_handle g) {
+  return ite(f, g, apply_not(g));
+}
+
+node_handle manager::restrict_var(node_handle f, int index, bool value) {
+  if (is_terminal(f)) return f;
+  const node& n = nodes_[f];
+  if (n.var > index) return f;  // variable below the tested level
+  if (n.var == index) return value ? n.high : n.low;
+  const node_handle low = restrict_var(n.low, index, value);
+  const node_handle high = restrict_var(n.high, index, value);
+  return make_node(n.var, low, high);
+}
+
+node_handle manager::exists(node_handle f, int index) {
+  return apply_or(restrict_var(f, index, false),
+                  restrict_var(f, index, true));
+}
+
+node_handle manager::forall(node_handle f, int index) {
+  return apply_and(restrict_var(f, index, false),
+                   restrict_var(f, index, true));
+}
+
+bool manager::evaluate(node_handle f,
+                       const std::vector<bool>& assignment) const {
+  check(assignment.size() >= static_cast<std::size_t>(variable_count_),
+        "bdd: assignment too short");
+  node_handle u = f;
+  while (!is_terminal(u)) {
+    const node& n = nodes_[u];
+    u = assignment[static_cast<std::size_t>(n.var)] ? n.high : n.low;
+  }
+  return u == true_handle;
+}
+
+double manager::sat_count(node_handle f) const {
+  // sat_cache_ stores the satisfying *fraction* of each node viewed as a
+  // function of all variable_count() variables: fraction(u) =
+  // (fraction(low) + fraction(high)) / 2. Variables skipped between a node
+  // and its child are free on both branches, so the global fraction of the
+  // child needs no level-gap correction.
+  if (f == false_handle) return 0.0;
+
+  // Iterative DFS with memoization on handles.
+  std::vector<node_handle> stack{f};
+  while (!stack.empty()) {
+    const node_handle u = stack.back();
+    if (is_terminal(u) || sat_cache_.contains(u)) {
+      stack.pop_back();
+      continue;
+    }
+    const node& n = nodes_[u];
+    const bool low_ready = is_terminal(n.low) || sat_cache_.contains(n.low);
+    const bool high_ready = is_terminal(n.high) || sat_cache_.contains(n.high);
+    if (!low_ready) {
+      stack.push_back(n.low);
+      continue;
+    }
+    if (!high_ready) {
+      stack.push_back(n.high);
+      continue;
+    }
+    auto fraction = [&](node_handle child) {
+      if (child == false_handle) return 0.0;
+      if (child == true_handle) return 1.0;
+      return sat_cache_.at(child);
+    };
+    const double value = 0.5 * (fraction(n.low) + fraction(n.high));
+    sat_cache_.emplace(u, value);
+    stack.pop_back();
+  }
+
+  const double fraction = f == true_handle ? 1.0 : sat_cache_.at(f);
+  return fraction * std::pow(2.0, variable_count_);
+}
+
+}  // namespace compact::bdd

@@ -1,0 +1,129 @@
+// Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//
+// This is the repo's substitute for CUDD/ABC in the paper's flow. Multiple
+// roots built inside one manager share subgraphs through the unique table,
+// which is exactly the *shared BDD* (SBDD) of Section VII-A; building each
+// output in its own manager yields the separate-ROBDD baseline.
+//
+// Design notes:
+//  * Nodes are referenced by dense 32-bit handles; handles 0 and 1 are the
+//    constant terminals. Handles are stable for the life of the manager.
+//  * No complement edges: the BDD-to-crossbar analogy maps every edge to a
+//    physical memristor programmed with a literal, so edges must carry plain
+//    (variable, polarity) labels.
+//  * No garbage collection: crossbar synthesis keeps every intermediate
+//    alive only briefly and managers are cheap to discard. (CUDD's
+//    ref-counted GC is not load-bearing for any experiment in the paper.)
+//  * Canonicity invariant: low != high for every stored node, and children
+//    always have strictly larger variable levels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace compact::bdd {
+
+using node_handle = std::uint32_t;
+
+inline constexpr node_handle false_handle = 0;
+inline constexpr node_handle true_handle = 1;
+
+/// A decision node: tests `var`, follows `high` when the variable is 1 and
+/// `low` when it is 0. Terminals use var = terminal_var.
+struct node {
+  std::int32_t var = 0;
+  node_handle low = 0;
+  node_handle high = 0;
+};
+
+inline constexpr std::int32_t terminal_var = INT32_MAX;
+
+class manager {
+ public:
+  /// `variable_count` fixes the support (levels 0..variable_count-1).
+  /// The variable order is the level order; level 0 is tested first.
+  explicit manager(int variable_count);
+
+  [[nodiscard]] int variable_count() const { return variable_count_; }
+  [[nodiscard]] std::size_t node_table_size() const { return nodes_.size(); }
+
+  // --- leaf and literal constructors ------------------------------------
+  [[nodiscard]] node_handle constant(bool value) const {
+    return value ? true_handle : false_handle;
+  }
+  /// The single-node function `x_index`.
+  [[nodiscard]] node_handle var(int index);
+  /// The single-node function `!x_index`.
+  [[nodiscard]] node_handle nvar(int index);
+
+  // --- structure ---------------------------------------------------------
+  [[nodiscard]] bool is_terminal(node_handle f) const { return f <= 1; }
+  [[nodiscard]] const node& at(node_handle f) const;
+
+  // --- boolean operations -------------------------------------------------
+  [[nodiscard]] node_handle ite(node_handle f, node_handle g, node_handle h);
+  [[nodiscard]] node_handle apply_not(node_handle f);
+  [[nodiscard]] node_handle apply_and(node_handle f, node_handle g);
+  [[nodiscard]] node_handle apply_or(node_handle f, node_handle g);
+  [[nodiscard]] node_handle apply_xor(node_handle f, node_handle g);
+  [[nodiscard]] node_handle apply_xnor(node_handle f, node_handle g);
+
+  /// f with variable `index` fixed to `value` (Shannon cofactor).
+  [[nodiscard]] node_handle restrict_var(node_handle f, int index, bool value);
+  /// Existential quantification of variable `index`.
+  [[nodiscard]] node_handle exists(node_handle f, int index);
+  /// Universal quantification of variable `index`.
+  [[nodiscard]] node_handle forall(node_handle f, int index);
+
+  // --- queries -------------------------------------------------------------
+  /// Evaluate under a complete assignment (indexed by variable).
+  [[nodiscard]] bool evaluate(node_handle f,
+                              const std::vector<bool>& assignment) const;
+  /// Number of satisfying assignments over all `variable_count()` variables.
+  [[nodiscard]] double sat_count(node_handle f) const;
+  /// True iff the two handles denote the same function (canonical compare).
+  [[nodiscard]] bool same_function(node_handle f, node_handle g) const {
+    return f == g;
+  }
+
+ private:
+  [[nodiscard]] node_handle make_node(std::int32_t var, node_handle low,
+                                      node_handle high);
+  [[nodiscard]] std::int32_t level(node_handle f) const {
+    return nodes_[f].var;
+  }
+
+  struct triple_hash {
+    std::size_t operator()(const std::uint64_t& key) const {
+      std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  struct ite_key {
+    node_handle f, g, h;
+    bool operator==(const ite_key&) const = default;
+  };
+  struct ite_hash {
+    std::size_t operator()(const ite_key& k) const {
+      std::uint64_t key =
+          (static_cast<std::uint64_t>(k.f) << 42) ^
+          (static_cast<std::uint64_t>(k.g) << 21) ^ k.h;
+      return triple_hash{}(key);
+    }
+  };
+
+  int variable_count_ = 0;
+  std::vector<node> nodes_;
+  // unique table: packed (var, low, high) -> handle
+  std::unordered_map<std::uint64_t, node_handle, triple_hash> unique_;
+  std::unordered_map<ite_key, node_handle, ite_hash> ite_cache_;
+  mutable std::unordered_map<node_handle, double> sat_cache_;
+};
+
+}  // namespace compact::bdd

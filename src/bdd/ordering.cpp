@@ -1,0 +1,123 @@
+#include "bdd/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bdd/stats.hpp"
+#include "util/error.hpp"
+
+namespace compact::bdd {
+namespace {
+
+std::size_t size_under(int input_count, const order_builder& build,
+                       const std::vector<int>& order) {
+  manager m(input_count);
+  const std::vector<node_handle> roots = build(m, order);
+  return collect_reachable(m, roots).nodes.size();
+}
+
+}  // namespace
+
+ordering_result best_order_exhaustive(int input_count,
+                                      const order_builder& build) {
+  check(input_count >= 0 && input_count <= 9,
+        "best_order_exhaustive: factorial search capped at 9 inputs");
+  std::vector<int> order(input_count);
+  std::iota(order.begin(), order.end(), 0);
+
+  ordering_result best;
+  best.order = order;
+  best.node_count = size_under(input_count, build, order);
+  while (std::next_permutation(order.begin(), order.end())) {
+    const std::size_t size = size_under(input_count, build, order);
+    if (size < best.node_count) {
+      best.node_count = size;
+      best.order = order;
+    }
+  }
+  return best;
+}
+
+ordering_result best_order_hill_climb(int input_count,
+                                      const order_builder& build, rng& random,
+                                      int restarts, int max_rounds) {
+  check(input_count >= 0, "best_order_hill_climb: negative input count");
+  ordering_result best;
+  best.order.resize(input_count);
+  std::iota(best.order.begin(), best.order.end(), 0);
+  best.node_count = size_under(input_count, build, best.order);
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    std::vector<int> order(input_count);
+    std::iota(order.begin(), order.end(), 0);
+    if (restart > 0) {  // restart 0 climbs from the identity order
+      for (int i = input_count - 1; i > 0; --i)
+        std::swap(order[i],
+                  order[random.next_below(static_cast<std::uint64_t>(i + 1))]);
+    }
+    std::size_t current = size_under(input_count, build, order);
+
+    for (int round = 0; round < max_rounds; ++round) {
+      bool improved = false;
+      for (int i = 0; i + 1 < input_count; ++i) {
+        std::swap(order[i], order[i + 1]);
+        const std::size_t candidate = size_under(input_count, build, order);
+        if (candidate < current) {
+          current = candidate;
+          improved = true;
+        } else {
+          std::swap(order[i], order[i + 1]);  // revert
+        }
+      }
+      if (!improved) break;
+    }
+    if (current < best.node_count) {
+      best.node_count = current;
+      best.order = order;
+    }
+  }
+  return best;
+}
+
+ordering_result sift_order(int input_count, const order_builder& build,
+                           int max_passes) {
+  check(input_count >= 0, "sift_order: negative input count");
+  ordering_result best;
+  best.order.resize(static_cast<std::size_t>(input_count));
+  std::iota(best.order.begin(), best.order.end(), 0);
+  best.node_count = size_under(input_count, build, best.order);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool moved = false;
+    for (int variable = 0; variable < input_count; ++variable) {
+      // Remove `variable` from the order, then try every insertion point.
+      std::vector<int> base;
+      base.reserve(best.order.size());
+      for (int v : best.order)
+        if (v != variable) base.push_back(v);
+
+      std::size_t best_size = best.node_count;
+      int best_position = -1;
+      for (int pos = 0; pos <= static_cast<int>(base.size()); ++pos) {
+        std::vector<int> candidate = base;
+        candidate.insert(candidate.begin() + pos, variable);
+        if (candidate == best.order) continue;
+        const std::size_t size = size_under(input_count, build, candidate);
+        if (size < best_size) {
+          best_size = size;
+          best_position = pos;
+        }
+      }
+      if (best_position >= 0) {
+        base.insert(base.begin() + best_position, variable);
+        best.order = std::move(base);
+        best.node_count = best_size;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return best;
+}
+
+}  // namespace compact::bdd

@@ -1,0 +1,72 @@
+#include "bdd/stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace compact::bdd {
+
+reachable_set collect_reachable(const manager& m,
+                                const std::vector<node_handle>& roots) {
+  reachable_set result;
+  std::unordered_set<node_handle> seen;
+  std::vector<node_handle> stack;
+  for (node_handle r : roots)
+    if (seen.insert(r).second) stack.push_back(r);
+
+  while (!stack.empty()) {
+    const node_handle u = stack.back();
+    stack.pop_back();
+    result.nodes.push_back(u);
+    if (m.is_terminal(u)) {
+      ++result.terminal_count;
+      continue;
+    }
+    ++result.internal_count;
+    result.edge_count += 2;
+    const node& n = m.at(u);
+    if (seen.insert(n.low).second) stack.push_back(n.low);
+    if (seen.insert(n.high).second) stack.push_back(n.high);
+  }
+  return result;
+}
+
+std::size_t dag_size(const manager& m, node_handle f) {
+  return collect_reachable(m, {f}).nodes.size();
+}
+
+std::vector<int> support(const manager& m,
+                         const std::vector<node_handle>& roots) {
+  const reachable_set reachable = collect_reachable(m, roots);
+  std::vector<bool> seen(static_cast<std::size_t>(m.variable_count()), false);
+  for (node_handle u : reachable.nodes)
+    if (!m.is_terminal(u)) seen[static_cast<std::size_t>(m.at(u).var)] = true;
+  std::vector<int> vars;
+  for (int v = 0; v < m.variable_count(); ++v)
+    if (seen[static_cast<std::size_t>(v)]) vars.push_back(v);
+  return vars;
+}
+
+std::uint64_t to_truth_table(const manager& m, node_handle f, int inputs) {
+  check(inputs >= 0 && inputs <= 6, "to_truth_table: 0..6 inputs");
+  std::uint64_t table = 0;
+  std::vector<bool> assignment(static_cast<std::size_t>(
+      std::max(inputs, m.variable_count())));
+  for (std::uint64_t bits = 0; bits < (1ULL << inputs); ++bits) {
+    for (int v = 0; v < inputs; ++v)
+      assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+    if (m.evaluate(f, assignment)) table |= 1ULL << bits;
+  }
+  return table;
+}
+
+std::vector<std::size_t> level_profile(const manager& m,
+                                       const std::vector<node_handle>& roots) {
+  std::vector<std::size_t> profile(
+      static_cast<std::size_t>(m.variable_count()), 0);
+  const reachable_set reachable = collect_reachable(m, roots);
+  for (node_handle u : reachable.nodes)
+    if (!m.is_terminal(u)) ++profile[static_cast<std::size_t>(m.at(u).var)];
+  return profile;
+}
+
+}  // namespace compact::bdd

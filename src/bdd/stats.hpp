@@ -1,0 +1,44 @@
+// Multi-root BDD statistics.
+//
+// Table I of the paper reports per-benchmark node and edge counts of the
+// shared BDD; the crossbar mapping's semiperimeter bound n + k is stated in
+// terms of these counts. Counting is over the union of nodes reachable from
+// all roots (the SBDD), with terminals included.
+#pragma once
+
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace compact::bdd {
+
+struct reachable_set {
+  std::vector<node_handle> nodes;   // dedup'd, in discovery order
+  std::size_t internal_count = 0;   // nodes testing a variable
+  std::size_t terminal_count = 0;   // 0, 1 or 2
+  std::size_t edge_count = 0;       // 2 per internal node
+};
+
+/// All nodes reachable from `roots` (terminals included, each once).
+[[nodiscard]] reachable_set collect_reachable(
+    const manager& m, const std::vector<node_handle>& roots);
+
+/// Node count of the DAG rooted at `f` (terminals included).
+[[nodiscard]] std::size_t dag_size(const manager& m, node_handle f);
+
+/// Variables actually tested anywhere in the DAGs rooted at `roots`,
+/// ascending.
+[[nodiscard]] std::vector<int> support(const manager& m,
+                                       const std::vector<node_handle>& roots);
+
+/// Truth table of `f` over variables 0..inputs-1 (inputs <= 6); bit b holds
+/// f(assignment encoded by b's bits).
+[[nodiscard]] std::uint64_t to_truth_table(const manager& m, node_handle f,
+                                           int inputs);
+
+/// Node count per variable level (index = level), useful for width
+/// profiling and ordering diagnostics.
+[[nodiscard]] std::vector<std::size_t> level_profile(
+    const manager& m, const std::vector<node_handle>& roots);
+
+}  // namespace compact::bdd

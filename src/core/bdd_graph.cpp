@@ -1,0 +1,79 @@
+#include "core/bdd_graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bdd/stats.hpp"
+#include "util/error.hpp"
+
+namespace compact::core {
+
+std::vector<graph::node_id> bdd_graph::aligned_nodes() const {
+  std::vector<graph::node_id> nodes;
+  for (const output_binding& o : outputs) nodes.push_back(o.node);
+  if (terminal_node >= 0) nodes.push_back(terminal_node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bdd_graph build_bdd_graph(const bdd::manager& m,
+                          const std::vector<bdd::node_handle>& roots,
+                          const std::vector<std::string>& names) {
+  check(roots.size() == names.size(),
+        "build_bdd_graph: roots/names size mismatch");
+  bdd_graph result;
+
+  // Collect the non-constant roots; constants never touch the crossbar.
+  std::vector<bdd::node_handle> live_roots;
+  std::vector<std::string> live_names;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (m.is_terminal(roots[i]))
+      result.constant_outputs.emplace_back(names[i],
+                                           roots[i] == bdd::true_handle);
+    else {
+      live_roots.push_back(roots[i]);
+      live_names.push_back(names[i]);
+    }
+  }
+  if (live_roots.empty()) return result;
+
+  // One graph vertex per reachable BDD node except the '0' terminal.
+  const bdd::reachable_set reachable = bdd::collect_reachable(m, live_roots);
+  std::unordered_map<bdd::node_handle, graph::node_id> vertex_of;
+  for (bdd::node_handle u : reachable.nodes) {
+    if (u == bdd::false_handle) continue;
+    const graph::node_id v = result.g.add_node();
+    vertex_of.emplace(u, v);
+    result.handle_of.push_back(u);
+    if (u == bdd::true_handle) result.terminal_node = v;
+  }
+  // Every live root reaches the 1-terminal (a node all of whose paths lead
+  // to 0 would have been reduced to the 0 terminal).
+  check(result.terminal_node >= 0,
+        "build_bdd_graph: no path to the 1-terminal");
+
+  // Edges: each BDD edge to a non-0 child, tagged with its literal
+  // (high edge: variable true; low edge: variable false).
+  for (bdd::node_handle u : reachable.nodes) {
+    if (m.is_terminal(u)) continue;
+    const bdd::node& n = m.at(u);
+    const graph::node_id gu = vertex_of.at(u);
+    auto add = [&](bdd::node_handle child, bool positive) {
+      if (child == bdd::false_handle) return;
+      const std::size_t before = result.g.edge_count();
+      result.g.add_edge(gu, vertex_of.at(child));
+      check(result.g.edge_count() == before + 1,
+            "build_bdd_graph: unexpected parallel BDD edge");
+      result.literal_of_edge.push_back({n.var, positive});
+    };
+    add(n.high, /*positive=*/true);
+    add(n.low, /*positive=*/false);
+  }
+
+  for (std::size_t i = 0; i < live_roots.size(); ++i)
+    result.outputs.push_back({vertex_of.at(live_roots[i]), live_names[i]});
+  return result;
+}
+
+}  // namespace compact::core

@@ -1,0 +1,52 @@
+// Graph pre-processing (Section V-A).
+//
+// Converts a (shared) BDD into the undirected graph the VH-labeling step
+// operates on: the '0' terminal and its incoming edges are removed (flow
+// computing only captures the '1' output), every remaining BDD node becomes
+// a graph vertex, and every remaining BDD edge becomes a graph edge tagged
+// with the literal (variable, polarity) that will program its memristor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "graph/graph.hpp"
+
+namespace compact::core {
+
+struct edge_literal {
+  std::int32_t variable = -1;
+  bool positive = false;
+};
+
+struct bdd_graph {
+  graph::undirected_graph g;
+  /// Parallel to g.edges(): the literal programming each edge's memristor.
+  std::vector<edge_literal> literal_of_edge;
+  /// Graph vertex of the '1' terminal; -1 when no root reaches 1 (all
+  /// outputs constant 0).
+  graph::node_id terminal_node = -1;
+  /// Graph vertices that carry at least one output, with their names.
+  struct output_binding {
+    graph::node_id node;
+    std::string name;
+  };
+  std::vector<output_binding> outputs;
+  /// Outputs that are constant functions (no crossbar hardware).
+  std::vector<std::pair<std::string, bool>> constant_outputs;
+  /// Graph vertex -> BDD handle (diagnostics, tests).
+  std::vector<bdd::node_handle> handle_of;
+
+  /// Distinct vertices that must obey the alignment constraint (outputs and
+  /// the terminal), i.e. must receive at least an H label.
+  [[nodiscard]] std::vector<graph::node_id> aligned_nodes() const;
+};
+
+/// Build the labeled undirected graph from the SBDD rooted at `roots`
+/// (named by `names`, parallel). Constant roots become constant_outputs.
+[[nodiscard]] bdd_graph build_bdd_graph(const bdd::manager& m,
+                                        const std::vector<bdd::node_handle>& roots,
+                                        const std::vector<std::string>& names);
+
+}  // namespace compact::core

@@ -1,0 +1,141 @@
+#include "core/compact.hpp"
+
+#include <algorithm>
+
+#include "core/compose.hpp"
+#include "core/mapping.hpp"
+#include "frontend/to_bdd.hpp"
+#include "util/stopwatch.hpp"
+
+namespace compact::core {
+namespace {
+
+synthesis_stats stats_from(const bdd_graph& graph, const labeling& l,
+                           const xbar::crossbar& design) {
+  synthesis_stats stats;
+  stats.graph_nodes = graph.g.node_count();
+  stats.graph_edges = graph.g.edge_count();
+  const labeling_stats ls = compute_stats(l);
+  stats.vh_count = ls.vh_count;
+  stats.rows = design.rows();
+  stats.columns = design.columns();
+  stats.semiperimeter = design.semiperimeter();
+  stats.max_dimension = design.max_dimension();
+  stats.area = design.area();
+  stats.power_proxy = design.active_device_count();
+  stats.delay_steps = design.delay_steps();
+  return stats;
+}
+
+}  // namespace
+
+synthesis_result synthesize(const bdd::manager& m,
+                            const std::vector<bdd::node_handle>& roots,
+                            const std::vector<std::string>& names,
+                            const synthesis_options& options) {
+  stopwatch clock;
+  const bdd_graph graph = build_bdd_graph(m, roots, names);
+
+  labeling labels;
+  bool optimal = false;
+  double gap = 0.0;
+  std::vector<milp::mip_trace_entry> trace;
+  if (options.method == labeling_method::minimal_semiperimeter) {
+    check(!options.max_rows && !options.max_columns,
+          "synthesize: dimension budgets require the weighted_mip method");
+    oct_label_options oct;
+    oct.alignment = options.alignment;
+    oct.engine = options.oct_engine;
+    oct.time_limit_seconds = options.time_limit_seconds;
+    oct_label_result r = label_minimal_semiperimeter(graph, oct);
+    labels = std::move(r.l);
+    optimal = r.optimal;
+  } else {
+    mip_label_options mip;
+    mip.gamma = options.gamma;
+    mip.alignment = options.alignment;
+    mip.time_limit_seconds = options.time_limit_seconds;
+    mip.max_rows = options.max_rows;
+    mip.max_columns = options.max_columns;
+    mip.oct_time_limit_seconds =
+        std::max(1.0, options.time_limit_seconds * 0.25);
+    mip_label_result r = label_weighted(graph, mip);
+    labels = std::move(r.l);
+    optimal = r.optimal;
+    gap = r.relative_gap;
+    trace = std::move(r.trace);
+  }
+
+  mapping_result mapped = map_to_crossbar(graph, labels);
+  synthesis_result result{std::move(mapped.design), std::move(labels), {}};
+  result.stats = stats_from(graph, result.labels, result.design);
+  result.stats.optimal = optimal;
+  result.stats.relative_gap = gap;
+  result.stats.trace = std::move(trace);
+  result.stats.synthesis_seconds = clock.seconds();
+  return result;
+}
+
+synthesis_result synthesize_network(const frontend::network& net,
+                                    const synthesis_options& options) {
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  return synthesize(m, built.roots, built.names, options);
+}
+
+synthesis_result synthesize_separate_robdds(const frontend::network& net,
+                                            const synthesis_options& options) {
+  stopwatch clock;
+  const auto output_count = static_cast<int>(net.outputs().size());
+  check(output_count > 0, "synthesize_separate_robdds: network has no outputs");
+
+  // Per-output synthesis. The time budget is split across outputs so the
+  // total remains comparable to the SBDD flow's.
+  synthesis_options per_output = options;
+  per_output.time_limit_seconds = std::max(
+      0.5, options.time_limit_seconds / static_cast<double>(output_count));
+
+  std::vector<synthesis_result> parts;
+  parts.reserve(static_cast<std::size_t>(output_count));
+  std::size_t total_nodes = 0;
+  std::size_t total_edges = 0;
+  int total_vh = 0;
+  bool all_optimal = true;
+  double worst_gap = 0.0;
+  for (int o = 0; o < output_count; ++o) {
+    bdd::manager m(net.input_count());
+    const bdd::node_handle root = frontend::build_output(net, m, o);
+    parts.push_back(synthesize(m, {root}, {net.outputs()[static_cast<std::size_t>(o)].name},
+                               per_output));
+    total_nodes += parts.back().stats.graph_nodes;
+    total_edges += parts.back().stats.graph_edges;
+    total_vh += parts.back().stats.vh_count;
+    all_optimal = all_optimal && parts.back().stats.optimal;
+    worst_gap = std::max(worst_gap, parts.back().stats.relative_gap);
+  }
+
+  // Diagonal composition (Figure 8a): blocks stacked corner to corner, all
+  // sharing one bottom input wordline (the merged '1' terminals).
+  std::vector<const xbar::crossbar*> blocks;
+  blocks.reserve(parts.size());
+  for (const synthesis_result& part : parts) blocks.push_back(&part.design);
+  xbar::crossbar composed = compose_diagonal(blocks);
+
+  synthesis_result result{std::move(composed), {}, {}};
+  result.stats.graph_nodes = total_nodes;
+  result.stats.graph_edges = total_edges;
+  result.stats.vh_count = total_vh;
+  result.stats.rows = result.design.rows();
+  result.stats.columns = result.design.columns();
+  result.stats.semiperimeter = result.design.semiperimeter();
+  result.stats.max_dimension = result.design.max_dimension();
+  result.stats.area = result.design.area();
+  result.stats.power_proxy = result.design.active_device_count();
+  result.stats.delay_steps = result.design.delay_steps();
+  result.stats.optimal = all_optimal;
+  result.stats.relative_gap = worst_gap;
+  result.stats.synthesis_seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace compact::core

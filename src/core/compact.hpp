@@ -1,0 +1,87 @@
+// COMPACT — the top-level synthesis API (Figure 3).
+//
+//   Boolean function (network / BDD roots)
+//     -> graph pre-processing          (core/bdd_graph)
+//     -> VH-labeling                   (core/labelers: OCT or MIP)
+//     -> crossbar mapping              (core/mapping)
+//     -> crossbar design D             (xbar/crossbar)
+//
+// Two entry points: synthesize() maps a shared BDD built in one manager
+// (the paper's SBDD flow, Section VII-A), and synthesize_separate_robdds()
+// reproduces the prior multi-output strategy — one ROBDD per output, each
+// mapped independently and composed along the diagonal sharing the input
+// wordline (Figure 8a).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "core/bdd_graph.hpp"
+#include "core/labelers.hpp"
+#include "core/labeling.hpp"
+#include "frontend/network.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::core {
+
+enum class labeling_method {
+  minimal_semiperimeter,  // Method 1: OCT + 2-coloring (gamma = 1 semantics)
+  weighted_mip,           // Method 2: MIP on gamma*S + (1-gamma)*D
+};
+
+struct synthesis_options {
+  labeling_method method = labeling_method::weighted_mip;
+  double gamma = 0.5;
+  bool alignment = true;
+  double time_limit_seconds = 60.0;
+  graph::oct_engine oct_engine = graph::oct_engine::bnb;
+  /// Hard budgets on the crossbar dimensions (Section III). Only supported
+  /// by the weighted_mip method; synthesis throws infeasible_error when no
+  /// design fits.
+  std::optional<int> max_rows;
+  std::optional<int> max_columns;
+};
+
+struct synthesis_stats {
+  std::size_t graph_nodes = 0;  // n: BDD nodes after 0-terminal removal
+  std::size_t graph_edges = 0;
+  int vh_count = 0;             // k: nodes mapped to a wordline AND a bitline
+  int rows = 0;
+  int columns = 0;
+  int semiperimeter = 0;
+  int max_dimension = 0;
+  long long area = 0;
+  int power_proxy = 0;          // active (literal-carrying) memristors
+  int delay_steps = 0;          // rows + 1
+  double synthesis_seconds = 0.0;
+  bool optimal = false;         // labeling proven optimal within the limit
+  double relative_gap = 0.0;    // MIP gap at termination (0 for method 1)
+  std::vector<milp::mip_trace_entry> trace;  // MIP convergence (Fig. 10)
+};
+
+struct synthesis_result {
+  xbar::crossbar design;
+  labeling labels;
+  synthesis_stats stats;
+};
+
+/// Map the shared BDD rooted at `roots` (named `names`) onto one crossbar.
+[[nodiscard]] synthesis_result synthesize(
+    const bdd::manager& m, const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names,
+    const synthesis_options& options = {});
+
+/// Convenience: build the SBDD of `net` (identity variable order) and map it.
+[[nodiscard]] synthesis_result synthesize_network(
+    const frontend::network& net, const synthesis_options& options = {});
+
+/// Prior multi-output strategy: one ROBDD per output in its own manager,
+/// each synthesized independently, then composed along the diagonal with a
+/// shared input wordline. Stats are those of the composed design; the
+/// per-output node counts are summed (Table III's "merged ROBDDs" column).
+[[nodiscard]] synthesis_result synthesize_separate_robdds(
+    const frontend::network& net, const synthesis_options& options = {});
+
+}  // namespace compact::core

@@ -1,0 +1,53 @@
+#include "core/compose.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace compact::core {
+
+xbar::crossbar compose_diagonal(
+    const std::vector<const xbar::crossbar*>& blocks) {
+  int total_rows = 1;  // the shared input row
+  int total_columns = 0;
+  for (const xbar::crossbar* block : blocks) {
+    check(block != nullptr && block->input_row() >= 0,
+          "compose_diagonal: block without input row");
+    if (block->columns() == 0) continue;
+    total_rows += block->rows() - 1;
+    total_columns += block->columns();
+  }
+
+  xbar::crossbar composed(total_rows, total_columns);
+  const int shared_input = total_rows - 1;
+  composed.set_input_row(shared_input);
+
+  int row_offset = 0;
+  int column_offset = 0;
+  for (const xbar::crossbar* block : blocks) {
+    if (block->columns() == 0) {
+      for (const auto& [name, value] : block->constant_outputs())
+        composed.add_constant_output(value, name);
+      continue;
+    }
+    auto remap_row = [&](int r) {
+      if (r == block->input_row()) return shared_input;
+      return row_offset + r - (r > block->input_row() ? 1 : 0);
+    };
+    for (int r = 0; r < block->rows(); ++r)
+      for (int c = 0; c < block->columns(); ++c) {
+        const xbar::device& d = block->at(r, c);
+        if (d.kind != xbar::literal_kind::off)
+          composed.set(remap_row(r), column_offset + c, d);
+      }
+    for (const xbar::output_port& o : block->outputs())
+      composed.add_output(remap_row(o.row), o.name);
+    for (const auto& [name, value] : block->constant_outputs())
+      composed.add_constant_output(value, name);
+    row_offset += block->rows() - 1;
+    column_offset += block->columns();
+  }
+  return composed;
+}
+
+}  // namespace compact::core

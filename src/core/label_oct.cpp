@@ -1,0 +1,228 @@
+#include <algorithm>
+#include <array>
+
+#include "core/labelers.hpp"
+#include "graph/bipartite.hpp"
+#include "util/error.hpp"
+
+namespace compact::core {
+namespace {
+
+/// Choose per-component flips minimizing max(row total, column total).
+/// Component i contributes per_component[i] = (to_H, to_V) when kept and the
+/// swapped pair when flipped; `bias` seeds both totals (VH nodes and fixed
+/// components). Returns the flip decisions.
+std::vector<char> balance_flips(
+    const std::vector<std::pair<int, int>>& per_component, int bias_rows,
+    int bias_columns) {
+  const int k = static_cast<int>(per_component.size());
+  int total = bias_rows + bias_columns;
+  for (const auto& [a, b] : per_component) total += a + b;
+
+  // DP over achievable row totals, with parent pointers for the backtrace.
+  std::vector<std::vector<int>> parent(
+      static_cast<std::size_t>(k), std::vector<int>(total + 1, -1));
+  std::vector<char> reachable(static_cast<std::size_t>(total) + 1, 0);
+  reachable[static_cast<std::size_t>(bias_rows)] = 1;
+  for (int c = 0; c < k; ++c) {
+    std::vector<char> next(static_cast<std::size_t>(total) + 1, 0);
+    for (int t = 0; t <= total; ++t) {
+      if (!reachable[static_cast<std::size_t>(t)]) continue;
+      const int keep = t + per_component[static_cast<std::size_t>(c)].first;
+      const int flip = t + per_component[static_cast<std::size_t>(c)].second;
+      if (keep <= total && !next[static_cast<std::size_t>(keep)]) {
+        next[static_cast<std::size_t>(keep)] = 1;
+        parent[static_cast<std::size_t>(c)][static_cast<std::size_t>(keep)] =
+            t * 2;
+      }
+      if (flip <= total && !next[static_cast<std::size_t>(flip)]) {
+        next[static_cast<std::size_t>(flip)] = 1;
+        parent[static_cast<std::size_t>(c)][static_cast<std::size_t>(flip)] =
+            t * 2 + 1;
+      }
+    }
+    reachable.swap(next);
+  }
+
+  int best_rows = -1;
+  int best_objective = total + 1;
+  for (int t = 0; t <= total; ++t) {
+    if (!reachable[static_cast<std::size_t>(t)]) continue;
+    const int objective = std::max(t, total - t);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_rows = t;
+    }
+  }
+  check(best_rows >= 0, "balance_flips: no achievable assignment");
+
+  std::vector<char> flips(static_cast<std::size_t>(k), 0);
+  int t = best_rows;
+  for (int c = k - 1; c >= 0; --c) {
+    const int enc = parent[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+    check(enc >= 0, "balance_flips: broken backtrace");
+    flips[static_cast<std::size_t>(c)] = static_cast<char>(enc & 1);
+    t = enc >> 1;
+  }
+  return flips;
+}
+
+}  // namespace
+
+oct_label_result label_minimal_semiperimeter(const bdd_graph& graph,
+                                             const oct_label_options& options) {
+  const graph::undirected_graph& g = graph.g;
+  oct_label_result result;
+  result.l.label_of.assign(g.node_count(), vh_label::v);
+  if (g.node_count() == 0) {
+    result.optimal = true;
+    return result;
+  }
+
+  // Step 1: minimum odd cycle transversal -> the VH set.
+  graph::oct_options oct;
+  oct.engine = options.engine;
+  oct.time_limit_seconds = options.time_limit_seconds;
+  const graph::oct_result transversal = graph::odd_cycle_transversal(g, oct);
+  result.oct_size = transversal.size;
+  result.optimal = transversal.optimal;
+
+  // Step 2: 2-color the induced bipartite subgraph G_B.
+  std::vector<bool> keep(g.node_count());
+  for (std::size_t v = 0; v < g.node_count(); ++v)
+    keep[v] = !transversal.in_transversal[v];
+  const auto induced = g.induced_subgraph(keep);
+  const auto coloring = graph::try_two_color(induced.subgraph);
+  check(coloring.has_value(), "label_oct: G - OCT is not bipartite");
+  const auto components = induced.subgraph.connected_components();
+
+  // color_of / component_of in *original* vertex ids (-1 for VH nodes).
+  std::vector<int> color_of(g.node_count(), -1);
+  std::vector<int> component_of(g.node_count(), -1);
+  for (graph::node_id v = 0; v < static_cast<graph::node_id>(g.node_count());
+       ++v) {
+    const graph::node_id nv = induced.new_id_of[static_cast<std::size_t>(v)];
+    if (nv < 0) continue;
+    color_of[static_cast<std::size_t>(v)] =
+        coloring->color_of[static_cast<std::size_t>(nv)];
+    component_of[static_cast<std::size_t>(v)] =
+        components.component_of[static_cast<std::size_t>(nv)];
+  }
+
+  // Step 3: per-component alignment analysis. Orientation 0 maps color 0 to
+  // H (rows); orientation 1 maps color 1 to H.
+  const int k = components.count;
+  std::vector<std::array<int, 2>> size_by_color(
+      static_cast<std::size_t>(k), {0, 0});
+  std::vector<std::array<int, 2>> aligned_by_color(
+      static_cast<std::size_t>(k), {0, 0});
+  for (graph::node_id v = 0; v < static_cast<graph::node_id>(g.node_count());
+       ++v) {
+    const int c = component_of[static_cast<std::size_t>(v)];
+    if (c < 0) continue;
+    ++size_by_color[static_cast<std::size_t>(c)]
+                   [static_cast<std::size_t>(color_of[static_cast<std::size_t>(v)])];
+  }
+  std::vector<bool> is_aligned(g.node_count(), false);
+  for (graph::node_id v : graph.aligned_nodes()) {
+    is_aligned[static_cast<std::size_t>(v)] = true;
+    const int c = component_of[static_cast<std::size_t>(v)];
+    if (c < 0) continue;  // already VH: alignment satisfied
+    ++aligned_by_color[static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(color_of[static_cast<std::size_t>(v)])];
+  }
+
+  // orientation[c]: 0 or 1 when fixed, -1 when free (left to balancing).
+  std::vector<int> orientation(static_cast<std::size_t>(k), -1);
+  std::vector<bool> promote(g.node_count(), false);
+  if (options.alignment) {
+    for (int c = 0; c < k; ++c) {
+      // Promotions if color x maps to H: aligned nodes of the other color.
+      const int promote0 = aligned_by_color[static_cast<std::size_t>(c)][1];
+      const int promote1 = aligned_by_color[static_cast<std::size_t>(c)][0];
+      if (promote0 == 0 && promote1 == 0) continue;  // free
+      orientation[static_cast<std::size_t>(c)] = promote0 <= promote1 ? 0 : 1;
+    }
+    // Mark promoted nodes: aligned nodes on the V side of a fixed
+    // orientation.
+    for (graph::node_id v = 0;
+         v < static_cast<graph::node_id>(g.node_count()); ++v) {
+      if (!is_aligned[static_cast<std::size_t>(v)]) continue;
+      const int c = component_of[static_cast<std::size_t>(v)];
+      if (c < 0) continue;
+      const int o = orientation[static_cast<std::size_t>(c)];
+      if (o < 0) continue;
+      if (color_of[static_cast<std::size_t>(v)] != o) {
+        promote[static_cast<std::size_t>(v)] = true;
+        ++result.promoted;
+      }
+    }
+  }
+
+  // Step 4: balance the free components (Fig. 6). VH nodes (transversal +
+  // promotions) occupy one row and one column each; fixed components
+  // contribute their oriented counts.
+  const int vh_total =
+      static_cast<int>(result.oct_size) + static_cast<int>(result.promoted);
+  int bias_rows = vh_total;
+  int bias_columns = vh_total;
+  std::vector<int> free_components;
+  std::vector<std::pair<int, int>> free_contribution;  // (rows, cols) if kept
+  for (int c = 0; c < k; ++c) {
+    // Promoted nodes were counted in size_by_color but are VH now; subtract.
+    int promoted_here[2] = {0, 0};
+    if (options.alignment && orientation[static_cast<std::size_t>(c)] >= 0) {
+      const int o = orientation[static_cast<std::size_t>(c)];
+      promoted_here[1 - o] =
+          aligned_by_color[static_cast<std::size_t>(c)][static_cast<std::size_t>(1 - o)];
+    }
+    const int n0 =
+        size_by_color[static_cast<std::size_t>(c)][0] - promoted_here[0];
+    const int n1 =
+        size_by_color[static_cast<std::size_t>(c)][1] - promoted_here[1];
+    const int o = orientation[static_cast<std::size_t>(c)];
+    if (o == 0) {
+      bias_rows += n0;
+      bias_columns += n1;
+    } else if (o == 1) {
+      bias_rows += n1;
+      bias_columns += n0;
+    } else {
+      free_components.push_back(c);
+      free_contribution.emplace_back(n0, n1);  // orientation 0 when "kept"
+    }
+  }
+
+  std::vector<char> flips(free_components.size(), 0);
+  if (options.balance && !free_components.empty())
+    flips = balance_flips(free_contribution, bias_rows, bias_columns);
+  for (std::size_t i = 0; i < free_components.size(); ++i)
+    orientation[static_cast<std::size_t>(free_components[i])] = flips[i];
+  // Any still-free component (balance disabled): orientation 0.
+  for (int c = 0; c < k; ++c)
+    if (orientation[static_cast<std::size_t>(c)] < 0)
+      orientation[static_cast<std::size_t>(c)] = 0;
+
+  // Step 5: emit labels.
+  for (graph::node_id v = 0; v < static_cast<graph::node_id>(g.node_count());
+       ++v) {
+    if (transversal.in_transversal[static_cast<std::size_t>(v)] ||
+        promote[static_cast<std::size_t>(v)]) {
+      result.l.label_of[static_cast<std::size_t>(v)] = vh_label::vh;
+      continue;
+    }
+    const int c = component_of[static_cast<std::size_t>(v)];
+    const int o = orientation[static_cast<std::size_t>(c)];
+    const bool is_h = color_of[static_cast<std::size_t>(v)] == o;
+    result.l.label_of[static_cast<std::size_t>(v)] =
+        is_h ? vh_label::h : vh_label::v;
+  }
+
+  check(is_feasible(g, result.l), "label_oct: infeasible labeling produced");
+  if (options.alignment)
+    check(satisfies_alignment(graph, result.l),
+          "label_oct: alignment violated");
+  return result;
+}
+
+}  // namespace compact::core

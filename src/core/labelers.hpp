@@ -1,0 +1,69 @@
+// The two VH-labeling engines of Section VI.
+//
+//  * label_minimal_semiperimeter — Method 1: minimum odd cycle transversal
+//    via vertex cover of G x K2 (Lemma 1), then a 2-coloring of the induced
+//    bipartite subgraph. Extended here (beyond the paper's description) to
+//    honor alignment by per-component orientation and minimal VH promotion,
+//    and to balance R vs C via a per-component flip DP (the Fig. 6
+//    mechanism).
+//  * label_weighted — Method 2: the MIP of Eq. 4 with the alignment
+//    constraints of Eq. 7, minimizing gamma*S + (1-gamma)*D, warm-started
+//    from Method 1's labeling.
+#pragma once
+
+#include <optional>
+
+#include "core/bdd_graph.hpp"
+#include "core/labeling.hpp"
+#include "graph/oct.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace compact::core {
+
+struct oct_label_options {
+  bool alignment = true;
+  bool balance = true;  // balance R vs C among equal-semiperimeter colorings
+  graph::oct_engine engine = graph::oct_engine::bnb;
+  double time_limit_seconds = 60.0;
+};
+
+struct oct_label_result {
+  labeling l;
+  std::size_t oct_size = 0;  // VH labels before alignment promotions
+  std::size_t promoted = 0;  // extra VH labels forced by alignment
+  bool optimal = false;      // OCT proven minimum
+};
+
+[[nodiscard]] oct_label_result label_minimal_semiperimeter(
+    const bdd_graph& graph, const oct_label_options& options = {});
+
+struct mip_label_options {
+  double gamma = 0.5;
+  bool alignment = true;
+  double time_limit_seconds = 60.0;
+  /// Warm start with Method 1's labeling (strongly recommended; guarantees
+  /// an incumbent even when the solver times out at the root).
+  bool warm_start_with_oct = true;
+  double oct_time_limit_seconds = 30.0;
+  /// Optional hard budgets on the crossbar dimensions (Section III's
+  /// constrained problem formulation). When no labeling fits,
+  /// label_weighted throws infeasible_error; when the solver cannot decide
+  /// within the time limit it throws a plain error.
+  std::optional<int> max_rows;
+  std::optional<int> max_columns;
+};
+
+struct mip_label_result {
+  labeling l;
+  bool optimal = false;
+  double relative_gap = 0.0;
+  double best_bound = 0.0;
+  double objective = 0.0;
+  long nodes_explored = 0;
+  std::vector<milp::mip_trace_entry> trace;
+};
+
+[[nodiscard]] mip_label_result label_weighted(
+    const bdd_graph& graph, const mip_label_options& options = {});
+
+}  // namespace compact::core

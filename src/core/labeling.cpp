@@ -1,0 +1,53 @@
+#include "core/labeling.hpp"
+
+#include <algorithm>
+
+namespace compact::core {
+
+labeling_stats compute_stats(const labeling& l) {
+  labeling_stats stats;
+  for (vh_label label : l.label_of) {
+    switch (label) {
+      case vh_label::v:
+        ++stats.columns;
+        break;
+      case vh_label::h:
+        ++stats.rows;
+        break;
+      case vh_label::vh:
+        ++stats.rows;
+        ++stats.columns;
+        ++stats.vh_count;
+        break;
+    }
+  }
+  stats.semiperimeter = stats.rows + stats.columns;
+  stats.max_dimension = std::max(stats.rows, stats.columns);
+  return stats;
+}
+
+bool is_feasible(const graph::undirected_graph& g, const labeling& l) {
+  if (l.label_of.size() != g.node_count()) return false;
+  for (const graph::edge& e : g.edges()) {
+    // A memristor joins a wordline and a bitline: one endpoint must offer a
+    // row and the other a column (VH offers both).
+    const bool ok_uv = l.has_row(e.u) && l.has_column(e.v);
+    const bool ok_vu = l.has_column(e.u) && l.has_row(e.v);
+    if (!ok_uv && !ok_vu) return false;
+  }
+  return true;
+}
+
+bool satisfies_alignment(const bdd_graph& graph, const labeling& l) {
+  for (graph::node_id u : graph.aligned_nodes())
+    if (!l.has_row(u)) return false;
+  return true;
+}
+
+labeling all_vh_labeling(std::size_t node_count) {
+  labeling l;
+  l.label_of.assign(node_count, vh_label::vh);
+  return l;
+}
+
+}  // namespace compact::core

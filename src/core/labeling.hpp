@@ -1,0 +1,52 @@
+// VH-labeling (Section V-B).
+//
+// Assigns every vertex of the pre-processed BDD graph a label V (bitline),
+// H (wordline) or VH (both, bridged with an always-on memristor). A labeling
+// is feasible when no edge joins two V's or two H's — such an edge could not
+// be realized by a memristor, which always joins a wordline to a bitline.
+#pragma once
+
+#include <vector>
+
+#include "core/bdd_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace compact::core {
+
+enum class vh_label : char { v, h, vh };
+
+struct labeling {
+  std::vector<vh_label> label_of;  // indexed by graph vertex
+
+  [[nodiscard]] bool has_row(graph::node_id u) const {
+    return label_of[static_cast<std::size_t>(u)] != vh_label::v;
+  }
+  [[nodiscard]] bool has_column(graph::node_id u) const {
+    return label_of[static_cast<std::size_t>(u)] != vh_label::h;
+  }
+};
+
+struct labeling_stats {
+  int vh_count = 0;
+  int rows = 0;         // R = #H + #VH
+  int columns = 0;      // C = #V + #VH
+  int semiperimeter = 0;  // S = R + C
+  int max_dimension = 0;  // D = max(R, C)
+};
+
+[[nodiscard]] labeling_stats compute_stats(const labeling& l);
+
+/// Feasibility: every edge joins a row-capable and a column-capable side.
+[[nodiscard]] bool is_feasible(const graph::undirected_graph& g,
+                               const labeling& l);
+
+/// Alignment (Section VII-B): every aligned vertex has at least an H label.
+[[nodiscard]] bool satisfies_alignment(const bdd_graph& graph,
+                                       const labeling& l);
+
+/// The trivial labeling mapping every node to both a wordline and a bitline
+/// (semiperimeter 2n). This is both the paper's description of prior work
+/// [16] and the fallback that is always feasible.
+[[nodiscard]] labeling all_vh_labeling(std::size_t node_count);
+
+}  // namespace compact::core

@@ -1,0 +1,95 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace compact::core {
+
+mapping_result map_to_crossbar(const bdd_graph& graph, const labeling& l) {
+  const graph::undirected_graph& g = graph.g;
+  check(l.label_of.size() == g.node_count(),
+        "map_to_crossbar: labeling size mismatch");
+  check(is_feasible(g, l), "map_to_crossbar: infeasible labeling");
+  check(satisfies_alignment(graph, l),
+        "map_to_crossbar: terminal/outputs must carry a wordline "
+        "(run the labeler with alignment enabled)");
+
+  const auto n = static_cast<graph::node_id>(g.node_count());
+
+  // ---- Node assignment. ---------------------------------------------------
+  // Row order: distinct output nodes first (top), then the other wordline
+  // holders, then the '1' terminal (bottom, the input row).
+  std::vector<int> row_of(g.node_count(), -1);
+  std::vector<int> column_of(g.node_count(), -1);
+
+  std::vector<graph::node_id> row_order;
+  std::vector<bool> placed(g.node_count(), false);
+  for (const bdd_graph::output_binding& o : graph.outputs) {
+    if (!placed[static_cast<std::size_t>(o.node)]) {
+      placed[static_cast<std::size_t>(o.node)] = true;
+      row_order.push_back(o.node);
+    }
+  }
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (placed[static_cast<std::size_t>(v)] || v == graph.terminal_node)
+      continue;
+    if (l.has_row(v)) row_order.push_back(v);
+  }
+  if (graph.terminal_node >= 0) row_order.push_back(graph.terminal_node);
+
+  for (std::size_t r = 0; r < row_order.size(); ++r)
+    row_of[static_cast<std::size_t>(row_order[r])] = static_cast<int>(r);
+
+  int columns = 0;
+  for (graph::node_id v = 0; v < n; ++v)
+    if (l.has_column(v)) column_of[static_cast<std::size_t>(v)] = columns++;
+
+  const int rows = static_cast<int>(row_order.size());
+  mapping_result result{
+      xbar::crossbar(std::max(rows, 1), columns), std::move(row_of),
+      std::move(column_of)};
+  xbar::crossbar& design = result.design;
+
+  // VH bridges: the node's wordline and bitline are the same electrical
+  // node, realized with an always-on memristor at their junction.
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (l.label_of[static_cast<std::size_t>(v)] == vh_label::vh)
+      design.set_on(result.row_of[static_cast<std::size_t>(v)],
+                    result.column_of[static_cast<std::size_t>(v)]);
+  }
+
+  // ---- Edge assignment. ----------------------------------------------------
+  const std::vector<graph::edge>& edges = g.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const graph::node_id u = edges[e].u;
+    const graph::node_id v = edges[e].v;
+    const edge_literal lit = graph.literal_of_edge[e];
+    int row, column;
+    if (l.has_row(u) && l.has_column(v)) {
+      row = result.row_of[static_cast<std::size_t>(u)];
+      column = result.column_of[static_cast<std::size_t>(v)];
+    } else {
+      row = result.row_of[static_cast<std::size_t>(v)];
+      column = result.column_of[static_cast<std::size_t>(u)];
+    }
+    check(design.at(row, column).kind == xbar::literal_kind::off,
+          "map_to_crossbar: junction assigned twice");
+    design.set_literal(row, column, lit.variable, lit.positive);
+  }
+
+  // ---- Ports. ----------------------------------------------------------------
+  if (graph.terminal_node >= 0)
+    design.set_input_row(
+        result.row_of[static_cast<std::size_t>(graph.terminal_node)]);
+  else
+    design.set_input_row(0);  // degenerate: constants only
+  for (const bdd_graph::output_binding& o : graph.outputs)
+    design.add_output(result.row_of[static_cast<std::size_t>(o.node)], o.name);
+  for (const auto& [name, value] : graph.constant_outputs)
+    design.add_constant_output(value, name);
+
+  return result;
+}
+
+}  // namespace compact::core

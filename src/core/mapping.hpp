@@ -1,0 +1,32 @@
+// Crossbar mapping (Section V-C).
+//
+// Binds a feasibly-labeled BDD graph to a concrete crossbar design:
+//  * node assignment — every H node gets a wordline, every V node a bitline,
+//    every VH node one of each plus an always-on memristor bridging them;
+//  * edge assignment — every graph edge becomes a memristor programmed with
+//    its literal at the junction of one endpoint's wordline and the other
+//    endpoint's bitline.
+// Layout follows the paper's conventions: output wordlines top-most, the
+// '1'-terminal (input) wordline bottom-most.
+#pragma once
+
+#include <vector>
+
+#include "core/bdd_graph.hpp"
+#include "core/labeling.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::core {
+
+struct mapping_result {
+  xbar::crossbar design;
+  std::vector<int> row_of;     // per graph vertex; -1 when V-labeled
+  std::vector<int> column_of;  // per graph vertex; -1 when H-labeled
+};
+
+/// Requires a feasible labeling that gives a row to the terminal and to
+/// every output node (use alignment in the labelers to guarantee this).
+[[nodiscard]] mapping_result map_to_crossbar(const bdd_graph& graph,
+                                             const labeling& l);
+
+}  // namespace compact::core

@@ -1,0 +1,515 @@
+#include "frontend/benchgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace compact::frontend {
+namespace {
+
+int log2_exact(int value) {
+  int bits = 0;
+  while ((1 << bits) < value) ++bits;
+  check((1 << bits) == value, "benchgen: value must be a power of two");
+  return bits;
+}
+
+}  // namespace
+
+network make_decoder(int address_bits) {
+  check(address_bits >= 1 && address_bits <= 10, "decoder: 1..10 bits");
+  network net("dec" + std::to_string(address_bits));
+  std::vector<int> addr;
+  for (int i = 0; i < address_bits; ++i)
+    addr.push_back(net.add_input("a" + std::to_string(i)));
+  const int lines = 1 << address_bits;
+  for (int line = 0; line < lines; ++line) {
+    std::string cube(static_cast<std::size_t>(address_bits), '0');
+    for (int b = 0; b < address_bits; ++b)
+      if (line & (1 << b)) cube[static_cast<std::size_t>(b)] = '1';
+    const std::string name = "d" + std::to_string(line);
+    const int g = net.add_gate(name, addr, {cube});
+    net.set_output(g, name);
+  }
+  return net;
+}
+
+network make_priority_encoder(int width) {
+  check(width >= 2, "priority encoder: width >= 2");
+  network net("priority" + std::to_string(width));
+  std::vector<int> req;
+  for (int i = 0; i < width; ++i)
+    req.push_back(net.add_input("req" + std::to_string(i)));
+
+  // wins[i]: request i is active and no lower-indexed request is.
+  std::vector<int> wins(static_cast<std::size_t>(width));
+  int none_before = -1;  // AND of !req[0..i-1]
+  for (int i = 0; i < width; ++i) {
+    if (i == 0) {
+      wins[0] = net.add_buf(req[0], "win0");
+      none_before = net.add_not(req[0]);
+    } else {
+      wins[static_cast<std::size_t>(i)] =
+          net.add_and(none_before, req[i], "win" + std::to_string(i));
+      if (i + 1 < width) {
+        const int not_req = net.add_not(req[i]);
+        none_before = net.add_and(none_before, not_req);
+      }
+    }
+  }
+
+  int index_bits = 0;
+  while ((1 << index_bits) < width) ++index_bits;
+  for (int b = 0; b < index_bits; ++b) {
+    std::vector<int> contributors;
+    for (int i = 0; i < width; ++i)
+      if (i & (1 << b)) contributors.push_back(wins[static_cast<std::size_t>(i)]);
+    const std::string name = "idx" + std::to_string(b);
+    net.set_output(net.add_or_n(contributors, name), name);
+  }
+  net.set_output(net.add_or_n(req, "valid"), "valid");
+  return net;
+}
+
+network make_arbiter(int requesters) {
+  const int ptr_bits = log2_exact(requesters);
+  network net("arbiter" + std::to_string(requesters));
+  // Pointer bits first: the BDD branches into one fixed-priority chain per
+  // pointer value instead of tracking all request subsets.
+  std::vector<int> req, ptr;
+  for (int b = 0; b < ptr_bits; ++b)
+    ptr.push_back(net.add_input("ptr" + std::to_string(b)));
+  for (int i = 0; i < requesters; ++i)
+    req.push_back(net.add_input("req" + std::to_string(i)));
+
+  // Decode the grant pointer to one-hot base signals.
+  std::vector<int> base(static_cast<std::size_t>(requesters));
+  for (int p = 0; p < requesters; ++p) {
+    std::string cube(static_cast<std::size_t>(ptr_bits), '0');
+    for (int b = 0; b < ptr_bits; ++b)
+      if (p & (1 << b)) cube[static_cast<std::size_t>(b)] = '1';
+    base[static_cast<std::size_t>(p)] =
+        net.add_gate("base" + std::to_string(p), ptr, {cube});
+  }
+
+  // grant[i] = OR over base positions p of
+  //   base==p & req[i] & none of req[p], req[p+1], ..., req[i-1] (cyclic).
+  std::vector<int> grants;
+  for (int i = 0; i < requesters; ++i) {
+    std::vector<int> cases;
+    for (int p = 0; p < requesters; ++p) {
+      std::vector<int> conj{base[static_cast<std::size_t>(p)], req[i]};
+      for (int j = p; j != i; j = (j + 1) % requesters)
+        conj.push_back(net.add_not(req[j]));
+      cases.push_back(net.add_and_n(conj));
+    }
+    const std::string name = "gnt" + std::to_string(i);
+    grants.push_back(net.add_or_n(cases, name));
+    net.set_output(grants.back(), name);
+  }
+  net.set_output(net.add_or_n(grants, "busy"), "busy");
+  return net;
+}
+
+network make_int2float(int magnitude_bits, int exp_bits, int mantissa_bits) {
+  check(magnitude_bits >= 2 && magnitude_bits <= (1 << exp_bits),
+        "int2float: magnitude must fit the exponent range");
+  network net("int2float" + std::to_string(magnitude_bits));
+  const int sign = net.add_input("sign");
+  std::vector<int> mag;
+  for (int i = 0; i < magnitude_bits; ++i)
+    mag.push_back(net.add_input("m" + std::to_string(i)));  // m0 = LSB
+
+  // Leading-one detector: lead[i] = mag[i] & !mag[i+1..msb].
+  std::vector<int> lead(static_cast<std::size_t>(magnitude_bits));
+  int none_above = -1;
+  for (int i = magnitude_bits - 1; i >= 0; --i) {
+    if (i == magnitude_bits - 1) {
+      lead[static_cast<std::size_t>(i)] = net.add_buf(mag[i]);
+      none_above = net.add_not(mag[i]);
+    } else {
+      lead[static_cast<std::size_t>(i)] = net.add_and(none_above, mag[i]);
+      if (i > 0) none_above = net.add_and(none_above, net.add_not(mag[i]));
+    }
+  }
+
+  // Exponent = position of the leading one (0 when the input is zero).
+  for (int b = 0; b < exp_bits; ++b) {
+    std::vector<int> contributors;
+    for (int i = 0; i < magnitude_bits; ++i)
+      if (i & (1 << b))
+        contributors.push_back(lead[static_cast<std::size_t>(i)]);
+    const std::string name = "exp" + std::to_string(b);
+    net.set_output(net.add_or_n(contributors, name), name);
+  }
+
+  // Mantissa: bits immediately below the leading one, selected by muxes.
+  for (int k = 1; k <= mantissa_bits; ++k) {
+    std::vector<int> cases;
+    for (int i = 0; i < magnitude_bits; ++i) {
+      const int src = i - k;
+      if (src < 0) continue;  // shifted-in zeros
+      cases.push_back(
+          net.add_and(lead[static_cast<std::size_t>(i)], mag[src]));
+    }
+    const std::string name = "man" + std::to_string(mantissa_bits - k);
+    net.set_output(net.add_or_n(cases, name), name);
+  }
+  net.set_output(net.add_buf(sign, "fsign"), "fsign");
+  return net;
+}
+
+network make_router(int coord_bits) {
+  check(coord_bits >= 1 && coord_bits <= 8, "router: 1..8 coordinate bits");
+  network net("router" + std::to_string(coord_bits));
+  // Coordinates are declared interleaved per compared pair (cx_i dx_i ...,
+  // then cy_i dy_i ...) so the comparator BDDs stay linear under the
+  // default declaration order.
+  std::vector<int> cx, cy, dx, dy;
+  for (int i = 0; i < coord_bits; ++i) {
+    cx.push_back(net.add_input("cx" + std::to_string(i)));
+    dx.push_back(net.add_input("dx" + std::to_string(i)));
+  }
+  for (int i = 0; i < coord_bits; ++i) {
+    cy.push_back(net.add_input("cy" + std::to_string(i)));
+    dy.push_back(net.add_input("dy" + std::to_string(i)));
+  }
+
+  // Magnitude comparator: returns (eq, lt) for a < b on equal-width vectors.
+  auto compare = [&](const std::vector<int>& a, const std::vector<int>& b) {
+    int eq = net.add_const(true);
+    int lt = net.add_const(false);
+    for (int i = coord_bits - 1; i >= 0; --i) {
+      const int bit_eq = net.add_xnor(a[i], b[i]);
+      const int a_low_b_high = net.add_and(net.add_not(a[i]), b[i]);
+      lt = net.add_or(lt, net.add_and(eq, a_low_b_high));
+      eq = net.add_and(eq, bit_eq);
+    }
+    return std::pair<int, int>{eq, lt};
+  };
+
+  const auto [x_eq, x_lt] = compare(cx, dx);
+  const auto [y_eq, y_lt] = compare(cy, dy);
+  // XY routing: move in X first, then Y, else deliver locally.
+  const int go_east = net.add_and(net.add_not(x_eq), x_lt, "east");
+  const int go_west = net.add_and(net.add_not(x_eq), net.add_not(x_lt), "west");
+  const int go_north = net.add_and_n({x_eq, net.add_not(y_eq), y_lt}, "north");
+  const int go_south =
+      net.add_and_n({x_eq, net.add_not(y_eq), net.add_not(y_lt)}, "south");
+  const int local = net.add_and(x_eq, y_eq, "local");
+  net.set_output(go_east, "east");
+  net.set_output(go_west, "west");
+  net.set_output(go_north, "north");
+  net.set_output(go_south, "south");
+  net.set_output(local, "local");
+  return net;
+}
+
+network make_ctrl(int opcode_bits, int control_lines, std::uint64_t seed) {
+  check(opcode_bits >= 2 && opcode_bits <= 12, "ctrl: 2..12 opcode bits");
+  network net("ctrl" + std::to_string(opcode_bits) + "x" +
+              std::to_string(control_lines));
+  rng random(seed);
+  std::vector<int> op;
+  for (int i = 0; i < opcode_bits; ++i)
+    op.push_back(net.add_input("op" + std::to_string(i)));
+
+  for (int c = 0; c < control_lines; ++c) {
+    // Each control line fires on 1-4 opcode patterns with some don't-cares.
+    const int patterns = 1 + static_cast<int>(random.next_below(4));
+    std::vector<std::string> cubes;
+    for (int p = 0; p < patterns; ++p) {
+      std::string cube(static_cast<std::size_t>(opcode_bits), '-');
+      for (int b = 0; b < opcode_bits; ++b) {
+        const auto roll = random.next_below(4);
+        if (roll == 0) continue;  // don't care
+        cube[static_cast<std::size_t>(b)] = (roll & 1) ? '1' : '0';
+      }
+      cubes.push_back(std::move(cube));
+    }
+    const std::string name = "c" + std::to_string(c);
+    net.set_output(net.add_gate(name, op, cubes), name);
+  }
+  return net;
+}
+
+network make_cavlc_like(int inputs, int outputs, std::uint64_t seed) {
+  check(inputs >= 4, "cavlc: at least 4 inputs");
+  network net("cavlc" + std::to_string(inputs) + "x" +
+              std::to_string(outputs));
+  rng random(seed);
+  std::vector<int> layer;
+  for (int i = 0; i < inputs; ++i)
+    layer.push_back(net.add_input("x" + std::to_string(i)));
+
+  // Three mixing layers of two-input gates with random wiring, then MUX taps.
+  for (int depth = 0; depth < 3; ++depth) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < layer.size(); ++i) {
+      const int a = layer[i];
+      const int b =
+          layer[random.next_below(static_cast<std::uint64_t>(layer.size()))];
+      switch (random.next_below(3)) {
+        case 0:
+          next.push_back(net.add_and(a, b));
+          break;
+        case 1:
+          next.push_back(net.add_xor(a, b));
+          break;
+        default:
+          next.push_back(net.add_or(a, net.add_not(b)));
+          break;
+      }
+    }
+    layer = std::move(next);
+  }
+
+  for (int o = 0; o < outputs; ++o) {
+    const auto pick = [&] {
+      return layer[random.next_below(static_cast<std::uint64_t>(layer.size()))];
+    };
+    const std::string name = "y" + std::to_string(o);
+    net.set_output(net.add_mux(pick(), pick(), pick(), name), name);
+  }
+  return net;
+}
+
+network make_i2c_like(int flags, std::uint64_t seed) {
+  check(flags >= 2, "i2c: at least 2 flags");
+  network net("i2c" + std::to_string(flags));
+  rng random(seed);
+
+  // Shared condition strobes plus one state bit per flag.
+  const int conds = std::max(3, flags / 2);
+  std::vector<int> cond, state;
+  for (int i = 0; i < conds; ++i)
+    cond.push_back(net.add_input("cond" + std::to_string(i)));
+  for (int i = 0; i < flags; ++i)
+    state.push_back(net.add_input("s" + std::to_string(i)));
+
+  auto pick_cond = [&] {
+    return cond[random.next_below(static_cast<std::uint64_t>(conds))];
+  };
+  for (int i = 0; i < flags; ++i) {
+    // next_s = set ? 1 : (clear ? 0 : hold)
+    const int set_term = net.add_and(pick_cond(), pick_cond());
+    const int clear_term = net.add_and(pick_cond(), net.add_not(pick_cond()));
+    const int hold = state[i];
+    const int cleared = net.add_and(net.add_not(clear_term), hold);
+    const std::string name = "next_s" + std::to_string(i);
+    net.set_output(net.add_or(set_term, cleared, name), name);
+  }
+  // A couple of observation outputs over all state bits.
+  net.set_output(net.add_or_n(state, "any_flag"), "any_flag");
+  net.set_output(net.add_and_n(state, "all_flags"), "all_flags");
+  return net;
+}
+
+network make_ripple_adder(int bits) {
+  check(bits >= 1, "adder: at least 1 bit");
+  network net("add" + std::to_string(bits));
+  // Operand bits are interleaved (a0 b0 a1 b1 ...): under the default
+  // BDD order (declaration order) this keeps the adder BDD linear, exactly
+  // as benchmark flows order adder inputs. Declaring all a's before all
+  // b's would make the shared BDD exponential.
+  std::vector<int> a, b;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(net.add_input("a" + std::to_string(i)));
+    b.push_back(net.add_input("b" + std::to_string(i)));
+  }
+  int carry = net.add_input("cin");
+
+  for (int i = 0; i < bits; ++i) {
+    const int axb = net.add_xor(a[i], b[i]);
+    const std::string name = "sum" + std::to_string(i);
+    net.set_output(net.add_xor(axb, carry, name), name);
+    const int gen = net.add_and(a[i], b[i]);
+    const int prop = net.add_and(axb, carry);
+    carry = net.add_or(gen, prop);
+  }
+  net.set_output(net.add_buf(carry, "cout"), "cout");
+  return net;
+}
+
+network make_alu(int bits) {
+  check(bits >= 1, "alu: at least 1 bit");
+  network net("alu" + std::to_string(bits));
+  // Opcode first (branches the BDD into per-operation subtrees), then
+  // interleaved operand bits (keeps each subtree linear).
+  std::vector<int> a, b, op;
+  for (int i = 0; i < 2; ++i)
+    op.push_back(net.add_input("op" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(net.add_input("a" + std::to_string(i)));
+    b.push_back(net.add_input("b" + std::to_string(i)));
+  }
+
+  // op: 00=add, 01=and, 10=or, 11=xor.
+  const int is_add = net.add_nor(op[0], op[1]);
+  const int is_and = net.add_and(op[0], net.add_not(op[1]));
+  const int is_or = net.add_and(net.add_not(op[0]), op[1]);
+  const int is_xor = net.add_and(op[0], op[1]);
+
+  int carry = net.add_const(false);
+  for (int i = 0; i < bits; ++i) {
+    const int axb = net.add_xor(a[i], b[i]);
+    const int sum = net.add_xor(axb, carry);
+    carry = net.add_or(net.add_and(a[i], b[i]), net.add_and(axb, carry));
+    const int and_bit = net.add_and(a[i], b[i]);
+    const int or_bit = net.add_or(a[i], b[i]);
+    const std::string name = "y" + std::to_string(i);
+    const int result = net.add_or_n(
+        {net.add_and(is_add, sum), net.add_and(is_and, and_bit),
+         net.add_and(is_or, or_bit), net.add_and(is_xor, axb)},
+        name);
+    net.set_output(result, name);
+  }
+  net.set_output(net.add_and(is_add, carry, "cout"), "cout");
+  return net;
+}
+
+network make_parity(int bits, int groups) {
+  check(bits >= 2 && groups >= 1, "parity: bits >= 2, groups >= 1");
+  network net("par" + std::to_string(bits) + "x" + std::to_string(groups));
+  std::vector<int> in;
+  for (int i = 0; i < bits; ++i)
+    in.push_back(net.add_input("x" + std::to_string(i)));
+  for (int g = 0; g < groups; ++g) {
+    // Group g xors the bits congruent to g modulo `groups` (interleaved,
+    // giving the reconvergent sharing typical of c1908-style parity logic).
+    int acc = -1;
+    for (int i = g; i < bits; i += groups)
+      acc = acc == -1 ? in[i] : net.add_xor(acc, in[i]);
+    const std::string name = "p" + std::to_string(g);
+    net.set_output(net.add_buf(acc, name), name);
+  }
+  // A combined parity over everything.
+  int all = in[0];
+  for (int i = 1; i < bits; ++i) all = net.add_xor(all, in[i]);
+  net.set_output(net.add_buf(all, "pall"), "pall");
+  return net;
+}
+
+network make_comparator(int bits) {
+  check(bits >= 1, "comparator: at least 1 bit");
+  network net("cmp" + std::to_string(bits));
+  // Interleaved operand bits: linear comparator BDD (see make_ripple_adder).
+  std::vector<int> a, b;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(net.add_input("a" + std::to_string(i)));
+    b.push_back(net.add_input("b" + std::to_string(i)));
+  }
+
+  int eq = net.add_const(true);
+  int lt = net.add_const(false);
+  for (int i = bits - 1; i >= 0; --i) {
+    lt = net.add_or(lt, net.add_and_n({eq, net.add_not(a[i]), b[i]}));
+    eq = net.add_and(eq, net.add_xnor(a[i], b[i]));
+  }
+  const int gt = net.add_nor(eq, lt, "gt_inner");
+  net.set_output(net.add_buf(eq, "eq"), "eq");
+  net.set_output(net.add_buf(lt, "lt"), "lt");
+  net.set_output(net.add_buf(gt, "gt"), "gt");
+  return net;
+}
+
+network make_mux_tree(int select_bits) {
+  check(select_bits >= 1 && select_bits <= 6, "mux tree: 1..6 select bits");
+  network net("mux" + std::to_string(1 << select_bits));
+  std::vector<int> sel, data;
+  for (int i = 0; i < select_bits; ++i)
+    sel.push_back(net.add_input("s" + std::to_string(i)));
+  for (int i = 0; i < (1 << select_bits); ++i)
+    data.push_back(net.add_input("d" + std::to_string(i)));
+
+  std::vector<int> layer = data;
+  for (int level = 0; level < select_bits; ++level) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2)
+      next.push_back(net.add_mux(sel[level], layer[i + 1], layer[i]));
+    layer = std::move(next);
+  }
+  net.set_output(net.add_buf(layer[0], "y"), "y");
+  return net;
+}
+
+network make_multiplier(int bits) {
+  check(bits >= 2 && bits <= 8, "multiplier: 2..8 bits");
+  network net("mul" + std::to_string(bits));
+  // Interleaved operands; multiplier BDDs still grow quickly with width,
+  // which is exactly why the hard suite (Fig. 11) uses them.
+  std::vector<int> a, b;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(net.add_input("a" + std::to_string(i)));
+    b.push_back(net.add_input("b" + std::to_string(i)));
+  }
+
+  // Carry-save array of partial products.
+  std::vector<int> acc;  // current partial sum, index = bit weight
+  for (int j = 0; j < bits; ++j) {
+    std::vector<int> partial;
+    for (int i = 0; i < bits; ++i)
+      partial.push_back(net.add_and(a[i], b[j]));
+    if (j == 0) {
+      acc = partial;
+      continue;
+    }
+    // Add `partial` shifted by j into acc with a ripple adder.
+    int carry = net.add_const(false);
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(i + j);
+      if (pos >= acc.size()) acc.resize(pos + 1, net.add_const(false));
+      const int x = acc[pos];
+      const int y = partial[static_cast<std::size_t>(i)];
+      const int xy = net.add_xor(x, y);
+      const int sum = net.add_xor(xy, carry);
+      carry = net.add_or(net.add_and(x, y), net.add_and(xy, carry));
+      acc[pos] = sum;
+    }
+    acc.push_back(carry);
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const std::string name = "p" + std::to_string(i);
+    net.set_output(net.add_buf(acc[i], name), name);
+  }
+  return net;
+}
+
+std::vector<benchmark_spec> benchmark_suite() {
+  std::vector<benchmark_spec> suite;
+  auto add = [&suite](const std::string& family, network net) {
+    suite.push_back({net.name(), family, std::move(net)});
+  };
+  // ISCAS85-like (arithmetic / reconvergent logic).
+  add("iscas85-like", make_ripple_adder(12));
+  add("iscas85-like", make_alu(6));
+  add("iscas85-like", make_parity(16, 2));
+  add("iscas85-like", make_comparator(12));
+  add("iscas85-like", make_mux_tree(3));
+  add("iscas85-like", make_multiplier(4));
+  // EPFL-control-like (wide decode / control logic).
+  add("epfl-control-like", make_decoder(6));
+  add("epfl-control-like", make_priority_encoder(24));
+  add("epfl-control-like", make_arbiter(8));
+  add("epfl-control-like", make_int2float(8));
+  add("epfl-control-like", make_router(4));
+  add("epfl-control-like", make_ctrl(7, 26));
+  add("epfl-control-like", make_cavlc_like(10, 11));
+  add("epfl-control-like", make_i2c_like(12));
+  return suite;
+}
+
+std::vector<benchmark_spec> hard_benchmark_suite() {
+  std::vector<benchmark_spec> suite;
+  auto add = [&suite](const std::string& family, network net) {
+    suite.push_back({net.name(), family, std::move(net)});
+  };
+  add("iscas85-like", make_multiplier(5));
+  add("iscas85-like", make_multiplier(6));
+  add("epfl-control-like", make_arbiter(16));
+  add("epfl-control-like", make_priority_encoder(64));
+  return suite;
+}
+
+}  // namespace compact::frontend

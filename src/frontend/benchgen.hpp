@@ -1,0 +1,98 @@
+// Benchmark circuit generators.
+//
+// The paper evaluates on nine ISCAS85 circuits and eight EPFL control
+// benchmarks. Those netlists are not redistributable here, so this module
+// provides *functional equivalents*: programmatically generated circuits of
+// the same families (arithmetic/reconvergent logic for ISCAS85, wide
+// control/decode logic for EPFL-control), sized so the NP-hard labeling step
+// remains laptop-scale. DESIGN.md documents this substitution; the mapping
+// algorithms only ever see the BDD, so family structure — not the exact
+// netlist — is what drives the experimental trends.
+//
+// All generators are deterministic (fixed-seed randomness where used).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+// --- EPFL-control-like generators ----------------------------------------
+
+/// Full binary address decoder: `address_bits` inputs, 2^address_bits
+/// one-hot outputs (the "dec" benchmark family).
+[[nodiscard]] network make_decoder(int address_bits);
+
+/// Priority encoder over `width` request lines: binary index of the
+/// lowest-numbered active line plus a valid flag ("priority").
+[[nodiscard]] network make_priority_encoder(int width);
+
+/// Rotating-priority (round-robin) arbiter over `requesters` lines with a
+/// binary grant pointer input; outputs one grant per requester plus
+/// any-grant ("arbiter"). requesters must be a power of two.
+[[nodiscard]] network make_arbiter(int requesters);
+
+/// Sign-magnitude integer to tiny float (1 sign, `exp_bits` exponent,
+/// `mantissa_bits` mantissa): leading-one detection + shift ("int2float").
+[[nodiscard]] network make_int2float(int magnitude_bits, int exp_bits = 3,
+                                     int mantissa_bits = 4);
+
+/// XY dimension-order routing decision: current and destination coordinates
+/// in, one-hot output port (N/S/E/W/local) out ("router").
+[[nodiscard]] network make_router(int coord_bits);
+
+/// Opcode decoder: `opcode_bits` in, `control_lines` out, each control line
+/// an OR of a few opcode patterns (deterministic pseudo-random tables,
+/// "ctrl" family).
+[[nodiscard]] network make_ctrl(int opcode_bits, int control_lines,
+                                std::uint64_t seed = 7);
+
+/// Structured random logic mesh mimicking coding-table circuits
+/// ("cavlc" family): alternating AND/XOR/MUX layers, deterministic.
+[[nodiscard]] network make_cavlc_like(int inputs, int outputs,
+                                      std::uint64_t seed = 11);
+
+/// Flag-update logic of a serial-bus controller: per-flag set/clear/hold
+/// muxes driven by shared condition terms ("i2c" family).
+[[nodiscard]] network make_i2c_like(int flags, std::uint64_t seed = 13);
+
+// --- ISCAS85-like generators ----------------------------------------------
+
+/// Ripple-carry adder: two `bits`-wide operands + carry-in.
+[[nodiscard]] network make_ripple_adder(int bits);
+
+/// Small ALU slice: add/sub/and/or/xor selected by 3 op bits.
+[[nodiscard]] network make_alu(int bits);
+
+/// Multiple interleaved odd-parity trees (c1908-flavored).
+[[nodiscard]] network make_parity(int bits, int groups = 2);
+
+/// Unsigned comparator: eq, lt, gt outputs.
+[[nodiscard]] network make_comparator(int bits);
+
+/// 2^select_bits : 1 multiplexer tree (c880-flavored).
+[[nodiscard]] network make_mux_tree(int select_bits);
+
+/// Array multiplier (arithmetic circuits are where "BDDs do not scale
+/// well" — used for the hard instances of Fig. 11).
+[[nodiscard]] network make_multiplier(int bits);
+
+// --- suite registry ---------------------------------------------------------
+
+struct benchmark_spec {
+  std::string name;
+  std::string family;  // "iscas85-like" or "epfl-control-like"
+  network net;
+};
+
+/// The default evaluation suite (Table I equivalents), sized for
+/// laptop-scale exact labeling.
+[[nodiscard]] std::vector<benchmark_spec> benchmark_suite();
+
+/// Larger instances on which the exact engines are expected to time out
+/// (Fig. 11 equivalents).
+[[nodiscard]] std::vector<benchmark_spec> hard_benchmark_suite();
+
+}  // namespace compact::frontend

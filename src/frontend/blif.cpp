@@ -1,0 +1,212 @@
+#include "frontend/blif.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace compact::frontend {
+namespace {
+
+struct raw_gate {
+  std::vector<std::string> fanin_names;
+  std::vector<std::string> cubes;
+  char output_polarity = '1';  // '1' = on-set cover, '0' = off-set cover
+};
+
+/// Read one logical line, folding '\' continuations and stripping comments.
+bool next_line(std::istream& is, std::string& line) {
+  line.clear();
+  std::string piece;
+  while (std::getline(is, piece)) {
+    if (const auto hash = piece.find('#'); hash != std::string::npos)
+      piece.erase(hash);
+    bool continued = false;
+    std::string_view trimmed = trim(piece);
+    if (!trimmed.empty() && trimmed.back() == '\\') {
+      continued = true;
+      trimmed.remove_suffix(1);
+    }
+    if (!line.empty()) line += ' ';
+    line.append(trimmed);
+    if (continued) continue;
+    if (!trim(line).empty()) return true;
+    line.clear();
+  }
+  return !trim(line).empty();
+}
+
+}  // namespace
+
+network parse_blif(std::istream& is) {
+  std::string model_name = "top";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::map<std::string, raw_gate> gates;  // by output signal name
+  std::vector<std::string> gate_order;    // declaration order
+
+  std::string line;
+  raw_gate* current = nullptr;
+  bool saw_end = false;
+  while (!saw_end && next_line(is, line)) {
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+
+    if (head[0] == '.') {
+      current = nullptr;
+      if (head == ".model") {
+        if (tokens.size() >= 2) model_name = tokens[1];
+      } else if (head == ".inputs") {
+        input_names.insert(input_names.end(), tokens.begin() + 1,
+                           tokens.end());
+      } else if (head == ".outputs") {
+        output_names.insert(output_names.end(), tokens.begin() + 1,
+                            tokens.end());
+      } else if (head == ".names") {
+        if (tokens.size() < 2)
+          throw parse_error("blif: .names needs at least an output signal");
+        const std::string& out = tokens.back();
+        if (gates.contains(out))
+          throw parse_error("blif: signal defined twice: " + out);
+        raw_gate g;
+        g.fanin_names.assign(tokens.begin() + 1, tokens.end() - 1);
+        gate_order.push_back(out);
+        current = &gates.emplace(out, std::move(g)).first->second;
+      } else if (head == ".end") {
+        saw_end = true;
+      } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+        throw parse_error("blif: unsupported construct " + head +
+                          " (combinational subset only)");
+      } else {
+        // Unknown dot-directives (e.g. .default_input_arrival) are ignored.
+      }
+      continue;
+    }
+
+    // Cover row of the current .names block.
+    if (current == nullptr)
+      throw parse_error("blif: cover row outside a .names block: " + line);
+    std::string cube;
+    char output_value = '1';
+    if (current->fanin_names.empty()) {
+      if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1"))
+        throw parse_error("blif: bad constant row: " + line);
+      output_value = tokens[0][0];
+    } else {
+      if (tokens.size() != 2)
+        throw parse_error("blif: cover row needs cube and output: " + line);
+      cube = tokens[0];
+      if (cube.size() != current->fanin_names.size())
+        throw parse_error("blif: cube width mismatch: " + line);
+      if (tokens[1] != "0" && tokens[1] != "1")
+        throw parse_error("blif: output value must be 0 or 1: " + line);
+      output_value = tokens[1][0];
+    }
+    if (!current->cubes.empty() && current->output_polarity != output_value)
+      throw parse_error("blif: mixed on-set/off-set rows in one .names");
+    current->output_polarity = output_value;
+    current->cubes.push_back(cube);
+  }
+
+  if (input_names.empty() && gates.empty())
+    throw parse_error("blif: no .inputs or .names found");
+
+  // Build the network: inputs first, then gates in dependency order.
+  network net(model_name);
+  std::map<std::string, int> node_of;
+  for (const std::string& name : input_names) {
+    if (node_of.contains(name))
+      throw parse_error("blif: duplicate input " + name);
+    node_of[name] = net.add_input(name);
+  }
+
+  // Iterative DFS-based topological emission over the gate dependency graph.
+  enum class mark : char { unvisited, visiting, done };
+  std::map<std::string, mark> state;
+  auto emit = [&](const std::string& root, auto&& self) -> int {
+    if (const auto it = node_of.find(root); it != node_of.end())
+      return it->second;
+    const auto git = gates.find(root);
+    if (git == gates.end())
+      throw parse_error("blif: undefined signal " + root);
+    if (state[root] == mark::visiting)
+      throw parse_error("blif: combinational cycle through " + root);
+    state[root] = mark::visiting;
+
+    const raw_gate& g = git->second;
+    std::vector<int> fanins;
+    fanins.reserve(g.fanin_names.size());
+    for (const std::string& in : g.fanin_names)
+      fanins.push_back(self(in, self));
+
+    int node;
+    if (g.output_polarity == '1') {
+      std::vector<std::string> cubes = g.cubes;
+      if (!g.fanin_names.empty()) {
+        // drop constant-0 convention: no rows = constant 0 handled below
+      } else if (!cubes.empty()) {
+        cubes.assign(1, "");  // ".names x" + row "1": constant one
+      }
+      node = net.add_gate(root, fanins, cubes);
+    } else {
+      // Off-set cover: named gate is the complement of the cover.
+      const int on = net.add_gate(root + "_offset", fanins, g.cubes);
+      node = net.add_not(on, root);
+    }
+    node_of[root] = node;
+    state[root] = mark::done;
+    return node;
+  };
+
+  // Emit every declared gate (outputs first ensures reachability; remaining
+  // gates are emitted afterwards so a round-trip preserves them).
+  for (const std::string& name : output_names) emit(name, emit);
+  for (const std::string& name : gate_order) emit(name, emit);
+
+  for (const std::string& name : output_names) {
+    const auto it = node_of.find(name);
+    if (it == node_of.end())
+      throw parse_error("blif: undefined output " + name);
+    net.set_output(it->second, name);
+  }
+  return net;
+}
+
+network parse_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_blif(is);
+}
+
+void write_blif(const network& net, std::ostream& os) {
+  os << ".model " << net.name() << '\n';
+  os << ".inputs";
+  for (int i : net.inputs()) os << ' ' << net.node(i).name;
+  os << '\n';
+  os << ".outputs";
+  for (const network_output& o : net.outputs()) os << ' ' << o.name;
+  os << '\n';
+
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const network_node& n = net.node(i);
+    if (n.node_kind == network_node::kind::input) continue;
+    os << ".names";
+    for (int f : n.fanins) os << ' ' << net.node(f).name;
+    os << ' ' << n.name << '\n';
+    if (n.fanins.empty()) {
+      if (!n.cubes.empty()) os << "1\n";
+      // constant 0: no rows
+    } else {
+      for (const std::string& cube : n.cubes) os << cube << " 1\n";
+    }
+  }
+
+  // Outputs that alias a differently-named node need a buffer.
+  for (const network_output& o : net.outputs()) {
+    if (net.node(o.node).name != o.name)
+      os << ".names " << net.node(o.node).name << ' ' << o.name << "\n1 1\n";
+  }
+  os << ".end\n";
+}
+
+}  // namespace compact::frontend

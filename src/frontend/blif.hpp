@@ -1,0 +1,26 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer.
+//
+// Supports the combinational subset the benchmark suites use: .model,
+// .inputs, .outputs, .names (on-set or off-set covers), .end, comments and
+// line continuations. Latches and hierarchy are rejected with a parse_error;
+// the COMPACT flow (like the paper's) is purely combinational.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+/// Parse a single .model from `is`.
+[[nodiscard]] network parse_blif(std::istream& is);
+
+/// Parse from a string (convenience for tests and generators).
+[[nodiscard]] network parse_blif_string(const std::string& text);
+
+/// Serialize `net` as BLIF. Round-trips through parse_blif.
+void write_blif(const network& net, std::ostream& os);
+
+}  // namespace compact::frontend

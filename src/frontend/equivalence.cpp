@@ -1,0 +1,59 @@
+#include "frontend/equivalence.hpp"
+
+#include "bdd/manager.hpp"
+#include "frontend/to_bdd.hpp"
+
+namespace compact::frontend {
+namespace {
+
+/// A satisfying assignment of f (assumes f != false).
+std::vector<bool> any_satisfying(const bdd::manager& m, bdd::node_handle f,
+                                 int inputs) {
+  std::vector<bool> assignment(static_cast<std::size_t>(inputs), false);
+  bdd::node_handle u = f;
+  while (!m.is_terminal(u)) {
+    const bdd::node& n = m.at(u);
+    // Follow a branch that can still reach 1.
+    if (n.high != bdd::false_handle) {
+      assignment[static_cast<std::size_t>(n.var)] = true;
+      u = n.high;
+    } else {
+      assignment[static_cast<std::size_t>(n.var)] = false;
+      u = n.low;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+equivalence_report check_equivalence(const network& a, const network& b) {
+  equivalence_report report;
+  if (a.input_count() != b.input_count()) {
+    report.equivalent = false;
+    report.mismatches.push_back("#inputs");
+    return report;
+  }
+  if (a.outputs().size() != b.outputs().size()) {
+    report.equivalent = false;
+    report.mismatches.push_back("#outputs");
+    return report;
+  }
+
+  bdd::manager m(a.input_count());
+  const sbdd fa = build_sbdd(a, m);
+  const sbdd fb = build_sbdd(b, m);
+  for (std::size_t o = 0; o < fa.roots.size(); ++o) {
+    if (fa.roots[o] == fb.roots[o]) continue;  // canonical: same handle
+    report.equivalent = false;
+    report.mismatches.push_back(fa.names[o] + " vs " + fb.names[o]);
+    if (report.counterexample.empty()) {
+      // The XOR of the two functions is satisfiable exactly on mismatches.
+      bdd::node_handle miter = m.apply_xor(fa.roots[o], fb.roots[o]);
+      report.counterexample = any_satisfying(m, miter, a.input_count());
+    }
+  }
+  return report;
+}
+
+}  // namespace compact::frontend

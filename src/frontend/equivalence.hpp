@@ -1,0 +1,33 @@
+// Formal equivalence checking between networks.
+//
+// Canonical ROBDDs make combinational equivalence a pointer comparison:
+// build both networks' outputs in one shared manager and compare root
+// handles. Used by the test suite to cross-check parsers, generators and
+// optimization passes, and exposed as a library utility (the BDD-based
+// analogue of `abc cec`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+struct equivalence_report {
+  bool equivalent = true;
+  /// Names of mismatched output pairs (by position) — empty when
+  /// equivalent. A leading "#inputs" / "#outputs" entry flags interface
+  /// mismatches.
+  std::vector<std::string> mismatches;
+  /// For the first functional mismatch: a satisfying counterexample
+  /// assignment (indexed by declared input), empty otherwise.
+  std::vector<bool> counterexample;
+};
+
+/// Check that `a` and `b` compute the same functions output-by-output
+/// (matched positionally; both must have identical input/output counts).
+[[nodiscard]] equivalence_report check_equivalence(const network& a,
+                                                   const network& b);
+
+}  // namespace compact::frontend

@@ -1,0 +1,120 @@
+#include "frontend/minimize.hpp"
+
+#include <algorithm>
+
+namespace compact::frontend {
+namespace {
+
+/// Cofactor of `cover` with respect to literal (var = value). Cubes
+/// requiring the opposite value vanish; the variable becomes free in the
+/// rest.
+std::vector<std::string> cofactor(const std::vector<std::string>& cover,
+                                  int var, bool value) {
+  std::vector<std::string> result;
+  const char blocking = value ? '0' : '1';
+  for (const std::string& cube : cover) {
+    if (cube[static_cast<std::size_t>(var)] == blocking) continue;
+    std::string reduced = cube;
+    reduced[static_cast<std::size_t>(var)] = '-';
+    result.push_back(std::move(reduced));
+  }
+  return result;
+}
+
+bool all_free(const std::string& cube) {
+  return cube.find_first_not_of('-') == std::string::npos;
+}
+
+}  // namespace
+
+bool cover_is_tautology(const std::vector<std::string>& cover, int width) {
+  for (const std::string& cube : cover)
+    if (all_free(cube)) return true;
+  if (cover.empty()) return false;
+
+  // Unate reduction opportunity: split on the most-bound variable.
+  int split = -1;
+  int best_bound = 0;
+  for (int v = 0; v < width; ++v) {
+    int bound = 0;
+    for (const std::string& cube : cover)
+      if (cube[static_cast<std::size_t>(v)] != '-') ++bound;
+    if (bound > best_bound) {
+      best_bound = bound;
+      split = v;
+    }
+  }
+  if (split == -1) return false;  // no bound literal and no free cube
+
+  return cover_is_tautology(cofactor(cover, split, false), width) &&
+         cover_is_tautology(cofactor(cover, split, true), width);
+}
+
+bool cube_covered_by(const std::string& cube,
+                     const std::vector<std::string>& cover) {
+  // Restrict the cover to the subspace of `cube` and ask for tautology.
+  std::vector<std::string> restricted = cover;
+  for (int v = 0; v < static_cast<int>(cube.size()); ++v) {
+    if (cube[static_cast<std::size_t>(v)] == '-') continue;
+    restricted =
+        cofactor(restricted, v, cube[static_cast<std::size_t>(v)] == '1');
+  }
+  return cover_is_tautology(restricted, static_cast<int>(cube.size()));
+}
+
+std::vector<std::string> minimize_cover(std::vector<std::string> cover) {
+  if (cover.empty()) return cover;
+  const std::vector<std::string> original = cover;
+
+  // EXPAND: free literals while the enlarged cube stays inside the on-set.
+  for (std::string& cube : cover) {
+    for (std::size_t v = 0; v < cube.size(); ++v) {
+      if (cube[v] == '-') continue;
+      const char saved = cube[v];
+      cube[v] = '-';
+      if (!cube_covered_by(cube, original)) cube[v] = saved;
+    }
+  }
+
+  // Drop duplicates and cubes contained in a single other cube first
+  // (cheap), then run the full IRREDUNDANT pass.
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+
+  // IRREDUNDANT: drop any cube covered by the union of the others.
+  for (std::size_t i = 0; i < cover.size();) {
+    std::vector<std::string> rest;
+    rest.reserve(cover.size() - 1);
+    for (std::size_t j = 0; j < cover.size(); ++j)
+      if (j != i) rest.push_back(cover[j]);
+    if (!rest.empty() && cube_covered_by(cover[i], rest)) {
+      cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return cover;
+}
+
+network minimize_network(const network& net) {
+  network result(net.name());
+  std::vector<int> node_of(net.node_count());
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const network_node& n = net.node(i);
+    if (n.node_kind == network_node::kind::input) {
+      node_of[static_cast<std::size_t>(i)] = result.add_input(n.name);
+      continue;
+    }
+    std::vector<int> fanins;
+    fanins.reserve(n.fanins.size());
+    for (int f : n.fanins)
+      fanins.push_back(node_of[static_cast<std::size_t>(f)]);
+    node_of[static_cast<std::size_t>(i)] =
+        result.add_gate(n.name, std::move(fanins), minimize_cover(n.cubes));
+  }
+  for (const network_output& o : net.outputs())
+    result.set_output(node_of[static_cast<std::size_t>(o.node)], o.name);
+  return result;
+}
+
+}  // namespace compact::frontend

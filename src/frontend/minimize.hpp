@@ -1,0 +1,36 @@
+// Two-level cover minimization (Espresso-lite).
+//
+// BLIF/PLA covers from benchmark flows are often redundant; every spare
+// cube becomes spare gates after decomposition and noise for the BDD
+// sweep. This module implements the classical EXPAND and IRREDUNDANT steps
+// over cube lists (cofactor-based tautology checking, no truth-table size
+// limits): literals are freed while the cube stays inside the function's
+// on-set, then cubes covered by the rest of the cover are dropped. The
+// result computes exactly the same function (verified in the test suite via
+// the BDD equivalence checker).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+/// True iff `cover` (cubes over `width` inputs) is a tautology.
+[[nodiscard]] bool cover_is_tautology(const std::vector<std::string>& cover,
+                                      int width);
+
+/// True iff every minterm of `cube` is covered by `cover`.
+[[nodiscard]] bool cube_covered_by(const std::string& cube,
+                                   const std::vector<std::string>& cover);
+
+/// EXPAND + IRREDUNDANT on a single on-set cover. The returned cover
+/// computes the same function with (weakly) fewer cubes and literals.
+[[nodiscard]] std::vector<std::string> minimize_cover(
+    std::vector<std::string> cover);
+
+/// Apply minimize_cover to every gate of `net`.
+[[nodiscard]] network minimize_network(const network& net);
+
+}  // namespace compact::frontend

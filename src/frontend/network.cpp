@@ -1,0 +1,156 @@
+#include "frontend/network.hpp"
+
+#include <algorithm>
+
+namespace compact::frontend {
+
+std::string network::fresh_name(const std::string& hint) {
+  return hint + "_n" + std::to_string(anonymous_counter_++);
+}
+
+void network::check_fanins(const std::vector<int>& fanins) const {
+  for (int f : fanins)
+    check(f >= 0 && static_cast<std::size_t>(f) < nodes_.size(),
+          "network: fanin index out of range");
+}
+
+int network::add_input(std::string name) {
+  network_node n;
+  n.node_kind = network_node::kind::input;
+  n.name = name.empty() ? fresh_name("in") : std::move(name);
+  nodes_.push_back(std::move(n));
+  input_nodes_.push_back(static_cast<int>(nodes_.size() - 1));
+  ++input_count_;
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int network::add_gate(std::string name, std::vector<int> fanins,
+                      std::vector<std::string> cubes) {
+  check_fanins(fanins);
+  for (const std::string& cube : cubes) {
+    check(cube.size() == fanins.size(),
+          "network: cube width must match fanin count");
+    for (char c : cube)
+      check(c == '0' || c == '1' || c == '-',
+            "network: cube characters must be 0, 1 or -");
+  }
+  network_node n;
+  n.node_kind = network_node::kind::gate;
+  n.name = name.empty() ? fresh_name("g") : std::move(name);
+  n.fanins = std::move(fanins);
+  n.cubes = std::move(cubes);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int network::add_const(bool value, std::string name) {
+  return add_gate(std::move(name), {},
+                  value ? std::vector<std::string>{""}
+                        : std::vector<std::string>{});
+}
+
+int network::add_buf(int a, std::string name) {
+  return add_gate(std::move(name), {a}, {"1"});
+}
+
+int network::add_not(int a, std::string name) {
+  return add_gate(std::move(name), {a}, {"0"});
+}
+
+int network::add_and(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"11"});
+}
+
+int network::add_or(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"1-", "-1"});
+}
+
+int network::add_nand(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"0-", "-0"});
+}
+
+int network::add_nor(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"00"});
+}
+
+int network::add_xor(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"10", "01"});
+}
+
+int network::add_xnor(int a, int b, std::string name) {
+  return add_gate(std::move(name), {a, b}, {"11", "00"});
+}
+
+int network::add_mux(int s, int t, int e, std::string name) {
+  return add_gate(std::move(name), {s, t, e}, {"11-", "0-1"});
+}
+
+int network::add_and_n(const std::vector<int>& operands, std::string name) {
+  if (operands.empty()) return add_const(true, std::move(name));
+  if (operands.size() == 1) return add_buf(operands[0], std::move(name));
+  return add_gate(std::move(name), operands,
+                  {std::string(operands.size(), '1')});
+}
+
+int network::add_or_n(const std::vector<int>& operands, std::string name) {
+  if (operands.empty()) return add_const(false, std::move(name));
+  if (operands.size() == 1) return add_buf(operands[0], std::move(name));
+  std::vector<std::string> cubes;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    std::string cube(operands.size(), '-');
+    cube[i] = '1';
+    cubes.push_back(std::move(cube));
+  }
+  return add_gate(std::move(name), operands, std::move(cubes));
+}
+
+void network::set_output(int node, std::string name) {
+  check(node >= 0 && static_cast<std::size_t>(node) < nodes_.size(),
+        "network: output node out of range");
+  outputs_.push_back({node, name.empty() ? nodes_[node].name : std::move(name)});
+}
+
+const network_node& network::node(int index) const {
+  check(index >= 0 && static_cast<std::size_t>(index) < nodes_.size(),
+        "network: node index out of range");
+  return nodes_[index];
+}
+
+std::vector<int> network::inputs() const { return input_nodes_; }
+
+std::vector<bool> network::simulate(
+    const std::vector<bool>& assignment) const {
+  check(assignment.size() == static_cast<std::size_t>(input_count_),
+        "network: assignment size mismatch");
+  std::vector<bool> value(nodes_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const network_node& n = nodes_[i];
+    if (n.node_kind == network_node::kind::input) {
+      value[i] = assignment[next_input++];
+      continue;
+    }
+    bool out = false;
+    for (const std::string& cube : n.cubes) {
+      bool cube_true = true;
+      for (std::size_t j = 0; j < cube.size() && cube_true; ++j) {
+        if (cube[j] == '-') continue;
+        const bool want = cube[j] == '1';
+        if (value[static_cast<std::size_t>(n.fanins[j])] != want)
+          cube_true = false;
+      }
+      if (cube_true) {
+        out = true;
+        break;
+      }
+    }
+    value[i] = out;
+  }
+  std::vector<bool> result;
+  result.reserve(outputs_.size());
+  for (const network_output& o : outputs_)
+    result.push_back(value[static_cast<std::size_t>(o.node)]);
+  return result;
+}
+
+}  // namespace compact::frontend

@@ -1,0 +1,93 @@
+// Combinational Boolean network.
+//
+// The COMPACT flow starts from a circuit given "using a Verilog, BLIF or PLA
+// file" (Section II-C). This network is the common in-memory form: primary
+// inputs plus gates in topological order, where every gate's function is a
+// sum-of-products cover over its fanins (the semantics of a BLIF `.names`
+// block, general enough to express PLA rows and the standard gate library).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace compact::frontend {
+
+/// A cube is a string over {'0','1','-'}, one character per fanin.
+/// A gate's function is the OR of its cubes; a cube is satisfied when every
+/// '1' fanin is true and every '0' fanin is false. The empty cover is the
+/// constant 0; a cover containing the empty cube ("" with zero fanins) is
+/// the constant 1.
+struct network_node {
+  enum class kind { input, gate };
+  kind node_kind = kind::gate;
+  std::string name;
+  std::vector<int> fanins;         // indices of earlier nodes
+  std::vector<std::string> cubes;  // on-set cover (gates only)
+};
+
+struct network_output {
+  int node = 0;
+  std::string name;
+};
+
+class network {
+ public:
+  explicit network(std::string model_name = "top")
+      : name_(std::move(model_name)) {}
+
+  /// Append a primary input; returns its node index.
+  int add_input(std::string name);
+
+  /// Append a gate over existing nodes; returns its node index.
+  /// Cube width must equal fanins.size().
+  int add_gate(std::string name, std::vector<int> fanins,
+               std::vector<std::string> cubes);
+
+  // Gate-library conveniences (all expressed as covers).
+  int add_const(bool value, std::string name = {});
+  int add_buf(int a, std::string name = {});
+  int add_not(int a, std::string name = {});
+  int add_and(int a, int b, std::string name = {});
+  int add_or(int a, int b, std::string name = {});
+  int add_nand(int a, int b, std::string name = {});
+  int add_nor(int a, int b, std::string name = {});
+  int add_xor(int a, int b, std::string name = {});
+  int add_xnor(int a, int b, std::string name = {});
+  /// s ? t : e
+  int add_mux(int s, int t, int e, std::string name = {});
+  /// AND/OR over an arbitrary number of operands (empty = constant).
+  int add_and_n(const std::vector<int>& operands, std::string name = {});
+  int add_or_n(const std::vector<int>& operands, std::string name = {});
+
+  void set_output(int node, std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int input_count() const { return input_count_; }
+  [[nodiscard]] const network_node& node(int index) const;
+  [[nodiscard]] const std::vector<network_output>& outputs() const {
+    return outputs_;
+  }
+  /// Indices of the primary inputs in declaration order.
+  [[nodiscard]] std::vector<int> inputs() const;
+
+  /// Evaluate all outputs under a complete input assignment
+  /// (assignment[i] is the value of the i-th declared input).
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& assignment) const;
+
+ private:
+  std::string name_;
+  std::vector<network_node> nodes_;
+  std::vector<int> input_nodes_;
+  std::vector<network_output> outputs_;
+  int input_count_ = 0;
+  int anonymous_counter_ = 0;
+
+  std::string fresh_name(const std::string& hint);
+  void check_fanins(const std::vector<int>& fanins) const;
+};
+
+}  // namespace compact::frontend

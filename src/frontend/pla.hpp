@@ -1,0 +1,20 @@
+// PLA (Programmable Logic Array, espresso format) reader.
+//
+// Supports the common "fd"-type PLA files: .i/.o/.p/.ilb/.ob/.type/.e
+// directives and product-term rows. Each output is the OR of the rows whose
+// output column is '1'; output columns '0', '-' and '~' do not contribute to
+// the on-set (don't-cares are resolved to 0, as ABC does when deriving a
+// completely-specified function).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+[[nodiscard]] network parse_pla(std::istream& is);
+[[nodiscard]] network parse_pla_string(const std::string& text);
+
+}  // namespace compact::frontend

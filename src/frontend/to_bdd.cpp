@@ -1,0 +1,107 @@
+#include "frontend/to_bdd.hpp"
+
+#include <algorithm>
+
+#include "bdd/ordering.hpp"
+
+namespace compact::frontend {
+namespace {
+
+/// BDD variable level of each declared input under `order`.
+std::vector<int> level_of_input(const network& net,
+                                const std::vector<int>& order) {
+  const int n = net.input_count();
+  std::vector<int> level(n);
+  if (order.empty()) {
+    for (int i = 0; i < n; ++i) level[i] = i;
+    return level;
+  }
+  check(static_cast<int>(order.size()) == n,
+        "build_sbdd: order size must equal input count");
+  std::vector<bool> seen(n, false);
+  for (int l = 0; l < n; ++l) {
+    const int input = order[l];
+    check(input >= 0 && input < n && !seen[input],
+          "build_sbdd: order must be a permutation of the inputs");
+    seen[input] = true;
+    level[input] = l;
+  }
+  return level;
+}
+
+/// Sweep all gates; returns the BDD of every network node.
+std::vector<bdd::node_handle> sweep(const network& net, bdd::manager& m,
+                                    const std::vector<int>& order) {
+  check(m.variable_count() >= net.input_count(),
+        "build_sbdd: manager has too few variables");
+  const std::vector<int> level = level_of_input(net, order);
+
+  std::vector<bdd::node_handle> f(net.node_count());
+  int next_input = 0;
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const network_node& n = net.node(i);
+    if (n.node_kind == network_node::kind::input) {
+      f[i] = m.var(level[next_input++]);
+      continue;
+    }
+    // OR of cube ANDs.
+    bdd::node_handle acc = m.constant(false);
+    for (const std::string& cube : n.cubes) {
+      bdd::node_handle term = m.constant(true);
+      for (std::size_t j = 0; j < cube.size(); ++j) {
+        if (cube[j] == '-') continue;
+        const bdd::node_handle fanin = f[static_cast<std::size_t>(n.fanins[j])];
+        term = m.apply_and(
+            term, cube[j] == '1' ? fanin : m.apply_not(fanin));
+        if (term == bdd::false_handle) break;
+      }
+      acc = m.apply_or(acc, term);
+      if (acc == bdd::true_handle) break;
+    }
+    f[i] = acc;
+  }
+  return f;
+}
+
+}  // namespace
+
+sbdd build_sbdd(const network& net, bdd::manager& m,
+                const std::vector<int>& order) {
+  const std::vector<bdd::node_handle> f = sweep(net, m, order);
+  sbdd result;
+  for (const network_output& o : net.outputs()) {
+    result.roots.push_back(f[static_cast<std::size_t>(o.node)]);
+    result.names.push_back(o.name);
+  }
+  return result;
+}
+
+std::vector<int> optimize_order(const network& net, order_effort effort) {
+  const int inputs = net.input_count();
+  std::vector<int> identity(static_cast<std::size_t>(inputs));
+  for (int i = 0; i < inputs; ++i) identity[static_cast<std::size_t>(i)] = i;
+  if (effort == order_effort::none || inputs <= 1) return identity;
+
+  const bdd::order_builder builder =
+      [&net](bdd::manager& m,
+             const std::vector<int>& order) -> std::vector<bdd::node_handle> {
+    return build_sbdd(net, m, order).roots;
+  };
+
+  if (effort == order_effort::exhaustive && inputs <= 9)
+    return bdd::best_order_exhaustive(inputs, builder).order;
+  return bdd::sift_order(inputs, builder).order;
+}
+
+bdd::node_handle build_output(const network& net, bdd::manager& m,
+                              int output_index, const std::vector<int>& order) {
+  check(output_index >= 0 &&
+            output_index < static_cast<int>(net.outputs().size()),
+        "build_output: output index out of range");
+  // A full sweep is wasteful for one output but keeps behaviour identical;
+  // the separate-ROBDD experiments use fresh managers per output anyway.
+  const std::vector<bdd::node_handle> f = sweep(net, m, order);
+  return f[static_cast<std::size_t>(net.outputs()[output_index].node)];
+}
+
+}  // namespace compact::frontend

@@ -1,0 +1,44 @@
+// Network -> (shared) BDD construction.
+//
+// Sweeps the gates of a topologically-ordered network through a BDD manager.
+// Building all outputs in a single manager yields the shared BDD (SBDD) of
+// Section VII-A; building each output in its own manager yields the
+// separate-ROBDD baseline the paper compares against in Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+struct sbdd {
+  std::vector<bdd::node_handle> roots;  // parallel to names
+  std::vector<std::string> names;
+};
+
+/// Build all outputs of `net` inside `m` (which must have at least
+/// net.input_count() variables). `order[level] = input position`, i.e. BDD
+/// level `l` tests declared input `order[l]`; empty = identity order.
+[[nodiscard]] sbdd build_sbdd(const network& net, bdd::manager& m,
+                              const std::vector<int>& order = {});
+
+/// Build one output function in `m`. `output_index` indexes net.outputs().
+[[nodiscard]] bdd::node_handle build_output(const network& net,
+                                            bdd::manager& m, int output_index,
+                                            const std::vector<int>& order = {});
+
+enum class order_effort {
+  none,        // identity (declaration) order
+  sift,        // rebuild-based sifting (default; <= ~20 inputs)
+  exhaustive,  // all permutations (<= 9 inputs), falls back to sift
+};
+
+/// Search for a variable order minimizing the SBDD size of `net`.
+/// Returns order[level] = declared-input index, usable with build_sbdd.
+[[nodiscard]] std::vector<int> optimize_order(
+    const network& net, order_effort effort = order_effort::sift);
+
+}  // namespace compact::frontend

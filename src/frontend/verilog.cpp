@@ -1,0 +1,480 @@
+#include "frontend/verilog.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace compact::frontend {
+namespace {
+
+// ---- tokenization -----------------------------------------------------------
+
+struct token {
+  enum class kind { identifier, punct, end };
+  kind k = kind::end;
+  std::string text;
+};
+
+class lexer {
+ public:
+  explicit lexer(std::string text) : text_(std::move(text)) { advance(); }
+
+  const token& peek() const { return current_; }
+  token next() {
+    token t = current_;
+    advance();
+    return t;
+  }
+  bool accept(const std::string& text) {
+    if (current_.text == text) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(const std::string& text) {
+    if (!accept(text))
+      throw parse_error("verilog: expected '" + text + "' but found '" +
+                        current_.text + "'");
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_ = token{};
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+      std::size_t start = pos_;
+      if (c == '\\') {  // escaped identifier, ends at whitespace
+        ++pos_;
+        while (pos_ < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_])))
+          ++pos_;
+      } else {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$'))
+          ++pos_;
+      }
+      current_ = {token::kind::identifier, text_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numeric literal like 1'b0; consume digits, optional 'b/d/h part.
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\''))
+        ++pos_;
+      current_ = {token::kind::identifier, text_.substr(start, pos_ - start)};
+      return;
+    }
+    current_ = {token::kind::punct, std::string(1, c)};
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/'))
+          ++pos_;
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  token current_;
+};
+
+// ---- intermediate netlist ---------------------------------------------------
+
+struct expr {
+  enum class op { var, constant, inv, and2, or2, xor2 };
+  op o = op::var;
+  std::string name;       // var
+  bool value = false;     // constant
+  std::unique_ptr<expr> a, b;
+};
+
+struct definition {
+  // Either a primitive gate (kind + input names) or an assign expression.
+  std::string gate_kind;  // empty for assigns
+  std::vector<std::string> inputs;
+  std::unique_ptr<expr> rhs;
+};
+
+bool is_gate_keyword(const std::string& s) {
+  return s == "and" || s == "or" || s == "nand" || s == "nor" ||
+         s == "xor" || s == "xnor" || s == "buf" || s == "not";
+}
+
+// expression grammar: or_expr := xor_expr ('|' xor_expr)*
+//                     xor_expr := and_expr ('^' and_expr)*
+//                     and_expr := unary ('&' unary)*
+//                     unary := '~' unary | '(' or_expr ')' | literal | ident
+std::unique_ptr<expr> parse_or(lexer& lex);
+
+std::unique_ptr<expr> parse_unary(lexer& lex) {
+  if (lex.accept("~")) {
+    auto e = std::make_unique<expr>();
+    e->o = expr::op::inv;
+    e->a = parse_unary(lex);
+    return e;
+  }
+  if (lex.accept("(")) {
+    auto e = parse_or(lex);
+    lex.expect(")");
+    return e;
+  }
+  const token t = lex.next();
+  if (t.k != token::kind::identifier)
+    throw parse_error("verilog: unexpected token '" + t.text +
+                      "' in expression");
+  auto e = std::make_unique<expr>();
+  if (t.text == "1'b0" || t.text == "1'b1") {
+    e->o = expr::op::constant;
+    e->value = t.text == "1'b1";
+  } else if (std::isdigit(static_cast<unsigned char>(t.text[0]))) {
+    throw parse_error("verilog: unsupported literal " + t.text);
+  } else {
+    e->o = expr::op::var;
+    e->name = t.text;
+  }
+  return e;
+}
+
+std::unique_ptr<expr> parse_and(lexer& lex) {
+  auto left = parse_unary(lex);
+  while (lex.accept("&")) {
+    auto e = std::make_unique<expr>();
+    e->o = expr::op::and2;
+    e->a = std::move(left);
+    e->b = parse_unary(lex);
+    left = std::move(e);
+  }
+  return left;
+}
+
+std::unique_ptr<expr> parse_xor(lexer& lex) {
+  auto left = parse_and(lex);
+  while (lex.accept("^")) {
+    auto e = std::make_unique<expr>();
+    e->o = expr::op::xor2;
+    e->a = std::move(left);
+    e->b = parse_and(lex);
+    left = std::move(e);
+  }
+  return left;
+}
+
+std::unique_ptr<expr> parse_or(lexer& lex) {
+  auto left = parse_xor(lex);
+  while (lex.accept("|")) {
+    auto e = std::make_unique<expr>();
+    e->o = expr::op::or2;
+    e->a = std::move(left);
+    e->b = parse_xor(lex);
+    left = std::move(e);
+  }
+  return left;
+}
+
+std::vector<std::string> parse_name_list(lexer& lex) {
+  std::vector<std::string> names;
+  do {
+    const token t = lex.next();
+    if (t.k != token::kind::identifier)
+      throw parse_error("verilog: expected identifier, found '" + t.text +
+                        "'");
+    if (t.text.find('[') != std::string::npos)
+      throw parse_error("verilog: vector signals are not supported");
+    names.push_back(t.text);
+  } while (lex.accept(","));
+  lex.expect(";");
+  return names;
+}
+
+}  // namespace
+
+network parse_verilog(std::istream& is) {
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  lexer lex(buffer.str());
+
+  lex.expect("module");
+  const token name_token = lex.next();
+  if (name_token.k != token::kind::identifier)
+    throw parse_error("verilog: module name expected");
+  // Port list (names only; directions come from declarations).
+  if (lex.accept("(")) {
+    while (!lex.accept(")")) {
+      if (lex.peek().k == token::kind::end)
+        throw parse_error("verilog: unterminated port list");
+      (void)lex.next();
+    }
+  }
+  lex.expect(";");
+
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::map<std::string, definition> defs;
+
+  while (true) {
+    const token head = lex.next();
+    if (head.k == token::kind::end)
+      throw parse_error("verilog: missing endmodule");
+    if (head.text == "endmodule") break;
+    if (head.text == "input") {
+      for (std::string& n : parse_name_list(lex))
+        input_names.push_back(std::move(n));
+    } else if (head.text == "output") {
+      for (std::string& n : parse_name_list(lex))
+        output_names.push_back(std::move(n));
+    } else if (head.text == "wire") {
+      (void)parse_name_list(lex);  // declarations carry no logic
+    } else if (head.text == "assign") {
+      const token lhs = lex.next();
+      if (lhs.k != token::kind::identifier)
+        throw parse_error("verilog: assign target expected");
+      lex.expect("=");
+      definition d;
+      d.rhs = parse_or(lex);
+      lex.expect(";");
+      if (defs.contains(lhs.text))
+        throw parse_error("verilog: signal driven twice: " + lhs.text);
+      defs.emplace(lhs.text, std::move(d));
+    } else if (is_gate_keyword(head.text)) {
+      // `kind [instance] ( out, in... );`
+      std::string instance;
+      if (lex.peek().k == token::kind::identifier) instance = lex.next().text;
+      lex.expect("(");
+      std::vector<std::string> terminals;
+      do {
+        const token t = lex.next();
+        if (t.k != token::kind::identifier)
+          throw parse_error("verilog: gate terminal expected");
+        terminals.push_back(t.text);
+      } while (lex.accept(","));
+      lex.expect(")");
+      lex.expect(";");
+      if (terminals.size() < 2)
+        throw parse_error("verilog: gate needs an output and input");
+      definition d;
+      d.gate_kind = head.text;
+      d.inputs.assign(terminals.begin() + 1, terminals.end());
+      if (defs.contains(terminals[0]))
+        throw parse_error("verilog: signal driven twice: " + terminals[0]);
+      defs.emplace(terminals[0], std::move(d));
+    } else if (head.text == "always" || head.text == "reg" ||
+               head.text == "initial") {
+      throw parse_error("verilog: behavioural construct '" + head.text +
+                        "' is not supported (combinational netlists only)");
+    } else {
+      throw parse_error("verilog: unexpected token '" + head.text + "'");
+    }
+  }
+
+  // ---- emit into a network (DFS over the definition graph). --------------
+  network net(name_token.text);
+  std::map<std::string, int> node_of;
+  for (const std::string& n : input_names) {
+    if (node_of.contains(n))
+      throw parse_error("verilog: duplicate input " + n);
+    node_of.emplace(n, net.add_input(n));
+  }
+
+  std::set<std::string> in_progress;
+
+  auto emit_signal = [&](const std::string& signal, auto&& self) -> int {
+    if (const auto it = node_of.find(signal); it != node_of.end())
+      return it->second;
+    const auto dit = defs.find(signal);
+    if (dit == defs.end())
+      throw parse_error("verilog: undriven signal " + signal);
+    if (!in_progress.insert(signal).second)
+      throw parse_error("verilog: combinational loop through " + signal);
+    const definition& d = dit->second;
+
+    int node;
+    if (!d.gate_kind.empty()) {
+      std::vector<int> ins;
+      for (const std::string& in : d.inputs) ins.push_back(self(in, self));
+      const std::string& k = d.gate_kind;
+      if (k == "not") {
+        if (ins.size() != 1)
+          throw parse_error("verilog: not takes one input");
+        node = net.add_not(ins[0], signal);
+      } else if (k == "buf") {
+        if (ins.size() != 1)
+          throw parse_error("verilog: buf takes one input");
+        node = net.add_buf(ins[0], signal);
+      } else {
+        int acc = ins[0];
+        for (std::size_t i = 1; i < ins.size(); ++i) {
+          const bool last = i + 1 == ins.size();
+          const std::string gate_name = last ? signal : std::string{};
+          if (k == "and")
+            acc = net.add_and(acc, ins[i], gate_name);
+          else if (k == "or")
+            acc = net.add_or(acc, ins[i], gate_name);
+          else if (k == "xor")
+            acc = net.add_xor(acc, ins[i], gate_name);
+          else if (k == "xnor")
+            acc = last ? net.add_xnor(acc, ins[i], gate_name)
+                       : net.add_xor(acc, ins[i]);
+          else if (k == "nand")
+            acc = last ? net.add_not(net.add_and(acc, ins[i]), gate_name)
+                       : net.add_and(acc, ins[i]);
+          else if (k == "nor")
+            acc = last ? net.add_not(net.add_or(acc, ins[i]), gate_name)
+                       : net.add_or(acc, ins[i]);
+        }
+        if (ins.size() == 1) {
+          // Degenerate single-input multi-input gate.
+          node = (k == "nand" || k == "nor") ? net.add_not(acc, signal)
+                                             : net.add_buf(acc, signal);
+        } else {
+          node = acc;
+        }
+      }
+    } else {
+      // assign expression
+      auto build = [&](const expr& e, auto&& build_ref) -> int {
+        switch (e.o) {
+          case expr::op::var:
+            return self(e.name, self);
+          case expr::op::constant:
+            return net.add_const(e.value);
+          case expr::op::inv:
+            return net.add_not(build_ref(*e.a, build_ref));
+          case expr::op::and2:
+            return net.add_and(build_ref(*e.a, build_ref),
+                               build_ref(*e.b, build_ref));
+          case expr::op::or2:
+            return net.add_or(build_ref(*e.a, build_ref),
+                              build_ref(*e.b, build_ref));
+          case expr::op::xor2:
+            return net.add_xor(build_ref(*e.a, build_ref),
+                               build_ref(*e.b, build_ref));
+        }
+        throw parse_error("verilog: broken expression tree");
+      };
+      node = net.add_buf(build(*d.rhs, build), signal);
+    }
+    in_progress.erase(signal);
+    node_of.emplace(signal, node);
+    return node;
+  };
+
+  for (const std::string& out : output_names) {
+    const int node = emit_signal(out, emit_signal);
+    net.set_output(node, out);
+  }
+  return net;
+}
+
+network parse_verilog_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_verilog(is);
+}
+
+void write_verilog(const network& net, std::ostream& os) {
+  os << "module " << net.name() << " (";
+  bool first = true;
+  for (int i : net.inputs()) {
+    os << (first ? "" : ", ") << net.node(i).name;
+    first = false;
+  }
+  for (const network_output& o : net.outputs())
+    os << (first ? (first = false, "") : ", ") << o.name;
+  os << ");\n";
+
+  os << "  input";
+  first = true;
+  for (int i : net.inputs()) {
+    os << (first ? " " : ", ") << net.node(i).name;
+    first = false;
+  }
+  os << ";\n  output";
+  first = true;
+  for (const network_output& o : net.outputs()) {
+    os << (first ? " " : ", ") << o.name;
+    first = false;
+  }
+  os << ";\n";
+
+  // Internal wires: every gate that is not itself an output name.
+  std::set<std::string> output_names;
+  for (const network_output& o : net.outputs()) output_names.insert(o.name);
+  std::vector<std::string> wires;
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const network_node& n = net.node(i);
+    if (n.node_kind == network_node::kind::gate &&
+        !output_names.contains(n.name))
+      wires.push_back(n.name);
+  }
+  if (!wires.empty()) {
+    os << "  wire";
+    first = true;
+    for (const std::string& w : wires) {
+      os << (first ? " " : ", ") << w;
+      first = false;
+    }
+    os << ";\n";
+  }
+
+  // Gates as sum-of-products assigns.
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const network_node& n = net.node(i);
+    if (n.node_kind != network_node::kind::gate) continue;
+    os << "  assign " << n.name << " = ";
+    if (n.cubes.empty()) {
+      os << "1'b0";
+    } else {
+      bool first_cube = true;
+      for (const std::string& cube : n.cubes) {
+        if (!first_cube) os << " | ";
+        first_cube = false;
+        bool any_literal = false;
+        std::string term;
+        for (std::size_t j = 0; j < cube.size(); ++j) {
+          if (cube[j] == '-') continue;
+          if (any_literal) term += " & ";
+          if (cube[j] == '0') term += "~";
+          term += net.node(n.fanins[j]).name;
+          any_literal = true;
+        }
+        os << "(" << (any_literal ? term : std::string("1'b1")) << ")";
+      }
+    }
+    os << ";\n";
+  }
+
+  // Aliased outputs.
+  for (const network_output& o : net.outputs())
+    if (net.node(o.node).name != o.name)
+      os << "  assign " << o.name << " = " << net.node(o.node).name << ";\n";
+
+  os << "endmodule\n";
+}
+
+}  // namespace compact::frontend

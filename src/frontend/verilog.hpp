@@ -1,0 +1,32 @@
+// Structural (gate-level) Verilog reader.
+//
+// The paper's flow accepts "a Verilog, BLIF or PLA file" (Section II-C);
+// benchmark suites such as ISCAS85 circulate as gate-level Verilog. This
+// parser supports that netlist subset:
+//
+//   module name (ports...);
+//     input a, b;  output y;  wire t1, t2;
+//     and g1 (y, a, b);        // primitive gates: and, or, nand, nor,
+//     not g2 (t1, a);          // xor, xnor, buf, not (n-ary where legal)
+//     assign w = a & b | ~c;   // simple continuous assigns (&, |, ^, ~,
+//                              // parentheses, 1'b0/1'b1)
+//   endmodule
+//
+// Behavioural constructs (always, reg, case, ...) are rejected with a
+// parse_error: the COMPACT flow is purely combinational.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+
+[[nodiscard]] network parse_verilog(std::istream& is);
+[[nodiscard]] network parse_verilog_string(const std::string& text);
+
+/// Serialize `net` as structural Verilog (primitive gates only).
+void write_verilog(const network& net, std::ostream& os);
+
+}  // namespace compact::frontend

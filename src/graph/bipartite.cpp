@@ -1,0 +1,123 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace compact::graph {
+
+std::optional<two_coloring> try_two_color(const undirected_graph& g) {
+  two_coloring result;
+  result.color_of.assign(g.node_count(), -1);
+  std::queue<node_id> queue;
+  for (node_id start = 0; start < static_cast<node_id>(g.node_count());
+       ++start) {
+    if (result.color_of[start] != -1) continue;
+    result.color_of[start] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      const node_id u = queue.front();
+      queue.pop();
+      for (node_id w : g.neighbors(u)) {
+        if (result.color_of[w] == -1) {
+          result.color_of[w] = 1 - result.color_of[u];
+          queue.push(w);
+        } else if (result.color_of[w] == result.color_of[u]) {
+          return std::nullopt;  // odd cycle
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_bipartite(const undirected_graph& g) {
+  return try_two_color(g).has_value();
+}
+
+two_coloring balanced_two_color(const undirected_graph& g, int bias0,
+                                int bias1) {
+  auto base = try_two_color(g);
+  check(base.has_value(), "balanced_two_color: graph is not bipartite");
+
+  const auto components = g.connected_components();
+  // Per component: (count of color0, count of color1) under the base
+  // coloring. Flipping a component swaps its contribution.
+  std::vector<std::pair<int, int>> sizes(components.count, {0, 0});
+  for (node_id u = 0; u < static_cast<node_id>(g.node_count()); ++u) {
+    auto& s = sizes[components.component_of[u]];
+    (base->color_of[u] == 0 ? s.first : s.second)++;
+  }
+
+  // Choose flip bits minimizing max(total0, total1). The totals are bounded
+  // by the node count, so a reachability DP over achievable total0 values
+  // (with parent pointers) is exact and fast.
+  const int n = static_cast<int>(g.node_count());
+  const int total = n + bias0 + bias1;
+  // dp[c][t] = true if after components 0..c-1 the color-0 total equals t.
+  std::vector<std::vector<int>> parent_choice(
+      components.count, std::vector<int>(total + 1, -1));
+  std::vector<char> reachable(total + 1, 0);
+  if (bias0 >= 0 && bias0 <= total) reachable[bias0] = 1;
+  for (int c = 0; c < components.count; ++c) {
+    std::vector<char> next(total + 1, 0);
+    for (int t = 0; t <= total; ++t) {
+      if (!reachable[t]) continue;
+      const int keep = t + sizes[c].first;
+      const int flip = t + sizes[c].second;
+      if (keep <= total && !next[keep]) {
+        next[keep] = 1;
+        parent_choice[c][keep] = t * 2 + 0;  // encode (prev total, choice)
+      }
+      if (flip <= total && !next[flip]) {
+        next[flip] = 1;
+        parent_choice[c][flip] = t * 2 + 1;
+      }
+    }
+    reachable.swap(next);
+  }
+
+  // Pick the achievable color-0 total minimizing max(t, total - t + ...).
+  // total1 = (n - (t - bias0)) + bias1 = total - t.
+  int best_t = -1;
+  int best_obj = total + 1;
+  for (int t = 0; t <= total; ++t) {
+    if (!reachable[t]) continue;
+    const int obj = std::max(t, total - t);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_t = t;
+    }
+  }
+  check(best_t >= 0, "balanced_two_color: DP found no assignment");
+
+  // Walk parents to recover flip decisions.
+  std::vector<char> flip_component(components.count, 0);
+  int t = best_t;
+  for (int c = components.count - 1; c >= 0; --c) {
+    const int enc = parent_choice[c][t];
+    check(enc >= 0, "balanced_two_color: broken DP backtrace");
+    flip_component[c] = static_cast<char>(enc & 1);
+    t = enc >> 1;
+  }
+
+  two_coloring balanced = *base;
+  for (node_id u = 0; u < static_cast<node_id>(g.node_count()); ++u)
+    if (flip_component[components.component_of[u]])
+      balanced.color_of[u] = 1 - balanced.color_of[u];
+  return balanced;
+}
+
+bool is_proper_two_coloring(const undirected_graph& g,
+                            const two_coloring& coloring) {
+  if (coloring.color_of.size() != g.node_count()) return false;
+  for (const edge& e : g.edges()) {
+    const int cu = coloring.color_of[e.u];
+    const int cv = coloring.color_of[e.v];
+    if (cu < 0 || cu > 1 || cv < 0 || cv > 1 || cu == cv) return false;
+  }
+  return true;
+}
+
+}  // namespace compact::graph

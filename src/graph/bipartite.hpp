@@ -1,0 +1,47 @@
+// Bipartiteness testing and 2-coloring.
+//
+// Once the odd cycle transversal has been removed from the BDD graph, the
+// remaining induced subgraph G_B is bipartite and a 2-coloring of it yields
+// the V/H labels directly (Section VI-A of the paper). Because the coloring
+// of each connected component can be flipped independently, we also provide a
+// *balanced* 2-coloring that chooses per-component orientations minimizing
+// the larger color class — this is the first mechanism by which the weighted
+// objective reduces the maximum dimension (Fig. 6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace compact::graph {
+
+/// Colors are 0 and 1. Vertices of color 0 map to wordlines (H) and color 1
+/// to bitlines (V) by convention, though callers may flip per component.
+struct two_coloring {
+  std::vector<int> color_of;  // indexed by node id, values in {0, 1}
+};
+
+/// BFS 2-coloring. Returns std::nullopt when the graph contains an
+/// odd-length cycle (i.e. is not bipartite).
+[[nodiscard]] std::optional<two_coloring> try_two_color(
+    const undirected_graph& g);
+
+/// True iff `g` is bipartite.
+[[nodiscard]] bool is_bipartite(const undirected_graph& g);
+
+/// A 2-coloring whose per-component orientation is chosen so that
+/// max(#color0 + bias0, #color1 + bias1) is minimized. `bias0`/`bias1` seed
+/// the two class sizes (used to account for VH nodes that occupy a wordline
+/// *and* a bitline, and for alignment-forced rows). The graph must be
+/// bipartite. Orientation selection is a small subset-sum style dynamic
+/// program over components, so the result is optimal for the given coloring
+/// partition.
+[[nodiscard]] two_coloring balanced_two_color(const undirected_graph& g,
+                                              int bias0 = 0, int bias1 = 0);
+
+/// Verify that `coloring` is a proper 2-coloring of `g`.
+[[nodiscard]] bool is_proper_two_coloring(const undirected_graph& g,
+                                          const two_coloring& coloring);
+
+}  // namespace compact::graph

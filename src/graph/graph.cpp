@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace compact::graph {
+
+node_id undirected_graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<node_id>(adjacency_.size() - 1);
+}
+
+void undirected_graph::check_node(node_id u) const {
+  if (u < 0 || static_cast<std::size_t>(u) >= adjacency_.size())
+    throw error("graph: node id " + std::to_string(u) + " out of range");
+}
+
+void undirected_graph::add_edge(node_id u, node_id v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw error("graph: self-loop on node " + std::to_string(u));
+  if (has_edge(u, v)) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.push_back({std::min(u, v), std::max(u, v)});
+}
+
+bool undirected_graph::has_edge(node_id u, node_id v) const {
+  check_node(u);
+  check_node(v);
+  // Scan the smaller adjacency list.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const node_id other =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(list.begin(), list.end(), other) != list.end();
+}
+
+const std::vector<node_id>& undirected_graph::neighbors(node_id u) const {
+  check_node(u);
+  return adjacency_[u];
+}
+
+std::size_t undirected_graph::degree(node_id u) const {
+  check_node(u);
+  return adjacency_[u].size();
+}
+
+undirected_graph::component_info undirected_graph::connected_components()
+    const {
+  component_info info;
+  info.component_of.assign(node_count(), -1);
+  std::vector<node_id> stack;
+  for (node_id start = 0; start < static_cast<node_id>(node_count());
+       ++start) {
+    if (info.component_of[start] != -1) continue;
+    const int comp = info.count++;
+    stack.push_back(start);
+    info.component_of[start] = comp;
+    while (!stack.empty()) {
+      const node_id u = stack.back();
+      stack.pop_back();
+      for (node_id w : adjacency_[u]) {
+        if (info.component_of[w] == -1) {
+          info.component_of[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+undirected_graph::induced_subgraph_result undirected_graph::induced_subgraph(
+    const std::vector<bool>& keep) const {
+  check(keep.size() == node_count(), "induced_subgraph: keep size mismatch");
+  induced_subgraph_result result;
+  result.new_id_of.assign(node_count(), -1);
+  for (node_id u = 0; u < static_cast<node_id>(node_count()); ++u)
+    if (keep[u]) result.new_id_of[u] = result.subgraph.add_node();
+  for (const edge& e : edges_)
+    if (keep[e.u] && keep[e.v])
+      result.subgraph.add_edge(result.new_id_of[e.u], result.new_id_of[e.v]);
+  return result;
+}
+
+}  // namespace compact::graph

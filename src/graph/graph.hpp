@@ -1,0 +1,77 @@
+// Simple undirected graph used throughout COMPACT.
+//
+// The VH-labeling step views the (pre-processed) BDD as an undirected graph;
+// all graph-theoretic machinery (2-coloring, Cartesian products, vertex
+// cover, odd cycle transversal) operates on this type. Vertices are dense
+// integer ids [0, node_count()). Self-loops are rejected; parallel edges are
+// collapsed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace compact::graph {
+
+using node_id = std::int32_t;
+
+struct edge {
+  node_id u;
+  node_id v;
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+class undirected_graph {
+ public:
+  undirected_graph() = default;
+
+  /// Create a graph with `n` isolated vertices.
+  explicit undirected_graph(std::size_t n) : adjacency_(n) {}
+
+  /// Append one vertex; returns its id.
+  node_id add_node();
+
+  /// Add the undirected edge {u, v}. Adding an existing edge is a no-op;
+  /// self-loops throw (a BDD graph never has them, and a self-loop would be
+  /// unrealizable on a crossbar).
+  void add_edge(node_id u, node_id v);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// True if the edge {u, v} is present.
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const;
+
+  [[nodiscard]] const std::vector<node_id>& neighbors(node_id u) const;
+  [[nodiscard]] std::size_t degree(node_id u) const;
+
+  /// All edges, each reported once with u < v.
+  [[nodiscard]] const std::vector<edge>& edges() const { return edges_; }
+
+  /// Component id for every vertex plus the number of components.
+  struct component_info {
+    std::vector<int> component_of;  // indexed by node id
+    int count = 0;
+  };
+  [[nodiscard]] component_info connected_components() const;
+
+  /// The subgraph induced by `keep[v] == true`, plus the mapping
+  /// old id -> new id (-1 for dropped vertices). Defined after the class
+  /// (it contains an undirected_graph by value).
+  struct induced_subgraph_result;
+  [[nodiscard]] induced_subgraph_result induced_subgraph(
+      const std::vector<bool>& keep) const;
+
+ private:
+  void check_node(node_id u) const;
+
+  std::vector<std::vector<node_id>> adjacency_;
+  std::vector<edge> edges_;
+};
+
+struct undirected_graph::induced_subgraph_result {
+  undirected_graph subgraph;
+  std::vector<node_id> new_id_of;  // -1 if removed
+};
+
+}  // namespace compact::graph

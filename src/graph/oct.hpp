@@ -1,0 +1,48 @@
+// Odd cycle transversal (OCT).
+//
+// The crux of COMPACT's minimal-semiperimeter method: the nodes that must be
+// labeled VH are exactly an odd cycle transversal of the BDD graph, and a
+// minimum OCT yields the minimum semiperimeter n + |OCT| (Section VI-A).
+// Computed via Lemma 1: OCT(G) of size k  <=>  VC(G x K2) of size n + k.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/vertex_cover.hpp"
+
+namespace compact::graph {
+
+struct oct_result {
+  std::vector<bool> in_transversal;  // indexed by node id
+  std::size_t size = 0;
+  bool optimal = false;
+};
+
+enum class oct_engine {
+  bnb,  // combinatorial vertex-cover branch-and-bound (default)
+  ilp,  // the paper's ILP route through src/milp
+};
+
+struct oct_options {
+  oct_engine engine = oct_engine::bnb;
+  double time_limit_seconds = 60.0;
+};
+
+/// Minimum odd cycle transversal via the vertex-cover reduction. If the time
+/// limit is hit, a valid (not necessarily minimum) transversal is returned
+/// with optimal=false.
+[[nodiscard]] oct_result odd_cycle_transversal(const undirected_graph& g,
+                                               const oct_options& options = {});
+
+/// Fast heuristic transversal: greedily delete one vertex per odd-coloring
+/// conflict. Always valid; used as a warm start and as the fallback when the
+/// exact engines time out.
+[[nodiscard]] oct_result greedy_odd_cycle_transversal(
+    const undirected_graph& g);
+
+/// True iff deleting `transversal` from `g` leaves a bipartite graph.
+[[nodiscard]] bool is_odd_cycle_transversal(
+    const undirected_graph& g, const std::vector<bool>& transversal);
+
+}  // namespace compact::graph

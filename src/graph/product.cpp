@@ -1,0 +1,16 @@
+#include "graph/product.hpp"
+
+namespace compact::graph {
+
+undirected_graph cartesian_product_k2(const undirected_graph& g) {
+  const auto n = static_cast<node_id>(g.node_count());
+  undirected_graph product(2 * g.node_count());
+  for (const edge& e : g.edges()) {
+    product.add_edge(e.u, e.v);          // copy 0
+    product.add_edge(e.u + n, e.v + n);  // copy 1
+  }
+  for (node_id v = 0; v < n; ++v) product.add_edge(v, v + n);  // rungs
+  return product;
+}
+
+}  // namespace compact::graph

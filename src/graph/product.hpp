@@ -1,0 +1,17 @@
+// Cartesian graph products.
+//
+// Lemma 1 of the paper (due to the standard OCT <-> vertex cover reduction):
+// G has an odd cycle transversal of size <= k iff G x K2 has a vertex cover
+// of size <= n + k. The product G x K2 contains two copies of G with each
+// vertex joined to its twin.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace compact::graph {
+
+/// The Cartesian product G x K2. Vertex v of G becomes vertices v (copy 0)
+/// and v + n (copy 1); each copy inherits G's edges and v is joined to v + n.
+[[nodiscard]] undirected_graph cartesian_product_k2(const undirected_graph& g);
+
+}  // namespace compact::graph

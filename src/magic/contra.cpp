@@ -1,0 +1,77 @@
+#include "magic/contra.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "magic/nor_synth.hpp"
+#include "util/error.hpp"
+
+namespace compact::magic {
+
+contra_result schedule_luts(const gate_network& gates,
+                            const lut_mapping& mapping,
+                            const contra_options& options) {
+  check(options.k >= 2 && options.spacing >= 0 && options.crossbar_rows > 0,
+        "contra: bad options");
+  contra_result result;
+  result.luts = static_cast<int>(mapping.luts.size());
+  result.lut_levels = mapping.levels;
+
+  // INPUT operations: one write per primary input to load it into the array.
+  result.input_ops = gates.input_count;
+
+  // Per-level aggregation.
+  std::vector<long long> level_copy(static_cast<std::size_t>(
+                                        std::max(mapping.levels, 1)),
+                                    0);
+  std::vector<int> level_depth(static_cast<std::size_t>(
+                                   std::max(mapping.levels, 1)),
+                               0);
+  std::vector<int> level_luts(static_cast<std::size_t>(
+                                  std::max(mapping.levels, 1)),
+                              0);
+
+  for (const lut& l : mapping.luts) {
+    const nor_program program =
+        synthesize_nor(l.truth_table, static_cast<int>(l.leaves.size()));
+    result.nor_ops += program.total_ops();
+    // Each operand is copied into the LUT's working rows.
+    result.copy_ops += static_cast<long long>(l.leaves.size());
+    const auto lv = static_cast<std::size_t>(l.level);
+    level_copy[lv] += static_cast<long long>(l.leaves.size());
+    level_depth[lv] = std::max(level_depth[lv], program.depth);
+    ++level_luts[lv];
+  }
+
+  result.total_ops = result.input_ops + result.copy_ops + result.nor_ops;
+  // Paper model: every operation is one sequential write step.
+  result.delay_steps = result.total_ops;
+
+  // Optimistic wave-parallel estimate: waves per level limited by how many
+  // LUT strips fit the array; co-scheduled LUTs share their NOR steps.
+  const int strip_height = options.k + options.spacing;
+  const int slots = std::max(1, options.crossbar_rows / strip_height);
+  result.parallel_delay_steps = result.input_ops > 0 ? 1 : 0;
+  for (int level = 0; level < std::max(mapping.levels, 1); ++level) {
+    const auto lv = static_cast<std::size_t>(level);
+    if (level_luts[lv] == 0) continue;
+    const int waves = (level_luts[lv] + slots - 1) / slots;
+    const long long copies_per_wave =
+        (level_copy[lv] + level_luts[lv] - 1) / std::max(level_luts[lv], 1);
+    result.parallel_delay_steps +=
+        static_cast<long long>(waves) *
+        (copies_per_wave + static_cast<long long>(level_depth[lv]));
+  }
+  return result;
+}
+
+contra_result contra_synthesize(const frontend::network& net,
+                                const contra_options& options) {
+  const gate_network gates = decompose(net);
+  lut_mapper_options mapper;
+  mapper.k = options.k;
+  const lut_mapping mapping = map_to_luts(gates, mapper);
+  return schedule_luts(gates, mapping, options);
+}
+
+}  // namespace compact::magic

@@ -1,0 +1,156 @@
+#include "magic/gate_network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace compact::magic {
+
+std::vector<int> gate_network::levels() const {
+  std::vector<int> level(gates.size(), 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const gate& g = gates[i];
+    int l = 0;
+    if (g.a >= 0) l = std::max(l, level[static_cast<std::size_t>(g.a)] + 1);
+    if (g.b >= 0) l = std::max(l, level[static_cast<std::size_t>(g.b)] + 1);
+    level[i] = l;
+  }
+  return level;
+}
+
+std::vector<bool> gate_network::evaluate(
+    const std::vector<bool>& assignment) const {
+  check(assignment.size() == static_cast<std::size_t>(input_count),
+        "gate_network: assignment size mismatch");
+  std::vector<bool> value(gates.size(), false);
+  int next_input = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const gate& g = gates[i];
+    switch (g.kind) {
+      case gate_kind::input:
+        value[i] = assignment[static_cast<std::size_t>(next_input++)];
+        break;
+      case gate_kind::const0:
+        value[i] = false;
+        break;
+      case gate_kind::const1:
+        value[i] = true;
+        break;
+      case gate_kind::not1:
+        value[i] = !value[static_cast<std::size_t>(g.a)];
+        break;
+      case gate_kind::and2:
+        value[i] = value[static_cast<std::size_t>(g.a)] &&
+                   value[static_cast<std::size_t>(g.b)];
+        break;
+      case gate_kind::or2:
+        value[i] = value[static_cast<std::size_t>(g.a)] ||
+                   value[static_cast<std::size_t>(g.b)];
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs.size());
+  for (int o : outputs) out.push_back(value[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+namespace {
+
+/// Builder with structural hashing over (kind, a, b).
+class builder {
+ public:
+  int input() {
+    net_.gates.push_back({gate_kind::input, -1, -1});
+    ++net_.input_count;
+    return last();
+  }
+  int constant(bool v) {
+    const gate_kind kind = v ? gate_kind::const1 : gate_kind::const0;
+    return hashed(kind, -1, -1);
+  }
+  int not1(int a) {
+    // !!a = a
+    if (net_.gates[static_cast<std::size_t>(a)].kind == gate_kind::not1)
+      return net_.gates[static_cast<std::size_t>(a)].a;
+    if (net_.gates[static_cast<std::size_t>(a)].kind == gate_kind::const0)
+      return constant(true);
+    if (net_.gates[static_cast<std::size_t>(a)].kind == gate_kind::const1)
+      return constant(false);
+    return hashed(gate_kind::not1, a, -1);
+  }
+  int and2(int a, int b) {
+    if (a == b) return a;
+    const gate_kind ka = net_.gates[static_cast<std::size_t>(a)].kind;
+    const gate_kind kb = net_.gates[static_cast<std::size_t>(b)].kind;
+    if (ka == gate_kind::const0 || kb == gate_kind::const0)
+      return constant(false);
+    if (ka == gate_kind::const1) return b;
+    if (kb == gate_kind::const1) return a;
+    return hashed(gate_kind::and2, std::min(a, b), std::max(a, b));
+  }
+  int or2(int a, int b) {
+    if (a == b) return a;
+    const gate_kind ka = net_.gates[static_cast<std::size_t>(a)].kind;
+    const gate_kind kb = net_.gates[static_cast<std::size_t>(b)].kind;
+    if (ka == gate_kind::const1 || kb == gate_kind::const1)
+      return constant(true);
+    if (ka == gate_kind::const0) return b;
+    if (kb == gate_kind::const0) return a;
+    return hashed(gate_kind::or2, std::min(a, b), std::max(a, b));
+  }
+
+  gate_network take() { return std::move(net_); }
+
+ private:
+  int last() const { return static_cast<int>(net_.gates.size()) - 1; }
+  int hashed(gate_kind kind, int a, int b) {
+    const auto key = std::make_tuple(kind, a, b);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    net_.gates.push_back({kind, a, b});
+    cache_.emplace(key, last());
+    return last();
+  }
+
+  gate_network net_;
+  std::map<std::tuple<gate_kind, int, int>, int> cache_;
+};
+
+}  // namespace
+
+gate_network decompose(const frontend::network& net) {
+  builder b;
+  std::vector<int> gate_of(net.node_count(), -1);
+
+  for (int i = 0; i < static_cast<int>(net.node_count()); ++i) {
+    const frontend::network_node& n = net.node(i);
+    if (n.node_kind == frontend::network_node::kind::input) {
+      gate_of[static_cast<std::size_t>(i)] = b.input();
+      continue;
+    }
+    // OR of cube ANDs; literals via NOTs.
+    int acc = b.constant(false);
+    for (const std::string& cube : n.cubes) {
+      int term = b.constant(true);
+      for (std::size_t j = 0; j < cube.size(); ++j) {
+        if (cube[j] == '-') continue;
+        const int fan = gate_of[static_cast<std::size_t>(n.fanins[j])];
+        term = b.and2(term, cube[j] == '1' ? fan : b.not1(fan));
+      }
+      acc = b.or2(acc, term);
+    }
+    gate_of[static_cast<std::size_t>(i)] = acc;
+  }
+
+  gate_network result = b.take();
+  for (const frontend::network_output& o : net.outputs()) {
+    result.outputs.push_back(gate_of[static_cast<std::size_t>(o.node)]);
+    result.output_names.push_back(o.name);
+  }
+  return result;
+}
+
+}  // namespace compact::magic

@@ -1,0 +1,41 @@
+// Two-input gate decomposition.
+//
+// The CONTRA-style MAGIC flow (our stand-in for [34]) starts from a
+// technology-independent network of simple gates. This module lowers the
+// SOP-cover network of src/frontend into an AND/OR/NOT netlist with
+// structural hashing, the form the k-feasible-cut LUT mapper consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/network.hpp"
+
+namespace compact::magic {
+
+enum class gate_kind : std::uint8_t { input, and2, or2, not1, const0, const1 };
+
+struct gate {
+  gate_kind kind = gate_kind::input;
+  int a = -1;  // fanin indices (a only for not1; none for const/input)
+  int b = -1;
+};
+
+struct gate_network {
+  std::vector<gate> gates;          // topologically ordered
+  std::vector<int> outputs;         // gate indices
+  std::vector<std::string> output_names;
+  int input_count = 0;
+
+  [[nodiscard]] std::size_t size() const { return gates.size(); }
+  /// Logic depth (inputs/constants at level 0).
+  [[nodiscard]] std::vector<int> levels() const;
+  /// Evaluate all gates under an input assignment.
+  [[nodiscard]] std::vector<bool> evaluate(
+      const std::vector<bool>& assignment) const;
+};
+
+/// Lower `net` to two-input gates with structural hashing.
+[[nodiscard]] gate_network decompose(const frontend::network& net);
+
+}  // namespace compact::magic

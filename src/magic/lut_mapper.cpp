@@ -1,0 +1,243 @@
+#include "magic/lut_mapper.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace compact::magic {
+namespace {
+
+using cut = std::vector<int>;  // sorted leaf gate indices
+
+/// Merge two sorted leaf sets; empty result means the k bound was exceeded.
+cut merge_cuts(const cut& a, const cut& b, int k) {
+  cut leaves;
+  leaves.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(leaves));
+  if (static_cast<int>(leaves.size()) > k) leaves.clear();
+  return leaves;
+}
+
+/// Simulate the cone rooted at `root` with `leaves` pinned, producing the
+/// truth table over the leaf ordering.
+std::uint64_t cone_truth_table(const gate_network& net, int root,
+                               const cut& leaves) {
+  check(leaves.size() <= 6, "cone_truth_table: more than 6 leaves");
+  // Gather cone gates (between leaves and root) in topological order: gate
+  // indices are already topological, so a marked upward sweep suffices.
+  std::vector<int> cone;
+  std::vector<char> in_cone(net.size(), 0);
+  std::vector<char> is_leaf(net.size(), 0);
+  for (int l : leaves) is_leaf[static_cast<std::size_t>(l)] = 1;
+
+  // Mark the cone by DFS from root stopping at leaves.
+  std::vector<int> stack{root};
+  std::vector<char> visited(net.size(), 0);
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(u)]) continue;
+    visited[static_cast<std::size_t>(u)] = 1;
+    if (is_leaf[static_cast<std::size_t>(u)]) continue;
+    in_cone[static_cast<std::size_t>(u)] = 1;
+    const gate& g = net.gates[static_cast<std::size_t>(u)];
+    check(g.kind != gate_kind::input,
+          "cone_truth_table: cone reaches a primary input not in the cut");
+    if (g.a >= 0) stack.push_back(g.a);
+    if (g.b >= 0) stack.push_back(g.b);
+  }
+
+  std::vector<bool> value(net.size(), false);
+  std::uint64_t table = 0;
+  const std::uint64_t combos = 1ULL << leaves.size();
+  for (std::uint64_t bits = 0; bits < combos; ++bits) {
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+      value[static_cast<std::size_t>(leaves[i])] = (bits >> i) & 1;
+    for (std::size_t u = 0; u <= static_cast<std::size_t>(root); ++u) {
+      if (!in_cone[u]) continue;
+      const gate& g = net.gates[u];
+      switch (g.kind) {
+        case gate_kind::const0:
+          value[u] = false;
+          break;
+        case gate_kind::const1:
+          value[u] = true;
+          break;
+        case gate_kind::not1:
+          value[u] = !value[static_cast<std::size_t>(g.a)];
+          break;
+        case gate_kind::and2:
+          value[u] = value[static_cast<std::size_t>(g.a)] &&
+                     value[static_cast<std::size_t>(g.b)];
+          break;
+        case gate_kind::or2:
+          value[u] = value[static_cast<std::size_t>(g.a)] ||
+                     value[static_cast<std::size_t>(g.b)];
+          break;
+        case gate_kind::input:
+          break;  // unreachable (checked above)
+      }
+    }
+    if (value[static_cast<std::size_t>(root)]) table |= 1ULL << bits;
+  }
+  return table;
+}
+
+}  // namespace
+
+lut_mapping map_to_luts(const gate_network& net,
+                        const lut_mapper_options& options) {
+  check(options.k >= 2 && options.k <= 6, "lut mapper: k must be in 2..6");
+  const int n = static_cast<int>(net.size());
+
+  // ---- Cut enumeration with arrival-time best cuts. ----------------------
+  std::vector<std::vector<cut>> cuts(static_cast<std::size_t>(n));
+  std::vector<int> arrival(static_cast<std::size_t>(n), 0);
+  std::vector<cut> best(static_cast<std::size_t>(n));
+
+  auto arrival_of_cut = [&](const cut& c) {
+    int a = 0;
+    for (int leaf : c) a = std::max(a, arrival[static_cast<std::size_t>(leaf)]);
+    return a + 1;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const gate& g = net.gates[static_cast<std::size_t>(i)];
+    std::vector<cut>& set = cuts[static_cast<std::size_t>(i)];
+    const cut trivial{i};
+
+    if (g.kind == gate_kind::input || g.kind == gate_kind::const0 ||
+        g.kind == gate_kind::const1) {
+      set.push_back(trivial);
+      arrival[static_cast<std::size_t>(i)] = 0;
+      best[static_cast<std::size_t>(i)] = trivial;
+      continue;
+    }
+
+    std::vector<cut> candidates;
+    if (g.kind == gate_kind::not1) {
+      candidates = cuts[static_cast<std::size_t>(g.a)];
+    } else {
+      for (const cut& ca : cuts[static_cast<std::size_t>(g.a)])
+        for (const cut& cb : cuts[static_cast<std::size_t>(g.b)]) {
+          cut merged = merge_cuts(ca, cb, options.k);
+          if (!merged.empty()) candidates.push_back(std::move(merged));
+        }
+    }
+    candidates.push_back(trivial);
+
+    // Deduplicate, rank by (arrival, size), keep the best few.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const cut& x, const cut& y) {
+                const int ax = arrival_of_cut(x);
+                const int ay = arrival_of_cut(y);
+                return ax != ay ? ax < ay : x.size() < y.size();
+              });
+    if (static_cast<int>(candidates.size()) > options.cuts_per_node)
+      candidates.resize(static_cast<std::size_t>(options.cuts_per_node));
+
+    set = candidates;
+    // Best cut: lowest arrival among non-trivial cuts (the trivial cut of an
+    // internal gate is not implementable as a LUT leaf set for itself).
+    best[static_cast<std::size_t>(i)] = set.front() == trivial && set.size() > 1
+                                            ? set[1]
+                                            : set.front();
+    if (best[static_cast<std::size_t>(i)] == trivial && set.size() > 1)
+      best[static_cast<std::size_t>(i)] = set[1];
+    if (best[static_cast<std::size_t>(i)] == trivial) {
+      // Fall back: direct fanin cut.
+      cut direct;
+      if (g.a >= 0) direct.push_back(g.a);
+      if (g.b >= 0) direct.push_back(g.b);
+      std::sort(direct.begin(), direct.end());
+      direct.erase(std::unique(direct.begin(), direct.end()), direct.end());
+      best[static_cast<std::size_t>(i)] = direct;
+    }
+    arrival[static_cast<std::size_t>(i)] =
+        arrival_of_cut(best[static_cast<std::size_t>(i)]);
+  }
+
+  // ---- Cover extraction from the outputs. --------------------------------
+  lut_mapping result;
+  std::map<int, int> lut_of_gate;  // root gate -> lut index
+  std::vector<int> worklist;
+  for (int o : net.outputs) worklist.push_back(o);
+
+  // Recursive realization of a gate as a LUT (inputs/constants realize as
+  // themselves).
+  auto realize = [&](int root, auto&& self) -> void {
+    const gate& g = net.gates[static_cast<std::size_t>(root)];
+    if (g.kind == gate_kind::input || g.kind == gate_kind::const0 ||
+        g.kind == gate_kind::const1)
+      return;
+    if (lut_of_gate.contains(root)) return;
+    lut_of_gate.emplace(root, -1);  // mark in progress
+    const cut& leaves = best[static_cast<std::size_t>(root)];
+    for (int leaf : leaves) self(leaf, self);
+    lut entry;
+    entry.root = root;
+    entry.leaves = leaves;
+    entry.truth_table = cone_truth_table(net, root, leaves);
+    result.luts.push_back(std::move(entry));
+    lut_of_gate[root] = static_cast<int>(result.luts.size() - 1);
+  };
+  for (int o : worklist) realize(o, realize);
+
+  // ---- Levelize the LUT network. ------------------------------------------
+  std::vector<int> lut_level_of_gate(static_cast<std::size_t>(n), 0);
+  for (lut& l : result.luts) {
+    int level = 0;
+    for (int leaf : l.leaves)
+      level =
+          std::max(level, lut_level_of_gate[static_cast<std::size_t>(leaf)]);
+    l.level = level;  // wave in which this LUT executes
+    lut_level_of_gate[static_cast<std::size_t>(l.root)] = level + 1;
+    result.levels = std::max(result.levels, level + 1);
+  }
+
+  for (int o : net.outputs) {
+    result.output_gates.push_back(o);
+    const auto it = lut_of_gate.find(o);
+    result.outputs.push_back(it == lut_of_gate.end() ? -1 : it->second);
+  }
+  return result;
+}
+
+std::vector<bool> evaluate_luts(const gate_network& net,
+                                const lut_mapping& mapping,
+                                const std::vector<bool>& assignment) {
+  // Values of realized gates (inputs/constants seeded from the gate
+  // network's own evaluation).
+  std::vector<bool> value(net.size(), false);
+  int next_input = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    switch (net.gates[i].kind) {
+      case gate_kind::input:
+        value[i] = assignment[static_cast<std::size_t>(next_input++)];
+        break;
+      case gate_kind::const1:
+        value[i] = true;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const lut& l : mapping.luts) {
+    std::uint64_t index = 0;
+    for (std::size_t i = 0; i < l.leaves.size(); ++i)
+      if (value[static_cast<std::size_t>(l.leaves[i])]) index |= 1ULL << i;
+    value[static_cast<std::size_t>(l.root)] =
+        (l.truth_table >> index) & 1;
+  }
+  std::vector<bool> out;
+  for (int o : mapping.output_gates)
+    out.push_back(value[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+}  // namespace compact::magic

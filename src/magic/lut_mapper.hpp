@@ -1,0 +1,47 @@
+// K-feasible-cut LUT mapping.
+//
+// CONTRA maps circuits into k-input LUTs before scheduling them as MAGIC
+// NOR programs (the paper uses k = 4). This is a classical depth-oriented
+// cut-based mapper: bottom-up cut enumeration with per-node cut bounds,
+// best-cut selection by arrival time, and cover extraction from the
+// outputs. Each chosen LUT carries its truth table (computed by simulating
+// the covered cone), which the NOR synthesizer consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "magic/gate_network.hpp"
+
+namespace compact::magic {
+
+struct lut {
+  int root = -1;                 // gate index the LUT implements
+  std::vector<int> leaves;       // gate indices feeding the LUT
+  std::uint64_t truth_table = 0; // bit b = f(leaf values = bits of b)
+  int level = 0;                 // LUT-network depth (leaves at level 0)
+};
+
+struct lut_mapping {
+  std::vector<lut> luts;          // topologically ordered
+  std::vector<int> outputs;       // indices into luts (or -1 for PI/const
+                                  // outputs, see output_gates)
+  std::vector<int> output_gates;  // original gate index per network output
+  int levels = 0;                 // max LUT level + 1
+};
+
+struct lut_mapper_options {
+  int k = 4;             // max LUT inputs (2..6)
+  int cuts_per_node = 8; // cut-set bound
+};
+
+[[nodiscard]] lut_mapping map_to_luts(const gate_network& net,
+                                      const lut_mapper_options& options = {});
+
+/// Evaluate the LUT network (for equivalence tests against the gate
+/// network).
+[[nodiscard]] std::vector<bool> evaluate_luts(
+    const gate_network& net, const lut_mapping& mapping,
+    const std::vector<bool>& assignment);
+
+}  // namespace compact::magic

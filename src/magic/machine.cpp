@@ -1,0 +1,178 @@
+#include "magic/machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "magic/nor_synth.hpp"
+#include "util/error.hpp"
+
+namespace compact::magic {
+namespace {
+
+// Cells 0 and 1 hold the constants (preset before execution, as MAGIC
+// arrays are initialized to known states; presets are not write ops).
+constexpr int const0_cell = 0;
+constexpr int const1_cell = 1;
+
+}  // namespace
+
+long long magic_program::input_ops() const {
+  return std::count_if(ops.begin(), ops.end(), [](const magic_op& o) {
+    return o.op == magic_op::kind::input;
+  });
+}
+long long magic_program::copy_ops() const {
+  return std::count_if(ops.begin(), ops.end(), [](const magic_op& o) {
+    return o.op == magic_op::kind::copy;
+  });
+}
+long long magic_program::nor_ops() const {
+  return std::count_if(ops.begin(), ops.end(), [](const magic_op& o) {
+    return o.op == magic_op::kind::nor;
+  });
+}
+
+magic_program compile_magic(const gate_network& gates,
+                            const lut_mapping& mapping) {
+  magic_program program;
+  int next_cell = 2;  // after the constant cells
+  auto fresh = [&next_cell] { return next_cell++; };
+
+  // Load every primary input (the cost model counts one INPUT write per PI).
+  std::vector<int> cell_of_gate(gates.size(), -1);
+  int input_index = 0;
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    switch (gates.gates[g].kind) {
+      case gate_kind::input: {
+        const int cell = fresh();
+        program.ops.push_back(
+            {magic_op::kind::input, cell, input_index++, {}});
+        cell_of_gate[g] = cell;
+        break;
+      }
+      case gate_kind::const0:
+        cell_of_gate[g] = const0_cell;
+        break;
+      case gate_kind::const1:
+        cell_of_gate[g] = const1_cell;
+        break;
+      default:
+        break;  // LUT roots get cells below
+    }
+  }
+
+  for (const lut& l : mapping.luts) {
+    const int inputs = static_cast<int>(l.leaves.size());
+    check(inputs >= 1 && inputs <= 6, "compile_magic: bad LUT arity");
+
+    // COPY each operand into the LUT's working rows.
+    std::vector<int> local(static_cast<std::size_t>(inputs));
+    for (int i = 0; i < inputs; ++i) {
+      const int src = cell_of_gate[static_cast<std::size_t>(
+          l.leaves[static_cast<std::size_t>(i)])];
+      check(src >= 0, "compile_magic: leaf has no cell yet");
+      local[static_cast<std::size_t>(i)] = fresh();
+      program.ops.push_back({magic_op::kind::copy,
+                             local[static_cast<std::size_t>(i)],
+                             -1,
+                             {src}});
+    }
+
+    // NOR-NOR realization mirroring synthesize_nor's structure.
+    const std::uint64_t rows = 1ULL << inputs;
+    const std::uint64_t mask = rows == 64 ? ~0ULL : (1ULL << rows) - 1;
+    const std::uint64_t on = l.truth_table & mask;
+    if (on == 0) {
+      cell_of_gate[static_cast<std::size_t>(l.root)] = const0_cell;
+      continue;
+    }
+    if (on == mask) {
+      cell_of_gate[static_cast<std::size_t>(l.root)] = const1_cell;
+      continue;
+    }
+    const std::vector<std::string> cover = extract_cover(~on & mask, inputs);
+
+    // One inverter (1-input NOR) per input whose positive phase is needed.
+    std::vector<int> inverted(static_cast<std::size_t>(inputs), -1);
+    for (int i = 0; i < inputs; ++i) {
+      bool needed = false;
+      for (const std::string& cube : cover)
+        if (cube[static_cast<std::size_t>(i)] == '1') needed = true;
+      if (!needed) continue;
+      inverted[static_cast<std::size_t>(i)] = fresh();
+      program.ops.push_back({magic_op::kind::nor,
+                             inverted[static_cast<std::size_t>(i)],
+                             -1,
+                             {local[static_cast<std::size_t>(i)]}});
+    }
+
+    // One NOR per cube of the complement cover: c = NOR(complemented lits).
+    std::vector<int> cube_cells;
+    for (const std::string& cube : cover) {
+      std::vector<int> operands;
+      for (int i = 0; i < inputs; ++i) {
+        if (cube[static_cast<std::size_t>(i)] == '-') continue;
+        operands.push_back(cube[static_cast<std::size_t>(i)] == '1'
+                               ? inverted[static_cast<std::size_t>(i)]
+                               : local[static_cast<std::size_t>(i)]);
+      }
+      check(!operands.empty(), "compile_magic: free cube in a mixed cover");
+      const int cell = fresh();
+      program.ops.push_back(
+          {magic_op::kind::nor, cell, -1, std::move(operands)});
+      cube_cells.push_back(cell);
+    }
+
+    // Output NOR over the cube cells: f = NOR(cubes of !f).
+    const int out = fresh();
+    program.ops.push_back({magic_op::kind::nor, out, -1, cube_cells});
+    cell_of_gate[static_cast<std::size_t>(l.root)] = out;
+  }
+
+  for (std::size_t o = 0; o < mapping.output_gates.size(); ++o) {
+    const int cell = cell_of_gate[static_cast<std::size_t>(
+        mapping.output_gates[o])];
+    check(cell >= 0, "compile_magic: output gate has no cell");
+    program.output_cells.push_back(cell);
+    program.output_names.push_back(
+        o < gates.output_names.size() ? gates.output_names[o] : "");
+  }
+  program.cell_count = next_cell;
+  return program;
+}
+
+std::vector<bool> run_magic(const magic_program& program,
+                            const std::vector<bool>& assignment) {
+  std::vector<bool> cell(static_cast<std::size_t>(program.cell_count), false);
+  cell[const1_cell] = true;
+  for (const magic_op& op : program.ops) {
+    switch (op.op) {
+      case magic_op::kind::input:
+        check(op.source_input >= 0 &&
+                  static_cast<std::size_t>(op.source_input) <
+                      assignment.size(),
+              "run_magic: assignment too short");
+        cell[static_cast<std::size_t>(op.dst)] =
+            assignment[static_cast<std::size_t>(op.source_input)];
+        break;
+      case magic_op::kind::copy:
+        cell[static_cast<std::size_t>(op.dst)] =
+            cell[static_cast<std::size_t>(op.operands[0])];
+        break;
+      case magic_op::kind::nor: {
+        bool any = false;
+        for (int src : op.operands)
+          any = any || cell[static_cast<std::size_t>(src)];
+        cell[static_cast<std::size_t>(op.dst)] = !any;
+        break;
+      }
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(program.output_cells.size());
+  for (int c : program.output_cells)
+    out.push_back(cell[static_cast<std::size_t>(c)]);
+  return out;
+}
+
+}  // namespace compact::magic

@@ -1,0 +1,113 @@
+#include "magic/nor_synth.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace compact::magic {
+namespace {
+
+/// True when every minterm inside `cube` is in the on-set of `table`.
+bool cube_inside(const std::string& cube, std::uint64_t table, int inputs) {
+  // Enumerate the cube's free positions.
+  std::vector<int> free_positions;
+  std::uint64_t base = 0;
+  for (int i = 0; i < inputs; ++i) {
+    if (cube[static_cast<std::size_t>(i)] == '-')
+      free_positions.push_back(i);
+    else if (cube[static_cast<std::size_t>(i)] == '1')
+      base |= 1ULL << i;
+  }
+  const std::uint64_t combos = 1ULL << free_positions.size();
+  for (std::uint64_t bits = 0; bits < combos; ++bits) {
+    std::uint64_t minterm = base;
+    for (std::size_t j = 0; j < free_positions.size(); ++j)
+      if ((bits >> j) & 1) minterm |= 1ULL << free_positions[j];
+    if (!((table >> minterm) & 1)) return false;
+  }
+  return true;
+}
+
+void mark_covered(const std::string& cube, std::vector<bool>& covered,
+                  int inputs) {
+  std::vector<int> free_positions;
+  std::uint64_t base = 0;
+  for (int i = 0; i < inputs; ++i) {
+    if (cube[static_cast<std::size_t>(i)] == '-')
+      free_positions.push_back(i);
+    else if (cube[static_cast<std::size_t>(i)] == '1')
+      base |= 1ULL << i;
+  }
+  const std::uint64_t combos = 1ULL << free_positions.size();
+  for (std::uint64_t bits = 0; bits < combos; ++bits) {
+    std::uint64_t minterm = base;
+    for (std::size_t j = 0; j < free_positions.size(); ++j)
+      if ((bits >> j) & 1) minterm |= 1ULL << free_positions[j];
+    covered[static_cast<std::size_t>(minterm)] = true;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> extract_cover(std::uint64_t table, int inputs) {
+  check(inputs >= 0 && inputs <= 6, "extract_cover: 0..6 inputs");
+  const std::uint64_t rows = 1ULL << inputs;
+  std::vector<std::string> cover;
+  std::vector<bool> covered(static_cast<std::size_t>(rows), false);
+
+  for (std::uint64_t minterm = 0; minterm < rows; ++minterm) {
+    if (!((table >> minterm) & 1) ||
+        covered[static_cast<std::size_t>(minterm)])
+      continue;
+    // Seed cube = the minterm; greedily free literals (LSB first).
+    std::string cube(static_cast<std::size_t>(inputs), '-');
+    for (int i = 0; i < inputs; ++i)
+      cube[static_cast<std::size_t>(i)] = ((minterm >> i) & 1) ? '1' : '0';
+    for (int i = 0; i < inputs; ++i) {
+      const char saved = cube[static_cast<std::size_t>(i)];
+      cube[static_cast<std::size_t>(i)] = '-';
+      if (!cube_inside(cube, table, inputs))
+        cube[static_cast<std::size_t>(i)] = saved;
+    }
+    mark_covered(cube, covered, inputs);
+    cover.push_back(std::move(cube));
+  }
+  return cover;
+}
+
+nor_program synthesize_nor(std::uint64_t table, int inputs) {
+  check(inputs >= 0 && inputs <= 6, "synthesize_nor: 0..6 inputs");
+  const std::uint64_t rows = 1ULL << inputs;
+  const std::uint64_t mask = rows == 64 ? ~0ULL : (1ULL << rows) - 1;
+  const std::uint64_t on = table & mask;
+
+  nor_program program;
+  if (on == 0 || on == mask) {
+    // Constant: a single preset write, no logic ops.
+    program.depth = 0;
+    return program;
+  }
+
+  // Cover of the complement: f = NOR(cubes(!f)).
+  const std::vector<std::string> cover = extract_cover(~on & mask, inputs);
+  check(!cover.empty(), "synthesize_nor: empty complement cover");
+
+  // A cube NOR consumes complemented literals: literal 'x' in the cube of
+  // !f needs NOT x available. Count distinct inputs whose *positive* phase
+  // appears (those need one inverter op each); negative-phase literals use
+  // the input as stored.
+  std::vector<bool> needs_inverter(static_cast<std::size_t>(inputs), false);
+  for (const std::string& cube : cover)
+    for (int i = 0; i < inputs; ++i)
+      if (cube[static_cast<std::size_t>(i)] == '1')
+        needs_inverter[static_cast<std::size_t>(i)] = true;
+  program.inverter_ops = static_cast<int>(
+      std::count(needs_inverter.begin(), needs_inverter.end(), true));
+  program.cube_ops = static_cast<int>(cover.size());
+  program.output_ops = 1;
+  // Sequential steps: inversions (parallel), cube NORs (parallel), output.
+  program.depth = (program.inverter_ops > 0 ? 1 : 0) + 1 + 1;
+  return program;
+}
+
+}  // namespace compact::magic

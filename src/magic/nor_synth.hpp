@@ -1,0 +1,36 @@
+// Two-level NOR realization of LUT truth tables.
+//
+// MAGIC natively executes NOR (and 1-input NOR = NOT) in-array. A k-input
+// LUT with truth table f is realized as
+//     f = NOR(c_1, ..., c_t),   c_i = NOR(complemented literals)
+// where the c_i form a sum-of-products cover of !f (De Morgan). The cover is
+// extracted from the truth table with greedy cube expansion. The returned
+// counts feed CONTRA's operation-based delay/power model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compact::magic {
+
+struct nor_program {
+  int inverter_ops = 0;  // 1-input NORs producing needed input complements
+  int cube_ops = 0;      // first-level NORs (one per cover cube)
+  int output_ops = 0;    // second-level NOR (0 for constant/buffer cases)
+  int depth = 0;         // sequential MAGIC steps (row-parallel within step)
+
+  [[nodiscard]] int total_ops() const {
+    return inverter_ops + cube_ops + output_ops;
+  }
+};
+
+/// Greedy SOP cover of the on-set of `table` over `inputs` variables.
+/// Exposed for testing; cubes use '0'/'1'/'-' per input.
+[[nodiscard]] std::vector<std::string> extract_cover(std::uint64_t table,
+                                                     int inputs);
+
+/// NOR program realizing `table` over `inputs` variables.
+[[nodiscard]] nor_program synthesize_nor(std::uint64_t table, int inputs);
+
+}  // namespace compact::magic

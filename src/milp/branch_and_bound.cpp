@@ -1,0 +1,389 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace compact::milp {
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+constexpr double int_tolerance = 1e-6;
+
+struct bb_node {
+  double lp_bound = -inf;  // parent LP objective (lower bound for subtree)
+  // Branching decisions along the path from the root: (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> fixings;
+};
+
+struct node_order {
+  bool operator()(const bb_node& a, const bb_node& b) const {
+    return a.lp_bound > b.lp_bound;  // min-heap on bound (best-first)
+  }
+};
+
+/// Branching variable: among the fractional integer variables of the
+/// highest branch-priority class, the one closest to 0.5. Returns -1 when
+/// `x` is integral on all integer variables.
+int most_fractional(const model& m, const std::vector<double>& x) {
+  int best = -1;
+  int best_priority = 0;
+  double best_dist = 0.0;
+  for (std::size_t j = 0; j < m.variable_count(); ++j) {
+    const variable& v = m.var(static_cast<int>(j));
+    if (!v.is_integer) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= int_tolerance) continue;
+    const bool better = best == -1 ||
+                        v.branch_priority > best_priority ||
+                        (v.branch_priority == best_priority &&
+                         dist > best_dist + 1e-12);
+    if (better) {
+      best = static_cast<int>(j);
+      best_priority = v.branch_priority;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+/// Try rounding a fractional LP point to a feasible integer point.
+std::optional<std::vector<double>> round_heuristic(const model& m,
+                                                   std::vector<double> x) {
+  for (std::size_t j = 0; j < m.variable_count(); ++j)
+    if (m.var(static_cast<int>(j)).is_integer) x[j] = std::round(x[j]);
+  if (m.is_feasible(x)) return x;
+  return std::nullopt;
+}
+
+/// Diving heuristic: starting from `working`'s current bounds, repeatedly
+/// fix the most fractional integer variable to its nearest value (flipping
+/// once on infeasibility) until the LP relaxation turns integral. Returns
+/// an integer-feasible point for the *original* bounds or nullopt. The
+/// model's bounds are restored by the caller (apply_node).
+std::optional<std::vector<double>> dive_heuristic(model& working,
+                                                  const model& original,
+                                                  const lp_options& lp_opts,
+                                                  std::vector<double> x,
+                                                  int max_depth,
+                                                  double time_budget_seconds) {
+  stopwatch dive_clock;
+  std::vector<bool> skipped(working.variable_count(), false);
+  for (int depth = 0; depth < max_depth; ++depth) {
+    if (dive_clock.seconds() > time_budget_seconds) return std::nullopt;
+    // Most fractional non-skipped integer variable (priority-aware).
+    int var = -1;
+    int best_priority = 0;
+    double best_dist = 0.0;
+    for (std::size_t j = 0; j < working.variable_count(); ++j) {
+      const variable& v = working.var(static_cast<int>(j));
+      if (!v.is_integer || skipped[j]) continue;
+      const double frac = x[j] - std::floor(x[j]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= int_tolerance) continue;
+      if (var == -1 || v.branch_priority > best_priority ||
+          (v.branch_priority == best_priority && dist > best_dist)) {
+        var = static_cast<int>(j);
+        best_priority = v.branch_priority;
+        best_dist = dist;
+      }
+    }
+    if (var == -1) {
+      // Integral on every non-skipped variable; snap and test.
+      for (std::size_t j = 0; j < working.variable_count(); ++j)
+        if (working.var(static_cast<int>(j)).is_integer)
+          x[j] = std::round(x[j]);
+      if (original.is_feasible(x)) return x;
+      return std::nullopt;
+    }
+    const double saved_lower = working.var(var).lower;
+    const double saved_upper = working.var(var).upper;
+    const double rounded = std::round(x[static_cast<std::size_t>(var)]);
+    working.set_bounds(var, rounded, rounded);
+    lp_result lp = solve_lp(working, lp_opts);
+    if (lp.status != lp_status::optimal) {
+      // Flip once; if that also fails, leave the variable free for later
+      // instead of abandoning the dive.
+      const double flipped = rounded > saved_lower ? saved_lower : saved_upper;
+      if (std::isfinite(flipped)) {
+        working.set_bounds(var, flipped, flipped);
+        lp = solve_lp(working, lp_opts);
+      }
+      if (lp.status != lp_status::optimal) {
+        working.set_bounds(var, saved_lower, saved_upper);
+        skipped[static_cast<std::size_t>(var)] = true;
+        continue;
+      }
+    }
+    x = lp.x;
+  }
+  return std::nullopt;
+}
+
+double relative_gap(double incumbent, double bound) {
+  if (!std::isfinite(incumbent) || !std::isfinite(bound)) return 1.0;
+  const double gap =
+      (incumbent - bound) / std::max(std::abs(incumbent), 1.0);
+  return std::clamp(gap, 0.0, 1.0);
+}
+
+}  // namespace
+
+mip_result solve_mip(const model& original, const mip_options& options) {
+  stopwatch clock;
+  mip_result result;
+
+  for (std::size_t j = 0; j < original.variable_count(); ++j) {
+    const variable& v = original.var(static_cast<int>(j));
+    if (v.is_integer)
+      check(std::isfinite(v.lower) && std::isfinite(v.upper),
+            "solve_mip: integer variables need finite bounds");
+  }
+
+  double incumbent_obj = inf;
+  std::vector<double> incumbent;
+
+  auto record = [&](double bound) {
+    mip_trace_entry entry;
+    entry.seconds = clock.seconds();
+    entry.best_integer = incumbent_obj;
+    entry.best_bound = bound;
+    entry.relative_gap = relative_gap(incumbent_obj, bound);
+    result.trace.push_back(entry);
+    if (options.progress)
+      options.progress(entry.seconds, incumbent_obj, bound);
+  };
+
+  if (options.warm_start) {
+    check(original.is_feasible(*options.warm_start),
+          "solve_mip: warm start is not feasible");
+    incumbent = *options.warm_start;
+    incumbent_obj = original.objective_value(incumbent);
+  }
+
+  // Working copy whose bounds are rewritten per node.
+  model working = original;
+  std::vector<std::pair<double, double>> root_bounds;
+  root_bounds.reserve(original.variable_count());
+  for (std::size_t j = 0; j < original.variable_count(); ++j) {
+    const variable& v = original.var(static_cast<int>(j));
+    root_bounds.emplace_back(v.lower, v.upper);
+  }
+  auto apply_node = [&](const bb_node& node) {
+    for (std::size_t j = 0; j < root_bounds.size(); ++j)
+      working.set_bounds(static_cast<int>(j), root_bounds[j].first,
+                         root_bounds[j].second);
+    for (const auto& [var, lo, hi] : node.fixings)
+      working.set_bounds(var, lo, hi);
+  };
+
+  std::priority_queue<bb_node, std::vector<bb_node>, node_order> open;
+  open.push(bb_node{});
+
+  bool limits_hit = false;
+  bool root_done = false;
+  double last_recorded_bound = -inf;
+  int dive_failures = 0;
+  // Set when a node is dropped without a proven conclusion (LP hit its own
+  // limit): the final bound can then no longer certify optimality.
+  bool proof_incomplete = false;
+
+  auto gap_closed = [&](double bound) {
+    if (!std::isfinite(incumbent_obj)) return false;
+    if (relative_gap(incumbent_obj, bound) <= options.gap_tolerance)
+      return true;
+    return incumbent_obj - bound <= options.absolute_gap_tolerance;
+  };
+
+  while (!open.empty()) {
+    if (clock.seconds() > options.time_limit_seconds ||
+        result.nodes_explored >= options.node_limit) {
+      limits_hit = true;
+      break;
+    }
+
+    // Global dual bound: best (lowest) bound among open nodes, capped by the
+    // incumbent. Before the root LP is solved there is no meaningful bound.
+    const double global_bound =
+        root_done ? std::min(open.top().lp_bound, incumbent_obj) : -inf;
+    // Trace bound improvements at ~0.2% granularity (keeps Fig.10-style
+    // traces readable instead of one entry per explored node).
+    const double record_step =
+        std::isfinite(incumbent_obj)
+            ? std::max(1e-6, 0.002 * std::max(std::abs(incumbent_obj), 1.0))
+            : 1e-6;
+    if (root_done && std::isfinite(global_bound) &&
+        global_bound > last_recorded_bound + record_step) {
+      last_recorded_bound = global_bound;
+      record(global_bound);
+    }
+    if (root_done && gap_closed(global_bound)) break;
+
+    bb_node node = open.top();
+    open.pop();
+    if (root_done && (node.lp_bound >= incumbent_obj - 1e-9 ||
+                      gap_closed(node.lp_bound)))
+      continue;
+
+    ++result.nodes_explored;
+    apply_node(node);
+    lp_options node_lp = options.lp;
+    node_lp.time_limit_seconds =
+        std::min(node_lp.time_limit_seconds,
+                 std::max(0.01, options.time_limit_seconds - clock.seconds()));
+    const lp_result lp = solve_lp(working, node_lp);
+
+    if (lp.status == lp_status::unbounded) {
+      // Only possible at the root of a minimization with unbounded
+      // continuous directions.
+      result.status = mip_status::unbounded;
+      result.seconds = clock.seconds();
+      return result;
+    }
+    if (lp.status == lp_status::infeasible ||
+        lp.status == lp_status::iteration_limit) {
+      if (!root_done && lp.status == lp_status::infeasible &&
+          !options.warm_start) {
+        result.status = mip_status::infeasible;
+        result.seconds = clock.seconds();
+        return result;
+      }
+      if (lp.status == lp_status::iteration_limit) proof_incomplete = true;
+      root_done = true;
+      continue;
+    }
+
+    if (!root_done) {
+      root_done = true;
+      record(lp.objective);
+    }
+    if (lp.objective >= incumbent_obj - 1e-9) continue;  // pruned by bound
+
+    const int branch_var = most_fractional(working, lp.x);
+    if (branch_var == -1) {
+      // Integer feasible: snap to exact integers and accept.
+      std::vector<double> x = lp.x;
+      for (std::size_t j = 0; j < working.variable_count(); ++j)
+        if (working.var(static_cast<int>(j)).is_integer)
+          x[j] = std::round(x[j]);
+      const double obj = original.objective_value(x);
+      if (obj < incumbent_obj - 1e-9 && original.is_feasible(x)) {
+        incumbent_obj = obj;
+        incumbent = std::move(x);
+        const double bound =
+            open.empty() ? incumbent_obj
+                         : std::min(open.top().lp_bound, incumbent_obj);
+        record(bound);
+      }
+      continue;
+    }
+
+    // Rounding heuristic: cheap incumbents early in the search.
+    if (auto rounded = round_heuristic(original, lp.x)) {
+      const double obj = original.objective_value(*rounded);
+      if (obj < incumbent_obj - 1e-9) {
+        incumbent_obj = obj;
+        incumbent = std::move(*rounded);
+        const double bound =
+            std::min(open.empty() ? lp.objective : open.top().lp_bound,
+                     incumbent_obj);
+        record(bound);
+      }
+    }
+
+    const double value = lp.x[branch_var];
+    bb_node down = node;
+    down.lp_bound = lp.objective;
+    down.fixings.emplace_back(branch_var, working.var(branch_var).lower,
+                              std::floor(value));
+    bb_node up = node;
+    up.lp_bound = lp.objective;
+    up.fixings.emplace_back(branch_var, std::ceil(value),
+                            working.var(branch_var).upper);
+    open.push(std::move(down));
+    open.push(std::move(up));
+
+    // Diving heuristic: LP-guided fix-and-resolve. The workhorse incumbent
+    // finder when rounding cannot repair fractional points — run eagerly
+    // until a first incumbent exists, sparingly afterwards, and back off
+    // when dives keep failing (each dive costs many LP solves).
+    const long dive_period = std::isfinite(incumbent_obj)
+                                 ? 128
+                                 : (dive_failures < 5 ? 4 : 64);
+    const double remaining =
+        options.time_limit_seconds - clock.seconds();
+    if (result.nodes_explored % dive_period == 1 && remaining > 0.5) {
+      // A dive issues up to 2*depth LP solves; keep each one small so the
+      // dive as a whole respects the global deadline.
+      lp_options dive_lp = node_lp;
+      dive_lp.time_limit_seconds =
+          std::min(dive_lp.time_limit_seconds, std::max(0.01, remaining / 20.0));
+      auto dived = dive_heuristic(
+          working, original, dive_lp, lp.x,
+          std::min<int>(static_cast<int>(working.variable_count()), 160),
+          /*time_budget_seconds=*/remaining * 0.5);
+      if (dived) {
+        const double obj = original.objective_value(*dived);
+        if (obj < incumbent_obj - 1e-9) {
+          dive_failures = 0;
+          incumbent_obj = obj;
+          incumbent = std::move(*dived);
+          record(std::min(open.empty() ? lp.objective : open.top().lp_bound,
+                          incumbent_obj));
+        }
+      } else {
+        ++dive_failures;
+      }
+    }
+  }
+
+  result.seconds = clock.seconds();
+  // A completed search (queue drained, every node concluded) proves the
+  // incumbent optimal; otherwise the bound is the best open-node bound, or
+  // -inf when even the root never produced one.
+  const bool search_complete = open.empty() && !limits_hit && !proof_incomplete;
+  if (open.empty()) {
+    result.best_bound = search_complete && std::isfinite(incumbent_obj)
+                            ? incumbent_obj
+                            : (root_done && !proof_incomplete &&
+                                       std::isfinite(incumbent_obj)
+                                   ? incumbent_obj
+                                   : -inf);
+  } else {
+    result.best_bound = std::min(open.top().lp_bound, incumbent_obj);
+  }
+  if (!root_done && !std::isfinite(incumbent_obj)) {
+    result.status = mip_status::no_solution;
+    return result;
+  }
+
+  if (std::isfinite(incumbent_obj)) {
+    result.x = incumbent;
+    result.objective = incumbent_obj;
+    result.relative_gap = relative_gap(incumbent_obj, result.best_bound);
+    const bool proved = search_complete || gap_closed(result.best_bound);
+    if (proved && search_complete) result.best_bound = incumbent_obj;
+    result.relative_gap = relative_gap(incumbent_obj, result.best_bound);
+    result.status = proved ? mip_status::optimal : mip_status::feasible;
+  } else {
+    result.relative_gap = 1.0;
+    result.status = limits_hit || proof_incomplete ? mip_status::no_solution
+                                                   : mip_status::infeasible;
+  }
+  if (!result.trace.empty() || std::isfinite(incumbent_obj)) {
+    mip_trace_entry entry;
+    entry.seconds = result.seconds;
+    entry.best_integer = incumbent_obj;
+    entry.best_bound = result.best_bound;
+    entry.relative_gap = result.relative_gap;
+    result.trace.push_back(entry);
+  }
+  return result;
+}
+
+}  // namespace compact::milp

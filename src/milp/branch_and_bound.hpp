@@ -1,0 +1,66 @@
+// Best-first branch-and-bound for mixed 0/1 integer programs.
+//
+// Substitutes for CPLEX in the COMPACT flow. It mirrors the solver features
+// the paper relies on (Section VI-C and Figures 10-11): a wall-clock time
+// limit, warm-start incumbents, and a convergence trace recording the best
+// integer solution, the best bound, and the relative gap over time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "milp/model.hpp"
+#include "milp/simplex.hpp"
+
+namespace compact::milp {
+
+enum class mip_status {
+  optimal,          // proven optimal incumbent
+  feasible,         // incumbent found but limits hit before proof
+  infeasible,       // no integer-feasible point exists
+  unbounded,        // LP relaxation unbounded
+  no_solution,      // limits hit before any incumbent was found
+};
+
+struct mip_options {
+  double time_limit_seconds = 60.0;
+  long node_limit = 1000000;
+  /// Stop when (incumbent - bound) / max(|incumbent|, 1) falls below this.
+  double gap_tolerance = 1e-6;
+  /// Stop when incumbent - bound falls below this. When the objective is
+  /// known to live on a lattice (e.g. gamma*S + (1-gamma)*D with integral
+  /// S, D), setting this to half the lattice step proves optimality early.
+  double absolute_gap_tolerance = 1e-9;
+  /// Optional integer-feasible warm start (checked, then used as incumbent).
+  std::optional<std::vector<double>> warm_start;
+  lp_options lp;
+  /// If set, called whenever the incumbent or bound improves.
+  std::function<void(double seconds, double incumbent, double bound)>
+      progress = nullptr;
+};
+
+/// One entry per incumbent/bound improvement (drives Fig. 10).
+struct mip_trace_entry {
+  double seconds = 0.0;
+  double best_integer = 0.0;   // +inf until an incumbent exists
+  double best_bound = 0.0;
+  double relative_gap = 1.0;   // (incumbent - bound) / max(|incumbent|, 1)
+};
+
+struct mip_result {
+  mip_status status = mip_status::no_solution;
+  std::vector<double> x;       // best incumbent (empty if none)
+  double objective = 0.0;      // incumbent objective
+  double best_bound = 0.0;     // global dual bound at termination
+  double relative_gap = 1.0;
+  long nodes_explored = 0;
+  double seconds = 0.0;
+  std::vector<mip_trace_entry> trace;
+};
+
+/// Solve `m` (minimization). Integer variables must have finite bounds.
+[[nodiscard]] mip_result solve_mip(const model& m,
+                                   const mip_options& options = {});
+
+}  // namespace compact::milp

@@ -1,0 +1,98 @@
+#include "milp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace compact::milp {
+
+int model::add_variable(double lower, double upper, double objective,
+                        bool is_integer, std::string name) {
+  check(lower <= upper, "model: variable lower bound exceeds upper bound");
+  variables_.push_back(
+      {lower, upper, objective, is_integer, 0, std::move(name)});
+  return static_cast<int>(variables_.size() - 1);
+}
+
+void model::set_branch_priority(int variable_index, int priority) {
+  check(variable_index >= 0 &&
+            static_cast<std::size_t>(variable_index) < variables_.size(),
+        "model: set_branch_priority on unknown variable");
+  variables_[static_cast<std::size_t>(variable_index)].branch_priority =
+      priority;
+}
+
+void model::add_constraint(std::vector<linear_term> terms, relation rel,
+                           double rhs, std::string name) {
+  // Accumulate duplicate variables so the simplex sees clean columns.
+  std::map<int, double> accumulated;
+  for (const auto& t : terms) {
+    check(t.variable >= 0 &&
+              static_cast<std::size_t>(t.variable) < variables_.size(),
+          "model: constraint references unknown variable");
+    accumulated[t.variable] += t.coefficient;
+  }
+  constraint c;
+  c.rel = rel;
+  c.rhs = rhs;
+  c.name = std::move(name);
+  for (const auto& [v, coef] : accumulated)
+    if (coef != 0.0) c.terms.push_back({v, coef});
+  constraints_.push_back(std::move(c));
+}
+
+void model::set_bounds(int variable_index, double lower, double upper) {
+  check(variable_index >= 0 &&
+            static_cast<std::size_t>(variable_index) < variables_.size(),
+        "model: set_bounds on unknown variable");
+  check(lower <= upper, "model: set_bounds with crossed bounds");
+  variables_[variable_index].lower = lower;
+  variables_[variable_index].upper = upper;
+}
+
+double model::objective_value(const std::vector<double>& x) const {
+  check(x.size() == variables_.size(), "model: assignment size mismatch");
+  double value = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i)
+    value += variables_[i].objective * x[i];
+  return value;
+}
+
+bool model::is_feasible(const std::vector<double>& x, double tolerance) const {
+  if (!is_feasible_continuous(x, tolerance)) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].is_integer &&
+        std::abs(x[i] - std::round(x[i])) > tolerance)
+      return false;
+  }
+  return true;
+}
+
+bool model::is_feasible_continuous(const std::vector<double>& x,
+                                   double tolerance) const {
+  if (x.size() != variables_.size()) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const auto& v = variables_[i];
+    if (x[i] < v.lower - tolerance || x[i] > v.upper + tolerance) return false;
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& t : c.terms) lhs += t.coefficient * x[t.variable];
+    switch (c.rel) {
+      case relation::less_equal:
+        if (lhs > c.rhs + tolerance) return false;
+        break;
+      case relation::greater_equal:
+        if (lhs < c.rhs - tolerance) return false;
+        break;
+      case relation::equal:
+        if (std::abs(lhs - c.rhs) > tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace compact::milp

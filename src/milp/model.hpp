@@ -1,0 +1,100 @@
+// Linear/mixed-integer model description.
+//
+// This is the repo's stand-in for a commercial MIP solver's modeling layer
+// (the paper uses CPLEX). Models are always *minimization*; a maximization
+// problem is expressed by negating its objective.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace compact::milp {
+
+inline constexpr double infinity = std::numeric_limits<double>::infinity();
+
+enum class relation { less_equal, greater_equal, equal };
+
+struct linear_term {
+  int variable = 0;
+  double coefficient = 0.0;
+};
+
+struct constraint {
+  std::vector<linear_term> terms;
+  relation rel = relation::less_equal;
+  double rhs = 0.0;
+  std::string name;
+};
+
+struct variable {
+  double lower = 0.0;
+  double upper = infinity;
+  double objective = 0.0;
+  bool is_integer = false;
+  /// Branch-and-bound picks a branching variable among the fractional
+  /// integer variables of the highest priority class first. Structural
+  /// decisions (e.g. VH labels) should outrank auxiliary selectors.
+  int branch_priority = 0;
+  std::string name;
+};
+
+class model {
+ public:
+  /// Add a variable; returns its index.
+  int add_variable(double lower, double upper, double objective,
+                   bool is_integer, std::string name = {});
+
+  /// Convenience: binary decision variable.
+  int add_binary(double objective, std::string name = {}) {
+    return add_variable(0.0, 1.0, objective, /*is_integer=*/true,
+                        std::move(name));
+  }
+
+  /// Convenience: continuous non-negative variable.
+  int add_continuous(double objective, std::string name = {}) {
+    return add_variable(0.0, infinity, objective, /*is_integer=*/false,
+                        std::move(name));
+  }
+
+  /// Add `sum(terms) rel rhs`. Terms may repeat a variable; coefficients
+  /// are accumulated.
+  void add_constraint(std::vector<linear_term> terms, relation rel, double rhs,
+                      std::string name = {});
+
+  /// Tighten the bounds of an existing variable (used for branching).
+  void set_bounds(int variable_index, double lower, double upper);
+
+  /// Set the branch priority of a variable (default 0; higher first).
+  void set_branch_priority(int variable_index, int priority);
+
+  [[nodiscard]] std::size_t variable_count() const { return variables_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const {
+    return constraints_.size();
+  }
+  [[nodiscard]] const variable& var(int i) const { return variables_.at(i); }
+  [[nodiscard]] const std::vector<variable>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Objective value of an assignment (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// True when `x` satisfies every constraint, bound, and integrality
+  /// requirement within `tolerance`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tolerance = 1e-6) const;
+
+  /// Like is_feasible but ignoring integrality (LP relaxation check).
+  [[nodiscard]] bool is_feasible_continuous(const std::vector<double>& x,
+                                            double tolerance = 1e-6) const;
+
+ private:
+  std::vector<variable> variables_;
+  std::vector<constraint> constraints_;
+};
+
+}  // namespace compact::milp

@@ -1,0 +1,404 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace compact::milp {
+namespace {
+
+enum class var_status : char { basic, at_lower, at_upper };
+
+/// Dense tableau simplex state over the augmented column set
+/// [structural | slack | artificial].
+class tableau_solver {
+ public:
+  tableau_solver(const model& m, const lp_options& options)
+      : model_(m), options_(options) {
+    build();
+  }
+
+  lp_result run() {
+    lp_result result;
+
+    // ---- Phase 1: minimize the sum of artificial variables. ----
+    if (artificial_count_ > 0) {
+      std::vector<double> phase1_cost(total_, 0.0);
+      for (int j = first_artificial_; j < total_; ++j) phase1_cost[j] = 1.0;
+      set_costs(phase1_cost);
+      const lp_status status = optimize(result.iterations);
+      if (status == lp_status::iteration_limit) {
+        result.status = status;
+        return result;
+      }
+      if (current_objective() > 1e-6) {
+        result.status = lp_status::infeasible;
+        return result;
+      }
+      drive_out_artificials();
+      // Freeze artificials at zero so phase 2 cannot reuse them.
+      for (int j = first_artificial_; j < total_; ++j) upper_[j] = 0.0;
+    }
+
+    // ---- Phase 2: minimize the model objective. ----
+    std::vector<double> phase2_cost(total_, 0.0);
+    for (std::size_t j = 0; j < model_.variable_count(); ++j)
+      phase2_cost[j] = model_.var(static_cast<int>(j)).objective;
+    set_costs(phase2_cost);
+    const lp_status status = optimize(result.iterations);
+    result.status = status;
+    if (status == lp_status::optimal) {
+      result.x = structural_solution();
+      result.objective = model_.objective_value(result.x);
+      // Numerical self-check: an "optimal" point that violates the model
+      // (drifted basis values) must never reach branch-and-bound as a
+      // trusted dual bound.
+      if (!model_.is_feasible_continuous(result.x, 1e-5))
+        result.status = lp_status::iteration_limit;
+    }
+    return result;
+  }
+
+ private:
+  static constexpr double inf = std::numeric_limits<double>::infinity();
+
+  void build() {
+    const int n = static_cast<int>(model_.variable_count());
+    const int m = static_cast<int>(model_.constraint_count());
+
+    lower_.resize(n);
+    upper_.resize(n);
+    for (int j = 0; j < n; ++j) {
+      const variable& v = model_.var(j);
+      check(std::isfinite(v.lower),
+            "simplex: variables must have finite lower bounds");
+      lower_[j] = v.lower;
+      upper_[j] = v.upper;
+    }
+
+    // Slack layout: one slack per inequality constraint.
+    slack_row_.assign(m, -1);
+    int slack_count = 0;
+    for (int i = 0; i < m; ++i)
+      if (model_.constraints()[i].rel != relation::equal)
+        slack_row_[i] = slack_count++;
+    first_slack_ = n;
+    first_artificial_ = n + slack_count;
+
+    // Initial nonbasic point: structural vars at their lower bound, slacks
+    // at zero. Compute each row's residual to decide whether the slack can
+    // serve as the initial basic variable or an artificial is required.
+    std::vector<double> residual(m);
+    for (int i = 0; i < m; ++i) {
+      const constraint& c = model_.constraints()[i];
+      double lhs = 0.0;
+      for (const auto& t : c.terms) lhs += t.coefficient * lower_[t.variable];
+      residual[i] = c.rhs - lhs;
+    }
+
+    std::vector<int> artificial_of_row(m, -1);
+    artificial_count_ = 0;
+    for (int i = 0; i < m; ++i) {
+      const relation rel = model_.constraints()[i].rel;
+      const bool slack_can_absorb =
+          (rel == relation::less_equal && residual[i] >= 0.0) ||
+          (rel == relation::greater_equal && residual[i] <= 0.0);
+      if (!slack_can_absorb) artificial_of_row[i] = artificial_count_++;
+    }
+    total_ = first_artificial_ + artificial_count_;
+
+    lower_.resize(total_, 0.0);
+    upper_.resize(total_, inf);
+
+    // Dense tableau rows; column k in [0, total_).
+    tableau_.assign(m, std::vector<double>(total_, 0.0));
+    basis_.assign(m, -1);
+    status_.assign(total_, var_status::at_lower);
+    x_basic_.assign(m, 0.0);
+
+    for (int i = 0; i < m; ++i) {
+      const constraint& c = model_.constraints()[i];
+      for (const auto& t : c.terms)
+        tableau_[i][t.variable] = t.coefficient;
+      if (slack_row_[i] >= 0) {
+        const double coef = c.rel == relation::less_equal ? 1.0 : -1.0;
+        tableau_[i][first_slack_ + slack_row_[i]] = coef;
+      }
+      // The pivot/ratio/update formulas assume canonical form: the basic
+      // variable of row i appears with coefficient +1. Rows whose initial
+      // basic column would carry -1 (>= slacks; artificials covering a
+      // negative residual) are negated wholesale, which is just negating
+      // both sides of the row equation.
+      int basic_col;
+      bool negate_row;
+      if (artificial_of_row[i] >= 0) {
+        basic_col = first_artificial_ + artificial_of_row[i];
+        tableau_[i][basic_col] = 1.0;
+        negate_row = residual[i] < 0.0;
+        if (negate_row) tableau_[i][basic_col] = -1.0;  // +1 after negation
+      } else {
+        basic_col = first_slack_ + slack_row_[i];
+        negate_row = c.rel == relation::greater_equal;
+      }
+      if (negate_row)
+        for (int j = 0; j < total_; ++j) tableau_[i][j] = -tableau_[i][j];
+      check(tableau_[i][basic_col] == 1.0,
+            "simplex: initial basis column not canonical");
+      basis_[i] = basic_col;
+      status_[basic_col] = var_status::basic;
+      // In all cases the initial basic value is |residual|: the artificial
+      // absorbs the (sign-normalized) residual, a <= slack holds residual
+      // >= 0, and a >= slack holds -residual >= 0.
+      x_basic_[i] = std::abs(residual[i]);
+    }
+
+    cost_.assign(total_, 0.0);
+    reduced_.assign(total_, 0.0);
+  }
+
+  /// Install a new objective and recompute reduced costs from scratch.
+  void set_costs(const std::vector<double>& cost) {
+    cost_ = cost;
+    const int m = static_cast<int>(tableau_.size());
+    for (int j = 0; j < total_; ++j) {
+      double cb_t = 0.0;
+      for (int i = 0; i < m; ++i) cb_t += cost_[basis_[i]] * tableau_[i][j];
+      reduced_[j] = cost_[j] - cb_t;
+    }
+  }
+
+  [[nodiscard]] double nonbasic_value(int j) const {
+    return status_[j] == var_status::at_upper ? upper_[j] : lower_[j];
+  }
+
+  [[nodiscard]] double current_objective() const {
+    double obj = 0.0;
+    const int m = static_cast<int>(tableau_.size());
+    for (int i = 0; i < m; ++i) obj += cost_[basis_[i]] * x_basic_[i];
+    for (int j = 0; j < total_; ++j)
+      if (status_[j] != var_status::basic && cost_[j] != 0.0)
+        obj += cost_[j] * nonbasic_value(j);
+    return obj;
+  }
+
+  [[nodiscard]] std::vector<double> structural_solution() const {
+    std::vector<double> x(model_.variable_count());
+    for (std::size_t j = 0; j < x.size(); ++j)
+      x[j] = nonbasic_value(static_cast<int>(j));
+    const int m = static_cast<int>(tableau_.size());
+    for (int i = 0; i < m; ++i)
+      if (basis_[i] < static_cast<int>(model_.variable_count()))
+        x[basis_[i]] = x_basic_[i];
+    return x;
+  }
+
+  /// Core simplex loop for the currently installed costs.
+  lp_status optimize(long& iterations) {
+    const int m = static_cast<int>(tableau_.size());
+    const double eps_d = options_.reduced_cost_tolerance;
+    const double eps_p = options_.pivot_tolerance;
+    long stall = 0;
+    double last_objective = current_objective();
+    // Reduced costs are updated incrementally by pivoting and drift over
+    // long runs; optimality claimed from drifted values would hand invalid
+    // dual bounds to branch-and-bound. A claimed optimum is therefore
+    // re-verified against freshly recomputed reduced costs once.
+    bool reduced_costs_fresh = false;
+
+    while (true) {
+      if (iterations++ > options_.max_iterations)
+        return lp_status::iteration_limit;
+      // Clock probes are ~ns while large-tableau pivots are ~ms: probe
+      // often, or a tight deadline overshoots by orders of magnitude.
+      if ((iterations & 0xf) == 0 &&
+          clock_.seconds() > options_.time_limit_seconds)
+        return lp_status::iteration_limit;
+      const bool bland = stall > 4L * (m + total_);
+
+      // ---- Pricing: pick an entering variable. ----
+      int entering = -1;
+      double best_violation = eps_d;
+      for (int j = 0; j < total_; ++j) {
+        if (status_[j] == var_status::basic) continue;
+        if (upper_[j] - lower_[j] <= 0.0) continue;  // fixed variable
+        double violation = 0.0;
+        if (status_[j] == var_status::at_lower && reduced_[j] < -eps_d)
+          violation = -reduced_[j];
+        else if (status_[j] == var_status::at_upper && reduced_[j] > eps_d)
+          violation = reduced_[j];
+        if (violation > 0.0) {
+          if (bland) {
+            entering = j;
+            break;
+          }
+          if (violation > best_violation) {
+            best_violation = violation;
+            entering = j;
+          }
+        }
+      }
+      if (entering == -1) {
+        if (reduced_costs_fresh) return lp_status::optimal;
+        set_costs(cost_);  // exact recompute, then re-scan
+        reduced_costs_fresh = true;
+        continue;
+      }
+      reduced_costs_fresh = false;
+
+      const double dir =
+          status_[entering] == var_status::at_lower ? 1.0 : -1.0;
+
+      // ---- Ratio test. ----
+      double step = upper_[entering] - lower_[entering];  // may be +inf
+      int leaving_row = -1;
+      var_status leaving_bound = var_status::at_lower;
+      for (int i = 0; i < m; ++i) {
+        const double rate = -tableau_[i][entering] * dir;
+        if (std::abs(rate) <= eps_p) continue;
+        const int b = basis_[i];
+        double limit = inf;
+        var_status bound = var_status::at_lower;
+        if (rate < 0.0) {
+          limit = (x_basic_[i] - lower_[b]) / -rate;
+          bound = var_status::at_lower;
+        } else if (std::isfinite(upper_[b])) {
+          limit = (upper_[b] - x_basic_[i]) / rate;
+          bound = var_status::at_upper;
+        } else {
+          continue;
+        }
+        if (limit < -1e-9) limit = 0.0;  // numerical guard on degeneracy
+        const bool better =
+            limit < step - 1e-12 ||
+            (leaving_row >= 0 && limit < step + 1e-12 &&
+             (bland ? basis_[i] < basis_[leaving_row]
+                    : std::abs(tableau_[i][entering]) >
+                          std::abs(tableau_[leaving_row][entering])));
+        if (better) {
+          step = std::max(limit, 0.0);
+          leaving_row = i;
+          leaving_bound = bound;
+        }
+      }
+
+      if (!std::isfinite(step)) return lp_status::unbounded;
+
+      // ---- Apply the step to the basic solution. ----
+      for (int i = 0; i < m; ++i)
+        x_basic_[i] += -tableau_[i][entering] * dir * step;
+
+      if (leaving_row == -1) {
+        // Bound flip: the entering variable traverses its whole range.
+        status_[entering] = status_[entering] == var_status::at_lower
+                                ? var_status::at_upper
+                                : var_status::at_lower;
+      } else {
+        // ---- Pivot: entering becomes basic in `leaving_row`. ----
+        const int leaving = basis_[leaving_row];
+        const double entering_value = nonbasic_value(entering) + dir * step;
+        status_[leaving] = leaving_bound;
+        // Snap the leaving variable exactly onto its bound.
+        status_[entering] = var_status::basic;
+        basis_[leaving_row] = entering;
+        x_basic_[leaving_row] = entering_value;
+
+        pivot(leaving_row, entering);
+      }
+
+      const double objective = current_objective();
+      if (objective < last_objective - 1e-9) {
+        stall = 0;
+        last_objective = objective;
+      } else {
+        ++stall;
+      }
+    }
+  }
+
+  /// Gaussian elimination step making column `col` the unit vector for `row`.
+  void pivot(int row, int col) {
+    const int m = static_cast<int>(tableau_.size());
+    std::vector<double>& pivot_row = tableau_[row];
+    const double pivot_element = pivot_row[col];
+    check(std::abs(pivot_element) > 1e-12, "simplex: zero pivot element");
+    const double inverse = 1.0 / pivot_element;
+    for (int j = 0; j < total_; ++j) pivot_row[j] *= inverse;
+    pivot_row[col] = 1.0;  // exact
+
+    for (int i = 0; i < m; ++i) {
+      if (i == row) continue;
+      const double factor = tableau_[i][col];
+      if (factor == 0.0) continue;
+      std::vector<double>& target = tableau_[i];
+      for (int j = 0; j < total_; ++j) target[j] -= factor * pivot_row[j];
+      target[col] = 0.0;  // exact
+    }
+    const double dfactor = reduced_[col];
+    if (dfactor != 0.0) {
+      for (int j = 0; j < total_; ++j) reduced_[j] -= dfactor * pivot_row[j];
+      reduced_[col] = 0.0;
+    }
+  }
+
+  /// After phase 1: pivot basic artificials onto any usable real column so
+  /// that phase 2 starts from a basis of structural/slack variables.
+  void drive_out_artificials() {
+    const int m = static_cast<int>(tableau_.size());
+    for (int i = 0; i < m; ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      int col = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (status_[j] == var_status::basic) continue;
+        if (std::abs(tableau_[i][j]) > options_.pivot_tolerance) {
+          col = j;
+          break;
+        }
+      }
+      if (col == -1) continue;  // redundant row; artificial stays at zero
+      const int artificial = basis_[i];
+      // Degenerate exchange: the artificial sits at zero, so no variable
+      // changes value — the entering column keeps the bound value it had
+      // while nonbasic. Capture it before flipping its status.
+      const double entering_value = nonbasic_value(col);
+      status_[artificial] = var_status::at_lower;
+      status_[col] = var_status::basic;
+      basis_[i] = col;
+      pivot(i, col);
+      x_basic_[i] = entering_value;
+    }
+  }
+
+  const model& model_;
+  const lp_options& options_;
+  stopwatch clock_;
+
+  int first_slack_ = 0;
+  int first_artificial_ = 0;
+  int artificial_count_ = 0;
+  int total_ = 0;
+
+  std::vector<int> slack_row_;
+  std::vector<std::vector<double>> tableau_;
+  std::vector<int> basis_;
+  std::vector<var_status> status_;
+  std::vector<double> x_basic_;
+  std::vector<double> lower_, upper_;
+  std::vector<double> cost_, reduced_;
+};
+
+}  // namespace
+
+lp_result solve_lp(const model& m, const lp_options& options) {
+  if (m.variable_count() == 0) {
+    lp_result r;
+    r.status = lp_status::optimal;
+    return r;
+  }
+  tableau_solver solver(m, options);
+  return solver.run();
+}
+
+}  // namespace compact::milp

@@ -1,0 +1,37 @@
+// Two-phase primal simplex with bounded variables (dense tableau).
+//
+// This is the LP engine underneath the branch-and-bound MIP solver; together
+// they substitute for CPLEX in the paper's flow. Variables may have finite
+// lower bounds and finite-or-infinite upper bounds; constraints may be <=,
+// >= or =. Phase 1 minimizes artificial-variable infeasibility; phase 2
+// optimizes the model objective. Dantzig pricing with an automatic fallback
+// to Bland's rule guarantees termination in the presence of degeneracy.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace compact::milp {
+
+enum class lp_status { optimal, infeasible, unbounded, iteration_limit };
+
+struct lp_options {
+  long max_iterations = 200000;
+  /// Wall-clock budget; iteration_limit status is returned on expiry.
+  double time_limit_seconds = infinity;
+  double reduced_cost_tolerance = 1e-7;
+  double pivot_tolerance = 1e-7;
+};
+
+struct lp_result {
+  lp_status status = lp_status::iteration_limit;
+  double objective = 0.0;
+  std::vector<double> x;  // one value per model variable (structural only)
+  long iterations = 0;
+};
+
+/// Solve the continuous relaxation of `m` (integrality flags are ignored).
+[[nodiscard]] lp_result solve_lp(const model& m, const lp_options& options = {});
+
+}  // namespace compact::milp

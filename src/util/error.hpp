@@ -1,0 +1,38 @@
+// Error handling primitives for the COMPACT library.
+//
+// The library reports unrecoverable logic errors and invalid input via
+// exceptions derived from compact::error, following the C++ Core Guidelines
+// (E.2: throw an exception to signal that a function can't perform its task).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace compact {
+
+/// Base class for all exceptions thrown by this library.
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an input file or textual format cannot be parsed.
+class parse_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when requested design constraints are infeasible
+/// (e.g. fixed row/column budgets that no labeling can satisfy).
+class infeasible_error : public error {
+ public:
+  using error::error;
+};
+
+/// Internal consistency check. Unlike assert(), it is active in all build
+/// types: mapping bugs must never silently produce an invalid crossbar.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw error("internal check failed: " + message);
+}
+
+}  // namespace compact

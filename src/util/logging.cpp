@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace compact {
+namespace {
+std::atomic<log_level> g_level{log_level::off};
+
+const char* prefix(log_level level) {
+  switch (level) {
+    case log_level::warn:
+      return "[warn] ";
+    case log_level::info:
+      return "[info] ";
+    case log_level::debug:
+      return "[debug] ";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+log_level current_log_level() { return g_level.load(); }
+
+void log_line(log_level level, const std::string& message) {
+  if (static_cast<int>(level) <= static_cast<int>(g_level.load()) &&
+      level != log_level::off) {
+    std::cerr << prefix(level) << message << '\n';
+  }
+}
+
+}  // namespace compact

@@ -1,0 +1,19 @@
+// Minimal leveled logger. Off by default so library code stays quiet inside
+// benchmarks; the MIP solver raises it to `info` to emit convergence traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace compact {
+
+enum class log_level { off = 0, warn = 1, info = 2, debug = 3 };
+
+/// Global threshold; messages above it are dropped.
+void set_log_level(log_level level);
+[[nodiscard]] log_level current_log_level();
+
+/// Emit one line to stderr if `level` is enabled.
+void log_line(log_level level, const std::string& message);
+
+}  // namespace compact

@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch used for synthesis-time reporting and for
+// enforcing MIP solver time limits.
+#pragma once
+
+#include <chrono>
+
+namespace compact {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch from zero.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace compact

@@ -1,0 +1,49 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+
+namespace compact {
+
+std::string_view trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) tokens.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      fields.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace compact

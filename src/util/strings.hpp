@@ -1,0 +1,25 @@
+// Small string utilities shared by the BLIF/PLA parsers and table writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compact {
+
+/// Strip leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on any run of spaces/tabs; no empty tokens are produced.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with `digits` significant decimal places (fixed notation).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace compact

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace compact {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check(!headers_.empty(), "table requires at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(),
+        "table row width mismatch: got " + std::to_string(cells.size()) +
+            ", want " + std::to_string(headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size())
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(long long value) { return std::to_string(value); }
+std::string cell(std::size_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+std::string cell(double value, int digits) {
+  return format_fixed(value, digits);
+}
+
+}  // namespace compact

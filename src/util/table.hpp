@@ -1,0 +1,40 @@
+// Plain-text table writer used by the benchmark harness to print the rows of
+// the paper's tables (Table I-IV) in an aligned, diff-friendly format, and to
+// emit the same data as CSV for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace compact {
+
+class table {
+ public:
+  /// Create a table with the given column headers.
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns, a header rule, and two-space gutters.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: number formatting for table cells.
+[[nodiscard]] std::string cell(long long value);
+[[nodiscard]] std::string cell(std::size_t value);
+[[nodiscard]] std::string cell(int value);
+[[nodiscard]] std::string cell(double value, int digits = 2);
+
+}  // namespace compact

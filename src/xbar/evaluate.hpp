@@ -1,0 +1,31 @@
+// Digital (sneak-path) evaluation of a crossbar design.
+//
+// Models the evaluation phase of flow-based computing: program every device
+// from the input assignment, then ask whether a path of conducting devices
+// joins the input wordline to each output wordline (Section II-C). The
+// crossbar's nanowires form a bipartite graph (wordlines x bitlines) whose
+// edges are the conducting devices; reachability is a BFS over that graph.
+#pragma once
+
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace compact::xbar {
+
+/// All outputs of the design under one assignment, in the order given by
+/// design.outputs() followed by design.constant_outputs().
+[[nodiscard]] std::vector<bool> evaluate(const crossbar& design,
+                                         const std::vector<bool>& assignment);
+
+/// Single output by name.
+[[nodiscard]] bool evaluate_output(const crossbar& design,
+                                   const std::vector<bool>& assignment,
+                                   const std::string& output_name);
+
+/// The set of wordlines reachable from the input row under `assignment`
+/// (exposed for the analog simulator and for tests).
+[[nodiscard]] std::vector<bool> reachable_rows(
+    const crossbar& design, const std::vector<bool>& assignment);
+
+}  // namespace compact::xbar

@@ -1,0 +1,114 @@
+#include "xbar/faults.hpp"
+
+#include "xbar/evaluate.hpp"
+
+namespace compact::xbar {
+namespace {
+
+/// Sampled input vectors, deterministic per seed.
+std::vector<std::vector<bool>> sample_vectors(int variable_count, int count,
+                                              std::uint64_t seed) {
+  rng random(seed);
+  std::vector<std::vector<bool>> vectors;
+  if (variable_count <= 6 && (1 << variable_count) <= count) {
+    for (std::uint64_t bits = 0; bits < (1ULL << variable_count); ++bits) {
+      std::vector<bool> a(static_cast<std::size_t>(variable_count));
+      for (int v = 0; v < variable_count; ++v)
+        a[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+      vectors.push_back(std::move(a));
+    }
+    return vectors;
+  }
+  for (int i = 0; i < count; ++i) {
+    std::vector<bool> a(static_cast<std::size_t>(variable_count));
+    for (int v = 0; v < variable_count; ++v)
+      a[static_cast<std::size_t>(v)] = random.next_bool();
+    vectors.push_back(std::move(a));
+  }
+  return vectors;
+}
+
+bool matches_on(const crossbar& faulty, const crossbar& reference,
+                const std::vector<std::vector<bool>>& vectors) {
+  for (const std::vector<bool>& a : vectors)
+    if (evaluate(faulty, a) != evaluate(reference, a)) return false;
+  return true;
+}
+
+}  // namespace
+
+crossbar inject_faults(const crossbar& design,
+                       const std::vector<fault>& faults) {
+  crossbar faulty = design;
+  for (const fault& f : faults) {
+    check(f.row >= 0 && f.row < design.rows() && f.column >= 0 &&
+              f.column < design.columns(),
+          "inject_faults: fault location out of range");
+    faulty.set(f.row, f.column,
+               {f.kind == fault_kind::stuck_on ? literal_kind::on
+                                               : literal_kind::off,
+                -1});
+  }
+  return faulty;
+}
+
+yield_report estimate_yield(const crossbar& design, int variable_count,
+                            const yield_options& options) {
+  check(options.trials > 0 && options.fault_rate >= 0.0 &&
+            options.fault_rate <= 1.0,
+        "estimate_yield: bad options");
+  const std::vector<std::vector<bool>> vectors =
+      sample_vectors(variable_count, options.vectors, options.seed);
+  rng random(options.seed ^ 0xfaf7ULL);
+
+  yield_report report;
+  report.trials = options.trials;
+  long long total_faults = 0;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<fault> faults;
+    for (int r = 0; r < design.rows(); ++r)
+      for (int c = 0; c < design.columns(); ++c)
+        if (random.next_double() < options.fault_rate)
+          faults.push_back(
+              {r, c,
+               random.next_double() < options.stuck_on_share
+                   ? fault_kind::stuck_on
+                   : fault_kind::stuck_off});
+    total_faults += static_cast<long long>(faults.size());
+    const crossbar faulty = inject_faults(design, faults);
+    if (matches_on(faulty, design, vectors)) ++report.functional;
+  }
+  report.yield =
+      static_cast<double>(report.functional) / static_cast<double>(report.trials);
+  report.average_faults =
+      static_cast<double>(total_faults) / static_cast<double>(report.trials);
+  return report;
+}
+
+std::vector<fault> critical_single_faults(const crossbar& design,
+                                          int variable_count, int vectors,
+                                          std::uint64_t seed) {
+  const std::vector<std::vector<bool>> inputs =
+      sample_vectors(variable_count, vectors, seed);
+  std::vector<fault> critical;
+  for (int r = 0; r < design.rows(); ++r) {
+    for (int c = 0; c < design.columns(); ++c) {
+      for (const fault_kind kind :
+           {fault_kind::stuck_off, fault_kind::stuck_on}) {
+        // Skip no-op faults (stuck-off on an off junction etc.).
+        const literal_kind programmed = design.at(r, c).kind;
+        if (kind == fault_kind::stuck_off &&
+            programmed == literal_kind::off)
+          continue;
+        if (kind == fault_kind::stuck_on && programmed == literal_kind::on)
+          continue;
+        const crossbar faulty = inject_faults(design, {{r, c, kind}});
+        if (!matches_on(faulty, design, inputs))
+          critical.push_back({r, c, kind});
+      }
+    }
+  }
+  return critical;
+}
+
+}  // namespace compact::xbar

@@ -1,0 +1,155 @@
+#include "xbar/serialize.hpp"
+
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace compact::xbar {
+
+void write_design(const crossbar& design, std::ostream& os,
+                  const std::vector<std::string>& variable_names) {
+  os << "xbar 1\n";
+  os << "dim " << design.rows() << ' ' << design.columns() << '\n';
+  if (design.input_row() >= 0) os << "input " << design.input_row() << '\n';
+  for (const output_port& o : design.outputs())
+    os << "output " << o.row << ' ' << o.name << '\n';
+  for (const auto& [name, value] : design.constant_outputs())
+    os << "const " << name << ' ' << (value ? 1 : 0) << '\n';
+  for (std::size_t v = 0; v < variable_names.size(); ++v)
+    os << "var " << v << ' ' << variable_names[v] << '\n';
+  for (int r = 0; r < design.rows(); ++r) {
+    for (int c = 0; c < design.columns(); ++c) {
+      const device& d = design.at(r, c);
+      switch (d.kind) {
+        case literal_kind::off:
+          break;
+        case literal_kind::on:
+          os << "d " << r << ' ' << c << " on\n";
+          break;
+        case literal_kind::positive:
+          os << "d " << r << ' ' << c << " +" << d.variable << '\n';
+          break;
+        case literal_kind::negative:
+          os << "d " << r << ' ' << c << " -" << d.variable << '\n';
+          break;
+      }
+    }
+  }
+  os << "end\n";
+}
+
+loaded_design read_design(std::istream& is) {
+  std::string line;
+  auto next_tokens = [&](std::vector<std::string>& tokens) {
+    while (std::getline(is, line)) {
+      if (const auto hash = line.find('#'); hash != std::string::npos)
+        line.erase(hash);
+      tokens = split_ws(line);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> tokens;
+  if (!next_tokens(tokens) || tokens.size() != 2 || tokens[0] != "xbar")
+    throw parse_error("xbar: missing header");
+  if (tokens[1] != "1")
+    throw parse_error("xbar: unsupported format version " + tokens[1]);
+
+  if (!next_tokens(tokens) || tokens.size() != 3 || tokens[0] != "dim")
+    throw parse_error("xbar: missing dim line");
+  const int rows = std::stoi(tokens[1]);
+  const int cols = std::stoi(tokens[2]);
+  if (rows < 1 || cols < 0) throw parse_error("xbar: bad dimensions");
+
+  crossbar design(rows, cols);
+  std::map<int, std::string> names;
+
+  while (next_tokens(tokens)) {
+    if (tokens[0] == "end") {
+      loaded_design result{std::move(design), {}};
+      if (!names.empty()) {
+        const int max_var = names.rbegin()->first;
+        result.variable_names.resize(static_cast<std::size_t>(max_var) + 1);
+        for (const auto& [v, n] : names)
+          result.variable_names[static_cast<std::size_t>(v)] = n;
+      }
+      return result;
+    }
+    try {
+      if (tokens[0] == "input" && tokens.size() == 2) {
+        design.set_input_row(std::stoi(tokens[1]));
+      } else if (tokens[0] == "output" && tokens.size() == 3) {
+        design.add_output(std::stoi(tokens[1]), tokens[2]);
+      } else if (tokens[0] == "const" && tokens.size() == 3) {
+        design.add_constant_output(tokens[2] == "1", tokens[1]);
+      } else if (tokens[0] == "var" && tokens.size() == 3) {
+        names[std::stoi(tokens[1])] = tokens[2];
+      } else if (tokens[0] == "d" && tokens.size() == 4) {
+        const int r = std::stoi(tokens[1]);
+        const int c = std::stoi(tokens[2]);
+        const std::string& spec = tokens[3];
+        if (spec == "on") {
+          design.set_on(r, c);
+        } else if (spec.size() >= 2 && (spec[0] == '+' || spec[0] == '-')) {
+          design.set_literal(r, c, std::stoi(spec.substr(1)), spec[0] == '+');
+        } else {
+          throw parse_error("xbar: bad device spec " + spec);
+        }
+      } else {
+        throw parse_error("xbar: unrecognized line: " + line);
+      }
+    } catch (const error&) {
+      throw;
+    } catch (const std::logic_error&) {  // stoi: invalid_argument/out_of_range
+      throw parse_error("xbar: malformed number in: " + line);
+    }
+  }
+  throw parse_error("xbar: missing end marker");
+}
+
+void write_design_dot(const crossbar& design, std::ostream& os,
+                      const std::vector<std::string>& variable_names) {
+  auto literal_label = [&](const device& d) -> std::string {
+    switch (d.kind) {
+      case literal_kind::on:
+        return "1";
+      case literal_kind::positive:
+      case literal_kind::negative: {
+        std::string name =
+            d.variable >= 0 &&
+                    static_cast<std::size_t>(d.variable) <
+                        variable_names.size()
+                ? variable_names[static_cast<std::size_t>(d.variable)]
+                : "x" + std::to_string(d.variable);
+        return d.kind == literal_kind::negative ? "!" + name : name;
+      }
+      case literal_kind::off:
+        return {};
+    }
+    return {};
+  };
+
+  os << "graph crossbar {\n  rankdir=LR;\n";
+  for (int r = 0; r < design.rows(); ++r) {
+    std::string extra;
+    if (r == design.input_row())
+      extra = ",style=filled,fillcolor=lightblue";
+    for (const output_port& o : design.outputs())
+      if (o.row == r) extra = ",style=filled,fillcolor=palegreen";
+    os << "  w" << r << " [shape=box,label=\"WL" << r << "\"" << extra
+       << "];\n";
+  }
+  for (int c = 0; c < design.columns(); ++c)
+    os << "  b" << c << " [shape=ellipse,label=\"BL" << c << "\"];\n";
+  for (int r = 0; r < design.rows(); ++r) {
+    for (int c = 0; c < design.columns(); ++c) {
+      const std::string label = literal_label(design.at(r, c));
+      if (label.empty()) continue;
+      os << "  w" << r << " -- b" << c << " [label=\"" << label << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace compact::xbar

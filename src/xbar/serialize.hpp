@@ -1,0 +1,45 @@
+// Crossbar design serialization.
+//
+// A plain-text `.xbar` format so synthesized designs can be saved by the
+// CLI, diffed in experiments, and reloaded for evaluation without
+// re-running the NP-hard labeling step.
+//
+//   xbar 1            # format version
+//   dim R C
+//   input ROW
+//   output ROW NAME   # repeated
+//   const NAME 0|1    # constant outputs, repeated
+//   var INDEX NAME    # optional variable names, repeated
+//   d ROW COL on      # devices: on / +VAR / -VAR (off junctions omitted)
+//   d ROW COL +3
+//   end
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace compact::xbar {
+
+/// Write `design` (with optional variable names) to `os`.
+void write_design(const crossbar& design, std::ostream& os,
+                  const std::vector<std::string>& variable_names = {});
+
+struct loaded_design {
+  crossbar design;
+  std::vector<std::string> variable_names;  // may be empty
+};
+
+/// Parse a `.xbar` stream; throws parse_error on malformed input.
+[[nodiscard]] loaded_design read_design(std::istream& is);
+
+/// Graphviz view of the design as the bipartite wordline/bitline graph:
+/// one node per nanowire, one labeled edge per programmed device. Input
+/// and output wordlines are highlighted.
+void write_design_dot(const crossbar& design, std::ostream& os,
+                      const std::vector<std::string>& variable_names = {});
+
+}  // namespace compact::xbar

@@ -1,0 +1,88 @@
+#include "xbar/validate.hpp"
+
+#include "util/rng.hpp"
+#include "xbar/evaluate.hpp"
+
+namespace compact::xbar {
+namespace {
+
+std::string describe(const std::vector<bool>& assignment,
+                     const std::string& output, bool expected, bool got) {
+  std::string text = "output '" + output + "' expected " +
+                     (expected ? "1" : "0") + " got " + (got ? "1" : "0") +
+                     " under assignment ";
+  for (bool b : assignment) text += b ? '1' : '0';
+  return text;
+}
+
+}  // namespace
+
+validation_report validate_against_bdd(
+    const crossbar& design, const bdd::manager& m,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& output_names, int variable_count,
+    const validation_options& options) {
+  check(roots.size() == output_names.size(),
+        "validate: roots/output_names size mismatch");
+  validation_report report;
+
+  auto check_one = [&](const std::vector<bool>& assignment) {
+    const std::vector<bool> row_reach = reachable_rows(design, assignment);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const bool expected = m.evaluate(roots[i], assignment);
+      bool got = false;
+      bool found = false;
+      for (const output_port& o : design.outputs()) {
+        if (o.name == output_names[i]) {
+          got = row_reach[static_cast<std::size_t>(o.row)];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        for (const auto& [name, value] : design.constant_outputs()) {
+          if (name == output_names[i]) {
+            got = value;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        report.valid = false;
+        report.first_failure = "design has no output named " + output_names[i];
+        return false;
+      }
+      if (got != expected) {
+        report.valid = false;
+        report.first_failure =
+            describe(assignment, output_names[i], expected, got);
+        return false;
+      }
+    }
+    ++report.checked_assignments;
+    return true;
+  };
+
+  if (variable_count <= options.exhaustive_limit) {
+    report.exhaustive = true;
+    std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
+    const std::uint64_t total = 1ULL << variable_count;
+    for (std::uint64_t bits = 0; bits < total; ++bits) {
+      for (int v = 0; v < variable_count; ++v)
+        assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+      if (!check_one(assignment)) return report;
+    }
+  } else {
+    rng random(options.seed);
+    std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
+    for (int s = 0; s < options.samples; ++s) {
+      for (int v = 0; v < variable_count; ++v)
+        assignment[static_cast<std::size_t>(v)] = random.next_bool();
+      if (!check_one(assignment)) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace compact::xbar

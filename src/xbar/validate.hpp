@@ -1,0 +1,42 @@
+// Validity checking of crossbar designs against their specification.
+//
+// The paper's Definition of validity (Section III): for every instance of
+// the Boolean variables there is a conducting input-to-output path exactly
+// when the function evaluates to true. We check this against the source BDD
+// exhaustively for small supports and by deterministic random sampling for
+// large ones (the paper's SPICE validation plays the analog counterpart —
+// see src/analog).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::xbar {
+
+struct validation_options {
+  /// Exhaustive enumeration up to this many variables, sampling beyond.
+  int exhaustive_limit = 12;
+  int samples = 2000;
+  std::uint64_t seed = 12345;
+};
+
+struct validation_report {
+  bool valid = true;
+  long long checked_assignments = 0;
+  bool exhaustive = false;
+  std::string first_failure;  // human-readable description, empty if valid
+};
+
+/// Check the design against a set of BDD roots; `output_names[i]` must be an
+/// output of the design realizing roots[i].
+[[nodiscard]] validation_report validate_against_bdd(
+    const crossbar& design, const bdd::manager& m,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& output_names, int variable_count,
+    const validation_options& options = {});
+
+}  // namespace compact::xbar

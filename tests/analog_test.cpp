@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/linear.hpp"
+#include "analog/mna.hpp"
+#include "util/rng.hpp"
+#include "xbar/evaluate.hpp"
+
+namespace compact::analog {
+namespace {
+
+TEST(LinearTest, SolvesIdentity) {
+  matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  const std::vector<double> x = solve_dense(std::move(a), {3.0, -4.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -4.0, 1e-12);
+}
+
+TEST(LinearTest, SolvesKnownSystem) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1.
+  matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = -1.0;
+  const std::vector<double> x = solve_dense(std::move(a), {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LinearTest, NeedsPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const std::vector<double> x = solve_dense(std::move(a), {7.0, 9.0});
+  EXPECT_NEAR(x[0], 9.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0, 1e-12);
+}
+
+TEST(LinearTest, SingularMatrixThrows) {
+  matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW((void)solve_dense(std::move(a), {1.0, 2.0}), compact::error);
+}
+
+TEST(LinearTest, RandomSystemsResidualSmall) {
+  compact::rng random(47);
+  for (int t = 0; t < 20; ++t) {
+    const int n = 2 + static_cast<int>(random.next_below(8));
+    matrix a(n, n);
+    std::vector<std::vector<double>> copy(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n)));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        a.at(i, j) = random.next_double() * 2.0 - 1.0;
+        if (i == j) a.at(i, j) += static_cast<double>(n);  // diag dominance
+        copy[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            a.at(i, j);
+      }
+      b[static_cast<std::size_t>(i)] = random.next_double();
+    }
+    const std::vector<double> x = solve_dense(std::move(a), b);
+    for (int i = 0; i < n; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j)
+        lhs += copy[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(j)];
+      EXPECT_NEAR(lhs, b[static_cast<std::size_t>(i)], 1e-9);
+    }
+  }
+}
+
+/// One path: input row -> on device -> column -> x0 device -> output row,
+/// sensed through the resistor.
+xbar::crossbar single_literal_design() {
+  xbar::crossbar x(2, 1);
+  x.set_input_row(1);
+  x.add_output(0, "f");
+  x.set_on(1, 0);
+  x.set_literal(0, 0, 0, true);
+  return x;
+}
+
+TEST(MnaTest, HighWhenPathConducts) {
+  const xbar::crossbar x = single_literal_design();
+  const analog_result on = simulate(x, {true});
+  EXPECT_TRUE(on.output_logic[0]);
+  // Two R_on devices in series against R_sense: V_out = Rs/(Rs+2Ron).
+  const device_model model;
+  const double expected =
+      model.r_sense / (model.r_sense + 2.0 * model.r_on);
+  EXPECT_NEAR(on.output_voltages[0], expected, 1e-3);
+}
+
+TEST(MnaTest, LowWhenPathBlocked) {
+  const xbar::crossbar x = single_literal_design();
+  const analog_result off = simulate(x, {false});
+  EXPECT_FALSE(off.output_logic[0]);
+  EXPECT_LT(off.output_voltages[0], 0.01);
+}
+
+TEST(MnaTest, MatchesDigitalOnPaperExample) {
+  // f = (a AND b) OR c — same hand design as the digital tests.
+  xbar::crossbar x(3, 2);
+  x.set_input_row(2);
+  x.add_output(0, "f");
+  x.set_on(2, 1);
+  x.set_literal(0, 1, 2, true);
+  x.set_literal(1, 1, 1, true);
+  x.set_on(1, 0);
+  x.set_literal(0, 0, 0, true);
+  for (int v = 0; v < 8; ++v) {
+    const std::vector<bool> a{bool(v & 1), bool(v & 2), bool(v & 4)};
+    EXPECT_EQ(simulate_output(x, a, "f"),
+              xbar::evaluate_output(x, a, "f"))
+        << v;
+  }
+}
+
+TEST(MnaTest, MultiOutputVoltagesIndependent) {
+  // Two outputs: one connected, one isolated.
+  xbar::crossbar x(3, 1);
+  x.set_input_row(2);
+  x.add_output(0, "hot");
+  x.add_output(1, "cold");
+  x.set_on(2, 0);
+  x.set_on(0, 0);  // input -> col -> row0
+  const analog_result r = simulate(x, {});
+  EXPECT_TRUE(r.output_logic[0]);
+  EXPECT_FALSE(r.output_logic[1]);
+}
+
+TEST(MnaTest, InputRowAsOutputRejected) {
+  xbar::crossbar x(2, 1);
+  x.set_input_row(0);
+  x.add_output(0, "f");
+  EXPECT_THROW((void)simulate(x, {}), compact::error);
+}
+
+TEST(MnaTest, UnknownOutputNameThrows) {
+  const xbar::crossbar x = single_literal_design();
+  EXPECT_THROW((void)simulate_output(x, {true}, "ghost"), compact::error);
+}
+
+TEST(MnaTest, SneakLeakageStaysBelowThreshold) {
+  // A dense crossbar programmed all-off except unrelated devices: the
+  // output must stay low despite many parallel off-resistance paths.
+  xbar::crossbar x(12, 12);
+  x.set_input_row(11);
+  x.add_output(0, "f");
+  for (int c = 0; c < 12; ++c) x.set_on(5, c);  // a hot unrelated row
+  const analog_result r = simulate(x, {});
+  EXPECT_FALSE(r.output_logic[0]);
+}
+
+}  // namespace
+}  // namespace compact::analog

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/bdd_graph.hpp"
+
+namespace compact::core {
+namespace {
+
+TEST(BddGraphTest, PaperExampleStructure) {
+  // f = (a AND b) OR c: ROBDD has nodes a, b, c plus terminals.
+  bdd::manager m(3);
+  const bdd::node_handle f =
+      m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(2));
+  const bdd_graph g = build_bdd_graph(m, {f}, {"f"});
+  // Nodes: a, b, c, terminal-1 (terminal-0 removed) = 4.
+  EXPECT_EQ(g.g.node_count(), 4u);
+  // Edges: a->b (high), a->c (low), b->1 (high), b->c (low), c->1 (high);
+  // c->0 dropped. Total 5.
+  EXPECT_EQ(g.g.edge_count(), 5u);
+  EXPECT_EQ(g.literal_of_edge.size(), g.g.edge_count());
+  ASSERT_EQ(g.outputs.size(), 1u);
+  EXPECT_EQ(g.outputs[0].name, "f");
+  EXPECT_GE(g.terminal_node, 0);
+  EXPECT_TRUE(g.constant_outputs.empty());
+}
+
+TEST(BddGraphTest, LiteralsTagEdges) {
+  bdd::manager m(1);
+  const bdd::node_handle f = m.var(0);  // one edge x0 -> 1 with literal x0
+  const bdd_graph g = build_bdd_graph(m, {f}, {"f"});
+  EXPECT_EQ(g.g.node_count(), 2u);
+  ASSERT_EQ(g.literal_of_edge.size(), 1u);
+  EXPECT_EQ(g.literal_of_edge[0].variable, 0);
+  EXPECT_TRUE(g.literal_of_edge[0].positive);
+
+  bdd::manager m2(1);
+  const bdd_graph g2 = build_bdd_graph(m2, {m2.nvar(0)}, {"g"});
+  ASSERT_EQ(g2.literal_of_edge.size(), 1u);
+  EXPECT_FALSE(g2.literal_of_edge[0].positive);
+}
+
+TEST(BddGraphTest, ConstantRootsBecomeConstantOutputs) {
+  bdd::manager m(2);
+  const bdd_graph g = build_bdd_graph(
+      m, {m.constant(true), m.constant(false), m.var(0)},
+      {"one", "zero", "x"});
+  ASSERT_EQ(g.constant_outputs.size(), 2u);
+  EXPECT_EQ(g.constant_outputs[0].first, "one");
+  EXPECT_TRUE(g.constant_outputs[0].second);
+  EXPECT_FALSE(g.constant_outputs[1].second);
+  ASSERT_EQ(g.outputs.size(), 1u);
+  EXPECT_EQ(g.outputs[0].name, "x");
+}
+
+TEST(BddGraphTest, AllConstantFunctionYieldsEmptyGraph) {
+  bdd::manager m(2);
+  const bdd_graph g = build_bdd_graph(m, {m.constant(true)}, {"one"});
+  EXPECT_EQ(g.g.node_count(), 0u);
+  EXPECT_EQ(g.terminal_node, -1);
+  EXPECT_EQ(g.constant_outputs.size(), 1u);
+}
+
+TEST(BddGraphTest, SharedOutputsShareGraphNode) {
+  bdd::manager m(2);
+  const bdd::node_handle f = m.apply_and(m.var(0), m.var(1));
+  const bdd_graph g = build_bdd_graph(m, {f, f}, {"f1", "f2"});
+  ASSERT_EQ(g.outputs.size(), 2u);
+  EXPECT_EQ(g.outputs[0].node, g.outputs[1].node);
+}
+
+TEST(BddGraphTest, AlignedNodesAreOutputsPlusTerminal) {
+  bdd::manager m(2);
+  const bdd::node_handle f = m.apply_and(m.var(0), m.var(1));
+  const bdd::node_handle g2 = m.apply_or(m.var(0), m.var(1));
+  const bdd_graph g = build_bdd_graph(m, {f, g2}, {"f", "g"});
+  const std::vector<graph::node_id> aligned = g.aligned_nodes();
+  EXPECT_EQ(aligned.size(), 3u);  // two distinct roots + terminal
+}
+
+TEST(BddGraphTest, SbddGraphSmallerThanSeparate) {
+  // Two outputs sharing a subfunction.
+  bdd::manager m(3);
+  const bdd::node_handle shared = m.apply_and(m.var(1), m.var(2));
+  const bdd::node_handle f = m.apply_or(m.var(0), shared);
+  const bdd::node_handle g2 = m.apply_xor(m.var(0), shared);
+  const bdd_graph both = build_bdd_graph(m, {f, g2}, {"f", "g"});
+  const bdd_graph only_f = build_bdd_graph(m, {f}, {"f"});
+  const bdd_graph only_g = build_bdd_graph(m, {g2}, {"g"});
+  EXPECT_LT(both.g.node_count(),
+            only_f.g.node_count() + only_g.g.node_count());
+}
+
+TEST(BddGraphTest, MismatchedNamesThrow) {
+  bdd::manager m(1);
+  EXPECT_THROW((void)build_bdd_graph(m, {m.var(0)}, {}), error);
+}
+
+}  // namespace
+}  // namespace compact::core

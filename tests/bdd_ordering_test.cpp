@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "bdd/ordering.hpp"
+#include "bdd/stats.hpp"
+
+namespace compact::bdd {
+namespace {
+
+// The classic order-sensitive function: (x0 & x1) | (x2 & x3) | (x4 & x5)
+// is linear under the interleaved order and exponential under the order
+// that tests all left operands first.
+std::vector<node_handle> comb_function(manager& m,
+                                       const std::vector<int>& order) {
+  // order[level] = original input; invert to find each input's level.
+  std::vector<int> level(order.size());
+  for (std::size_t l = 0; l < order.size(); ++l)
+    level[static_cast<std::size_t>(order[l])] = static_cast<int>(l);
+  node_handle f = m.constant(false);
+  for (int pair = 0; pair < 3; ++pair)
+    f = m.apply_or(f, m.apply_and(m.var(level[static_cast<std::size_t>(2 * pair)]),
+                                  m.var(level[static_cast<std::size_t>(2 * pair + 1)])));
+  return {f};
+}
+
+TEST(OrderingTest, ExhaustiveFindsInterleavedOptimum) {
+  const ordering_result best = best_order_exhaustive(6, comb_function);
+  // Optimal shared size for the comb function: 3 pair-levels -> 6 internal
+  // nodes + 2 terminals = 8.
+  EXPECT_EQ(best.node_count, 8u);
+}
+
+TEST(OrderingTest, BadOrderIsWorse) {
+  // Order (0,2,4,1,3,5): all first operands before all second operands.
+  manager m(6);
+  const std::vector<int> bad{0, 2, 4, 1, 3, 5};
+  const std::vector<node_handle> roots = comb_function(m, bad);
+  const std::size_t bad_size = collect_reachable(m, roots).nodes.size();
+  EXPECT_GT(bad_size, 8u);
+}
+
+TEST(OrderingTest, HillClimbImprovesOnBadStart) {
+  rng random(2024);
+  const ordering_result best =
+      best_order_hill_climb(6, comb_function, random, /*restarts=*/4);
+  EXPECT_LE(best.node_count, 10u);  // at or near the optimum
+}
+
+TEST(OrderingTest, ExhaustiveRejectsLargeSupports) {
+  EXPECT_THROW((void)best_order_exhaustive(10, comb_function), error);
+}
+
+TEST(OrderingTest, SiftingFindsTheCombOptimum) {
+  const ordering_result r = sift_order(6, comb_function);
+  EXPECT_EQ(r.node_count, 8u);
+}
+
+TEST(OrderingTest, SiftingNeverWorsensTheIdentityOrder) {
+  const ordering_result sifted = sift_order(6, comb_function, 1);
+  manager m(6);
+  std::vector<int> identity{0, 1, 2, 3, 4, 5};
+  const std::vector<node_handle> roots = comb_function(m, identity);
+  const std::size_t identity_size = collect_reachable(m, roots).nodes.size();
+  EXPECT_LE(sifted.node_count, identity_size);
+}
+
+TEST(OrderingTest, OrderIsAlwaysAPermutation) {
+  rng random(5);
+  const ordering_result r =
+      best_order_hill_climb(6, comb_function, random, 2, 4);
+  std::vector<bool> seen(6, false);
+  for (int v : r.order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 6);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace compact::bdd

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "bdd/dot.hpp"
+#include "bdd/manager.hpp"
+#include "bdd/stats.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace compact::bdd {
+namespace {
+
+std::vector<bool> bits(std::uint64_t value, int n) {
+  std::vector<bool> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (value >> i) & 1;
+  return out;
+}
+
+TEST(BddTest, Terminals) {
+  manager m(2);
+  EXPECT_EQ(m.constant(false), false_handle);
+  EXPECT_EQ(m.constant(true), true_handle);
+  EXPECT_TRUE(m.is_terminal(false_handle));
+  EXPECT_TRUE(m.is_terminal(true_handle));
+}
+
+TEST(BddTest, VariableAndNegation) {
+  manager m(2);
+  const node_handle x = m.var(0);
+  const node_handle nx = m.nvar(0);
+  EXPECT_FALSE(m.is_terminal(x));
+  EXPECT_NE(x, nx);
+  EXPECT_TRUE(m.evaluate(x, {true, false}));
+  EXPECT_FALSE(m.evaluate(x, {false, false}));
+  EXPECT_TRUE(m.evaluate(nx, {false, false}));
+  EXPECT_EQ(m.apply_not(x), nx);  // canonical
+}
+
+TEST(BddTest, CanonicityEqualFunctionsShareHandles) {
+  manager m(3);
+  const node_handle a = m.var(0);
+  const node_handle b = m.var(1);
+  // a AND b built two ways.
+  const node_handle f1 = m.apply_and(a, b);
+  const node_handle f2 = m.apply_not(m.apply_or(m.apply_not(a), m.apply_not(b)));
+  EXPECT_EQ(f1, f2);
+  // XOR built two ways.
+  const node_handle x1 = m.apply_xor(a, b);
+  const node_handle x2 = m.apply_or(m.apply_and(a, m.apply_not(b)),
+                                    m.apply_and(m.apply_not(a), b));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(BddTest, ReductionNoRedundantTests) {
+  manager m(2);
+  const node_handle a = m.var(0);
+  // ite(a, 1, 1) = 1 — no node created.
+  EXPECT_EQ(m.ite(a, true_handle, true_handle), true_handle);
+  // a OR !a = 1.
+  EXPECT_EQ(m.apply_or(a, m.apply_not(a)), true_handle);
+  // a AND !a = 0.
+  EXPECT_EQ(m.apply_and(a, m.apply_not(a)), false_handle);
+}
+
+TEST(BddTest, EvaluateMatchesTruthTableForRandomExpressions) {
+  rng random(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 4;
+    manager m(n);
+    // Random expression tree over 4 vars.
+    std::vector<node_handle> pool;
+    std::vector<std::function<bool(const std::vector<bool>&)>> sem;
+    for (int i = 0; i < n; ++i) {
+      pool.push_back(m.var(i));
+      sem.push_back([i](const std::vector<bool>& a) { return a[static_cast<std::size_t>(i)]; });
+    }
+    for (int step = 0; step < 12; ++step) {
+      const std::size_t i = random.next_below(pool.size());
+      const std::size_t j = random.next_below(pool.size());
+      const auto op = random.next_below(4);
+      node_handle h;
+      std::function<bool(const std::vector<bool>&)> s;
+      auto si = sem[i], sj = sem[j];
+      switch (op) {
+        case 0:
+          h = m.apply_and(pool[i], pool[j]);
+          s = [si, sj](const std::vector<bool>& a) { return si(a) && sj(a); };
+          break;
+        case 1:
+          h = m.apply_or(pool[i], pool[j]);
+          s = [si, sj](const std::vector<bool>& a) { return si(a) || sj(a); };
+          break;
+        case 2:
+          h = m.apply_xor(pool[i], pool[j]);
+          s = [si, sj](const std::vector<bool>& a) { return si(a) != sj(a); };
+          break;
+        default:
+          h = m.apply_not(pool[i]);
+          s = [si](const std::vector<bool>& a) { return !si(a); };
+          break;
+      }
+      pool.push_back(h);
+      sem.push_back(s);
+    }
+    const node_handle f = pool.back();
+    const auto fsem = sem.back();
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      const auto a = bits(v, n);
+      EXPECT_EQ(m.evaluate(f, a), fsem(a)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BddTest, RestrictIsShannonCofactor) {
+  manager m(3);
+  const node_handle f = m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(2));
+  const node_handle f0 = m.restrict_var(f, 0, false);  // = c
+  const node_handle f1 = m.restrict_var(f, 0, true);   // = b or c
+  EXPECT_EQ(f0, m.var(2));
+  EXPECT_EQ(f1, m.apply_or(m.var(1), m.var(2)));
+}
+
+TEST(BddTest, Quantification) {
+  manager m(2);
+  const node_handle f = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.exists(f, 0), m.var(1));
+  EXPECT_EQ(m.forall(f, 0), false_handle);
+  const node_handle g = m.apply_or(m.var(0), m.var(1));
+  EXPECT_EQ(m.forall(g, 0), m.var(1));
+  EXPECT_EQ(m.exists(g, 0), true_handle);
+}
+
+TEST(BddTest, SatCount) {
+  manager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(false_handle), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(true_handle), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 4.0);
+  const node_handle f = m.apply_and(m.var(0), m.var(1));  // 2 of 8
+  EXPECT_DOUBLE_EQ(m.sat_count(f), 2.0);
+  const node_handle g = m.apply_xor(m.var(0), m.var(2));  // 4 of 8
+  EXPECT_DOUBLE_EQ(m.sat_count(g), 4.0);
+}
+
+TEST(BddTest, SatCountMatchesEnumeration) {
+  rng random(11);
+  const int n = 5;
+  manager m(n);
+  node_handle f = m.constant(false);
+  // Random DNF.
+  for (int c = 0; c < 6; ++c) {
+    node_handle cube = m.constant(true);
+    for (int v = 0; v < n; ++v) {
+      const auto roll = random.next_below(3);
+      if (roll == 0) cube = m.apply_and(cube, m.var(v));
+      if (roll == 1) cube = m.apply_and(cube, m.nvar(v));
+    }
+    f = m.apply_or(f, cube);
+  }
+  int count = 0;
+  for (std::uint64_t v = 0; v < 32; ++v)
+    if (m.evaluate(f, bits(v, n))) ++count;
+  EXPECT_DOUBLE_EQ(m.sat_count(f), static_cast<double>(count));
+}
+
+TEST(BddTest, DagSizeOfKnownFunctions) {
+  manager m(3);
+  // Single variable: var node + two terminals = 3.
+  EXPECT_EQ(dag_size(m, m.var(0)), 3u);
+  // x0 AND x1 AND x2 (chain): 3 internal + 2 terminals = 5.
+  const node_handle f =
+      m.apply_and(m.var(0), m.apply_and(m.var(1), m.var(2)));
+  EXPECT_EQ(dag_size(m, f), 5u);
+}
+
+TEST(BddTest, ParityBddIsLinear) {
+  // XOR chain has 2k - 1 internal nodes under any order... for ROBDDs the
+  // parity of k variables has exactly 2(k-1) + 1 internal nodes.
+  const int k = 8;
+  manager m(k);
+  node_handle f = m.var(0);
+  for (int i = 1; i < k; ++i) f = m.apply_xor(f, m.var(i));
+  const reachable_set r = collect_reachable(m, {f});
+  EXPECT_EQ(r.internal_count, static_cast<std::size_t>(2 * (k - 1) + 1));
+  EXPECT_EQ(r.terminal_count, 2u);
+  EXPECT_EQ(r.edge_count, 2 * r.internal_count);
+}
+
+TEST(BddTest, SharedRootsCountedOnce) {
+  manager m(2);
+  const node_handle f = m.apply_and(m.var(0), m.var(1));
+  const reachable_set r = collect_reachable(m, {f, f, m.var(0)});
+  // f's DAG: 2 internal + 2 terminals; var(0) shares terminals, adds 1.
+  EXPECT_EQ(r.internal_count, 3u);
+  EXPECT_EQ(r.terminal_count, 2u);
+}
+
+TEST(BddTest, SupportListsTestedVariables) {
+  manager m(5);
+  const node_handle f = m.apply_or(m.apply_and(m.var(0), m.var(3)), m.var(4));
+  EXPECT_EQ(support(m, {f}), (std::vector<int>{0, 3, 4}));
+  EXPECT_TRUE(support(m, {true_handle}).empty());
+  // Union over several roots.
+  EXPECT_EQ(support(m, {m.var(1), m.var(2)}), (std::vector<int>{1, 2}));
+}
+
+TEST(BddTest, TruthTableMatchesEvaluate) {
+  manager m(3);
+  const node_handle f = m.apply_xor(m.var(0), m.apply_and(m.var(1), m.var(2)));
+  const std::uint64_t table = to_truth_table(m, f, 3);
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_EQ(bool((table >> v) & 1), m.evaluate(f, bits(v, 3))) << v;
+  EXPECT_EQ(to_truth_table(m, false_handle, 3), 0u);
+  EXPECT_EQ(to_truth_table(m, true_handle, 2), 0xFu);
+}
+
+TEST(BddTest, LevelProfileCountsNodesPerVariable) {
+  manager m(3);
+  // Parity of 3: level 0 has 1 node, levels 1 and 2 have 2 each.
+  node_handle f = m.var(0);
+  f = m.apply_xor(f, m.var(1));
+  f = m.apply_xor(f, m.var(2));
+  const std::vector<std::size_t> profile = level_profile(m, {f});
+  EXPECT_EQ(profile, (std::vector<std::size_t>{1, 2, 2}));
+}
+
+TEST(BddTest, VariableOutOfRangeThrows) {
+  manager m(2);
+  EXPECT_THROW((void)m.var(2), error);
+  EXPECT_THROW((void)m.nvar(-1), error);
+}
+
+TEST(BddTest, DotExportContainsStructure) {
+  manager m(2);
+  const node_handle f = m.apply_or(m.var(0), m.var(1));
+  std::ostringstream os;
+  write_dot(m, {f}, {"f"}, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("digraph"), std::string::npos);
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("style=dashed"), std::string::npos);
+  EXPECT_NE(s.find("\"f\""), std::string::npos);
+}
+
+TEST(BddTest, ManagerSupportsManyVariables) {
+  manager m(512);
+  node_handle f = m.constant(true);
+  for (int i = 0; i < 512; i += 8) f = m.apply_and(f, m.var(i));
+  std::vector<bool> all_true(512, true);
+  EXPECT_TRUE(m.evaluate(f, all_true));
+  all_true[256] = false;
+  EXPECT_FALSE(m.evaluate(f, all_true));
+}
+
+}  // namespace
+}  // namespace compact::bdd

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.hpp"
+#include "util/rng.hpp"
+
+namespace compact::graph {
+namespace {
+
+undirected_graph cycle(int n) {
+  undirected_graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+TEST(BipartiteTest, EvenCycleIsBipartite) {
+  EXPECT_TRUE(is_bipartite(cycle(4)));
+  EXPECT_TRUE(is_bipartite(cycle(10)));
+}
+
+TEST(BipartiteTest, OddCycleIsNot) {
+  EXPECT_FALSE(is_bipartite(cycle(3)));
+  EXPECT_FALSE(is_bipartite(cycle(7)));
+}
+
+TEST(BipartiteTest, EmptyAndEdgelessAreBipartite) {
+  EXPECT_TRUE(is_bipartite(undirected_graph{}));
+  EXPECT_TRUE(is_bipartite(undirected_graph(5)));
+}
+
+TEST(BipartiteTest, TwoColoringIsProper) {
+  const undirected_graph g = cycle(8);
+  const auto coloring = try_two_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(is_proper_two_coloring(g, *coloring));
+}
+
+TEST(BipartiteTest, ProperColoringRejectsMonochromeEdge) {
+  undirected_graph g(2);
+  g.add_edge(0, 1);
+  two_coloring bad;
+  bad.color_of = {0, 0};
+  EXPECT_FALSE(is_proper_two_coloring(g, bad));
+  two_coloring good;
+  good.color_of = {0, 1};
+  EXPECT_TRUE(is_proper_two_coloring(g, good));
+}
+
+TEST(BalancedColoringTest, SingleComponentUnchanged) {
+  // A path of 3: colors split 2/1 regardless of flip.
+  undirected_graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const two_coloring c = balanced_two_color(g);
+  EXPECT_TRUE(is_proper_two_coloring(g, c));
+}
+
+TEST(BalancedColoringTest, FlipsComponentsToBalance) {
+  // Two star components K1,3: unbalanced coloring gives (2, 6); flipping
+  // one star gives (4, 4).
+  undirected_graph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(4, 5);
+  g.add_edge(4, 6);
+  g.add_edge(4, 7);
+  const two_coloring c = balanced_two_color(g);
+  EXPECT_TRUE(is_proper_two_coloring(g, c));
+  int color0 = 0;
+  for (int v = 0; v < 8; ++v)
+    if (c.color_of[static_cast<std::size_t>(v)] == 0) ++color0;
+  EXPECT_EQ(color0, 4);
+}
+
+TEST(BalancedColoringTest, BiasShiftsTheOptimum) {
+  // Isolated vertices can go either way; a bias of 4 on side 0 should push
+  // all 4 vertices to side 1.
+  undirected_graph g(4);
+  const two_coloring c = balanced_two_color(g, /*bias0=*/4, /*bias1=*/0);
+  int color0 = 0;
+  for (int v = 0; v < 4; ++v)
+    if (c.color_of[static_cast<std::size_t>(v)] == 0) ++color0;
+  EXPECT_EQ(color0, 0);
+}
+
+TEST(BalancedColoringTest, RandomBipartiteGraphsStayProper) {
+  rng random(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random bipartite graph on sides of size a, b.
+    const int a = 1 + static_cast<int>(random.next_below(6));
+    const int b = 1 + static_cast<int>(random.next_below(6));
+    undirected_graph g(static_cast<std::size_t>(a + b));
+    for (int i = 0; i < a; ++i)
+      for (int j = 0; j < b; ++j)
+        if (random.next_below(3) == 0) g.add_edge(i, a + j);
+    const two_coloring c = balanced_two_color(g);
+    EXPECT_TRUE(is_proper_two_coloring(g, c));
+  }
+}
+
+TEST(BalancedColoringTest, MatchesBruteForceOnSmallGraphs) {
+  rng random(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A few disjoint paths: every component flippable.
+    const int paths = 1 + static_cast<int>(random.next_below(4));
+    undirected_graph g;
+    std::vector<std::pair<int, int>> component_sizes;
+    for (int p = 0; p < paths; ++p) {
+      const int len = 1 + static_cast<int>(random.next_below(5));
+      int prev = -1;
+      int c0 = 0, c1 = 0;
+      for (int i = 0; i < len; ++i) {
+        const node_id v = g.add_node();
+        (i % 2 == 0 ? c0 : c1)++;
+        if (prev >= 0) g.add_edge(prev, v);
+        prev = v;
+      }
+      component_sizes.emplace_back(c0, c1);
+    }
+    // Brute-force the best achievable max(color0, color1).
+    int best = static_cast<int>(g.node_count()) + 1;
+    for (int mask = 0; mask < (1 << paths); ++mask) {
+      int t0 = 0, t1 = 0;
+      for (int p = 0; p < paths; ++p) {
+        const auto [c0, c1] = component_sizes[static_cast<std::size_t>(p)];
+        if (mask & (1 << p)) {
+          t0 += c1;
+          t1 += c0;
+        } else {
+          t0 += c0;
+          t1 += c1;
+        }
+      }
+      best = std::min(best, std::max(t0, t1));
+    }
+    const two_coloring c = balanced_two_color(g);
+    int t0 = 0;
+    for (std::size_t v = 0; v < g.node_count(); ++v)
+      if (c.color_of[v] == 0) ++t0;
+    const int t1 = static_cast<int>(g.node_count()) - t0;
+    EXPECT_EQ(std::max(t0, t1), best);
+  }
+}
+
+}  // namespace
+}  // namespace compact::graph

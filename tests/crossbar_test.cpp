@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xbar/crossbar.hpp"
+
+namespace compact::xbar {
+namespace {
+
+TEST(CrossbarTest, ConstructionAndDefaults) {
+  crossbar x(3, 4);
+  EXPECT_EQ(x.rows(), 3);
+  EXPECT_EQ(x.columns(), 4);
+  EXPECT_EQ(x.semiperimeter(), 7);
+  EXPECT_EQ(x.max_dimension(), 4);
+  EXPECT_EQ(x.area(), 12);
+  EXPECT_EQ(x.delay_steps(), 4);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(x.at(r, c).kind, literal_kind::off);
+}
+
+TEST(CrossbarTest, DeviceProgramming) {
+  crossbar x(2, 2);
+  x.set_literal(0, 0, 3, true);
+  x.set_literal(0, 1, 3, false);
+  x.set_on(1, 0);
+  EXPECT_EQ(x.at(0, 0).kind, literal_kind::positive);
+  EXPECT_EQ(x.at(0, 0).variable, 3);
+  EXPECT_EQ(x.at(0, 1).kind, literal_kind::negative);
+  EXPECT_EQ(x.at(1, 0).kind, literal_kind::on);
+  EXPECT_EQ(x.active_device_count(), 2);  // literals only, not 'on'
+}
+
+TEST(CrossbarTest, DeviceConduction) {
+  const std::vector<bool> assignment{true, false};
+  EXPECT_FALSE((device{literal_kind::off, -1}.conducts(assignment)));
+  EXPECT_TRUE((device{literal_kind::on, -1}.conducts(assignment)));
+  EXPECT_TRUE((device{literal_kind::positive, 0}.conducts(assignment)));
+  EXPECT_FALSE((device{literal_kind::positive, 1}.conducts(assignment)));
+  EXPECT_FALSE((device{literal_kind::negative, 0}.conducts(assignment)));
+  EXPECT_TRUE((device{literal_kind::negative, 1}.conducts(assignment)));
+}
+
+TEST(CrossbarTest, PortBookkeeping) {
+  crossbar x(3, 2);
+  x.set_input_row(2);
+  x.add_output(0, "f");
+  x.add_output(1, "g");
+  x.add_constant_output(true, "const1");
+  EXPECT_EQ(x.input_row(), 2);
+  ASSERT_EQ(x.outputs().size(), 2u);
+  EXPECT_EQ(x.outputs()[0].name, "f");
+  ASSERT_EQ(x.constant_outputs().size(), 1u);
+  EXPECT_TRUE(x.constant_outputs()[0].second);
+}
+
+TEST(CrossbarTest, BoundsChecking) {
+  crossbar x(2, 2);
+  EXPECT_THROW((void)x.at(2, 0), error);
+  EXPECT_THROW(x.set_on(0, 2), error);
+  EXPECT_THROW(x.set_input_row(5), error);
+  EXPECT_THROW(x.add_output(-1, "f"), error);
+  EXPECT_THROW(x.set(0, 0, {literal_kind::positive, -1}), error);
+  EXPECT_THROW(crossbar(0, 2), error);
+}
+
+TEST(CrossbarTest, ZeroColumnCrossbarAllowed) {
+  crossbar x(1, 0);
+  EXPECT_EQ(x.columns(), 0);
+  EXPECT_EQ(x.area(), 0);
+}
+
+TEST(CrossbarTest, RemapVariablesRewritesLiterals) {
+  crossbar x(2, 2);
+  x.set_literal(0, 0, 0, true);
+  x.set_literal(0, 1, 1, false);
+  x.set_on(1, 0);
+  const crossbar remapped = remap_variables(x, {2, 0});
+  EXPECT_EQ(remapped.at(0, 0).variable, 2);
+  EXPECT_EQ(remapped.at(0, 1).variable, 0);
+  EXPECT_EQ(remapped.at(1, 0).kind, literal_kind::on);  // untouched
+  // Out-of-range mapping rejected.
+  EXPECT_THROW((void)remap_variables(x, {0}), error);
+}
+
+TEST(CrossbarTest, PrintShowsLiteralsAndPorts) {
+  crossbar x(2, 2);
+  x.set_literal(0, 0, 0, true);
+  x.set_literal(0, 1, 1, false);
+  x.set_on(1, 1);
+  x.set_input_row(1);
+  x.add_output(0, "f");
+  std::ostringstream os;
+  x.print(os, {"a", "b"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("!b"), std::string::npos);
+  EXPECT_NE(s.find("<- input"), std::string::npos);
+  EXPECT_NE(s.find("out:f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace compact::xbar

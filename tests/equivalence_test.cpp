@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "frontend/benchgen.hpp"
+#include "frontend/equivalence.hpp"
+
+namespace compact::frontend {
+namespace {
+
+TEST(EquivalenceTest, IdenticalNetworksAreEquivalent) {
+  const network a = make_ripple_adder(4);
+  const network b = make_ripple_adder(4);
+  const equivalence_report report = check_equivalence(a, b);
+  EXPECT_TRUE(report.equivalent);
+  EXPECT_TRUE(report.mismatches.empty());
+}
+
+TEST(EquivalenceTest, StructurallyDifferentButEqualFunctions) {
+  // XOR two ways: cube form vs gate form.
+  network a;
+  {
+    const int x = a.add_input("x");
+    const int y = a.add_input("y");
+    a.set_output(a.add_xor(x, y), "f");
+  }
+  network b;
+  {
+    const int x = b.add_input("x");
+    const int y = b.add_input("y");
+    const int t1 = b.add_and(x, b.add_not(y));
+    const int t2 = b.add_and(b.add_not(x), y);
+    b.set_output(b.add_or(t1, t2), "f");
+  }
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(EquivalenceTest, DetectsFunctionalMismatchWithCounterexample) {
+  network a;
+  {
+    const int x = a.add_input("x");
+    const int y = a.add_input("y");
+    a.set_output(a.add_and(x, y), "f");
+  }
+  network b;
+  {
+    const int x = b.add_input("x");
+    const int y = b.add_input("y");
+    b.set_output(b.add_or(x, y), "f");
+  }
+  const equivalence_report report = check_equivalence(a, b);
+  EXPECT_FALSE(report.equivalent);
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  ASSERT_EQ(report.counterexample.size(), 2u);
+  // The counterexample must actually distinguish the two networks.
+  EXPECT_NE(a.simulate(report.counterexample)[0],
+            b.simulate(report.counterexample)[0]);
+}
+
+TEST(EquivalenceTest, InterfaceMismatchesFlagged) {
+  network a;
+  (void)a.add_input("x");
+  a.set_output(a.add_const(true), "f");
+  network b;
+  (void)b.add_input("x");
+  (void)b.add_input("y");
+  b.set_output(b.add_const(true), "f");
+  const equivalence_report inputs = check_equivalence(a, b);
+  EXPECT_FALSE(inputs.equivalent);
+  EXPECT_EQ(inputs.mismatches[0], "#inputs");
+
+  network c;
+  (void)c.add_input("x");
+  const int one = c.add_const(true);
+  c.set_output(one, "f");
+  c.set_output(one, "g");
+  EXPECT_EQ(check_equivalence(a, c).mismatches[0], "#outputs");
+}
+
+TEST(EquivalenceTest, MultiOutputMismatchListsEveryBadPair) {
+  network a;
+  {
+    const int x = a.add_input("x");
+    a.set_output(a.add_buf(x), "f");
+    a.set_output(a.add_not(x), "g");
+  }
+  network b;
+  {
+    const int x = b.add_input("x");
+    b.set_output(b.add_not(x), "f");  // swapped
+    b.set_output(b.add_buf(x), "g");
+  }
+  const equivalence_report report = check_equivalence(a, b);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_EQ(report.mismatches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace compact::frontend

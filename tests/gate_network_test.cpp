@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "frontend/benchgen.hpp"
+#include "magic/gate_network.hpp"
+#include "util/rng.hpp"
+
+namespace compact::magic {
+namespace {
+
+std::vector<bool> bits(std::uint64_t v, int n) {
+  std::vector<bool> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1;
+  return out;
+}
+
+TEST(GateNetworkTest, DecompositionPreservesSemantics) {
+  for (const auto& net :
+       {frontend::make_ripple_adder(3), frontend::make_comparator(3),
+        frontend::make_decoder(3), frontend::make_mux_tree(2)}) {
+    const gate_network gates = decompose(net);
+    EXPECT_EQ(gates.input_count, net.input_count());
+    const int n = net.input_count();
+    const std::uint64_t limit = std::min<std::uint64_t>(1ULL << n, 256);
+    for (std::uint64_t v = 0; v < limit; ++v) {
+      const auto a = bits(v, n);
+      EXPECT_EQ(gates.evaluate(a), net.simulate(a))
+          << net.name() << " v=" << v;
+    }
+  }
+}
+
+TEST(GateNetworkTest, StructuralHashingSharesGates) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  // Same AND twice through different gates.
+  net.set_output(net.add_and(a, b), "x");
+  net.set_output(net.add_and(a, b), "y");
+  const gate_network gates = decompose(net);
+  ASSERT_EQ(gates.outputs.size(), 2u);
+  EXPECT_EQ(gates.outputs[0], gates.outputs[1]);
+}
+
+TEST(GateNetworkTest, ConstantFolding) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  const int one = net.add_const(true);
+  const int zero = net.add_const(false);
+  net.set_output(net.add_and(a, one), "a_and_1");   // = a
+  net.set_output(net.add_and(a, zero), "a_and_0");  // = 0
+  net.set_output(net.add_or(a, one), "a_or_1");     // = 1
+  const gate_network gates = decompose(net);
+  EXPECT_EQ(gates.gates[static_cast<std::size_t>(gates.outputs[0])].kind,
+            gate_kind::input);
+  EXPECT_EQ(gates.gates[static_cast<std::size_t>(gates.outputs[1])].kind,
+            gate_kind::const0);
+  EXPECT_EQ(gates.gates[static_cast<std::size_t>(gates.outputs[2])].kind,
+            gate_kind::const1);
+}
+
+TEST(GateNetworkTest, DoubleNegationCancels) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  net.set_output(net.add_not(net.add_not(a)), "a2");
+  const gate_network gates = decompose(net);
+  EXPECT_EQ(gates.gates[static_cast<std::size_t>(gates.outputs[0])].kind,
+            gate_kind::input);
+}
+
+TEST(GateNetworkTest, LevelsAreMonotone) {
+  const gate_network gates = decompose(frontend::make_ripple_adder(4));
+  const std::vector<int> levels = gates.levels();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const gate& g = gates.gates[i];
+    if (g.a >= 0) EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.a)]);
+    if (g.b >= 0) EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.b)]);
+  }
+}
+
+}  // namespace
+}  // namespace compact::magic

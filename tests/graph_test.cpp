@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "graph/product.hpp"
+#include "util/error.hpp"
+
+namespace compact::graph {
+namespace {
+
+TEST(GraphTest, AddNodesAndEdges) {
+  undirected_graph g;
+  const node_id a = g.add_node();
+  const node_id b = g.add_node();
+  const node_id c = g.add_node();
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_TRUE(g.has_edge(b, a));
+  EXPECT_FALSE(g.has_edge(a, c));
+  EXPECT_EQ(g.degree(b), 2u);
+}
+
+TEST(GraphTest, ParallelEdgesCollapse) {
+  undirected_graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopThrows) {
+  undirected_graph g(1);
+  EXPECT_THROW(g.add_edge(0, 0), error);
+}
+
+TEST(GraphTest, OutOfRangeThrows) {
+  undirected_graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), error);
+  EXPECT_THROW((void)g.degree(-1), error);
+}
+
+TEST(GraphTest, EdgesNormalizedLowHigh) {
+  undirected_graph g(3);
+  g.add_edge(2, 0);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].u, 0);
+  EXPECT_EQ(g.edges()[0].v, 2);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  undirected_graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const auto info = g.connected_components();
+  EXPECT_EQ(info.count, 3);  // {0,1}, {2}, {3,4}
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_EQ(info.component_of[3], info.component_of[4]);
+  EXPECT_NE(info.component_of[0], info.component_of[2]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  undirected_graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto result = g.induced_subgraph({true, false, true, true});
+  EXPECT_EQ(result.subgraph.node_count(), 3u);
+  EXPECT_EQ(result.subgraph.edge_count(), 1u);  // only (2,3) survives
+  EXPECT_EQ(result.new_id_of[1], -1);
+  EXPECT_GE(result.new_id_of[0], 0);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  undirected_graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.connected_components().count, 0);
+}
+
+TEST(ProductTest, K2ProductStructure) {
+  // Triangle x K2: 6 nodes, 2*3 copied edges + 3 rungs.
+  undirected_graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const undirected_graph p = cartesian_product_k2(g);
+  EXPECT_EQ(p.node_count(), 6u);
+  EXPECT_EQ(p.edge_count(), 9u);
+  EXPECT_TRUE(p.has_edge(0, 1));  // copy 0
+  EXPECT_TRUE(p.has_edge(3, 4));  // copy 1
+  EXPECT_TRUE(p.has_edge(0, 3));  // rung
+  EXPECT_FALSE(p.has_edge(0, 4));  // no cross edges
+}
+
+TEST(ProductTest, EmptyAndSingle) {
+  EXPECT_EQ(cartesian_product_k2(undirected_graph{}).node_count(), 0u);
+  const undirected_graph p = cartesian_product_k2(undirected_graph(1));
+  EXPECT_EQ(p.node_count(), 2u);
+  EXPECT_EQ(p.edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace compact::graph

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/labelers.hpp"
+#include "frontend/benchgen.hpp"
+#include "frontend/to_bdd.hpp"
+
+namespace compact::core {
+namespace {
+
+bdd_graph graph_of(const frontend::network& net, bdd::manager& m) {
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  return build_bdd_graph(m, built.roots, built.names);
+}
+
+TEST(LabelMipTest, FeasibleAndAlignedOnSmallBenchmarks) {
+  for (const auto& net :
+       {frontend::make_parity(5, 1), frontend::make_comparator(3),
+        frontend::make_mux_tree(2)}) {
+    bdd::manager m(net.input_count());
+    const bdd_graph g = graph_of(net, m);
+    mip_label_options options;
+    options.time_limit_seconds = 5.0;
+    const mip_label_result r = label_weighted(g, options);
+    EXPECT_TRUE(is_feasible(g.g, r.l)) << net.name();
+    EXPECT_TRUE(satisfies_alignment(g, r.l)) << net.name();
+  }
+}
+
+TEST(LabelMipTest, GammaOneMatchesOctSemiperimeter) {
+  // With gamma = 1 the MIP minimizes S alone; its optimum must equal the
+  // OCT-based minimum (n + k + promotions).
+  const frontend::network net = frontend::make_parity(4, 1);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+
+  const oct_label_result oct = label_minimal_semiperimeter(g);
+  ASSERT_TRUE(oct.optimal);
+
+  mip_label_options options;
+  options.gamma = 1.0;
+  options.time_limit_seconds = 10.0;
+  const mip_label_result mip = label_weighted(g, options);
+  ASSERT_TRUE(mip.optimal);
+
+  EXPECT_EQ(compute_stats(mip.l).semiperimeter,
+            compute_stats(oct.l).semiperimeter);
+}
+
+TEST(LabelMipTest, GammaHalfNeverWorseInMaxDimension) {
+  const frontend::network net = frontend::make_comparator(3);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+
+  mip_label_options half;
+  half.gamma = 0.5;
+  half.time_limit_seconds = 5.0;
+  const mip_label_result r_half = label_weighted(g, half);
+
+  mip_label_options one;
+  one.gamma = 1.0;
+  one.time_limit_seconds = 5.0;
+  const mip_label_result r_one = label_weighted(g, one);
+
+  if (r_half.optimal && r_one.optimal) {
+    EXPECT_LE(compute_stats(r_half.l).max_dimension,
+              compute_stats(r_one.l).max_dimension);
+    EXPECT_GE(compute_stats(r_half.l).semiperimeter,
+              compute_stats(r_one.l).semiperimeter);
+  }
+}
+
+TEST(LabelMipTest, TimeLimitStillYieldsValidLabeling) {
+  const frontend::network net = frontend::make_ripple_adder(6);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+  mip_label_options options;
+  options.time_limit_seconds = 0.05;  // starved: warm start must carry it
+  const mip_label_result r = label_weighted(g, options);
+  EXPECT_TRUE(is_feasible(g.g, r.l));
+  EXPECT_TRUE(satisfies_alignment(g, r.l));
+  EXPECT_GE(r.relative_gap, 0.0);
+}
+
+TEST(LabelMipTest, TraceRecordsConvergence) {
+  const frontend::network net = frontend::make_parity(4, 1);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+  mip_label_options options;
+  options.time_limit_seconds = 10.0;
+  const mip_label_result r = label_weighted(g, options);
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i].best_integer, r.trace[i - 1].best_integer + 1e-9);
+}
+
+TEST(LabelMipTest, RejectsBadGamma) {
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.var(0)}, {"f"});
+  mip_label_options options;
+  options.gamma = 1.5;
+  EXPECT_THROW((void)label_weighted(g, options), error);
+}
+
+TEST(LabelMipTest, EmptyGraphIsTrivial) {
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.constant(false)}, {"zero"});
+  const mip_label_result r = label_weighted(g);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_TRUE(r.l.label_of.empty());
+}
+
+}  // namespace
+}  // namespace compact::core

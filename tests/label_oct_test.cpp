@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/labelers.hpp"
+#include "frontend/benchgen.hpp"
+#include "frontend/to_bdd.hpp"
+#include "util/rng.hpp"
+
+namespace compact::core {
+namespace {
+
+bdd_graph graph_of(const frontend::network& net, bdd::manager& m) {
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  return build_bdd_graph(m, built.roots, built.names);
+}
+
+TEST(LabelOctTest, FeasibleAndAlignedOnBenchmarks) {
+  for (const auto& spec :
+       {frontend::make_ripple_adder(4), frontend::make_decoder(3),
+        frontend::make_comparator(4), frontend::make_parity(6, 2)}) {
+    bdd::manager m(spec.input_count());
+    const bdd_graph g = graph_of(spec, m);
+    const oct_label_result r = label_minimal_semiperimeter(g);
+    EXPECT_TRUE(is_feasible(g.g, r.l)) << spec.name();
+    EXPECT_TRUE(satisfies_alignment(g, r.l)) << spec.name();
+    EXPECT_TRUE(r.optimal) << spec.name();
+  }
+}
+
+TEST(LabelOctTest, SemiperimeterIsNPlusOctPlusPromotions) {
+  const frontend::network net = frontend::make_ripple_adder(4);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+  const oct_label_result r = label_minimal_semiperimeter(g);
+  const labeling_stats s = compute_stats(r.l);
+  EXPECT_EQ(static_cast<std::size_t>(s.semiperimeter),
+            g.g.node_count() + r.oct_size + r.promoted);
+}
+
+TEST(LabelOctTest, BipartiteGraphGetsNoVhWithoutAlignment) {
+  // A single variable f = x0: graph is an edge (bipartite).
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.var(0)}, {"f"});
+  oct_label_options options;
+  options.alignment = false;
+  const oct_label_result r = label_minimal_semiperimeter(g, options);
+  EXPECT_EQ(r.oct_size, 0u);
+  EXPECT_EQ(r.promoted, 0u);
+  const labeling_stats s = compute_stats(r.l);
+  EXPECT_EQ(s.semiperimeter, 2);  // n = 2, k = 0
+}
+
+TEST(LabelOctTest, AlignmentPromotesWhenRootAndTerminalCollide) {
+  // f = x0: root and terminal are adjacent, so both cannot be H;
+  // alignment must promote exactly one of them to VH.
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.var(0)}, {"f"});
+  const oct_label_result r = label_minimal_semiperimeter(g);
+  EXPECT_TRUE(satisfies_alignment(g, r.l));
+  EXPECT_EQ(r.oct_size + r.promoted, 1u);
+  const labeling_stats s = compute_stats(r.l);
+  EXPECT_EQ(s.semiperimeter, 3);
+}
+
+TEST(LabelOctTest, MinimalityOnOddCycleBddGraphs) {
+  // Random small functions: the OCT labeling must use no more VH labels
+  // than the trivial all-VH labeling, and stats must be consistent.
+  rng random(71);
+  for (int t = 0; t < 10; ++t) {
+    const int n = 4;
+    bdd::manager m(n);
+    bdd::node_handle f = m.constant(false);
+    for (int c = 0; c < 4; ++c) {
+      bdd::node_handle cube = m.constant(true);
+      for (int v = 0; v < n; ++v) {
+        const auto roll = random.next_below(3);
+        if (roll == 0) cube = m.apply_and(cube, m.var(v));
+        if (roll == 1) cube = m.apply_and(cube, m.nvar(v));
+      }
+      f = m.apply_or(f, cube);
+    }
+    if (m.is_terminal(f)) continue;
+    const bdd_graph g = build_bdd_graph(m, {f}, {"f"});
+    const oct_label_result r = label_minimal_semiperimeter(g);
+    const labeling_stats s = compute_stats(r.l);
+    EXPECT_LE(s.vh_count, static_cast<int>(g.g.node_count()));
+    EXPECT_LT(s.semiperimeter, 2 * static_cast<int>(g.g.node_count()) + 1);
+  }
+}
+
+TEST(LabelOctTest, BalancingNeverIncreasesSemiperimeter) {
+  const frontend::network net = frontend::make_decoder(4);
+  bdd::manager m(net.input_count());
+  const bdd_graph g = graph_of(net, m);
+  oct_label_options balanced;
+  balanced.balance = true;
+  oct_label_options unbalanced;
+  unbalanced.balance = false;
+  const labeling_stats sb =
+      compute_stats(label_minimal_semiperimeter(g, balanced).l);
+  const labeling_stats su =
+      compute_stats(label_minimal_semiperimeter(g, unbalanced).l);
+  EXPECT_EQ(sb.semiperimeter, su.semiperimeter);
+  EXPECT_LE(sb.max_dimension, su.max_dimension);
+}
+
+TEST(LabelOctTest, EmptyGraph) {
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.constant(true)}, {"one"});
+  const oct_label_result r = label_minimal_semiperimeter(g);
+  EXPECT_TRUE(r.l.label_of.empty());
+  EXPECT_TRUE(r.optimal);
+}
+
+}  // namespace
+}  // namespace compact::core

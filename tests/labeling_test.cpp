@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/labeling.hpp"
+
+namespace compact::core {
+namespace {
+
+TEST(LabelingTest, StatsCountRowsColumnsVh) {
+  labeling l;
+  l.label_of = {vh_label::h, vh_label::v, vh_label::vh, vh_label::h};
+  const labeling_stats s = compute_stats(l);
+  EXPECT_EQ(s.rows, 3);       // 2 H + 1 VH
+  EXPECT_EQ(s.columns, 2);    // 1 V + 1 VH
+  EXPECT_EQ(s.vh_count, 1);
+  EXPECT_EQ(s.semiperimeter, 5);
+  EXPECT_EQ(s.max_dimension, 3);
+}
+
+TEST(LabelingTest, SemiperimeterEqualsNPlusK) {
+  // S = n + k where k = #VH (the paper's statement).
+  labeling l;
+  l.label_of = {vh_label::h, vh_label::v, vh_label::vh, vh_label::vh,
+                vh_label::v};
+  const labeling_stats s = compute_stats(l);
+  EXPECT_EQ(s.semiperimeter, static_cast<int>(l.label_of.size()) + s.vh_count);
+}
+
+TEST(LabelingTest, FeasibilityRules) {
+  graph::undirected_graph g(2);
+  g.add_edge(0, 1);
+  labeling l;
+  l.label_of = {vh_label::v, vh_label::v};
+  EXPECT_FALSE(is_feasible(g, l));  // V-V edge unrealizable
+  l.label_of = {vh_label::h, vh_label::h};
+  EXPECT_FALSE(is_feasible(g, l));  // H-H edge unrealizable
+  l.label_of = {vh_label::v, vh_label::h};
+  EXPECT_TRUE(is_feasible(g, l));
+  l.label_of = {vh_label::vh, vh_label::v};
+  EXPECT_TRUE(is_feasible(g, l));   // VH is compatible with both
+  l.label_of = {vh_label::vh, vh_label::vh};
+  EXPECT_TRUE(is_feasible(g, l));
+  l.label_of = {vh_label::v};
+  EXPECT_FALSE(is_feasible(g, l));  // size mismatch
+}
+
+TEST(LabelingTest, AllVhAlwaysFeasible) {
+  graph::undirected_graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // odd cycle
+  g.add_edge(2, 3);
+  const labeling l = all_vh_labeling(g.node_count());
+  EXPECT_TRUE(is_feasible(g, l));
+  const labeling_stats s = compute_stats(l);
+  EXPECT_EQ(s.semiperimeter, 8);  // 2n
+  EXPECT_EQ(s.rows, 4);
+  EXPECT_EQ(s.columns, 4);
+}
+
+TEST(LabelingTest, AlignmentRequiresRowOnAlignedNodes) {
+  bdd::manager m(1);
+  const bdd_graph g = build_bdd_graph(m, {m.var(0)}, {"f"});
+  // Nodes: var node (output/root) and terminal. Both aligned.
+  labeling l;
+  l.label_of.assign(2, vh_label::h);
+  // Infeasible as a labeling (H-H edge) but alignment itself holds.
+  EXPECT_TRUE(satisfies_alignment(g, l));
+  l.label_of[static_cast<std::size_t>(g.outputs[0].node)] = vh_label::v;
+  EXPECT_FALSE(satisfies_alignment(g, l));
+  l.label_of[static_cast<std::size_t>(g.outputs[0].node)] = vh_label::vh;
+  EXPECT_TRUE(satisfies_alignment(g, l));
+}
+
+}  // namespace
+}  // namespace compact::core

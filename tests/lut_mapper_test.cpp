@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "frontend/benchgen.hpp"
+#include "magic/lut_mapper.hpp"
+
+namespace compact::magic {
+namespace {
+
+std::vector<bool> bits(std::uint64_t v, int n) {
+  std::vector<bool> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1;
+  return out;
+}
+
+TEST(LutMapperTest, MappingPreservesSemantics) {
+  for (const auto& net :
+       {frontend::make_ripple_adder(3), frontend::make_comparator(3),
+        frontend::make_parity(6, 2), frontend::make_mux_tree(2)}) {
+    const gate_network gates = decompose(net);
+    const lut_mapping mapping = map_to_luts(gates);
+    const int n = net.input_count();
+    const std::uint64_t limit = std::min<std::uint64_t>(1ULL << n, 256);
+    for (std::uint64_t v = 0; v < limit; ++v) {
+      const auto a = bits(v, n);
+      EXPECT_EQ(evaluate_luts(gates, mapping, a), gates.evaluate(a))
+          << net.name() << " v=" << v;
+    }
+  }
+}
+
+TEST(LutMapperTest, LeafCountsRespectK) {
+  for (int k = 2; k <= 6; ++k) {
+    const gate_network gates = decompose(frontend::make_ripple_adder(4));
+    lut_mapper_options options;
+    options.k = k;
+    const lut_mapping mapping = map_to_luts(gates, options);
+    for (const lut& l : mapping.luts)
+      EXPECT_LE(static_cast<int>(l.leaves.size()), k);
+  }
+}
+
+TEST(LutMapperTest, LargerKNeedsFewerLuts) {
+  const gate_network gates = decompose(frontend::make_ripple_adder(6));
+  lut_mapper_options k2;
+  k2.k = 2;
+  lut_mapper_options k6;
+  k6.k = 6;
+  const lut_mapping small = map_to_luts(gates, k2);
+  const lut_mapping large = map_to_luts(gates, k6);
+  EXPECT_LT(large.luts.size(), small.luts.size());
+  EXPECT_LE(large.levels, small.levels);
+}
+
+TEST(LutMapperTest, SingleGateBecomesSingleLut) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  net.set_output(net.add_xor(a, b), "y");
+  const gate_network gates = decompose(net);
+  const lut_mapping mapping = map_to_luts(gates);
+  ASSERT_EQ(mapping.luts.size(), 1u);
+  EXPECT_EQ(mapping.luts[0].leaves.size(), 2u);
+  // XOR truth table over 2 leaves: 0b0110.
+  EXPECT_EQ(mapping.luts[0].truth_table & 0xF, 0b0110u);
+  EXPECT_EQ(mapping.levels, 1);
+}
+
+TEST(LutMapperTest, PassThroughOutputHasNoLut) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  net.set_output(a, "y");
+  const gate_network gates = decompose(net);
+  const lut_mapping mapping = map_to_luts(gates);
+  EXPECT_TRUE(mapping.luts.empty());
+  ASSERT_EQ(mapping.outputs.size(), 1u);
+  EXPECT_EQ(mapping.outputs[0], -1);
+}
+
+TEST(LutMapperTest, LevelsConsistent) {
+  const gate_network gates = decompose(frontend::make_comparator(4));
+  const lut_mapping mapping = map_to_luts(gates);
+  for (const lut& l : mapping.luts) {
+    EXPECT_GE(l.level, 0);
+    EXPECT_LT(l.level, mapping.levels);
+  }
+}
+
+}  // namespace
+}  // namespace compact::magic

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "frontend/benchgen.hpp"
+#include "magic/machine.hpp"
+
+namespace compact::magic {
+namespace {
+
+std::vector<bool> bits(std::uint64_t v, int n) {
+  std::vector<bool> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1;
+  return out;
+}
+
+struct compiled {
+  gate_network gates;
+  lut_mapping mapping;
+  magic_program program;
+};
+
+compiled compile(const frontend::network& net) {
+  compiled result;
+  result.gates = decompose(net);
+  result.mapping = map_to_luts(result.gates);
+  result.program = compile_magic(result.gates, result.mapping);
+  return result;
+}
+
+TEST(MagicMachineTest, ProgramComputesTheNetworkFunction) {
+  for (const auto& net :
+       {frontend::make_ripple_adder(3), frontend::make_comparator(3),
+        frontend::make_mux_tree(2), frontend::make_decoder(3),
+        frontend::make_parity(6, 2)}) {
+    const compiled c = compile(net);
+    const int n = net.input_count();
+    const std::uint64_t limit = std::min<std::uint64_t>(1ULL << n, 256);
+    for (std::uint64_t v = 0; v < limit; ++v) {
+      const auto a = bits(v, n);
+      EXPECT_EQ(run_magic(c.program, a), net.simulate(a))
+          << net.name() << " v=" << v;
+    }
+  }
+}
+
+TEST(MagicMachineTest, OperationCountsMatchTheCostModel) {
+  // The Fig. 13 cost model must describe a real program, op for op.
+  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
+    const compiled c = compile(spec.net);
+    const contra_result cost = schedule_luts(c.gates, c.mapping, {});
+    EXPECT_EQ(c.program.input_ops(), cost.input_ops) << spec.name;
+    EXPECT_EQ(c.program.copy_ops(), cost.copy_ops) << spec.name;
+    EXPECT_EQ(c.program.nor_ops(), cost.nor_ops) << spec.name;
+    EXPECT_EQ(c.program.total_ops(), cost.total_ops) << spec.name;
+  }
+}
+
+TEST(MagicMachineTest, PassThroughAndConstantOutputs) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  net.set_output(a, "same");
+  net.set_output(net.add_const(true), "one");
+  net.set_output(net.add_const(false), "zero");
+  const compiled c = compile(net);
+  for (bool v : {false, true}) {
+    const std::vector<bool> out = run_magic(c.program, {v});
+    EXPECT_EQ(out[0], v);
+    EXPECT_TRUE(out[1]);
+    EXPECT_FALSE(out[2]);
+  }
+}
+
+TEST(MagicMachineTest, SingleNorGate) {
+  frontend::network net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  net.set_output(net.add_nor(a, b), "y");
+  const compiled c = compile(net);
+  for (int v = 0; v < 4; ++v) {
+    const bool A = v & 1, B = v & 2;
+    EXPECT_EQ(run_magic(c.program, {A, B})[0], !(A || B));
+  }
+}
+
+TEST(MagicMachineTest, ShortAssignmentRejected) {
+  const compiled c = compile(frontend::make_comparator(2));
+  EXPECT_THROW((void)run_magic(c.program, {true}), error);
+}
+
+}  // namespace
+}  // namespace compact::magic

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "frontend/network.hpp"
+
+namespace compact::frontend {
+namespace {
+
+TEST(NetworkTest, GateLibrarySemantics) {
+  network net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  net.set_output(net.add_and(a, b), "and");
+  net.set_output(net.add_or(a, b), "or");
+  net.set_output(net.add_xor(a, b), "xor");
+  net.set_output(net.add_nand(a, b), "nand");
+  net.set_output(net.add_nor(a, b), "nor");
+  net.set_output(net.add_xnor(a, b), "xnor");
+  net.set_output(net.add_not(a), "not");
+  net.set_output(net.add_buf(b), "buf");
+
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      const bool A = av, B = bv;
+      const std::vector<bool> out = net.simulate({A, B});
+      EXPECT_EQ(out[0], A && B);
+      EXPECT_EQ(out[1], A || B);
+      EXPECT_EQ(out[2], A != B);
+      EXPECT_EQ(out[3], !(A && B));
+      EXPECT_EQ(out[4], !(A || B));
+      EXPECT_EQ(out[5], A == B);
+      EXPECT_EQ(out[6], !A);
+      EXPECT_EQ(out[7], B);
+    }
+  }
+}
+
+TEST(NetworkTest, MuxSemantics) {
+  network net;
+  const int s = net.add_input("s");
+  const int t = net.add_input("t");
+  const int e = net.add_input("e");
+  net.set_output(net.add_mux(s, t, e), "y");
+  for (int v = 0; v < 8; ++v) {
+    const bool S = v & 1, T = v & 2, E = v & 4;
+    EXPECT_EQ(net.simulate({S, T, E})[0], S ? T : E);
+  }
+}
+
+TEST(NetworkTest, Constants) {
+  network net;
+  (void)net.add_input("a");
+  net.set_output(net.add_const(true), "one");
+  net.set_output(net.add_const(false), "zero");
+  EXPECT_TRUE(net.simulate({false})[0]);
+  EXPECT_FALSE(net.simulate({false})[1]);
+}
+
+TEST(NetworkTest, WideAndOr) {
+  network net;
+  std::vector<int> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(net.add_input(""));
+  net.set_output(net.add_and_n(ins), "all");
+  net.set_output(net.add_or_n(ins), "any");
+  net.set_output(net.add_and_n({}), "empty_and");
+  net.set_output(net.add_or_n({}), "empty_or");
+  EXPECT_FALSE(net.simulate({true, true, false, true, true})[0]);
+  EXPECT_TRUE(net.simulate({true, true, true, true, true})[0]);
+  EXPECT_TRUE(net.simulate({false, false, true, false, false})[1]);
+  EXPECT_FALSE(net.simulate({false, false, false, false, false})[1]);
+  EXPECT_TRUE(net.simulate({false, false, false, false, false})[2]);
+  EXPECT_FALSE(net.simulate({true, true, true, true, true})[3]);
+}
+
+TEST(NetworkTest, CubeWidthValidation) {
+  network net;
+  const int a = net.add_input("a");
+  EXPECT_THROW((void)net.add_gate("g", {a}, {"11"}), error);
+  EXPECT_THROW((void)net.add_gate("g", {a}, {"x"}), error);
+  EXPECT_THROW((void)net.add_gate("g", {42}, {"1"}), error);
+}
+
+TEST(NetworkTest, SimulateValidatesAssignmentSize) {
+  network net;
+  (void)net.add_input("a");
+  EXPECT_THROW((void)net.simulate({}), error);
+  EXPECT_THROW((void)net.simulate({true, false}), error);
+}
+
+TEST(NetworkTest, OutputsKeepDeclarationOrderAndNames) {
+  network net;
+  const int a = net.add_input("a");
+  net.set_output(a, "first");
+  net.set_output(net.add_not(a), "second");
+  ASSERT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.outputs()[0].name, "first");
+  EXPECT_EQ(net.outputs()[1].name, "second");
+}
+
+}  // namespace
+}  // namespace compact::frontend

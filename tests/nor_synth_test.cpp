@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "magic/nor_synth.hpp"
+#include "util/rng.hpp"
+
+namespace compact::magic {
+namespace {
+
+/// Evaluate a cube cover at a minterm.
+bool cover_value(const std::vector<std::string>& cover, std::uint64_t minterm,
+                 int inputs) {
+  for (const std::string& cube : cover) {
+    bool hit = true;
+    for (int i = 0; i < inputs && hit; ++i) {
+      if (cube[static_cast<std::size_t>(i)] == '-') continue;
+      const bool want = cube[static_cast<std::size_t>(i)] == '1';
+      if (bool((minterm >> i) & 1) != want) hit = false;
+    }
+    if (hit) return true;
+  }
+  return false;
+}
+
+TEST(CoverTest, CoversExactlyTheOnSet) {
+  rng random(3);
+  for (int t = 0; t < 50; ++t) {
+    const int n = 1 + static_cast<int>(random.next_below(5));
+    const std::uint64_t rows = 1ULL << n;
+    const std::uint64_t mask = rows == 64 ? ~0ULL : (1ULL << rows) - 1;
+    const std::uint64_t table = random.next_u64() & mask;
+    const std::vector<std::string> cover = extract_cover(table, n);
+    for (std::uint64_t m = 0; m < rows; ++m)
+      EXPECT_EQ(cover_value(cover, m, n), bool((table >> m) & 1))
+          << "n=" << n << " table=" << table << " m=" << m;
+  }
+}
+
+TEST(CoverTest, MergesAdjacentMinterms) {
+  // f = x0 (on-set {1, 3} over 2 vars) should be one cube "1-".
+  const std::vector<std::string> cover = extract_cover(0b1010, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], "1-");
+}
+
+TEST(CoverTest, TautologyIsSingleFreeCube) {
+  const std::vector<std::string> cover = extract_cover(0xF, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], "--");
+}
+
+TEST(CoverTest, EmptyOnSet) {
+  EXPECT_TRUE(extract_cover(0, 3).empty());
+}
+
+TEST(NorSynthTest, ConstantsNeedNoOps) {
+  EXPECT_EQ(synthesize_nor(0x0, 2).total_ops(), 0);
+  EXPECT_EQ(synthesize_nor(0xF, 2).total_ops(), 0);
+}
+
+TEST(NorSynthTest, NorGateIsOneOp) {
+  // f = NOR(a, b): complement is a OR b, cover {"1-", "-1"}... but the
+  // canonical NOR realization needs no inverters: cube "1-" has literal a
+  // positive -> wait, cubes of !f: !f = a | b with cubes 1- and -1, each a
+  // single positive literal, needing its complement... Actually a
+  // single-literal cube c = a is realized as NOR(!a): one inverter + one
+  // NOR, or directly recognized. We assert the cost is small and correct
+  // rather than hand-optimal.
+  const nor_program p = synthesize_nor(0b0001, 2);  // f(00)=1 only = NOR
+  EXPECT_GE(p.total_ops(), 1);
+  EXPECT_LE(p.total_ops(), 5);
+}
+
+TEST(NorSynthTest, AndGate) {
+  // f = a AND b: !f covers {"0-", "-0"}, negative literals need no
+  // inverters: 2 cube ops + 1 output op.
+  const nor_program p = synthesize_nor(0b1000, 2);
+  EXPECT_EQ(p.inverter_ops, 0);
+  EXPECT_EQ(p.cube_ops, 2);
+  EXPECT_EQ(p.output_ops, 1);
+  EXPECT_EQ(p.depth, 2);
+}
+
+TEST(NorSynthTest, XorNeedsMoreThanAnd) {
+  const nor_program x = synthesize_nor(0b0110, 2);
+  const nor_program a = synthesize_nor(0b1000, 2);
+  EXPECT_GT(x.total_ops(), a.total_ops());
+}
+
+TEST(NorSynthTest, DepthBounded) {
+  rng random(9);
+  for (int t = 0; t < 30; ++t) {
+    const int n = 1 + static_cast<int>(random.next_below(4));
+    const std::uint64_t rows = 1ULL << n;
+    const std::uint64_t mask = rows == 64 ? ~0ULL : (1ULL << rows) - 1;
+    const nor_program p = synthesize_nor(random.next_u64() & mask, n);
+    EXPECT_LE(p.depth, 3);  // inverters, cubes, output
+    EXPECT_GE(p.depth, 0);
+  }
+}
+
+}  // namespace
+}  // namespace compact::magic

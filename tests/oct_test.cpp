@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "graph/oct.hpp"
+#include "util/rng.hpp"
+
+namespace compact::graph {
+namespace {
+
+std::size_t brute_force_oct(const undirected_graph& g) {
+  const int n = static_cast<int>(g.node_count());
+  std::size_t best = g.node_count();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<bool> transversal(g.node_count());
+    for (int v = 0; v < n; ++v)
+      transversal[static_cast<std::size_t>(v)] = mask & (1 << v);
+    if (is_odd_cycle_transversal(g, transversal))
+      best = std::min(best, static_cast<std::size_t>(__builtin_popcount(
+                                static_cast<unsigned>(mask))));
+  }
+  return best;
+}
+
+undirected_graph odd_cycle(int n) {
+  undirected_graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+TEST(OctTest, BipartiteGraphNeedsNothing) {
+  undirected_graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const oct_result r = odd_cycle_transversal(g);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(OctTest, SingleOddCycleNeedsOne) {
+  for (int n : {3, 5, 7, 9}) {
+    const oct_result r = odd_cycle_transversal(odd_cycle(n));
+    EXPECT_EQ(r.size, 1u) << "C" << n;
+    EXPECT_TRUE(r.optimal);
+    EXPECT_TRUE(is_odd_cycle_transversal(odd_cycle(n), r.in_transversal));
+  }
+}
+
+TEST(OctTest, TwoDisjointTrianglesNeedTwo) {
+  undirected_graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  const oct_result r = odd_cycle_transversal(g);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_TRUE(is_odd_cycle_transversal(g, r.in_transversal));
+}
+
+TEST(OctTest, CompleteGraphK5NeedsThree) {
+  // K_n needs n - 2 deletions to become bipartite.
+  undirected_graph g(5);
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j) g.add_edge(i, j);
+  EXPECT_EQ(odd_cycle_transversal(g).size, 3u);
+}
+
+TEST(OctTest, MatchesBruteForceOnRandomGraphs) {
+  rng random(31);
+  for (int t = 0; t < 20; ++t) {
+    undirected_graph g(9);
+    for (int i = 0; i < 9; ++i)
+      for (int j = i + 1; j < 9; ++j)
+        if (random.next_below(100) < 25) g.add_edge(i, j);
+    const oct_result r = odd_cycle_transversal(g);
+    EXPECT_TRUE(r.optimal);
+    EXPECT_TRUE(is_odd_cycle_transversal(g, r.in_transversal));
+    EXPECT_EQ(r.size, brute_force_oct(g)) << "trial " << t;
+  }
+}
+
+TEST(OctTest, IlpEngineAgreesWithBnb) {
+  rng random(37);
+  for (int t = 0; t < 6; ++t) {
+    undirected_graph g(7);
+    for (int i = 0; i < 7; ++i)
+      for (int j = i + 1; j < 7; ++j)
+        if (random.next_below(100) < 30) g.add_edge(i, j);
+    oct_options bnb_opt;
+    bnb_opt.engine = oct_engine::bnb;
+    oct_options ilp_opt;
+    ilp_opt.engine = oct_engine::ilp;
+    const oct_result a = odd_cycle_transversal(g, bnb_opt);
+    const oct_result b = odd_cycle_transversal(g, ilp_opt);
+    EXPECT_EQ(a.size, b.size) << "trial " << t;
+  }
+}
+
+TEST(OctTest, GreedyIsAlwaysValid) {
+  rng random(41);
+  for (int t = 0; t < 20; ++t) {
+    undirected_graph g(12);
+    for (int i = 0; i < 12; ++i)
+      for (int j = i + 1; j < 12; ++j)
+        if (random.next_below(100) < 30) g.add_edge(i, j);
+    const oct_result r = greedy_odd_cycle_transversal(g);
+    EXPECT_TRUE(is_odd_cycle_transversal(g, r.in_transversal));
+  }
+}
+
+TEST(OctTest, ValidityCheckerRejectsNonTransversal) {
+  const undirected_graph g = odd_cycle(3);
+  EXPECT_FALSE(is_odd_cycle_transversal(g, {false, false, false}));
+  EXPECT_TRUE(is_odd_cycle_transversal(g, {true, false, false}));
+}
+
+}  // namespace
+}  // namespace compact::graph

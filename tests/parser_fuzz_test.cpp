@@ -1,0 +1,96 @@
+// Robustness: parsers must reject malformed input with parse_error — never
+// crash, hang or accept garbage silently.
+#include <gtest/gtest.h>
+
+#include "frontend/blif.hpp"
+#include "frontend/pla.hpp"
+#include "frontend/verilog.hpp"
+#include "util/rng.hpp"
+#include "xbar/serialize.hpp"
+
+#include <sstream>
+
+namespace compact {
+namespace {
+
+std::string random_text(rng& random, int length, bool structured) {
+  static const char* fragments[] = {
+      ".model", ".inputs", ".names", ".end",    "module", "endmodule",
+      "assign", "input",   "output", "wire",    "and",    "nor",
+      ".i",     ".o",      ".e",     "xbar",    "dim",    "d",
+      "1",      "0",       "-",      "a",       "b",      "(",
+      ")",      ";",       ",",      "=",       "&",      "|",
+      "~",      "\n",      " ",      "11 1",    "1- 1",   "# x",
+  };
+  std::string text;
+  for (int i = 0; i < length; ++i) {
+    if (structured) {
+      text += fragments[random.next_below(std::size(fragments))];
+      text += ' ';
+    } else {
+      text += static_cast<char>(32 + random.next_below(95));
+    }
+  }
+  return text;
+}
+
+template <typename Parser>
+void fuzz(Parser&& parse, std::uint64_t seed) {
+  rng random(seed);
+  int accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const bool structured = trial % 2 == 0;
+    const std::string text =
+        random_text(random, 5 + static_cast<int>(random.next_below(60)),
+                    structured);
+    try {
+      (void)parse(text);
+      ++accepted;  // structurally valid by luck — fine, must not crash
+    } catch (const error&) {
+      // expected for garbage
+    }
+  }
+  // Random garbage overwhelmingly fails to parse.
+  EXPECT_LT(accepted, 40);
+}
+
+TEST(ParserFuzzTest, Blif) {
+  fuzz([](const std::string& t) { return frontend::parse_blif_string(t); },
+       101);
+}
+
+TEST(ParserFuzzTest, Pla) {
+  fuzz([](const std::string& t) { return frontend::parse_pla_string(t); },
+       202);
+}
+
+TEST(ParserFuzzTest, Verilog) {
+  fuzz([](const std::string& t) { return frontend::parse_verilog_string(t); },
+       303);
+}
+
+TEST(ParserFuzzTest, XbarDesigns) {
+  fuzz(
+      [](const std::string& t) {
+        std::istringstream is(t);
+        return xbar::read_design(is);
+      },
+      404);
+}
+
+TEST(ParserFuzzTest, TruncatedValidInputsRejected) {
+  const std::string valid_blif =
+      ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+  // Every strict prefix that cuts into the structure must throw or parse to
+  // something consistent — never crash.
+  for (std::size_t cut = 1; cut < valid_blif.size(); ++cut) {
+    try {
+      (void)frontend::parse_blif_string(valid_blif.substr(0, cut));
+    } catch (const error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace compact

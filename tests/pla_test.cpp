@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "frontend/pla.hpp"
+
+namespace compact::frontend {
+namespace {
+
+TEST(PlaTest, ParsesTwoOutputPla) {
+  const network net = parse_pla_string(R"(
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+11- 10
+--1 11
+.e
+)");
+  EXPECT_EQ(net.input_count(), 3);
+  ASSERT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.outputs()[0].name, "f");
+  EXPECT_EQ(net.outputs()[1].name, "g");
+  for (int v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, c = v & 4;
+    EXPECT_EQ(net.simulate({a, b, c})[0], (a && b) || c);
+    EXPECT_EQ(net.simulate({a, b, c})[1], c);
+  }
+}
+
+TEST(PlaTest, JoinedRowFormat) {
+  // Rows without a space between cube and outputs.
+  const network net = parse_pla_string(".i 2\n.o 1\n111\n.e\n");
+  EXPECT_TRUE(net.simulate({true, true})[0]);
+  EXPECT_FALSE(net.simulate({true, false})[0]);
+}
+
+TEST(PlaTest, DefaultSignalNames) {
+  const network net = parse_pla_string(".i 2\n.o 1\n1- 1\n.e\n");
+  EXPECT_EQ(net.outputs()[0].name, "o0");
+}
+
+TEST(PlaTest, EmptyOnSetIsConstantZero) {
+  const network net = parse_pla_string(".i 2\n.o 1\n11 0\n.e\n");
+  for (int v = 0; v < 4; ++v)
+    EXPECT_FALSE(net.simulate({bool(v & 1), bool(v & 2)})[0]);
+}
+
+TEST(PlaTest, Errors) {
+  EXPECT_THROW((void)parse_pla_string("11 1\n"), parse_error);    // row first
+  EXPECT_THROW((void)parse_pla_string(".i 2\n.o 1\n1 1\n.e\n"),
+               parse_error);  // width
+  EXPECT_THROW((void)parse_pla_string(".i 2\n.o 1\n1x 1\n.e\n"),
+               parse_error);  // bad char
+  EXPECT_THROW((void)parse_pla_string(".i 2\n.o 1\n.bogus\n.e\n"),
+               parse_error);  // directive
+}
+
+TEST(PlaTest, CommentsIgnored) {
+  const network net =
+      parse_pla_string("# header\n.i 1\n.o 1\n1 1 # minterm\n.e\n");
+  EXPECT_TRUE(net.simulate({true})[0]);
+}
+
+}  // namespace
+}  // namespace compact::frontend

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/compact.hpp"
+#include "frontend/benchgen.hpp"
+#include "xbar/evaluate.hpp"
+#include "xbar/serialize.hpp"
+
+namespace compact::xbar {
+namespace {
+
+crossbar sample_design() {
+  crossbar x(3, 2);
+  x.set_input_row(2);
+  x.add_output(0, "f");
+  x.add_constant_output(true, "one");
+  x.set_on(2, 1);
+  x.set_literal(0, 1, 2, true);
+  x.set_literal(1, 1, 1, false);
+  x.set_on(1, 0);
+  x.set_literal(0, 0, 0, true);
+  return x;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const crossbar original = sample_design();
+  std::ostringstream os;
+  write_design(original, os, {"a", "b", "c"});
+  std::istringstream is(os.str());
+  const loaded_design loaded = read_design(is);
+
+  EXPECT_EQ(loaded.design.rows(), original.rows());
+  EXPECT_EQ(loaded.design.columns(), original.columns());
+  EXPECT_EQ(loaded.design.input_row(), original.input_row());
+  ASSERT_EQ(loaded.design.outputs().size(), 1u);
+  EXPECT_EQ(loaded.design.outputs()[0].name, "f");
+  ASSERT_EQ(loaded.design.constant_outputs().size(), 1u);
+  EXPECT_EQ(loaded.variable_names,
+            (std::vector<std::string>{"a", "b", "c"}));
+  for (int r = 0; r < original.rows(); ++r)
+    for (int c = 0; c < original.columns(); ++c) {
+      EXPECT_EQ(loaded.design.at(r, c).kind, original.at(r, c).kind);
+      EXPECT_EQ(loaded.design.at(r, c).variable, original.at(r, c).variable);
+    }
+}
+
+TEST(SerializeTest, RoundTrippedDesignEvaluatesIdentically) {
+  const crossbar original = sample_design();
+  std::ostringstream os;
+  write_design(original, os);
+  std::istringstream is(os.str());
+  const loaded_design loaded = read_design(is);
+  for (int v = 0; v < 8; ++v) {
+    const std::vector<bool> a{bool(v & 1), bool(v & 2), bool(v & 4)};
+    EXPECT_EQ(evaluate(loaded.design, a), evaluate(original, a)) << v;
+  }
+}
+
+TEST(SerializeTest, SynthesizedDesignRoundTrips) {
+  const frontend::network net = frontend::make_comparator(3);
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  const core::synthesis_result r = core::synthesize_network(net, options);
+  std::ostringstream os;
+  write_design(r.design, os);
+  std::istringstream is(os.str());
+  const loaded_design loaded = read_design(is);
+  for (int v = 0; v < 64; ++v) {
+    std::vector<bool> a(6);
+    for (int i = 0; i < 6; ++i) a[static_cast<std::size_t>(i)] = (v >> i) & 1;
+    EXPECT_EQ(evaluate(loaded.design, a), evaluate(r.design, a)) << v;
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "# a comment\nxbar 1\n\ndim 2 1\ninput 1\noutput 0 f\n"
+      "d 1 0 on # bridge\nd 0 0 +0\nend\n");
+  const loaded_design loaded = read_design(is);
+  EXPECT_EQ(loaded.design.rows(), 2);
+  EXPECT_TRUE(evaluate_output(loaded.design, {true}, "f"));
+  EXPECT_FALSE(evaluate_output(loaded.design, {false}, "f"));
+}
+
+TEST(SerializeTest, DotExportShowsWiresAndDevices) {
+  const crossbar x = sample_design();
+  std::ostringstream os;
+  write_design_dot(x, os, {"a", "b", "c"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("graph crossbar"), std::string::npos);
+  EXPECT_NE(s.find("WL2"), std::string::npos);   // input row exists
+  EXPECT_NE(s.find("BL1"), std::string::npos);
+  EXPECT_NE(s.find("\"c\""), std::string::npos);   // named literal
+  EXPECT_NE(s.find("\"!b\""), std::string::npos);  // negative literal
+  EXPECT_NE(s.find("lightblue"), std::string::npos);   // input highlight
+  EXPECT_NE(s.find("palegreen"), std::string::npos);   // output highlight
+  // Exactly one edge per programmed junction (5 in the sample design).
+  std::size_t edges = 0, at = 0;
+  while ((at = s.find(" -- ", at)) != std::string::npos) {
+    ++edges;
+    at += 4;
+  }
+  EXPECT_EQ(edges, 5u);
+}
+
+TEST(SerializeTest, MalformedInputsRejected) {
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_design(is);
+  };
+  EXPECT_THROW((void)parse(""), parse_error);
+  EXPECT_THROW((void)parse("xbar 2\ndim 1 1\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 1\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 1\ndim 2 2\nd 0 0 ??\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 1\ndim 2 2\nbogus\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 1\ndim 2 2\nd 0 0 on\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 1\ndim 2 2\nd 9 0 on\nend\n"), error);
+  EXPECT_THROW((void)parse("xbar 1\ndim 2 2\nd x 0 on\nend\n"), parse_error);
+}
+
+}  // namespace
+}  // namespace compact::xbar

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/model.hpp"
+#include "milp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace compact::milp {
+namespace {
+
+TEST(SimplexTest, TrivialEmptyModel) {
+  model m;
+  const lp_result r = solve_lp(m);
+  EXPECT_EQ(r.status, lp_status::optimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(SimplexTest, SingleVariableBoxed) {
+  model m;
+  m.add_variable(1.0, 4.0, 2.0, false, "x");  // min 2x, 1 <= x <= 4
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-7);
+}
+
+TEST(SimplexTest, MaximizationViaNegation) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> optimum 12 at (4,0).
+  model m;
+  const int x = m.add_continuous(-3.0, "x");
+  const int y = m.add_continuous(-2.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 4.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, relation::less_equal, 6.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, -12.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + y = 5, x <= 2 -> objective 5 (any split), x in [0,2].
+  model m;
+  const int x = m.add_variable(0.0, 2.0, 1.0, false, "x");
+  const int y = m.add_continuous(1.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::equal, 5.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);
+  EXPECT_NEAR(r.x[0] + r.x[1], 5.0, 1e-6);
+}
+
+TEST(SimplexTest, GreaterEqualNeedsPhase1) {
+  // min 2x + 3y s.t. x + y >= 4, x - y >= -2, x,y >= 0.
+  // Optimum: x=1, y=3 -> 11?  Check: minimize 2x+3y on x+y>=4: best puts
+  // weight on x: y = max(0, x... ) Corner candidates: (4,0): obj 8,
+  // feasibility: x-y=4 >= -2 ok. So optimum 8.
+  model m;
+  const int x = m.add_continuous(2.0, "x");
+  const int y = m.add_continuous(3.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::greater_equal, 4.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, relation::greater_equal, -2.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0, false, "x");
+  m.add_constraint({{x, 1.0}}, relation::greater_equal, 2.0);
+  EXPECT_EQ(solve_lp(m).status, lp_status::infeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  model m;
+  const int x = m.add_continuous(-1.0, "x");  // min -x, x unbounded above
+  m.add_constraint({{x, 1.0}}, relation::greater_equal, 0.0);
+  EXPECT_EQ(solve_lp(m).status, lp_status::unbounded);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Klee-Minty-flavored degeneracy: redundant constraints at the optimum.
+  model m;
+  const int x = m.add_continuous(-1.0, "x");
+  const int y = m.add_continuous(-1.0, "y");
+  m.add_constraint({{x, 1.0}}, relation::less_equal, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 2.0);
+  m.add_constraint({{y, 1.0}}, relation::less_equal, 1.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-6);
+}
+
+TEST(SimplexTest, VertexCoverRelaxationIsHalfIntegral) {
+  // LP relaxation of VC on an odd cycle: all variables 1/2, value n/2.
+  const int n = 5;
+  model m;
+  for (int i = 0; i < n; ++i) m.add_variable(0.0, 1.0, 1.0, false, "");
+  for (int i = 0; i < n; ++i)
+    m.add_constraint({{i, 1.0}, {(i + 1) % n, 1.0}},
+                     relation::greater_equal, 1.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, n / 2.0, 1e-6);
+  for (double v : r.x) {
+    const bool half_integral = std::abs(v) < 1e-6 ||
+                               std::abs(v - 0.5) < 1e-6 ||
+                               std::abs(v - 1.0) < 1e-6;
+    EXPECT_TRUE(half_integral) << v;
+  }
+}
+
+TEST(SimplexTest, SolutionSatisfiesConstraintsOnRandomLps) {
+  rng random(99);
+  int optimal_count = 0;
+  for (int t = 0; t < 40; ++t) {
+    model m;
+    const int n = 2 + static_cast<int>(random.next_below(5));
+    const int rows = 1 + static_cast<int>(random.next_below(6));
+    for (int j = 0; j < n; ++j)
+      m.add_variable(0.0, 1.0 + random.next_double() * 4.0,
+                     random.next_double() * 2.0 - 1.0, false, "");
+    for (int i = 0; i < rows; ++i) {
+      std::vector<linear_term> terms;
+      for (int j = 0; j < n; ++j)
+        if (random.next_bool())
+          terms.push_back({j, random.next_double() * 2.0 - 0.5});
+      if (terms.empty()) terms.push_back({0, 1.0});
+      const relation rel = random.next_bool() ? relation::less_equal
+                                              : relation::greater_equal;
+      m.add_constraint(terms, rel, random.next_double() * 3.0);
+    }
+    const lp_result r = solve_lp(m);
+    if (r.status == lp_status::optimal) {
+      ++optimal_count;
+      EXPECT_TRUE(m.is_feasible(r.x, 1e-5)) << "trial " << t;
+      EXPECT_NEAR(m.objective_value(r.x), r.objective, 1e-6);
+    }
+  }
+  EXPECT_GT(optimal_count, 10);  // most random boxes are feasible
+}
+
+TEST(SimplexTest, RespectsVariableUpperBoundsViaBoundFlips) {
+  // min -x - y with x,y in [0, 3] and x + y <= 100: both at upper bound.
+  model m;
+  const int x = m.add_variable(0.0, 3.0, -1.0, false, "x");
+  const int y = m.add_variable(0.0, 3.0, -1.0, false, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 100.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, NonzeroLowerBounds) {
+  // min x + y, x >= 2, y >= 3, x + y >= 7 -> 7.
+  model m;
+  const int x = m.add_variable(2.0, infinity, 1.0, false, "x");
+  const int y = m.add_variable(3.0, infinity, 1.0, false, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, relation::greater_equal, 7.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-6);
+}
+
+TEST(SimplexTest, SatisfiedGreaterEqualRowStartsSlackBasic) {
+  // Regression: a >= row already satisfied at the initial point makes its
+  // slack the initial basic variable with raw coefficient -1; the row must
+  // be negated into canonical form or every later pivot corrupts it.
+  // min -x s.t. -x >= -5, 0 <= x <= 10  ->  x = 5.
+  model m;
+  const int x = m.add_variable(0.0, 10.0, -1.0, false, "x");
+  m.add_constraint({{x, -1.0}}, relation::greater_equal, -5.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-7);
+  EXPECT_TRUE(m.is_feasible_continuous(r.x, 1e-6));
+}
+
+TEST(SimplexTest, FixedVariablesWithCoveringConstraints) {
+  // Regression distilled from the VH-labeling MIP under branching: fixing
+  // binaries satisfies some >= rows at the root, which then start with
+  // slack-basic (-1) rows.
+  model m;
+  const int a = m.add_variable(1.0, 1.0, 0.5, false, "a");  // fixed 1
+  const int b = m.add_variable(0.0, 1.0, 0.5, false, "b");
+  const int c = m.add_variable(0.0, 1.0, 0.5, false, "c");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, relation::greater_equal, 1.0);
+  m.add_constraint({{b, 1.0}, {c, 1.0}}, relation::greater_equal, 1.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_TRUE(m.is_feasible_continuous(r.x, 1e-6));
+  EXPECT_NEAR(r.objective, 1.0, 1e-6);  // a=1 fixed, then b or c at 1... b=1
+}
+
+TEST(SimplexTest, OptimalSolutionsAlwaysFeasibleUnderRandomFixings) {
+  // Fuzz the exact pattern branch-and-bound generates: a covering LP with
+  // random variables fixed to 0/1. Any "optimal" status must come with a
+  // genuinely feasible point (the solver self-checks and demotes instead of
+  // lying, and after the canonicalization fix it should never demote here).
+  rng random(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    model m;
+    const int n = 4 + static_cast<int>(random.next_below(8));
+    for (int j = 0; j < n; ++j) m.add_variable(0.0, 1.0, 1.0, false, "");
+    for (int i = 0; i < n; ++i) {
+      std::vector<linear_term> terms;
+      for (int j = 0; j < n; ++j)
+        if (random.next_below(3) == 0) terms.push_back({j, 1.0});
+      if (terms.empty()) terms.push_back({i % n, 1.0});
+      m.add_constraint(terms, relation::greater_equal, 1.0);
+    }
+    for (int f = 0; f < n / 2; ++f) {
+      const int var = static_cast<int>(random.next_below(n));
+      const double value = random.next_bool() ? 1.0 : 0.0;
+      m.set_bounds(var, value, value);
+    }
+    const lp_result r = solve_lp(m);
+    ASSERT_NE(r.status, lp_status::iteration_limit) << "trial " << trial;
+    if (r.status == lp_status::optimal)
+      EXPECT_TRUE(m.is_feasible_continuous(r.x, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(ModelTest, DuplicateTermsAccumulate) {
+  model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0, false, "x");
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, relation::greater_equal, 4.0);
+  const lp_result r = solve_lp(m);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);  // 2x >= 4
+}
+
+TEST(ModelTest, FeasibilityChecker) {
+  model m;
+  const int x = m.add_binary(1.0, "x");
+  m.add_constraint({{x, 1.0}}, relation::greater_equal, 1.0);
+  EXPECT_TRUE(m.is_feasible({1.0}));
+  EXPECT_FALSE(m.is_feasible({0.0}));   // violates constraint
+  EXPECT_FALSE(m.is_feasible({0.5}));   // violates integrality
+  EXPECT_FALSE(m.is_feasible({2.0}));   // violates bound
+}
+
+}  // namespace
+}  // namespace compact::milp

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "bdd/stats.hpp"
+#include "frontend/benchgen.hpp"
+#include "frontend/to_bdd.hpp"
+#include "util/rng.hpp"
+
+namespace compact::frontend {
+namespace {
+
+std::vector<bool> bits(std::uint64_t v, int n) {
+  std::vector<bool> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1;
+  return out;
+}
+
+TEST(ToBddTest, SbddMatchesSimulationExhaustively) {
+  const network net = make_ripple_adder(3);  // 7 inputs
+  bdd::manager m(net.input_count());
+  const sbdd built = build_sbdd(net, m);
+  ASSERT_EQ(built.roots.size(), net.outputs().size());
+  for (std::uint64_t v = 0; v < (1ULL << net.input_count()); ++v) {
+    const auto a = bits(v, net.input_count());
+    const std::vector<bool> sim = net.simulate(a);
+    for (std::size_t o = 0; o < built.roots.size(); ++o)
+      EXPECT_EQ(m.evaluate(built.roots[o], a), sim[o]) << "v=" << v;
+  }
+}
+
+TEST(ToBddTest, CustomOrderPreservesSemantics) {
+  const network net = make_comparator(3);  // 6 inputs
+  const std::vector<int> order{5, 3, 1, 4, 2, 0};
+  bdd::manager m(net.input_count());
+  const sbdd built = build_sbdd(net, m, order);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const auto a = bits(v, net.input_count());
+    const std::vector<bool> sim = net.simulate(a);
+    for (std::size_t o = 0; o < built.roots.size(); ++o) {
+      // BDD variable l corresponds to input order[l]; build the BDD-space
+      // assignment accordingly.
+      std::vector<bool> bdd_assignment(a.size());
+      for (std::size_t l = 0; l < order.size(); ++l)
+        bdd_assignment[l] = a[static_cast<std::size_t>(order[l])];
+      EXPECT_EQ(m.evaluate(built.roots[o], bdd_assignment), sim[o]);
+    }
+  }
+}
+
+TEST(ToBddTest, BadOrderRejected) {
+  const network net = make_parity(4, 1);
+  bdd::manager m(net.input_count());
+  EXPECT_THROW((void)build_sbdd(net, m, {0, 1}), error);        // wrong size
+  EXPECT_THROW((void)build_sbdd(net, m, {0, 0, 1, 2}), error);  // not a perm
+}
+
+TEST(ToBddTest, SbddSharesNodesAcrossOutputs) {
+  // The adder's carry chain is shared: SBDD nodes < sum of per-output BDDs.
+  const network net = make_ripple_adder(4);
+  bdd::manager shared(net.input_count());
+  const sbdd built = build_sbdd(net, shared);
+  const std::size_t shared_nodes =
+      bdd::collect_reachable(shared, built.roots).nodes.size();
+
+  std::size_t separate_total = 0;
+  for (int o = 0; o < static_cast<int>(net.outputs().size()); ++o) {
+    bdd::manager m(net.input_count());
+    const bdd::node_handle root = build_output(net, m, o);
+    separate_total += bdd::collect_reachable(m, {root}).nodes.size();
+  }
+  EXPECT_LT(shared_nodes, separate_total);
+}
+
+TEST(ToBddTest, BuildOutputMatchesSbddRoot) {
+  const network net = make_alu(2);
+  bdd::manager shared(net.input_count());
+  const sbdd built = build_sbdd(net, shared);
+  for (int o = 0; o < static_cast<int>(net.outputs().size()); ++o) {
+    const bdd::node_handle solo = build_output(net, shared, o);
+    EXPECT_EQ(solo, built.roots[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST(ToBddTest, OptimizeOrderShrinksABadDeclarationOrder) {
+  // Comparator with operands declared block-wise (a's then b's): the
+  // identity order is exponential-ish; sifting must interleave.
+  network net("blockcmp");
+  std::vector<int> a, b;
+  const int bits = 5;
+  for (int i = 0; i < bits; ++i)
+    a.push_back(net.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i)
+    b.push_back(net.add_input("b" + std::to_string(i)));
+  int eq = net.add_const(true);
+  for (int i = 0; i < bits; ++i)
+    eq = net.add_and(eq, net.add_xnor(a[i], b[i]));
+  net.set_output(eq, "eq");
+
+  bdd::manager identity_manager(net.input_count());
+  const sbdd identity_build = build_sbdd(net, identity_manager);
+  const std::size_t identity_size =
+      bdd::collect_reachable(identity_manager, identity_build.roots)
+          .nodes.size();
+
+  const std::vector<int> order = optimize_order(net);
+  bdd::manager sifted_manager(net.input_count());
+  const sbdd sifted_build = build_sbdd(net, sifted_manager, order);
+  const std::size_t sifted_size =
+      bdd::collect_reachable(sifted_manager, sifted_build.roots).nodes.size();
+
+  EXPECT_LT(sifted_size, identity_size);
+  // Interleaved equality comparator: 3 nodes per bit + terminals.
+  EXPECT_LE(sifted_size, static_cast<std::size_t>(3 * bits + 2));
+}
+
+TEST(ToBddTest, OptimizeOrderEffortNoneIsIdentity) {
+  const network net = make_parity(5, 1);
+  const std::vector<int> order =
+      optimize_order(net, order_effort::none);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ToBddTest, ConstantOutputs) {
+  network net;
+  (void)net.add_input("a");
+  net.set_output(net.add_const(true), "t");
+  net.set_output(net.add_const(false), "f");
+  bdd::manager m(1);
+  const sbdd built = build_sbdd(net, m);
+  EXPECT_EQ(built.roots[0], bdd::true_handle);
+  EXPECT_EQ(built.roots[1], bdd::false_handle);
+}
+
+}  // namespace
+}  // namespace compact::frontend

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace compact {
+namespace {
+
+TEST(ErrorTest, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "boom");
+    FAIL() << "check(false) must throw";
+  } catch (const error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchable) {
+  EXPECT_THROW(throw parse_error("p"), error);
+  EXPECT_THROW(throw infeasible_error("i"), error);
+  EXPECT_THROW(throw error("e"), std::runtime_error);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotoneTime) {
+  stopwatch w;
+  const double t1 = w.seconds();
+  EXPECT_GE(t1, 0.0);
+  const double t2 = w.seconds();
+  EXPECT_GE(t2, t1);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+  EXPECT_GE(w.milliseconds(), 0.0);
+}
+
+TEST(RngTest, Deterministic) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(RngTest, NextBelowHitsAllResidues) {
+  rng r(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[r.next_below(5)];
+  for (int c : counts) EXPECT_GT(c, 500);  // roughly uniform
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\n x \n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(split_ws("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_EQ(split_ws("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringsTest, SplitDelimiterKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+}
+
+TEST(StringsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+}
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  table t({"name", "rows"});
+  t.add_row({"dec", "64"});
+  t.add_row({"arbiter", "1000"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("arbiter"), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), error);
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  table t({"name"});
+  t.add_row({"a,b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(TableTest, CellFormatters) {
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell(std::size_t{7}), "7");
+  EXPECT_EQ(cell(2.5, 1), "2.5");
+}
+
+}  // namespace
+}  // namespace compact

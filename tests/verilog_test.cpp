@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "frontend/benchgen.hpp"
+#include "frontend/verilog.hpp"
+
+namespace compact::frontend {
+namespace {
+
+TEST(VerilogTest, ParsesPrimitiveGates) {
+  const network net = parse_verilog_string(R"(
+module gates (a, b, y1, y2, y3, y4);
+  input a, b;
+  output y1, y2, y3, y4;
+  and g1 (y1, a, b);
+  nor g2 (y2, a, b);
+  xor g3 (y3, a, b);
+  not g4 (y4, a);
+endmodule
+)");
+  EXPECT_EQ(net.name(), "gates");
+  EXPECT_EQ(net.input_count(), 2);
+  for (int v = 0; v < 4; ++v) {
+    const bool a = v & 1, b = v & 2;
+    const std::vector<bool> out = net.simulate({a, b});
+    EXPECT_EQ(out[0], a && b);
+    EXPECT_EQ(out[1], !(a || b));
+    EXPECT_EQ(out[2], a != b);
+    EXPECT_EQ(out[3], !a);
+  }
+}
+
+TEST(VerilogTest, NaryGatesFold) {
+  const network net = parse_verilog_string(R"(
+module wide (a, b, c, d, y, z);
+  input a, b, c, d;
+  output y, z;
+  and g1 (y, a, b, c, d);
+  nand g2 (z, a, b, c);
+endmodule
+)");
+  EXPECT_TRUE(net.simulate({true, true, true, true})[0]);
+  EXPECT_FALSE(net.simulate({true, true, false, true})[0]);
+  EXPECT_FALSE(net.simulate({true, true, true, false})[1]);
+  EXPECT_TRUE(net.simulate({true, false, true, false})[1]);
+}
+
+TEST(VerilogTest, AssignExpressionsWithPrecedence) {
+  // | binds loosest, then ^, then &, then ~.
+  const network net = parse_verilog_string(R"(
+module expr (a, b, c, y);
+  input a, b, c;
+  output y;
+  assign y = a & b | ~c ^ a;
+endmodule
+)");
+  for (int v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, c = v & 4;
+    const bool expected = (a && b) || ((!c) != a);
+    EXPECT_EQ(net.simulate({a, b, c})[0], expected) << v;
+  }
+}
+
+TEST(VerilogTest, ParenthesesAndConstants) {
+  const network net = parse_verilog_string(R"(
+module pc (a, b, y, one);
+  input a, b;
+  output y, one;
+  assign y = ~(a | b) & 1'b1;
+  assign one = 1'b1;
+endmodule
+)");
+  EXPECT_TRUE(net.simulate({false, false})[0]);
+  EXPECT_FALSE(net.simulate({true, false})[0]);
+  EXPECT_TRUE(net.simulate({false, false})[1]);
+}
+
+TEST(VerilogTest, WiresAndInstanceNamesOptional) {
+  const network net = parse_verilog_string(R"(
+module chained (a, b, y);
+  input a, b;
+  output y;
+  wire t;
+  and (t, a, b);        // anonymous instance
+  not named_inv (y, t);
+endmodule
+)");
+  EXPECT_FALSE(net.simulate({true, true})[0]);
+  EXPECT_TRUE(net.simulate({true, false})[0]);
+}
+
+TEST(VerilogTest, CommentsSkipped) {
+  const network net = parse_verilog_string(
+      "module m (a, y); // line comment\n"
+      "  input a; output y;\n"
+      "  /* block\n comment */ buf g (y, a);\n"
+      "endmodule\n");
+  EXPECT_TRUE(net.simulate({true})[0]);
+}
+
+TEST(VerilogTest, RejectsBehaviouralAndBroken) {
+  EXPECT_THROW((void)parse_verilog_string(
+                   "module m (a); input a; always @(a) begin end endmodule"),
+               parse_error);
+  EXPECT_THROW((void)parse_verilog_string(
+                   "module m (y); output y; endmodule"),
+               parse_error);  // undriven output
+  EXPECT_THROW((void)parse_verilog_string(
+                   "module m (a, y); input a; output y;\n"
+                   "assign y = z; endmodule"),
+               parse_error);  // undriven operand
+  EXPECT_THROW((void)parse_verilog_string(
+                   "module m (a, y); input a; output y;\n"
+                   "assign y = y & a; endmodule"),
+               parse_error);  // combinational loop
+  EXPECT_THROW((void)parse_verilog_string(
+                   "module m (a, y); input a; output y;\n"
+                   "buf g1 (y, a); buf g2 (y, a); endmodule"),
+               parse_error);  // double driver
+}
+
+TEST(VerilogTest, RoundTripPreservesSemantics) {
+  const network original = make_comparator(3);
+  std::ostringstream os;
+  write_verilog(original, os);
+  const network reparsed = parse_verilog_string(os.str());
+  ASSERT_EQ(reparsed.input_count(), original.input_count());
+  ASSERT_EQ(reparsed.outputs().size(), original.outputs().size());
+  for (int v = 0; v < 64; ++v) {
+    std::vector<bool> in(6);
+    for (int i = 0; i < 6; ++i) in[static_cast<std::size_t>(i)] = (v >> i) & 1;
+    EXPECT_EQ(original.simulate(in), reparsed.simulate(in)) << v;
+  }
+}
+
+TEST(VerilogTest, RoundTripOnGeneratedSuite) {
+  for (const benchmark_spec& spec : benchmark_suite()) {
+    if (spec.net.input_count() > 16) continue;  // keep the sweep cheap
+    std::ostringstream os;
+    write_verilog(spec.net, os);
+    const network reparsed = parse_verilog_string(os.str());
+    std::vector<bool> in(static_cast<std::size_t>(spec.net.input_count()));
+    for (int t = 0; t < 8; ++t) {
+      for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = ((t * 2654435761u) >> i) & 1;
+      EXPECT_EQ(spec.net.simulate(in), reparsed.simulate(in)) << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace compact::frontend

@@ -1,0 +1,388 @@
+// compact_cli — command-line front door to the COMPACT flow.
+//
+//   compact_cli info <netlist>                     network & BDD statistics
+//   compact_cli synthesize <netlist> [options]     netlist -> crossbar
+//   compact_cli evaluate <design.xbar> <bits>      program + sense a design
+//   compact_cli validate <design.xbar> <netlist>   check design vs netlist
+//   compact_cli margins <design.xbar> --inputs N   analog sensing margins
+//
+// Netlist formats are chosen by extension: .blif, .pla, .v / .verilog.
+// synthesize options:
+//   --method oct|mip       labeling engine (default mip)
+//   --gamma G              weighted objective (default 0.5)
+//   --time-limit S         solver budget in seconds (default 60)
+//   --max-rows N           hard row budget (Section III)
+//   --max-cols N           hard column budget
+//   --separate-robdds      prior multi-output strategy instead of one SBDD
+//   --baseline             staircase mapping of [16] instead of COMPACT
+//   --out FILE.xbar        save the design
+//   --dot FILE.dot         dump the shared BDD as graphviz
+//   --print                pretty-print the crossbar
+//   --validate             digital validity check before reporting
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analog/margins.hpp"
+#include "baseline/staircase.hpp"
+#include "bdd/dot.hpp"
+#include "bdd/stats.hpp"
+#include "core/compact.hpp"
+#include "core/report.hpp"
+#include "frontend/blif.hpp"
+#include "frontend/equivalence.hpp"
+#include "frontend/minimize.hpp"
+#include "frontend/pla.hpp"
+#include "frontend/to_bdd.hpp"
+#include "frontend/verilog.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "xbar/evaluate.hpp"
+#include "xbar/serialize.hpp"
+#include "xbar/validate.hpp"
+
+namespace {
+
+using namespace compact;
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  compact_cli info <netlist>\n"
+      "  compact_cli synthesize <netlist> [--method oct|mip] [--gamma G]\n"
+      "      [--time-limit S] [--max-rows N] [--max-cols N]\n"
+      "      [--order none|sift|exhaustive] [--minimize]\n"
+      "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
+      "      [--print] [--validate]\n"
+      "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
+      "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
+      "  compact_cli equiv <netlist-a> <netlist-b>\n"
+      "  compact_cli margins <design.xbar> --inputs N\n";
+  std::exit(2);
+}
+
+frontend::network load_netlist(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw error("cannot open " + path);
+  if (path.ends_with(".blif")) return frontend::parse_blif(file);
+  if (path.ends_with(".pla")) return frontend::parse_pla(file);
+  if (path.ends_with(".v") || path.ends_with(".verilog"))
+    return frontend::parse_verilog(file);
+  throw error("unknown netlist extension (want .blif, .pla or .v): " + path);
+}
+
+xbar::loaded_design load_design(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw error("cannot open " + path);
+  return xbar::read_design(file);
+}
+
+std::vector<std::string> input_names(const frontend::network& net) {
+  std::vector<std::string> names;
+  for (int i : net.inputs()) names.push_back(net.node(i).name);
+  return names;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) usage("info needs a netlist");
+  const frontend::network net = load_netlist(args[0]);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  const bdd::reachable_set r = bdd::collect_reachable(m, built.roots);
+
+  table t({"metric", "value"});
+  t.add_row({"model", net.name()});
+  t.add_row({"inputs", cell(net.input_count())});
+  t.add_row({"outputs", cell(net.outputs().size())});
+  t.add_row({"network nodes", cell(net.node_count())});
+  t.add_row({"SBDD nodes", cell(r.nodes.size())});
+  t.add_row({"SBDD internal nodes", cell(r.internal_count)});
+  t.add_row({"SBDD edges", cell(r.edge_count)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_synthesize(const std::vector<std::string>& args) {
+  if (args.empty()) usage("synthesize needs a netlist");
+  const std::string netlist_path = args[0];
+
+  core::synthesis_options options;
+  bool separate = false;
+  bool baseline_map = false;
+  bool do_print = false;
+  bool do_validate = false;
+  bool do_minimize = false;
+  frontend::order_effort order = frontend::order_effort::none;
+  std::optional<std::string> out_path, dot_path, report_path;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--method") {
+      const std::string& v = value();
+      if (v == "oct")
+        options.method = core::labeling_method::minimal_semiperimeter;
+      else if (v == "mip")
+        options.method = core::labeling_method::weighted_mip;
+      else
+        usage("unknown method " + v);
+    } else if (a == "--gamma") {
+      options.gamma = std::stod(value());
+    } else if (a == "--time-limit") {
+      options.time_limit_seconds = std::stod(value());
+    } else if (a == "--max-rows") {
+      options.max_rows = std::stoi(value());
+    } else if (a == "--max-cols") {
+      options.max_columns = std::stoi(value());
+    } else if (a == "--order") {
+      const std::string& v = value();
+      if (v == "none")
+        order = frontend::order_effort::none;
+      else if (v == "sift")
+        order = frontend::order_effort::sift;
+      else if (v == "exhaustive")
+        order = frontend::order_effort::exhaustive;
+      else
+        usage("unknown order effort " + v);
+    } else if (a == "--minimize") {
+      do_minimize = true;
+    } else if (a == "--separate-robdds") {
+      separate = true;
+    } else if (a == "--baseline") {
+      baseline_map = true;
+    } else if (a == "--out") {
+      out_path = value();
+    } else if (a == "--dot") {
+      dot_path = value();
+    } else if (a == "--report") {
+      report_path = value();
+    } else if (a == "--print") {
+      do_print = true;
+    } else if (a == "--validate") {
+      do_validate = true;
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+
+  frontend::network net = load_netlist(netlist_path);
+  if (do_minimize) net = frontend::minimize_network(net);
+  // The separate-ROBDD flow builds per-output BDDs internally under the
+  // declaration order; a permuted order would desynchronize validation.
+  if (separate && order != frontend::order_effort::none) {
+    std::cerr << "note: --order is ignored with --separate-robdds\n";
+    order = frontend::order_effort::none;
+  }
+  const std::vector<int> variable_order = frontend::optimize_order(net, order);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m, variable_order);
+
+  if (dot_path) {
+    std::ofstream dot(*dot_path);
+    if (!dot) throw error("cannot write " + *dot_path);
+    bdd::write_dot(m, built.roots, built.names, dot);
+  }
+
+  core::synthesis_result result = [&] {
+    if (baseline_map) {
+      return separate ? baseline::staircase_synthesize_network(net)
+                      : baseline::staircase_synthesize(m, built.roots,
+                                                       built.names);
+    }
+    return separate ? core::synthesize_separate_robdds(net, options)
+                    : core::synthesize(m, built.roots, built.names, options);
+  }();
+
+  table t({"metric", "value"});
+  t.add_row({"rows x cols",
+             cell(result.stats.rows) + " x " + cell(result.stats.columns)});
+  t.add_row({"semiperimeter S", cell(result.stats.semiperimeter)});
+  t.add_row({"max dimension D", cell(result.stats.max_dimension)});
+  t.add_row({"area", cell(result.stats.area)});
+  t.add_row({"BDD graph nodes (n)", cell(result.stats.graph_nodes)});
+  t.add_row({"VH labels (k)", cell(result.stats.vh_count)});
+  t.add_row({"power proxy (literal devices)", cell(result.stats.power_proxy)});
+  t.add_row({"delay (steps)", cell(result.stats.delay_steps)});
+  t.add_row({"labeling optimal", result.stats.optimal ? "yes" : "no"});
+  t.add_row({"relative gap", cell(100.0 * result.stats.relative_gap, 2) + "%"});
+  t.add_row({"synthesis time (s)", cell(result.stats.synthesis_seconds, 3)});
+  t.print(std::cout);
+
+  std::optional<xbar::validation_report> validation;
+  if (do_validate || report_path) {
+    // Validation runs in BDD-variable space (the space the design was
+    // synthesized in), before any remapping.
+    validation = xbar::validate_against_bdd(
+        result.design, m, built.roots, built.names, net.input_count());
+    if (do_validate) {
+      std::cout << "\nvalidity: " << (validation->valid ? "PASS" : "FAIL")
+                << " (" << validation->checked_assignments
+                << " assignments)\n";
+      if (!validation->valid) {
+        std::cout << validation->first_failure << "\n";
+        return 1;
+      }
+    }
+  }
+  if (report_path) {
+    std::ofstream report_file(*report_path);
+    if (!report_file) throw error("cannot write " + *report_path);
+    core::report_inputs inputs;
+    inputs.circuit_name = net.name();
+    inputs.result = &result;
+    inputs.validation = validation ? &*validation : nullptr;
+    core::write_report(inputs, report_file);
+    std::cout << "\nwrote " << *report_path << "\n";
+  }
+
+  // Express device literals in declared-input numbering so `evaluate`
+  // assignments read naturally (level l tested input variable_order[l]).
+  if (!separate && !variable_order.empty()) {
+    bool identity = true;
+    for (std::size_t l = 0; l < variable_order.size(); ++l)
+      if (variable_order[l] != static_cast<int>(l)) identity = false;
+    if (!identity)
+      result.design = xbar::remap_variables(result.design, variable_order);
+  }
+
+  if (do_print) {
+    std::cout << '\n';
+    result.design.print(std::cout, input_names(net));
+  }
+  if (out_path) {
+    std::ofstream out(*out_path);
+    if (!out) throw error("cannot write " + *out_path);
+    xbar::write_design(result.design, out, input_names(net));
+    std::cout << "\nwrote " << *out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_equiv(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("equiv needs two netlists");
+  const frontend::network a = load_netlist(args[0]);
+  const frontend::network b = load_netlist(args[1]);
+  const frontend::equivalence_report report =
+      frontend::check_equivalence(a, b);
+  if (report.equivalent) {
+    std::cout << "EQUIVALENT\n";
+    return 0;
+  }
+  std::cout << "NOT EQUIVALENT\n";
+  for (const std::string& m : report.mismatches)
+    std::cout << "  mismatch: " << m << "\n";
+  if (!report.counterexample.empty()) {
+    std::cout << "  counterexample:";
+    for (bool v : report.counterexample) std::cout << ' ' << (v ? 1 : 0);
+    std::cout << "\n";
+  }
+  return 1;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("evaluate needs a design and assignment bits");
+  const xbar::loaded_design loaded = load_design(args[0]);
+  const std::string& bits = args[1];
+  std::vector<bool> assignment;
+  for (char c : bits) {
+    if (c != '0' && c != '1') usage("assignment must be a 0/1 string");
+    assignment.push_back(c == '1');
+  }
+  const std::vector<bool> out = xbar::evaluate(loaded.design, assignment);
+  std::size_t index = 0;
+  for (const xbar::output_port& o : loaded.design.outputs())
+    std::cout << o.name << " = " << (out[index++] ? 1 : 0) << "\n";
+  for (const auto& [name, value] : loaded.design.constant_outputs()) {
+    (void)value;
+    std::cout << name << " = " << (out[index++] ? 1 : 0) << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("validate needs a design and a netlist");
+  const xbar::loaded_design loaded = load_design(args[0]);
+  const frontend::network net = load_netlist(args[1]);
+  xbar::validation_options options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--samples" && i + 1 < args.size())
+      options.samples = std::stoi(args[++i]);
+    else
+      usage("unknown option " + args[i]);
+  }
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  const xbar::validation_report report =
+      xbar::validate_against_bdd(loaded.design, m, built.roots, built.names,
+                                 net.input_count(), options);
+  std::cout << (report.valid ? "PASS" : "FAIL") << " ("
+            << report.checked_assignments << " assignments, "
+            << (report.exhaustive ? "exhaustive" : "sampled") << ")\n";
+  if (!report.valid) std::cout << report.first_failure << "\n";
+  return report.valid ? 0 : 1;
+}
+
+int cmd_margins(const std::vector<std::string>& args) {
+  if (args.empty()) usage("margins needs a design");
+  const xbar::loaded_design loaded = load_design(args[0]);
+  int inputs = -1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--inputs" && i + 1 < args.size())
+      inputs = std::stoi(args[++i]);
+    else
+      usage("unknown option " + args[i]);
+  }
+  if (inputs < 0) {
+    // Infer from the largest variable index used by any device.
+    for (int r = 0; r < loaded.design.rows(); ++r)
+      for (int c = 0; c < loaded.design.columns(); ++c)
+        inputs = std::max(inputs, loaded.design.at(r, c).variable + 1);
+    inputs = std::max(inputs, 0);
+  }
+
+  const analog::device_model model;
+  const analog::margin_report report =
+      analog::measure_margins(loaded.design, inputs, model);
+  table t({"metric", "value"});
+  t.add_row({"assignments", cell(report.checked_assignments)});
+  t.add_row({"weakest logic-1 (V)", cell(report.min_high_voltage, 4)});
+  t.add_row({"strongest logic-0 (V)", cell(report.max_low_voltage, 4)});
+  t.add_row({"margin (V)", cell(report.margin, 4)});
+  t.add_row({"separable", report.separable ? "yes" : "no"});
+  const double ratio =
+      analog::minimal_working_ratio(loaded.design, inputs, model);
+  t.add_row({"min working Roff/Ron",
+             ratio > 0.0 ? cell(ratio, 0) : std::string("none <= 1e8")});
+  t.print(std::cout);
+  return report.separable ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string command = args[0];
+  args.erase(args.begin());
+  try {
+    if (command == "info") return cmd_info(args);
+    if (command == "synthesize") return cmd_synthesize(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "equiv") return cmd_equiv(args);
+    if (command == "margins") return cmd_margins(args);
+    usage("unknown command " + command);
+  } catch (const infeasible_error& e) {
+    std::cerr << "infeasible: " << e.what() << "\n";
+    return 3;
+  } catch (const error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,50 @@
+// export_benchmarks — write the generated benchmark suite to disk as BLIF
+// and structural Verilog (and PLA for the single-level circuits), so the
+// CLI and external tools can consume the exact circuits the harness
+// evaluates.
+//
+//   $ ./export_benchmarks <output-dir>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "frontend/benchgen.hpp"
+#include "frontend/blif.hpp"
+#include "frontend/verilog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace compact;
+
+  if (argc != 2) {
+    std::cerr << "usage: export_benchmarks <output-dir>\n";
+    return 2;
+  }
+  const std::filesystem::path directory(argv[1]);
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    std::cerr << "cannot create " << directory << ": " << ec.message() << "\n";
+    return 1;
+  }
+
+  int written = 0;
+  auto dump = [&](const frontend::benchmark_spec& spec) {
+    {
+      std::ofstream blif(directory / (spec.name + ".blif"));
+      frontend::write_blif(spec.net, blif);
+    }
+    {
+      std::ofstream verilog(directory / (spec.name + ".v"));
+      frontend::write_verilog(spec.net, verilog);
+    }
+    written += 2;
+  };
+  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite())
+    dump(spec);
+  for (const frontend::benchmark_spec& spec :
+       frontend::hard_benchmark_suite())
+    dump(spec);
+
+  std::cout << "wrote " << written << " netlists to " << directory << "\n";
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "baseline/staircase.hpp"
 #include "util/error.hpp"
 
 namespace compact::bench {
@@ -39,6 +42,43 @@ double normalized_average(const std::vector<double>& ours,
 void shape_check(bool holds, const std::string& claim) {
   std::cout << "SHAPE-CHECK [" << (holds ? "PASS" : "FAIL") << "] " << claim
             << "\n";
+}
+
+parallel_options parse_parallel(int argc, char** argv) {
+  parallel_options parallel;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      try {
+        std::size_t consumed = 0;
+        const std::string text = argv[++i];
+        parallel.threads = std::stoi(text, &consumed);
+        if (consumed != text.size() || parallel.threads < 1)
+          throw error("bad thread count");
+      } catch (const std::exception&) {
+        std::cerr << "usage: " << argv[0] << " [--threads N]\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads N]\n";
+      std::exit(2);
+    }
+  }
+  return parallel;
+}
+
+std::vector<suite_run> run_suite_vs_baseline(
+    const std::vector<frontend::benchmark_spec>& suite,
+    const core::synthesis_options& options, const parallel_options& parallel) {
+  // Fan out at circuit level only: each worker runs one circuit's COMPACT
+  // and staircase synthesis serially, so threads are not multiplied.
+  core::synthesis_options per_circuit = options;
+  per_circuit.parallel = {};
+  return parallel_map(parallel, suite.size(), [&](std::size_t i) {
+    return suite_run{&suite[i],
+                     core::synthesize_network(suite[i].net, per_circuit),
+                     baseline::staircase_synthesize_network(suite[i].net)};
+  });
 }
 
 }  // namespace compact::bench

@@ -13,6 +13,7 @@
 #include "core/compact.hpp"
 #include "frontend/benchgen.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace compact::bench {
 
@@ -35,5 +36,25 @@ inline constexpr double default_time_limit = 5.0;
 
 /// Print the standard shape-check line.
 void shape_check(bool holds, const std::string& claim);
+
+/// Parse the benchmark binaries' command line (currently just
+/// `--threads N`) into a parallel_options; anything else aborts with a
+/// short usage note. Default is serial, matching historical behaviour.
+[[nodiscard]] parallel_options parse_parallel(int argc, char** argv);
+
+/// One circuit's worth of the COMPACT-vs-staircase comparison.
+struct suite_run {
+  const frontend::benchmark_spec* spec = nullptr;
+  core::synthesis_result compact_result;
+  core::synthesis_result baseline_result;
+};
+
+/// Synthesize every circuit of `suite` with COMPACT (under `options`) and
+/// the staircase baseline, fanning circuits out across `parallel` workers.
+/// Results come back in suite order for any thread count; per-circuit
+/// synthesis_seconds are wall-clock and so inflate under contention.
+[[nodiscard]] std::vector<suite_run> run_suite_vs_baseline(
+    const std::vector<frontend::benchmark_spec>& suite,
+    const core::synthesis_options& options, const parallel_options& parallel);
 
 }  // namespace compact::bench

@@ -9,8 +9,9 @@
 #include "baseline/staircase.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const parallel_options parallel = bench::parse_parallel(argc, argv);
 
   std::cout << "== Fig 12: power & delay vs prior flow-based mapping [16] "
                "==\n\n";
@@ -18,11 +19,16 @@ int main() {
            "delay[16]", "delayCOMPACT", "norm_delay"});
 
   std::vector<double> ours_power, base_power, ours_delay, base_delay;
-  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
-    const core::synthesis_result ours = core::synthesize_network(
-        spec.net, bench::mip_options(0.5, bench::default_time_limit));
-    const core::synthesis_result base =
-        baseline::staircase_synthesize_network(spec.net);
+  // Circuits synthesize concurrently under --threads; rows stay in suite
+  // order regardless of thread count.
+  const std::vector<frontend::benchmark_spec> suite =
+      frontend::benchmark_suite();
+  const std::vector<bench::suite_run> runs = bench::run_suite_vs_baseline(
+      suite, bench::mip_options(0.5, bench::default_time_limit), parallel);
+  for (const bench::suite_run& run : runs) {
+    const frontend::benchmark_spec& spec = *run.spec;
+    const core::synthesis_result& ours = run.compact_result;
+    const core::synthesis_result& base = run.baseline_result;
 
     ours_power.push_back(ours.stats.power_proxy);
     base_power.push_back(base.stats.power_proxy);

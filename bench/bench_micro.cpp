@@ -13,7 +13,10 @@
 #include "graph/product.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "xbar/evaluate.hpp"
+#include "xbar/faults.hpp"
+#include "xbar/validate.hpp"
 
 namespace {
 
@@ -116,5 +119,48 @@ void BM_EndToEndOctSynthesis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndOctSynthesis);
+
+/// Shared design for the parallel-stage benchmarks below.
+const core::synthesis_result& comparator_design() {
+  static const core::synthesis_result r = [] {
+    core::synthesis_options options;
+    options.method = core::labeling_method::minimal_semiperimeter;
+    return core::synthesize_network(frontend::make_comparator(8), options);
+  }();
+  return r;
+}
+
+/// Arg = worker threads. The report is bit-identical across thread counts
+/// (substream-per-trial); only the wall clock should move.
+void BM_ParallelYield(benchmark::State& state) {
+  const core::synthesis_result& r = comparator_design();
+  xbar::yield_options options;
+  options.trials = 200;
+  options.fault_rate = 0.01;
+  options.parallel.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const xbar::yield_report report = xbar::estimate_yield(r.design, 16, options);
+    benchmark::DoNotOptimize(report.functional);
+  }
+}
+BENCHMARK(BM_ParallelYield)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Arg = worker threads over 4000 sampled validity checks.
+void BM_ParallelSampledValidate(benchmark::State& state) {
+  const core::synthesis_result& r = comparator_design();
+  const frontend::network net = frontend::make_comparator(8);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  xbar::validation_options options;
+  options.exhaustive_limit = 0;  // force the sampled path
+  options.samples = 4000;
+  options.parallel.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const xbar::validation_report report = xbar::validate_against_bdd(
+        r.design, m, built.roots, built.names, net.input_count(), options);
+    benchmark::DoNotOptimize(report.checked_assignments);
+  }
+}
+BENCHMARK(BM_ParallelSampledValidate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace

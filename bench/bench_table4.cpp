@@ -10,8 +10,9 @@
 #include "baseline/staircase.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const parallel_options parallel = bench::parse_parallel(argc, argv);
 
   std::cout << "== Table IV: COMPACT (gamma=0.5) vs staircase baseline [16] "
                "==\n\n";
@@ -21,11 +22,17 @@ int main() {
   std::vector<double> ours_s, base_s, ours_d, base_d, ours_area, base_area,
       ours_rows, base_rows, ours_time, base_time;
 
-  for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
-    const core::synthesis_result ours = core::synthesize_network(
-        spec.net, bench::mip_options(0.5, bench::default_time_limit));
-    const core::synthesis_result base =
-        baseline::staircase_synthesize_network(spec.net);
+  // Circuits synthesize concurrently under --threads; rows stay in suite
+  // order regardless of thread count.
+  const std::vector<frontend::benchmark_spec> suite =
+      frontend::benchmark_suite();
+  const std::vector<bench::suite_run> runs = bench::run_suite_vs_baseline(
+      suite, bench::mip_options(0.5, bench::default_time_limit), parallel);
+
+  for (const bench::suite_run& run : runs) {
+    const frontend::benchmark_spec& spec = *run.spec;
+    const core::synthesis_result& ours = run.compact_result;
+    const core::synthesis_result& base = run.baseline_result;
 
     auto add = [&](const char* method, const core::synthesis_result& r) {
       const double s_over_n =

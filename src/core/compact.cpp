@@ -90,28 +90,34 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   check(output_count > 0, "synthesize_separate_robdds: network has no outputs");
 
   // Per-output synthesis. The time budget is split across outputs so the
-  // total remains comparable to the SBDD flow's.
+  // total remains comparable to the SBDD flow's. Outputs fan out across
+  // options.parallel workers — each builds its ROBDD in a private manager —
+  // and the inner sites stay serial so only this level multiplies threads.
   synthesis_options per_output = options;
   per_output.time_limit_seconds = std::max(
       0.5, options.time_limit_seconds / static_cast<double>(output_count));
+  per_output.parallel = {};
 
-  std::vector<synthesis_result> parts;
-  parts.reserve(static_cast<std::size_t>(output_count));
+  const std::vector<synthesis_result> parts = parallel_map(
+      options.parallel, static_cast<std::size_t>(output_count),
+      [&](std::size_t o) {
+        bdd::manager m(net.input_count());
+        const bdd::node_handle root =
+            frontend::build_output(net, m, static_cast<int>(o));
+        return synthesize(m, {root}, {net.outputs()[o].name}, per_output);
+      });
+
   std::size_t total_nodes = 0;
   std::size_t total_edges = 0;
   int total_vh = 0;
   bool all_optimal = true;
   double worst_gap = 0.0;
-  for (int o = 0; o < output_count; ++o) {
-    bdd::manager m(net.input_count());
-    const bdd::node_handle root = frontend::build_output(net, m, o);
-    parts.push_back(synthesize(m, {root}, {net.outputs()[static_cast<std::size_t>(o)].name},
-                               per_output));
-    total_nodes += parts.back().stats.graph_nodes;
-    total_edges += parts.back().stats.graph_edges;
-    total_vh += parts.back().stats.vh_count;
-    all_optimal = all_optimal && parts.back().stats.optimal;
-    worst_gap = std::max(worst_gap, parts.back().stats.relative_gap);
+  for (const synthesis_result& part : parts) {
+    total_nodes += part.stats.graph_nodes;
+    total_edges += part.stats.graph_edges;
+    total_vh += part.stats.vh_count;
+    all_optimal = all_optimal && part.stats.optimal;
+    worst_gap = std::max(worst_gap, part.stats.relative_gap);
   }
 
   // Diagonal composition (Figure 8a): blocks stacked corner to corner, all
@@ -119,7 +125,7 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   std::vector<const xbar::crossbar*> blocks;
   blocks.reserve(parts.size());
   for (const synthesis_result& part : parts) blocks.push_back(&part.design);
-  xbar::crossbar composed = compose_diagonal(blocks);
+  xbar::crossbar composed = compose_diagonal(blocks, options.parallel);
 
   synthesis_result result{std::move(composed), {}, {}};
   result.stats.graph_nodes = total_nodes;

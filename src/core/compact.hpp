@@ -22,6 +22,7 @@
 #include "core/labelers.hpp"
 #include "core/labeling.hpp"
 #include "frontend/network.hpp"
+#include "util/thread_pool.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace compact::core {
@@ -42,6 +43,11 @@ struct synthesis_options {
   /// design fits.
   std::optional<int> max_rows;
   std::optional<int> max_columns;
+  /// Used by synthesize_separate_robdds to fan per-output ROBDD synthesis
+  /// and block composition out across workers. Results are deterministic
+  /// for any thread count (modulo the wall-clock solver time limits, which
+  /// are timing-dependent even serially).
+  parallel_options parallel;
 };
 
 struct synthesis_stats {

@@ -6,6 +6,30 @@
 #include "util/strings.hpp"
 
 namespace compact::frontend {
+namespace {
+
+/// Strictly positive count after a .i/.o directive. std::stoi alone would
+/// leak std::invalid_argument / std::out_of_range for garbage like ".i abc"
+/// or ".i 99999999999999", breaking the parser's parse_error contract.
+int parse_count(const std::string& text, const std::string& directive) {
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &consumed);
+  } catch (const std::exception&) {
+    throw parse_error("pla: " + directive + " expects a number, got '" +
+                      text + "'");
+  }
+  if (consumed != text.size())
+    throw parse_error("pla: " + directive + " expects a number, got '" +
+                      text + "'");
+  if (value <= 0)
+    throw parse_error("pla: " + directive + " must be positive, got '" +
+                      text + "'");
+  return value;
+}
+
+}  // namespace
 
 network parse_pla(std::istream& is) {
   int num_inputs = -1;
@@ -24,10 +48,10 @@ network parse_pla(std::istream& is) {
     if (tokens[0][0] == '.') {
       if (tokens[0] == ".i") {
         if (tokens.size() != 2) throw parse_error("pla: malformed .i");
-        num_inputs = std::stoi(tokens[1]);
+        num_inputs = parse_count(tokens[1], ".i");
       } else if (tokens[0] == ".o") {
         if (tokens.size() != 2) throw parse_error("pla: malformed .o");
-        num_outputs = std::stoi(tokens[1]);
+        num_outputs = parse_count(tokens[1], ".o");
       } else if (tokens[0] == ".ilb") {
         input_labels.assign(tokens.begin() + 1, tokens.end());
       } else if (tokens[0] == ".ob") {

@@ -3,6 +3,10 @@
 // All randomized components (sampled validity checking, workload generators,
 // property tests) take an explicit rng so experiments are reproducible.
 // The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+//
+// Parallel sites never share one stream: they derive one substream() per
+// work item, which depends only on (seed, item index) — never on thread
+// count or scheduling — so parallel runs reproduce serial runs bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +15,7 @@ namespace compact {
 
 class rng {
  public:
-  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed) {
     // splitmix64 seeding: decorrelates nearby seeds.
     auto next = [&seed]() {
       seed += 0x9e3779b97f4a7c15ULL;
@@ -21,6 +25,14 @@ class rng {
       return z ^ (z >> 31);
     };
     for (auto& word : state_) word = next();
+  }
+
+  /// Splittable substream `index` of this generator: a fresh generator
+  /// derived only from the constructing seed and `index`. Adjacent indices
+  /// are decorrelated (the pair is fed through splitmix64 finalizers) and
+  /// substreams are independent of how many values the parent has drawn.
+  [[nodiscard]] rng substream(std::uint64_t index) const {
+    return rng(mix64(seed_ + mix64(index + 0x632be59bd9b4e019ULL)));
   }
 
   /// Uniform 64-bit value.
@@ -56,6 +68,12 @@ class rng {
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t seed_;
   std::uint64_t state_[4];
 };
 

@@ -59,12 +59,19 @@ yield_report estimate_yield(const crossbar& design, int variable_count,
         "estimate_yield: bad options");
   const std::vector<std::vector<bool>> vectors =
       sample_vectors(variable_count, options.vectors, options.seed);
-  rng random(options.seed ^ 0xfaf7ULL);
+  const rng base(options.seed ^ 0xfaf7ULL);
 
   yield_report report;
   report.trials = options.trials;
-  long long total_faults = 0;
-  for (int trial = 0; trial < options.trials; ++trial) {
+  // Each trial draws its fault pattern from substream(trial), so the
+  // per-trial outcomes — and therefore the report — do not depend on the
+  // thread count or schedule. Per-trial slots avoid vector<bool> packing,
+  // which is not safe to write concurrently.
+  const auto trial_count = static_cast<std::size_t>(options.trials);
+  std::vector<unsigned char> functional(trial_count, 0);
+  std::vector<long long> fault_counts(trial_count, 0);
+  parallel_for(options.parallel, trial_count, [&](std::size_t trial) {
+    rng random = base.substream(trial);
     std::vector<fault> faults;
     for (int r = 0; r < design.rows(); ++r)
       for (int c = 0; c < design.columns(); ++c)
@@ -74,9 +81,14 @@ yield_report estimate_yield(const crossbar& design, int variable_count,
                random.next_double() < options.stuck_on_share
                    ? fault_kind::stuck_on
                    : fault_kind::stuck_off});
-    total_faults += static_cast<long long>(faults.size());
+    fault_counts[trial] = static_cast<long long>(faults.size());
     const crossbar faulty = inject_faults(design, faults);
-    if (matches_on(faulty, design, vectors)) ++report.functional;
+    functional[trial] = matches_on(faulty, design, vectors) ? 1 : 0;
+  });
+  long long total_faults = 0;
+  for (std::size_t trial = 0; trial < trial_count; ++trial) {
+    total_faults += fault_counts[trial];
+    if (functional[trial] != 0) ++report.functional;
   }
   report.yield =
       static_cast<double>(report.functional) / static_cast<double>(report.trials);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace compact::xbar {
@@ -35,6 +36,9 @@ struct yield_options {
   double stuck_on_share = 0.5; // fraction of faults that are stuck-on
   int vectors = 64;            // assignments checked per pattern
   std::uint64_t seed = 7;
+  /// Trials fan out across workers; each trial draws from its own rng
+  /// substream, so the report is bit-identical for every thread count.
+  parallel_options parallel;
 };
 
 struct yield_report {

@@ -58,8 +58,14 @@ loaded_design read_design(std::istream& is) {
 
   if (!next_tokens(tokens) || tokens.size() != 3 || tokens[0] != "dim")
     throw parse_error("xbar: missing dim line");
-  const int rows = std::stoi(tokens[1]);
-  const int cols = std::stoi(tokens[2]);
+  int rows = 0;
+  int cols = 0;
+  try {  // non-numeric / out-of-range dims must not escape as raw stoi errors
+    rows = std::stoi(tokens[1]);
+    cols = std::stoi(tokens[2]);
+  } catch (const std::logic_error&) {
+    throw parse_error("xbar: malformed number in: " + line);
+  }
   if (rows < 1 || cols < 0) throw parse_error("xbar: bad dimensions");
 
   crossbar design(rows, cols);

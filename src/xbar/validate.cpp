@@ -1,6 +1,11 @@
 #include "xbar/validate.hpp"
 
+#include <atomic>
+#include <limits>
+#include <mutex>
+
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "xbar/evaluate.hpp"
 
 namespace compact::xbar {
@@ -26,7 +31,8 @@ validation_report validate_against_bdd(
         "validate: roots/output_names size mismatch");
   validation_report report;
 
-  auto check_one = [&](const std::vector<bool>& assignment) {
+  // Check one assignment; returns a failure description, empty on success.
+  auto check_one = [&](const std::vector<bool>& assignment) -> std::string {
     const std::vector<bool> row_reach = reachable_rows(design, assignment);
     for (std::size_t i = 0; i < roots.size(); ++i) {
       const bool expected = m.evaluate(roots[i], assignment);
@@ -48,39 +54,61 @@ validation_report validate_against_bdd(
           }
         }
       }
-      if (!found) {
-        report.valid = false;
-        report.first_failure = "design has no output named " + output_names[i];
-        return false;
-      }
-      if (got != expected) {
-        report.valid = false;
-        report.first_failure =
-            describe(assignment, output_names[i], expected, got);
-        return false;
-      }
+      if (!found) return "design has no output named " + output_names[i];
+      if (got != expected)
+        return describe(assignment, output_names[i], expected, got);
     }
-    ++report.checked_assignments;
-    return true;
+    return {};
   };
 
-  if (variable_count <= options.exhaustive_limit) {
-    report.exhaustive = true;
+  report.exhaustive = variable_count <= options.exhaustive_limit;
+  const std::uint64_t total =
+      report.exhaustive ? 1ULL << variable_count
+                        : static_cast<std::uint64_t>(options.samples);
+  const rng base(options.seed);
+  // Assignment `index` depends only on (seed, index): exhaustive indices
+  // enumerate the cube, sampled indices draw from substream(index). That
+  // keeps the scan deterministic under any parallel schedule.
+  auto assignment_for = [&](std::uint64_t index) {
     std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
-    const std::uint64_t total = 1ULL << variable_count;
-    for (std::uint64_t bits = 0; bits < total; ++bits) {
+    if (report.exhaustive) {
       for (int v = 0; v < variable_count; ++v)
-        assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
-      if (!check_one(assignment)) return report;
-    }
-  } else {
-    rng random(options.seed);
-    std::vector<bool> assignment(static_cast<std::size_t>(variable_count));
-    for (int s = 0; s < options.samples; ++s) {
+        assignment[static_cast<std::size_t>(v)] = (index >> v) & 1;
+    } else {
+      rng random = base.substream(index);
       for (int v = 0; v < variable_count; ++v)
         assignment[static_cast<std::size_t>(v)] = random.next_bool();
-      if (!check_one(assignment)) return report;
     }
+    return assignment;
+  };
+
+  // First-failure scan. Workers skip indices above an already-found failure
+  // (an optimization only); the report always names the lowest failing
+  // index, so every thread count yields the same report.
+  constexpr std::uint64_t none = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> first_failure{none};
+  std::mutex failure_mutex;
+  std::string first_description;
+  parallel_for(options.parallel, total, [&](std::size_t index) {
+    if (index >= first_failure.load(std::memory_order_relaxed)) return;
+    const std::string failure = check_one(assignment_for(index));
+    if (failure.empty()) return;
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (index < first_failure.load(std::memory_order_relaxed)) {
+      first_failure.store(index, std::memory_order_relaxed);
+      first_description = failure;
+    }
+  });
+
+  const std::uint64_t failed_at = first_failure.load();
+  if (failed_at == none) {
+    report.checked_assignments = static_cast<long long>(total);
+  } else {
+    report.valid = false;
+    // Assignments 0 .. failed_at - 1 pass, matching the serial early-exit
+    // count.
+    report.checked_assignments = static_cast<long long>(failed_at);
+    report.first_failure = first_description;
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bdd/manager.hpp"
+#include "util/thread_pool.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace compact::xbar {
@@ -22,6 +23,10 @@ struct validation_options {
   int exhaustive_limit = 12;
   int samples = 2000;
   std::uint64_t seed = 12345;
+  /// Assignments are checked concurrently; each sample draws from its own
+  /// rng substream and the scan reports the lowest-index failure, so the
+  /// report is bit-identical for every thread count.
+  parallel_options parallel;
 };
 
 struct validation_report {

@@ -21,6 +21,9 @@ std::string random_text(rng& random, int length, bool structured) {
       "1",      "0",       "-",      "a",       "b",      "(",
       ")",      ";",       ",",      "=",       "&",      "|",
       "~",      "\n",      " ",      "11 1",    "1- 1",   "# x",
+      // Numeric edge cases: headers like ".i abc" or ".i 99999999999999"
+      // must surface as parse_error, never a raw std::stoi exception.
+      "99999999999999", "-1", "0x10", "3.5", "abc",
   };
   std::string text;
   for (int i = 0; i < length; ++i) {
@@ -76,6 +79,21 @@ TEST(ParserFuzzTest, XbarDesigns) {
         return xbar::read_design(is);
       },
       404);
+}
+
+// Regression: numeric header fields used to reach std::stoi unguarded, so
+// non-numeric or out-of-int-range values crashed with std::invalid_argument
+// or std::out_of_range instead of the parsers' parse_error contract.
+TEST(ParserFuzzTest, MalformedNumericHeadersAreParseErrors) {
+  for (const char* bad : {".i abc\n.o 1\n.e\n", ".i 99999999999999\n.o 1\n.e\n",
+                          ".i 2\n.o -1\n.e\n", ".i 2\n.o 1x\n.e\n"})
+    EXPECT_THROW((void)frontend::parse_pla_string(bad), parse_error) << bad;
+  for (const char* bad :
+       {"xbar 1\ndim abc 2\nend\n", "xbar 1\ndim 99999999999999 2\nend\n",
+        "xbar 1\ndim 2 2\ninput 99999999999999\nend\n"}) {
+    std::istringstream is(bad);
+    EXPECT_THROW((void)xbar::read_design(is), parse_error) << bad;
+  }
 }
 
 TEST(ParserFuzzTest, TruncatedValidInputsRejected) {

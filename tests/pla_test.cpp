@@ -54,6 +54,20 @@ TEST(PlaTest, Errors) {
                parse_error);  // directive
 }
 
+// Regression: .i/.o used to feed std::stoi unguarded, so non-numeric or
+// overflowing counts escaped as std::invalid_argument / std::out_of_range
+// instead of parse_error, and zero/negative counts were accepted.
+TEST(PlaTest, MalformedHeaderCountsAreParseErrors) {
+  EXPECT_THROW((void)parse_pla_string(".i abc\n.o 1\n.e\n"), parse_error);
+  EXPECT_THROW((void)parse_pla_string(".i 99999999999999\n.o 1\n.e\n"),
+               parse_error);  // out of int range
+  EXPECT_THROW((void)parse_pla_string(".i 2\n.o 1x\n.e\n"),
+               parse_error);  // trailing garbage
+  EXPECT_THROW((void)parse_pla_string(".i 0\n.o 1\n.e\n"), parse_error);
+  EXPECT_THROW((void)parse_pla_string(".i -3\n.o 1\n.e\n"), parse_error);
+  EXPECT_THROW((void)parse_pla_string(".i 2\n.o nan\n.e\n"), parse_error);
+}
+
 TEST(PlaTest, CommentsIgnored) {
   const network net =
       parse_pla_string("# header\n.i 1\n.o 1\n1 1 # minterm\n.e\n");

@@ -15,6 +15,7 @@
 //   --max-cols N           hard column budget
 //   --separate-robdds      prior multi-output strategy instead of one SBDD
 //   --baseline             staircase mapping of [16] instead of COMPACT
+//   --threads N            worker threads for parallel stages (default 1)
 //   --out FILE.xbar        save the design
 //   --dot FILE.dot         dump the shared BDD as graphviz
 //   --print                pretty-print the crossbar
@@ -53,15 +54,44 @@ using namespace compact;
       "usage:\n"
       "  compact_cli info <netlist>\n"
       "  compact_cli synthesize <netlist> [--method oct|mip] [--gamma G]\n"
-      "      [--time-limit S] [--max-rows N] [--max-cols N]\n"
+      "      [--time-limit S] [--max-rows N] [--max-cols N] [--threads N]\n"
       "      [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
       "      [--print] [--validate]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
+      "      [--threads N]\n"
       "  compact_cli equiv <netlist-a> <netlist-b>\n"
       "  compact_cli margins <design.xbar> --inputs N\n";
   std::exit(2);
+}
+
+// Checked numeric flag parsing: a malformed value is a usage error, never an
+// uncaught std::invalid_argument / std::out_of_range crash.
+int parse_int_flag(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  usage(flag + " expects an integer, got '" + text + "'");
+}
+
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  usage(flag + " expects a number, got '" + text + "'");
+}
+
+int parse_positive_flag(const std::string& flag, const std::string& text) {
+  const int value = parse_int_flag(flag, text);
+  if (value <= 0) usage(flag + " must be positive, got " + text);
+  return value;
 }
 
 frontend::network load_netlist(const std::string& path) {
@@ -133,13 +163,19 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       else
         usage("unknown method " + v);
     } else if (a == "--gamma") {
-      options.gamma = std::stod(value());
+      options.gamma = parse_double_flag(a, value());
+      if (options.gamma < 0.0 || options.gamma > 1.0)
+        usage("--gamma must be in [0, 1]");
     } else if (a == "--time-limit") {
-      options.time_limit_seconds = std::stod(value());
+      options.time_limit_seconds = parse_double_flag(a, value());
+      if (options.time_limit_seconds <= 0.0)
+        usage("--time-limit must be positive");
     } else if (a == "--max-rows") {
-      options.max_rows = std::stoi(value());
+      options.max_rows = parse_positive_flag(a, value());
     } else if (a == "--max-cols") {
-      options.max_columns = std::stoi(value());
+      options.max_columns = parse_positive_flag(a, value());
+    } else if (a == "--threads") {
+      options.parallel.threads = parse_positive_flag(a, value());
     } else if (a == "--order") {
       const std::string& v = value();
       if (v == "none")
@@ -218,8 +254,11 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   if (do_validate || report_path) {
     // Validation runs in BDD-variable space (the space the design was
     // synthesized in), before any remapping.
+    xbar::validation_options validation_options;
+    validation_options.parallel = options.parallel;
     validation = xbar::validate_against_bdd(
-        result.design, m, built.roots, built.names, net.input_count());
+        result.design, m, built.roots, built.names, net.input_count(),
+        validation_options);
     if (do_validate) {
       std::cout << "\nvalidity: " << (validation->valid ? "PASS" : "FAIL")
                 << " (" << validation->checked_assignments
@@ -312,7 +351,9 @@ int cmd_validate(const std::vector<std::string>& args) {
   xbar::validation_options options;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--samples" && i + 1 < args.size())
-      options.samples = std::stoi(args[++i]);
+      options.samples = parse_positive_flag("--samples", args[++i]);
+    else if (args[i] == "--threads" && i + 1 < args.size())
+      options.parallel.threads = parse_positive_flag("--threads", args[++i]);
     else
       usage("unknown option " + args[i]);
   }
@@ -334,7 +375,7 @@ int cmd_margins(const std::vector<std::string>& args) {
   int inputs = -1;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--inputs" && i + 1 < args.size())
-      inputs = std::stoi(args[++i]);
+      inputs = parse_positive_flag("--inputs", args[++i]);
     else
       usage("unknown option " + args[i]);
   }

@@ -1,11 +1,13 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "baseline/staircase.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace compact::bench {
 
@@ -44,27 +46,114 @@ void shape_check(bool holds, const std::string& claim) {
             << "\n";
 }
 
-parallel_options parse_parallel(int argc, char** argv) {
-  parallel_options parallel;
+namespace {
+
+[[noreturn]] void bench_usage(const char* program, bool allow_json) {
+  std::cerr << "usage: " << program << " [--threads N]"
+            << (allow_json ? " [--json FILE]" : "") << "\n";
+  std::exit(2);
+}
+
+bench_args parse_args(int argc, char** argv, bool allow_json) {
+  bench_args parsed;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
       try {
         std::size_t consumed = 0;
         const std::string text = argv[++i];
-        parallel.threads = std::stoi(text, &consumed);
-        if (consumed != text.size() || parallel.threads < 1)
+        parsed.parallel.threads = std::stoi(text, &consumed);
+        if (consumed != text.size() || parsed.parallel.threads < 1)
           throw error("bad thread count");
       } catch (const std::exception&) {
-        std::cerr << "usage: " << argv[0] << " [--threads N]\n";
-        std::exit(2);
+        bench_usage(argv[0], allow_json);
       }
+    } else if (allow_json && a == "--json" && i + 1 < argc) {
+      parsed.json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--threads N]\n";
-      std::exit(2);
+      bench_usage(argv[0], allow_json);
     }
   }
-  return parallel;
+  return parsed;
+}
+
+}  // namespace
+
+parallel_options parse_parallel(int argc, char** argv) {
+  return parse_args(argc, argv, /*allow_json=*/false).parallel;
+}
+
+bench_args parse_bench_args(int argc, char** argv) {
+  return parse_args(argc, argv, /*allow_json=*/true);
+}
+
+void json_report::scalar(const std::string& key, const std::string& value) {
+  scalars_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void json_report::scalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, json_number(value));
+}
+
+json_report::record& json_report::record::field(const std::string& key,
+                                                const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+json_report::record& json_report::record::field(const std::string& key,
+                                                double value) {
+  fields_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+std::string json_report::record::body() const {
+  std::string body = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) body += ", ";
+    body += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  body += "}";
+  return body;
+}
+
+void json_report::add_record(const std::string& array_key, const record& r) {
+  for (auto& [key, items] : arrays_) {
+    if (key == array_key) {
+      items.push_back(r.body());
+      return;
+    }
+  }
+  arrays_.emplace_back(array_key, std::vector<std::string>{r.body()});
+}
+
+void json_report::write(std::ostream& os) const {
+  os << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : scalars_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(key) << "\": " << value;
+  }
+  for (const auto& [key, items] : arrays_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(key) << "\": [\n";
+    for (std::size_t i = 0; i < items.size(); ++i)
+      os << "    " << items[i] << (i + 1 < items.size() ? "," : "") << "\n";
+    os << "  ]";
+  }
+  os << "\n}\n";
+}
+
+void json_report::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  write(file);
+  std::cout << "wrote " << path << "\n";
 }
 
 std::vector<suite_run> run_suite_vs_baseline(

@@ -7,7 +7,10 @@
 // shape — who wins and by roughly what factor — is the reproduction target.
 #pragma once
 
+#include <iosfwd>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/compact.hpp"
@@ -41,6 +44,48 @@ void shape_check(bool holds, const std::string& claim);
 /// `--threads N`) into a parallel_options; anything else aborts with a
 /// short usage note. Default is serial, matching historical behaviour.
 [[nodiscard]] parallel_options parse_parallel(int argc, char** argv);
+
+/// Full benchmark command line: `--threads N` plus, for harnesses that
+/// support machine-readable output, `--json FILE`.
+struct bench_args {
+  parallel_options parallel;
+  std::optional<std::string> json_path;
+};
+
+/// Like parse_parallel but also accepts `--json FILE`. Anything else aborts
+/// with a usage note.
+[[nodiscard]] bench_args parse_bench_args(int argc, char** argv);
+
+/// Minimal JSON document builder for the harnesses' `--json` output: a
+/// top-level object holding scalars and arrays of flat record objects.
+/// Strings are escaped; doubles follow telemetry's number formatting
+/// (integral values print without a fraction, non-finite prints null).
+class json_report {
+ public:
+  void scalar(const std::string& key, const std::string& value);
+  void scalar(const std::string& key, double value);
+
+  /// A flat object appended to the array under `array_key`.
+  class record {
+   public:
+    record& field(const std::string& key, const std::string& value);
+    record& field(const std::string& key, double value);
+    [[nodiscard]] std::string body() const;
+
+   private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+  void add_record(const std::string& array_key, const record& r);
+
+  /// Serialize the whole document (pretty-printed, stable key order).
+  void write(std::ostream& os) const;
+  /// write() to `path`; aborts the process on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> arrays_;
+};
 
 /// One circuit's worth of the COMPACT-vs-staircase comparison.
 struct suite_run {

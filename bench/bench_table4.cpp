@@ -12,7 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace compact;
-  const parallel_options parallel = bench::parse_parallel(argc, argv);
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  const parallel_options& parallel = args.parallel;
+  bench::json_report json;
 
   std::cout << "== Table IV: COMPACT (gamma=0.5) vs staircase baseline [16] "
                "==\n\n";
@@ -45,6 +47,19 @@ int main(int argc, char** argv) {
                  cell(r.stats.max_dimension), cell(r.stats.semiperimeter),
                  cell(r.stats.area), cell(s_over_n, 2),
                  cell(r.stats.synthesis_seconds, 2)});
+      json.add_record(
+          "rows",
+          bench::json_report::record{}
+              .field("benchmark", spec.name)
+              .field("method", method)
+              .field("nodes", static_cast<double>(r.stats.graph_nodes))
+              .field("rows", r.stats.rows)
+              .field("cols", r.stats.columns)
+              .field("max_dimension", r.stats.max_dimension)
+              .field("semiperimeter", r.stats.semiperimeter)
+              .field("area", static_cast<double>(r.stats.area))
+              .field("s_over_n", s_over_n)
+              .field("time_seconds", r.stats.synthesis_seconds));
     };
     add("staircase", base);
     add("COMPACT", ours);
@@ -83,5 +98,22 @@ int main(int argc, char** argv) {
   bench::shape_check(bench::normalized_average(ours_time, base_time) > 10.0,
                      "COMPACT pays a large synthesis-time premium "
                      "(NP-hard labeling; paper: ~2650x)");
+
+  if (args.json_path) {
+    json.scalar("experiment", std::string("table4"));
+    json.scalar("gamma", 0.5);
+    json.scalar("time_limit_seconds", bench::default_time_limit);
+    json.scalar("rows_reduction_percent",
+                100.0 * (1.0 - bench::normalized_average(ours_rows, base_rows)));
+    json.scalar("d_reduction_percent",
+                100.0 * (1.0 - bench::normalized_average(ours_d, base_d)));
+    json.scalar("s_reduction_percent",
+                100.0 * (1.0 - bench::normalized_average(ours_s, base_s)));
+    json.scalar("area_reduction_percent",
+                100.0 * (1.0 - bench::normalized_average(ours_area, base_area)));
+    json.scalar("time_blowup",
+                bench::normalized_average(ours_time, base_time));
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

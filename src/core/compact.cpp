@@ -3,75 +3,31 @@
 #include <algorithm>
 
 #include "core/compose.hpp"
-#include "core/mapping.hpp"
+#include "core/pipeline.hpp"
 #include "frontend/to_bdd.hpp"
 #include "util/stopwatch.hpp"
 
 namespace compact::core {
-namespace {
 
-synthesis_stats stats_from(const bdd_graph& graph, const labeling& l,
-                           const xbar::crossbar& design) {
-  synthesis_stats stats;
-  stats.graph_nodes = graph.g.node_count();
-  stats.graph_edges = graph.g.edge_count();
-  const labeling_stats ls = compute_stats(l);
-  stats.vh_count = ls.vh_count;
-  stats.rows = design.rows();
-  stats.columns = design.columns();
-  stats.semiperimeter = design.semiperimeter();
-  stats.max_dimension = design.max_dimension();
-  stats.area = design.area();
-  stats.power_proxy = design.active_device_count();
-  stats.delay_steps = design.delay_steps();
-  return stats;
+double synthesis_stats::stage_time(const std::string& stage) const {
+  for (const stage_timing& t : stage_seconds)
+    if (t.stage == stage) return t.seconds;
+  return 0.0;
 }
-
-}  // namespace
 
 synthesis_result synthesize(const bdd::manager& m,
                             const std::vector<bdd::node_handle>& roots,
                             const std::vector<std::string>& names,
                             const synthesis_options& options) {
   stopwatch clock;
-  const bdd_graph graph = build_bdd_graph(m, roots, names);
-
-  labeling labels;
-  bool optimal = false;
-  double gap = 0.0;
-  std::vector<milp::mip_trace_entry> trace;
-  if (options.method == labeling_method::minimal_semiperimeter) {
-    check(!options.max_rows && !options.max_columns,
-          "synthesize: dimension budgets require the weighted_mip method");
-    oct_label_options oct;
-    oct.alignment = options.alignment;
-    oct.engine = options.oct_engine;
-    oct.time_limit_seconds = options.time_limit_seconds;
-    oct_label_result r = label_minimal_semiperimeter(graph, oct);
-    labels = std::move(r.l);
-    optimal = r.optimal;
-  } else {
-    mip_label_options mip;
-    mip.gamma = options.gamma;
-    mip.alignment = options.alignment;
-    mip.time_limit_seconds = options.time_limit_seconds;
-    mip.max_rows = options.max_rows;
-    mip.max_columns = options.max_columns;
-    mip.oct_time_limit_seconds =
-        std::max(1.0, options.time_limit_seconds * 0.25);
-    mip_label_result r = label_weighted(graph, mip);
-    labels = std::move(r.l);
-    optimal = r.optimal;
-    gap = r.relative_gap;
-    trace = std::move(r.trace);
-  }
-
-  mapping_result mapped = map_to_crossbar(graph, labels);
-  synthesis_result result{std::move(mapped.design), std::move(labels), {}};
-  result.stats = stats_from(graph, result.labels, result.design);
-  result.stats.optimal = optimal;
-  result.stats.relative_gap = gap;
-  result.stats.trace = std::move(trace);
+  synthesis_context ctx;
+  ctx.manager = &m;
+  ctx.roots = &roots;
+  ctx.names = &names;
+  ctx.options = options;
+  ctx.telemetry = options.telemetry;
+  ctx.cache = options.cache;
+  synthesis_result result = run_synthesis_pipeline(ctx);
   result.stats.synthesis_seconds = clock.seconds();
   return result;
 }
@@ -89,15 +45,28 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   const auto output_count = static_cast<int>(net.outputs().size());
   check(output_count > 0, "synthesize_separate_robdds: network has no outputs");
 
+  // Duplicate per-output subgraphs (common in decoders and replicated
+  // logic) are labeled once: every per-output pipeline consults this cache.
+  labeling_cache local_cache;
+  labeling_cache* cache = options.cache != nullptr
+                              ? options.cache
+                              : (options.use_labeling_cache ? &local_cache
+                                                            : nullptr);
+
   // Per-output synthesis. The time budget is split across outputs so the
   // total remains comparable to the SBDD flow's. Outputs fan out across
   // options.parallel workers — each builds its ROBDD in a private manager —
   // and the inner sites stay serial so only this level multiplies threads.
+  // The telemetry sink and the cache are the only shared state; both are
+  // thread-safe.
   synthesis_options per_output = options;
   per_output.time_limit_seconds = std::max(
       0.5, options.time_limit_seconds / static_cast<double>(output_count));
   per_output.parallel = {};
+  per_output.cache = cache;
+  per_output.validate_design = false;  // the composed design is what counts
 
+  stopwatch outputs_clock;
   const std::vector<synthesis_result> parts = parallel_map(
       options.parallel, static_cast<std::size_t>(output_count),
       [&](std::size_t o) {
@@ -106,6 +75,7 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
             frontend::build_output(net, m, static_cast<int>(o));
         return synthesize(m, {root}, {net.outputs()[o].name}, per_output);
       });
+  const double outputs_seconds = outputs_clock.seconds();
 
   std::size_t total_nodes = 0;
   std::size_t total_edges = 0;
@@ -122,12 +92,14 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
 
   // Diagonal composition (Figure 8a): blocks stacked corner to corner, all
   // sharing one bottom input wordline (the merged '1' terminals).
+  stopwatch compose_clock;
   std::vector<const xbar::crossbar*> blocks;
   blocks.reserve(parts.size());
   for (const synthesis_result& part : parts) blocks.push_back(&part.design);
   xbar::crossbar composed = compose_diagonal(blocks, options.parallel);
+  const double compose_seconds = compose_clock.seconds();
 
-  synthesis_result result{std::move(composed), {}, {}};
+  synthesis_result result{std::move(composed), {}, {}, {}};
   result.stats.graph_nodes = total_nodes;
   result.stats.graph_edges = total_edges;
   result.stats.vh_count = total_vh;
@@ -140,7 +112,28 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   result.stats.delay_steps = result.design.delay_steps();
   result.stats.optimal = all_optimal;
   result.stats.relative_gap = worst_gap;
+  result.stats.stage_seconds.push_back({"synthesize_outputs", outputs_seconds});
+  result.stats.stage_seconds.push_back({"compose", compose_seconds});
+  if (cache != nullptr) {
+    const labeling_cache::counters counters = cache->stats();
+    result.stats.cache_hits = counters.hits;
+    result.stats.cache_misses = counters.misses;
+  }
   result.stats.synthesis_seconds = clock.seconds();
+
+  if (options.telemetry != nullptr) {
+    telemetry_event event;
+    event.stage = "compose";
+    event.seconds = compose_seconds;
+    event.metric("blocks", static_cast<double>(parts.size()));
+    event.metric("rows", result.stats.rows);
+    event.metric("columns", result.stats.columns);
+    event.metric("semiperimeter", result.stats.semiperimeter);
+    event.metric("cache_hits", static_cast<double>(result.stats.cache_hits));
+    event.metric("cache_misses",
+                 static_cast<double>(result.stats.cache_misses));
+    options.telemetry->emit(event);
+  }
   return result;
 }
 

@@ -2,9 +2,14 @@
 //
 //   Boolean function (network / BDD roots)
 //     -> graph pre-processing          (core/bdd_graph)
-//     -> VH-labeling                   (core/labelers: OCT or MIP)
+//     -> VH-labeling                   (core/labelers: registry dispatch)
 //     -> crossbar mapping              (core/mapping)
 //     -> crossbar design D             (xbar/crossbar)
+//
+// The flow runs as an explicit pass pipeline (core/pipeline): named stages
+// over one synthesis_context, per-stage wall-time accounting, structured
+// telemetry events into a pluggable sink, and graph-keyed labeling
+// memoization through core/label_cache.
 //
 // Two entry points: synthesize() maps a shared BDD built in one manager
 // (the paper's SBDD flow, Section VII-A), and synthesize_separate_robdds()
@@ -13,17 +18,21 @@
 // wordline (Figure 8a).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bdd/manager.hpp"
 #include "core/bdd_graph.hpp"
+#include "core/label_cache.hpp"
 #include "core/labelers.hpp"
 #include "core/labeling.hpp"
 #include "frontend/network.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/validate.hpp"
 
 namespace compact::core {
 
@@ -34,6 +43,10 @@ enum class labeling_method {
 
 struct synthesis_options {
   labeling_method method = labeling_method::weighted_mip;
+  /// Registry name of the labeling strategy (core/labelers). Empty = derive
+  /// from `method` ("oct" / "mip"); set it to dispatch a custom registered
+  /// labeler without touching this struct's enum.
+  std::string labeler;
   double gamma = 0.5;
   bool alignment = true;
   double time_limit_seconds = 60.0;
@@ -48,6 +61,28 @@ struct synthesis_options {
   /// for any thread count (modulo the wall-clock solver time limits, which
   /// are timing-dependent even serially).
   parallel_options parallel;
+  /// Labeling memoization cache shared across synthesize() calls (gamma
+  /// sweeps, benchmark re-runs). Non-owning; may be null. Thread-safe.
+  labeling_cache* cache = nullptr;
+  /// When true (default) synthesize_separate_robdds memoizes per-output
+  /// labelings in a run-local cache even when `cache` is null, so repeated
+  /// per-output subgraphs are labeled once. Labelers are deterministic, so
+  /// designs are bit-identical with the cache on or off.
+  bool use_labeling_cache = true;
+  /// Sink for per-stage telemetry events (see core/pipeline for the event
+  /// schema). Non-owning; may be null. Must be thread-safe when the
+  /// separate-ROBDD flow fans out.
+  telemetry_sink* telemetry = nullptr;
+  /// Append a validate pass to the pipeline: check the mapped design
+  /// against the source BDD (exhaustive or sampled, see xbar/validate) and
+  /// record the verdict in synthesis_result::validation.
+  bool validate_design = false;
+};
+
+/// Wall time of one named pipeline stage.
+struct stage_timing {
+  std::string stage;
+  double seconds = 0.0;
 };
 
 struct synthesis_stats {
@@ -61,16 +96,28 @@ struct synthesis_stats {
   long long area = 0;
   int power_proxy = 0;          // active (literal-carrying) memristors
   int delay_steps = 0;          // rows + 1
+  /// Per-stage wall times in pipeline order; synthesis_seconds is the
+  /// end-to-end total (stages plus orchestration overhead).
+  std::vector<stage_timing> stage_seconds;
   double synthesis_seconds = 0.0;
+  /// Labeling-cache traffic observed by this run (0/0 when no cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   bool optimal = false;         // labeling proven optimal within the limit
   double relative_gap = 0.0;    // MIP gap at termination (0 for method 1)
   std::vector<milp::mip_trace_entry> trace;  // MIP convergence (Fig. 10)
+
+  /// Wall time of the named stage, or 0 when it did not run.
+  [[nodiscard]] double stage_time(const std::string& stage) const;
 };
 
 struct synthesis_result {
   xbar::crossbar design;
   labeling labels;
   synthesis_stats stats;
+  /// Verdict of the optional validate pass (synthesis_options::
+  /// validate_design); nullopt when the pass did not run.
+  std::optional<xbar::validation_report> validation;
 };
 
 /// Map the shared BDD rooted at `roots` (named `names`) onto one crossbar.
@@ -87,6 +134,8 @@ struct synthesis_result {
 /// each synthesized independently, then composed along the diagonal with a
 /// shared input wordline. Stats are those of the composed design; the
 /// per-output node counts are summed (Table III's "merged ROBDDs" column).
+/// Duplicate per-output subgraphs are labeled once through the labeling
+/// cache (see synthesis_options::use_labeling_cache).
 [[nodiscard]] synthesis_result synthesize_separate_robdds(
     const frontend::network& net, const synthesis_options& options = {});
 

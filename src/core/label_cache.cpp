@@ -1,0 +1,69 @@
+#include "core/label_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace compact::core {
+
+label_cache_key make_label_cache_key(const bdd_graph& graph,
+                                     const std::string& labeler_name,
+                                     const std::string& option_salt) {
+  // Canonical text encoding; the digest is the FNV-1a hash of this string.
+  // The encoding is unambiguous (fixed field order, explicit separators), so
+  // string equality == key equality.
+  std::string canonical;
+  canonical.reserve(16 * graph.g.edge_count() + 64 + option_salt.size());
+  canonical += "labeler=" + labeler_name + ";opts=" + option_salt + ";n=";
+  canonical += std::to_string(graph.g.node_count());
+  canonical += ";e=";
+  for (const graph::edge& e : graph.g.edges()) {
+    canonical += std::to_string(e.u);
+    canonical += '-';
+    canonical += std::to_string(e.v);
+    canonical += ',';
+  }
+  canonical += ";a=";
+  for (const graph::node_id v : graph.aligned_nodes()) {
+    canonical += std::to_string(v);
+    canonical += ',';
+  }
+
+  fnv1a_hasher hasher;
+  hasher.add_string(canonical);
+  return {hasher.digest(), std::move(canonical)};
+}
+
+std::optional<cached_labeling> labeling_cache::find(
+    const label_cache_key& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key.digest);
+  if (it != entries_.end())
+    for (const auto& [canonical, entry] : it->second)
+      if (canonical == key.canonical) {
+        ++counters_.hits;
+        return entry;
+      }
+  ++counters_.misses;
+  return std::nullopt;
+}
+
+void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bucket& slot = entries_[key.digest];
+  for (const auto& [canonical, existing] : slot)
+    if (canonical == key.canonical) return;  // first store wins
+  slot.emplace_back(key.canonical, std::move(entry));
+  ++counters_.entries;
+}
+
+labeling_cache::counters labeling_cache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void labeling_cache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  counters_ = {};
+}
+
+}  // namespace compact::core

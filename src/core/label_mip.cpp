@@ -15,6 +15,33 @@ struct mip_layout {
   static int xv(graph::node_id i) { return 2 * i + 1; }
 };
 
+/// Method 1 run used as warm start / fallback, memoized through `cache` when
+/// one is supplied. The key matches a standalone "oct" labeler run with the
+/// same options, so gamma sweeps over one graph share a single OCT solve.
+oct_label_result warm_oct_labeling(const bdd_graph& graph,
+                                   const oct_label_options& oct,
+                                   labeling_cache* cache) {
+  if (cache == nullptr) return label_minimal_semiperimeter(graph, oct);
+  const label_cache_key key =
+      make_label_cache_key(graph, "oct", oct_cache_salt(oct));
+  if (std::optional<cached_labeling> hit = cache->find(key)) {
+    oct_label_result result;
+    result.l = std::move(hit->l);
+    result.optimal = hit->optimal;
+    result.oct_size = hit->oct_size;
+    result.promoted = hit->promoted;
+    return result;
+  }
+  oct_label_result result = label_minimal_semiperimeter(graph, oct);
+  cached_labeling entry;
+  entry.l = result.l;
+  entry.optimal = result.optimal;
+  entry.oct_size = result.oct_size;
+  entry.promoted = result.promoted;
+  cache->store(key, std::move(entry));
+  return result;
+}
+
 }  // namespace
 
 mip_label_result label_weighted(const bdd_graph& graph,
@@ -46,7 +73,7 @@ mip_label_result label_weighted(const bdd_graph& graph,
       oct_label_options oct;
       oct.alignment = options.alignment;
       oct.time_limit_seconds = options.oct_time_limit_seconds;
-      oct_label_result fallback = label_minimal_semiperimeter(graph, oct);
+      oct_label_result fallback = warm_oct_labeling(graph, oct, options.cache);
       result.l = std::move(fallback.l);
       result.optimal = false;
       result.relative_gap = 1.0;
@@ -178,7 +205,7 @@ mip_label_result label_weighted(const bdd_graph& graph,
     oct.time_limit_seconds = std::min(
         options.oct_time_limit_seconds,
         std::max(1.0, options.time_limit_seconds));
-    const oct_label_result warm = label_minimal_semiperimeter(graph, oct);
+    const oct_label_result warm = warm_oct_labeling(graph, oct, options.cache);
 
     // Any feasible labeling's VH set is an odd cycle transversal (removing
     // it leaves a V/H 2-colorable, hence bipartite, graph). When the OCT
@@ -220,6 +247,20 @@ mip_label_result label_weighted(const bdd_graph& graph,
   }
 
   // ---- Solve and decode. ---------------------------------------------------
+  // Solver milestones arrive as events: each one lands in the returned
+  // trace (Fig. 10) and, when a sink is attached, in telemetry.
+  mip.on_trace = [&result, &options](const milp::mip_trace_entry& entry) {
+    result.trace.push_back(entry);
+    if (options.telemetry != nullptr) {
+      telemetry_event event;
+      event.stage = "mip_trace";
+      event.seconds = entry.seconds;
+      event.metric("best_integer", entry.best_integer);
+      event.metric("best_bound", entry.best_bound);
+      event.metric("relative_gap", entry.relative_gap);
+      options.telemetry->emit(event);
+    }
+  };
   const milp::mip_result solved = milp::solve_mip(m, mip);
   if (solved.status == milp::mip_status::infeasible)
     throw infeasible_error(
@@ -241,7 +282,6 @@ mip_label_result label_weighted(const bdd_graph& graph,
   result.best_bound = solved.best_bound;
   result.objective = solved.objective;
   result.nodes_explored = solved.nodes_explored;
-  result.trace = solved.trace;
 
   check(is_feasible(g, result.l), "label_weighted: infeasible labeling");
   if (options.alignment)

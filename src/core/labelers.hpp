@@ -1,4 +1,6 @@
-// The two VH-labeling engines of Section VI.
+// The VH-labeling engines of Section VI, behind a pluggable interface.
+//
+// Two engines ship with the library:
 //
 //  * label_minimal_semiperimeter — Method 1: minimum odd cycle transversal
 //    via vertex cover of G x K2 (Lemma 1), then a 2-coloring of the induced
@@ -9,14 +11,24 @@
 //  * label_weighted — Method 2: the MIP of Eq. 4 with the alignment
 //    constraints of Eq. 7, minimizing gamma*S + (1-gamma)*D, warm-started
 //    from Method 1's labeling.
+//
+// Both are also exposed as `labeler` implementations registered under "oct"
+// and "mip" in a process-wide registry, which is how the synthesis pipeline
+// (core/pipeline) dispatches the label stage. A third labeling strategy is
+// one register_labeler() call — no edits to the pipeline or to compact.cpp.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/bdd_graph.hpp"
+#include "core/label_cache.hpp"
 #include "core/labeling.hpp"
 #include "graph/oct.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "util/telemetry.hpp"
 
 namespace compact::core {
 
@@ -51,6 +63,13 @@ struct mip_label_options {
   /// within the time limit it throws a plain error.
   std::optional<int> max_rows;
   std::optional<int> max_columns;
+  /// When set, the Method 1 warm start is looked up in / stored into this
+  /// cache (keyed exactly like the standalone "oct" labeler), so gamma
+  /// sweeps over one graph solve the OCT subproblem once.
+  labeling_cache* cache = nullptr;
+  /// When set, every solver incumbent/bound improvement is emitted as a
+  /// "mip_trace" telemetry event in addition to being returned in `trace`.
+  telemetry_sink* telemetry = nullptr;
 };
 
 struct mip_label_result {
@@ -65,5 +84,76 @@ struct mip_label_result {
 
 [[nodiscard]] mip_label_result label_weighted(
     const bdd_graph& graph, const mip_label_options& options = {});
+
+// ---------------------------------------------------------------------------
+// Pluggable labeler interface + registry.
+
+/// The option set the pipeline hands any labeler. Engine-specific options
+/// are derived from these (see the "oct" and "mip" implementations); custom
+/// labelers are free to ignore fields that do not apply to them.
+struct labeler_request {
+  double gamma = 0.5;
+  bool alignment = true;
+  double time_limit_seconds = 60.0;
+  graph::oct_engine oct_engine = graph::oct_engine::bnb;
+  std::optional<int> max_rows;
+  std::optional<int> max_columns;
+  /// Shared labeling cache for nested subproblems (e.g. the MIP labeler's
+  /// OCT warm start); the pipeline separately memoizes the labeler's own
+  /// result. May be null.
+  labeling_cache* cache = nullptr;
+  /// Sink for solver-milestone events (e.g. MIP convergence). May be null.
+  telemetry_sink* telemetry = nullptr;
+};
+
+/// What the pipeline needs back from any labeling strategy.
+struct labeler_result {
+  labeling l;
+  bool optimal = false;
+  double relative_gap = 0.0;
+  std::vector<milp::mip_trace_entry> trace;  // MIP convergence (Fig. 10)
+  std::size_t oct_size = 0;                  // Method 1 diagnostics
+  std::size_t promoted = 0;
+};
+
+/// A VH-labeling strategy. Implementations must be deterministic functions
+/// of (graph, request) — the labeling cache and the thread-count-invariance
+/// guarantees both rely on it — and safe to call concurrently.
+class labeler {
+ public:
+  virtual ~labeler() = default;
+
+  /// Registry key, e.g. "oct". Stable; also part of cache keys.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Canonical encoding of every request field that can change this
+  /// labeler's output. Two requests with equal salts (on the same graph)
+  /// must produce identical labelings; used to key the labeling cache.
+  [[nodiscard]] virtual std::string cache_salt(
+      const labeler_request& request) const = 0;
+
+  [[nodiscard]] virtual labeler_result label(
+      const bdd_graph& graph, const labeler_request& request) const = 0;
+};
+
+/// Register `implementation` under its name(). Registering a name twice
+/// replaces the previous implementation (tests use this to stub labelers).
+/// Thread-safe.
+void register_labeler(std::unique_ptr<labeler> implementation);
+
+/// Look up a registered labeler; throws compact::error (listing the
+/// registered names) when `name` is unknown. The built-in "oct" and "mip"
+/// labelers are registered on first use. The returned reference stays valid
+/// for the process lifetime unless the name is re-registered.
+[[nodiscard]] const labeler& find_labeler(const std::string& name);
+
+/// Names currently registered, sorted.
+[[nodiscard]] std::vector<std::string> registered_labeler_names();
+
+/// Canonical option salts for the built-in engines; exposed so nested uses
+/// (the MIP labeler's warm start) key the cache identically to a standalone
+/// "oct" run with the same options.
+[[nodiscard]] std::string oct_cache_salt(const oct_label_options& options);
+[[nodiscard]] std::string mip_cache_salt(const mip_label_options& options);
 
 }  // namespace compact::core

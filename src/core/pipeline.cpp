@@ -1,0 +1,185 @@
+#include "core/pipeline.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace compact::core {
+namespace {
+
+void run_build_graph(synthesis_context& ctx) {
+  check(ctx.manager != nullptr && ctx.roots != nullptr && ctx.names != nullptr,
+        "pipeline: build_graph needs manager, roots and names");
+  ctx.graph = build_bdd_graph(*ctx.manager, *ctx.roots, *ctx.names);
+  ctx.stats.graph_nodes = ctx.graph.g.node_count();
+  ctx.stats.graph_edges = ctx.graph.g.edge_count();
+  ctx.metric("graph_nodes", static_cast<double>(ctx.stats.graph_nodes));
+  ctx.metric("graph_edges", static_cast<double>(ctx.stats.graph_edges));
+  ctx.metric("outputs", static_cast<double>(ctx.graph.outputs.size()));
+  ctx.metric("constant_outputs",
+             static_cast<double>(ctx.graph.constant_outputs.size()));
+}
+
+void run_label(synthesis_context& ctx) {
+  const std::string name = resolve_labeler_name(ctx.options);
+  const labeler& engine = find_labeler(name);
+  ctx.attribute("labeler", name);
+
+  labeler_request request;
+  request.gamma = ctx.options.gamma;
+  request.alignment = ctx.options.alignment;
+  request.time_limit_seconds = ctx.options.time_limit_seconds;
+  request.oct_engine = ctx.options.oct_engine;
+  request.max_rows = ctx.options.max_rows;
+  request.max_columns = ctx.options.max_columns;
+  request.cache = ctx.cache;
+  request.telemetry = ctx.telemetry;
+
+  // Memoization: identical (graph, labeler, options) triples reuse the
+  // stored labeling. Labelers are deterministic, so a hit is
+  // observationally identical to a recompute — except the solver trace,
+  // which a hit does not replay.
+  std::optional<label_cache_key> key;
+  if (ctx.cache != nullptr)
+    key = make_label_cache_key(ctx.graph, name, engine.cache_salt(request));
+  if (key) {
+    if (std::optional<cached_labeling> hit = ctx.cache->find(*key)) {
+      ctx.labels = std::move(hit->l);
+      ctx.label_optimal = hit->optimal;
+      ctx.label_gap = hit->relative_gap;
+      ctx.label_cache_hit = true;
+      ctx.attribute("cache", "hit");
+    }
+  }
+  if (!ctx.label_cache_hit) {
+    labeler_result r = engine.label(ctx.graph, request);
+    ctx.labels = std::move(r.l);
+    ctx.label_optimal = r.optimal;
+    ctx.label_gap = r.relative_gap;
+    ctx.stats.trace = std::move(r.trace);
+    if (key) {
+      cached_labeling entry;
+      entry.l = ctx.labels;
+      entry.optimal = ctx.label_optimal;
+      entry.relative_gap = ctx.label_gap;
+      entry.oct_size = r.oct_size;
+      entry.promoted = r.promoted;
+      ctx.cache->store(*key, std::move(entry));
+      ctx.attribute("cache", "miss");
+    }
+  }
+  ctx.stats.optimal = ctx.label_optimal;
+  ctx.stats.relative_gap = ctx.label_gap;
+  if (ctx.cache != nullptr) {
+    const labeling_cache::counters c = ctx.cache->stats();
+    ctx.stats.cache_hits = c.hits;
+    ctx.stats.cache_misses = c.misses;
+  }
+
+  const labeling_stats ls = compute_stats(ctx.labels);
+  ctx.stats.vh_count = ls.vh_count;
+  ctx.metric("vh_count", ls.vh_count);
+  ctx.metric("rows", ls.rows);
+  ctx.metric("columns", ls.columns);
+  ctx.metric("semiperimeter", ls.semiperimeter);
+  ctx.metric("optimal", ctx.label_optimal ? 1.0 : 0.0);
+  ctx.metric("relative_gap", ctx.label_gap);
+}
+
+void run_map(synthesis_context& ctx) {
+  ctx.mapped.emplace(map_to_crossbar(ctx.graph, ctx.labels));
+  const xbar::crossbar& design = ctx.mapped->design;
+  ctx.stats.rows = design.rows();
+  ctx.stats.columns = design.columns();
+  ctx.stats.semiperimeter = design.semiperimeter();
+  ctx.stats.max_dimension = design.max_dimension();
+  ctx.stats.area = design.area();
+  ctx.stats.power_proxy = design.active_device_count();
+  ctx.stats.delay_steps = design.delay_steps();
+  ctx.metric("rows", design.rows());
+  ctx.metric("columns", design.columns());
+  ctx.metric("semiperimeter", design.semiperimeter());
+  ctx.metric("max_dimension", design.max_dimension());
+  ctx.metric("area", static_cast<double>(design.area()));
+  ctx.metric("power_proxy", design.active_device_count());
+  ctx.metric("delay_steps", design.delay_steps());
+}
+
+void run_validate(synthesis_context& ctx) {
+  // Validation runs against the full root list: constant outputs are part
+  // of the design's contract too.
+  xbar::validation_options options;
+  options.parallel = ctx.options.parallel;
+  check(ctx.mapped.has_value(), "pipeline: validate needs a mapped design");
+  ctx.validation =
+      xbar::validate_against_bdd(ctx.mapped->design, *ctx.manager, *ctx.roots,
+                                 *ctx.names, ctx.manager->variable_count(),
+                                 options);
+  ctx.attribute("verdict", ctx.validation->valid ? "pass" : "fail");
+  ctx.metric("checked_assignments",
+             static_cast<double>(ctx.validation->checked_assignments));
+  ctx.metric("exhaustive", ctx.validation->exhaustive ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+pipeline& pipeline::add_pass(std::string name, pass_fn run) {
+  check(!name.empty(), "pipeline: pass needs a name");
+  check(run != nullptr, "pipeline: pass '" + name + "' has no body");
+  passes_.push_back({std::move(name), std::move(run)});
+  return *this;
+}
+
+std::vector<std::string> pipeline::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const pass& p : passes_) names.push_back(p.name);
+  return names;
+}
+
+void pipeline::run(synthesis_context& ctx) const {
+  for (const pass& p : passes_) {
+    telemetry_event event;
+    event.stage = p.name;
+    ctx.current_event = &event;
+    stopwatch clock;
+    try {
+      p.run(ctx);
+    } catch (...) {
+      ctx.current_event = nullptr;
+      throw;
+    }
+    event.seconds = clock.seconds();
+    ctx.current_event = nullptr;
+    ctx.stats.stage_seconds.push_back({p.name, event.seconds});
+    if (ctx.telemetry != nullptr) ctx.telemetry->emit(event);
+  }
+}
+
+std::string resolve_labeler_name(const synthesis_options& options) {
+  if (!options.labeler.empty()) return options.labeler;
+  return options.method == labeling_method::minimal_semiperimeter ? "oct"
+                                                                  : "mip";
+}
+
+pipeline make_synthesis_pipeline(const synthesis_options& options) {
+  pipeline p;
+  p.add_pass("build_graph", run_build_graph);
+  p.add_pass("label", run_label);
+  p.add_pass("map", run_map);
+  if (options.validate_design) p.add_pass("validate", run_validate);
+  return p;
+}
+
+synthesis_result run_synthesis_pipeline(synthesis_context& ctx) {
+  const pipeline p = make_synthesis_pipeline(ctx.options);
+  p.run(ctx);
+  check(ctx.mapped.has_value(),
+        "pipeline: run finished without a mapped design");
+  synthesis_result result{std::move(ctx.mapped->design), std::move(ctx.labels),
+                          std::move(ctx.stats), std::move(ctx.validation)};
+  return result;
+}
+
+}  // namespace compact::core

@@ -50,8 +50,19 @@ void write_report(const report_inputs& inputs, std::ostream& os) {
      << " |\n";
   os << "| relative gap at termination | "
      << format_fixed(100.0 * s.relative_gap, 2) << "% |\n";
-  os << "| synthesis time | " << format_fixed(s.synthesis_seconds, 3)
-     << " s |\n\n";
+  if (s.cache_hits + s.cache_misses > 0) {
+    os << "| labeling cache (hits / misses) | " << s.cache_hits << " / "
+       << s.cache_misses << " |\n";
+  }
+  os << "\n";
+
+  // Per-stage wall times from the pass pipeline; the total also covers
+  // orchestration outside the named stages.
+  os << "## Timing\n\n";
+  os << "| stage | seconds |\n|---|---|\n";
+  for (const stage_timing& t : s.stage_seconds)
+    os << "| " << t.stage << " | " << format_fixed(t.seconds, 3) << " |\n";
+  os << "| **total** | " << format_fixed(s.synthesis_seconds, 3) << " |\n\n";
 
   if (!s.trace.empty()) {
     os << "## Solver convergence\n\n";

@@ -148,13 +148,18 @@ mip_result solve_mip(const model& original, const mip_options& options) {
   double incumbent_obj = inf;
   std::vector<double> incumbent;
 
+  // Milestones flow out through the on_trace event callback rather than a
+  // stored vector; `recorded` only tracks whether the terminal summary entry
+  // below should fire for bound-only runs.
+  long recorded = 0;
   auto record = [&](double bound) {
     mip_trace_entry entry;
     entry.seconds = clock.seconds();
     entry.best_integer = incumbent_obj;
     entry.best_bound = bound;
     entry.relative_gap = relative_gap(incumbent_obj, bound);
-    result.trace.push_back(entry);
+    ++recorded;
+    if (options.on_trace) options.on_trace(entry);
     if (options.progress)
       options.progress(entry.seconds, incumbent_obj, bound);
   };
@@ -375,13 +380,13 @@ mip_result solve_mip(const model& original, const mip_options& options) {
     result.status = limits_hit || proof_incomplete ? mip_status::no_solution
                                                    : mip_status::infeasible;
   }
-  if (!result.trace.empty() || std::isfinite(incumbent_obj)) {
+  if (recorded > 0 || std::isfinite(incumbent_obj)) {
     mip_trace_entry entry;
     entry.seconds = result.seconds;
     entry.best_integer = incumbent_obj;
     entry.best_bound = result.best_bound;
     entry.relative_gap = result.relative_gap;
-    result.trace.push_back(entry);
+    if (options.on_trace) options.on_trace(entry);
   }
   return result;
 }

@@ -23,6 +23,14 @@ enum class mip_status {
   no_solution,      // limits hit before any incumbent was found
 };
 
+/// One entry per incumbent/bound improvement (drives Fig. 10).
+struct mip_trace_entry {
+  double seconds = 0.0;
+  double best_integer = 0.0;   // +inf until an incumbent exists
+  double best_bound = 0.0;
+  double relative_gap = 1.0;   // (incumbent - bound) / max(|incumbent|, 1)
+};
+
 struct mip_options {
   double time_limit_seconds = 60.0;
   long node_limit = 1000000;
@@ -38,14 +46,11 @@ struct mip_options {
   /// If set, called whenever the incumbent or bound improves.
   std::function<void(double seconds, double incumbent, double bound)>
       progress = nullptr;
-};
-
-/// One entry per incumbent/bound improvement (drives Fig. 10).
-struct mip_trace_entry {
-  double seconds = 0.0;
-  double best_integer = 0.0;   // +inf until an incumbent exists
-  double best_bound = 0.0;
-  double relative_gap = 1.0;   // (incumbent - bound) / max(|incumbent|, 1)
+  /// Convergence milestones are *events*, not a stored log: this callback
+  /// receives one entry per incumbent/bound improvement plus a terminal
+  /// entry summarizing the final state. Callers that want the historical
+  /// trace vector accumulate it here (see core/label_mip).
+  std::function<void(const mip_trace_entry&)> on_trace = nullptr;
 };
 
 struct mip_result {
@@ -56,7 +61,6 @@ struct mip_result {
   double relative_gap = 1.0;
   long nodes_explored = 0;
   double seconds = 0.0;
-  std::vector<mip_trace_entry> trace;
 };
 
 /// Solve `m` (minimization). Integer variables must have finite bounds.

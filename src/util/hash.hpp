@@ -1,0 +1,63 @@
+// Streaming FNV-1a hashing for cache keys.
+//
+// The labeling cache (core/label_cache) keys entries by a canonical hash of
+// the BDD graph plus the labeling options. FNV-1a is used because the keys
+// are small, the hasher is trivially streamable (no buffering), and the
+// digest is stable across platforms and runs — cache keys may be logged in
+// telemetry and compared between sessions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace compact {
+
+/// 64-bit FNV-1a over an arbitrary byte stream. Feed values in a canonical
+/// order; digest() is a pure function of the fed bytes.
+class fnv1a_hasher {
+ public:
+  static constexpr std::uint64_t offset_basis = 1469598103934665603ULL;
+  static constexpr std::uint64_t prime = 1099511628211ULL;
+
+  void add_byte(std::uint8_t byte) {
+    digest_ ^= byte;
+    digest_ *= prime;
+  }
+
+  void add_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) add_byte(bytes[i]);
+  }
+
+  /// Integers are fed little-endian at a fixed 8-byte width so the digest
+  /// does not depend on the caller's integer type.
+  void add_u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      add_byte(static_cast<std::uint8_t>(value & 0xff));
+      value >>= 8;
+    }
+  }
+
+  void add_i64(std::int64_t value) {
+    add_u64(static_cast<std::uint64_t>(value));
+  }
+
+  /// Length-prefixed so that ("ab", "c") and ("a", "bc") hash differently.
+  void add_string(std::string_view text) {
+    add_u64(text.size());
+    add_bytes(text.data(), text.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::uint64_t digest_ = offset_basis;
+};
+
+/// Boost-style combine for merging independently computed digests.
+[[nodiscard]] inline std::uint64_t hash_combine(std::uint64_t seed,
+                                                std::uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace compact

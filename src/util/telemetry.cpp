@@ -1,0 +1,93 @@
+#include "util/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace compact {
+
+double telemetry_event::metric_or(const std::string& name,
+                                  double fallback) const {
+  for (const auto& [key, value] : metrics)
+    if (key == name) return value;
+  return fallback;
+}
+
+std::string telemetry_event::attribute_or(const std::string& name,
+                                          std::string fallback) const {
+  for (const auto& [key, value] : attributes)
+    if (key == name) return value;
+  return fallback;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+std::string to_json_line(const telemetry_event& event) {
+  std::string line = "{\"stage\":\"" + json_escape(event.stage) +
+                     "\",\"seconds\":" + json_number(event.seconds);
+  for (const auto& [name, value] : event.metrics)
+    line += ",\"" + json_escape(name) + "\":" + json_number(value);
+  for (const auto& [name, value] : event.attributes)
+    line += ",\"" + json_escape(name) + "\":\"" + json_escape(value) + "\"";
+  line += "}";
+  return line;
+}
+
+void json_lines_sink::emit(const telemetry_event& event) {
+  const std::string line = to_json_line(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_ << line << '\n';
+}
+
+void memory_sink::emit(const telemetry_event& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<telemetry_event> memory_sink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t memory_sink::count(const std::string& stage) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const telemetry_event& e : events_)
+    if (e.stage == stage) ++n;
+  return n;
+}
+
+}  // namespace compact

@@ -87,13 +87,19 @@ TEST(MipTest, TraceIsMonotone) {
     if (terms.size() < 2) terms.push_back({static_cast<int>(c % n), 1.0});
     m.add_constraint(terms, relation::greater_equal, 1.0);
   }
-  const mip_result r = solve_mip(m);
+  // Milestones arrive through the on_trace event callback.
+  std::vector<mip_trace_entry> trace;
+  mip_options options;
+  options.on_trace = [&trace](const mip_trace_entry& e) {
+    trace.push_back(e);
+  };
+  const mip_result r = solve_mip(m, options);
   ASSERT_TRUE(r.status == mip_status::optimal ||
               r.status == mip_status::feasible);
-  ASSERT_FALSE(r.trace.empty());
-  for (std::size_t i = 1; i < r.trace.size(); ++i) {
-    EXPECT_LE(r.trace[i].best_integer, r.trace[i - 1].best_integer + 1e-9);
-    EXPECT_GE(r.trace[i].seconds, r.trace[i - 1].seconds);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i].best_integer, trace[i - 1].best_integer + 1e-9);
+    EXPECT_GE(trace[i].seconds, trace[i - 1].seconds);
   }
   // Bound never exceeds incumbent at termination.
   EXPECT_LE(r.best_bound, r.objective + 1e-6);

@@ -18,6 +18,7 @@
 //   --threads N            worker threads for parallel stages (default 1)
 //   --out FILE.xbar        save the design
 //   --dot FILE.dot         dump the shared BDD as graphviz
+//   --trace-json FILE      per-stage telemetry as JSON lines
 //   --print                pretty-print the crossbar
 //   --validate             digital validity check before reporting
 #include <fstream>
@@ -40,6 +41,7 @@
 #include "frontend/verilog.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 #include "xbar/evaluate.hpp"
 #include "xbar/serialize.hpp"
 #include "xbar/validate.hpp"
@@ -57,7 +59,7 @@ using namespace compact;
       "      [--time-limit S] [--max-rows N] [--max-cols N] [--threads N]\n"
       "      [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
-      "      [--print] [--validate]\n"
+      "      [--trace-json F.jsonl] [--print] [--validate]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
       "      [--threads N]\n"
@@ -146,7 +148,7 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   bool do_validate = false;
   bool do_minimize = false;
   frontend::order_effort order = frontend::order_effort::none;
-  std::optional<std::string> out_path, dot_path, report_path;
+  std::optional<std::string> out_path, dot_path, report_path, trace_path;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -198,6 +200,8 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       dot_path = value();
     } else if (a == "--report") {
       report_path = value();
+    } else if (a == "--trace-json") {
+      trace_path = value();
     } else if (a == "--print") {
       do_print = true;
     } else if (a == "--validate") {
@@ -223,6 +227,16 @@ int cmd_synthesize(const std::vector<std::string>& args) {
     std::ofstream dot(*dot_path);
     if (!dot) throw error("cannot write " + *dot_path);
     bdd::write_dot(m, built.roots, built.names, dot);
+  }
+
+  // The sink must outlive synthesis; one JSON object per pipeline stage.
+  std::ofstream trace_file;
+  std::optional<json_lines_sink> trace_sink;
+  if (trace_path) {
+    trace_file.open(*trace_path);
+    if (!trace_file) throw error("cannot write " + *trace_path);
+    trace_sink.emplace(trace_file);
+    options.telemetry = &*trace_sink;
   }
 
   core::synthesis_result result = [&] {
@@ -423,6 +437,11 @@ int main(int argc, char** argv) {
     std::cerr << "infeasible: " << e.what() << "\n";
     return 3;
   } catch (const error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Last-resort net: standard-library exceptions (bad_alloc, filesystem,
+    // regex, ...) exit cleanly instead of calling std::terminate.
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -25,8 +25,10 @@ core::bdd_graph graph_of(const frontend::network& net, bdd::manager& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   // ---- A: balanced 2-coloring --------------------------------------------
   std::cout << "== Ablation A: balanced vs arbitrary 2-coloring (Fig. 6) "
@@ -49,6 +51,12 @@ int main() {
       t.add_row({spec.name, cell(balanced.semiperimeter),
                  cell(balanced.max_dimension),
                  cell(arbitrary.max_dimension)});
+      json.add_record("coloring",
+                      bench::json_report::record{}
+                          .field("benchmark", spec.name)
+                          .field("semiperimeter", balanced.semiperimeter)
+                          .field("d_balanced", balanced.max_dimension)
+                          .field("d_arbitrary", arbitrary.max_dimension));
       if (balanced.max_dimension > arbitrary.max_dimension)
         never_worse = false;
     }
@@ -74,6 +82,12 @@ int main() {
       const graph::oct_result exact = graph::odd_cycle_transversal(g.g, options);
       t.add_row({spec.name, cell(greedy.size), cell(exact.size),
                  exact.optimal ? "yes" : "no"});
+      json.add_record("oct_quality",
+                      bench::json_report::record{}
+                          .field("benchmark", spec.name)
+                          .field("oct_greedy", static_cast<double>(greedy.size))
+                          .field("oct_exact", static_cast<double>(exact.size))
+                          .field("exact_proved", exact.optimal ? 1.0 : 0.0));
       if (greedy.size < exact.size) greedy_never_smaller = false;
     }
     t.print(std::cout);
@@ -107,6 +121,13 @@ int main() {
       const double t2 = w2.seconds();
       t.add_row({spec.name, cell(r1.size), cell(t1, 3), cell(r2.size),
                  cell(t2, 3)});
+      json.add_record("oct_engines",
+                      bench::json_report::record{}
+                          .field("benchmark", spec.name)
+                          .field("k_bnb", static_cast<double>(r1.size))
+                          .field("t_bnb_seconds", t1)
+                          .field("k_ilp", static_cast<double>(r2.size))
+                          .field("t_ilp_seconds", t2));
       if (r1.optimal && r2.optimal && r1.size != r2.size) sizes_agree = false;
     }
     t.print(std::cout);
@@ -143,6 +164,14 @@ int main() {
       }
       t.add_row({spec.name, cell(with.semiperimeter),
                  cell(with.max_dimension), cold_s, cold_d});
+      bench::json_report::record row;
+      row.field("benchmark", spec.name)
+          .field("s_warm", with.semiperimeter)
+          .field("d_warm", with.max_dimension);
+      if (cold_s != "-")
+        row.field("s_cold", without.semiperimeter)
+            .field("d_cold", without.max_dimension);
+      json.add_record("warm_start", std::move(row));
     }
     t.print(std::cout);
     std::cout << '\n';
@@ -164,6 +193,14 @@ int main() {
       const magic::contra_result contra = magic::contra_synthesize(spec.net);
       t.add_row({spec.name, cell(flow.stats.delay_steps),
                  cell(contra.delay_steps), cell(contra.parallel_delay_steps)});
+      json.add_record(
+          "contra_delay",
+          bench::json_report::record{}
+              .field("benchmark", spec.name)
+              .field("flow_delay", flow.stats.delay_steps)
+              .field("contra_seq", static_cast<double>(contra.delay_steps))
+              .field("contra_parallel",
+                     static_cast<double>(contra.parallel_delay_steps)));
       flow_total += flow.stats.delay_steps;
       parallel_total += static_cast<double>(contra.parallel_delay_steps);
     }
@@ -172,6 +209,10 @@ int main() {
     bench::shape_check(flow_total < 1.5 * parallel_total,
                        "COMPACT's total delay stays competitive even against "
                        "an optimistically parallel MAGIC schedule");
+  }
+  if (args.json_path) {
+    json.scalar("experiment", std::string("ablation"));
+    json.write_file(*args.json_path);
   }
   return 0;
 }

@@ -8,8 +8,10 @@
 #include "bench_common.hpp"
 #include "frontend/to_bdd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   const frontend::network net = frontend::make_i2c_like(12);
   std::cout << "== Fig 10: MIP solver convergence on " << net.name()
@@ -23,6 +25,11 @@ int main() {
     t.add_row({cell(e.seconds, 3),
                std::isfinite(e.best_integer) ? cell(e.best_integer, 1) : "-",
                cell(e.best_bound, 1), cell(100.0 * e.relative_gap, 2)});
+    json.add_record("trace", bench::json_report::record{}
+                                 .field("seconds", e.seconds)
+                                 .field("best_integer", e.best_integer)
+                                 .field("best_bound", e.best_bound)
+                                 .field("relative_gap", e.relative_gap));
   }
   t.print(std::cout);
   std::cout << "\nfinal: optimal=" << (r.stats.optimal ? "yes" : "no")
@@ -45,5 +52,13 @@ int main() {
   bench::shape_check(trace.empty() || trace.back().relative_gap <=
                                           trace.front().relative_gap + 1e-9,
                      "the relative gap closes over time");
+  if (args.json_path) {
+    json.scalar("experiment", std::string("fig10"));
+    json.scalar("circuit", net.name());
+    json.scalar("gamma", 0.5);
+    json.scalar("optimal", r.stats.optimal ? 1.0 : 0.0);
+    json.scalar("final_gap", r.stats.relative_gap);
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

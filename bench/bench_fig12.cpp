@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace compact;
-  const parallel_options parallel = bench::parse_parallel(argc, argv);
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  const parallel_options& parallel = args.parallel;
+  bench::json_report json;
 
   std::cout << "== Fig 12: power & delay vs prior flow-based mapping [16] "
                "==\n\n";
@@ -45,6 +47,13 @@ int main(int argc, char** argv) {
                         std::max(1.0, static_cast<double>(
                                           base.stats.delay_steps)),
                     3)});
+    json.add_record("rows",
+                    bench::json_report::record{}
+                        .field("benchmark", spec.name)
+                        .field("baseline_power", base.stats.power_proxy)
+                        .field("compact_power", ours.stats.power_proxy)
+                        .field("baseline_delay", base.stats.delay_steps)
+                        .field("compact_delay", ours.stats.delay_steps));
   }
   t.print(std::cout);
 
@@ -59,5 +68,11 @@ int main(int argc, char** argv) {
   bench::shape_check(delay_ratio < 0.7,
                      "COMPACT cuts delay substantially via fewer rows "
                      "(paper: -56%)");
+  if (args.json_path) {
+    json.scalar("experiment", std::string("fig12"));
+    json.scalar("normalized_power", power_ratio);
+    json.scalar("normalized_delay", delay_ratio);
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

@@ -10,8 +10,10 @@
 #include "bench_common.hpp"
 #include "magic/contra.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   std::cout << "== Fig 13: COMPACT vs CONTRA (MAGIC, k=4, spacing=6, "
                "128x128) on EPFL-control-like circuits ==\n\n";
@@ -41,6 +43,14 @@ int main() {
          cell(ours.stats.delay_steps /
                   std::max(1.0, static_cast<double>(contra.delay_steps)),
               3)});
+    json.add_record(
+        "rows",
+        bench::json_report::record{}
+            .field("benchmark", spec.name)
+            .field("contra_power", static_cast<double>(contra.total_ops))
+            .field("compact_power", ours.stats.power_proxy)
+            .field("contra_delay", static_cast<double>(contra.delay_steps))
+            .field("compact_delay", ours.stats.delay_steps));
   }
   t.print(std::cout);
 
@@ -54,5 +64,11 @@ int main() {
   bench::shape_check(delay_ratio < 0.5,
                      "COMPACT is severalfold faster than CONTRA's "
                      "sequential MAGIC steps (paper: -87%)");
+  if (args.json_path) {
+    json.scalar("experiment", std::string("fig13"));
+    json.scalar("normalized_power", power_ratio);
+    json.scalar("normalized_delay", delay_ratio);
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

@@ -8,8 +8,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   for (const frontend::benchmark_spec& spec : frontend::benchmark_suite()) {
     if (spec.name.find("cavlc") == std::string::npos &&
@@ -32,6 +34,13 @@ int main() {
       designs.emplace_back(r.stats.rows, r.stats.columns);
       t.add_row({cell(gamma, 1), cell(r.stats.rows), cell(r.stats.columns),
                  cell(r.stats.semiperimeter), cell(r.stats.max_dimension)});
+      json.add_record("rows", bench::json_report::record{}
+                                  .field("benchmark", spec.name)
+                                  .field("gamma", gamma)
+                                  .field("rows", r.stats.rows)
+                                  .field("cols", r.stats.columns)
+                                  .field("semiperimeter", r.stats.semiperimeter)
+                                  .field("max_dimension", r.stats.max_dimension));
     }
     t.print(std::cout);
     const core::labeling_cache::counters cc = cache.stats();
@@ -57,6 +66,17 @@ int main() {
     bench::shape_check(!front.empty() && front.size() <= designs.size(),
                        "gamma sweep exposes a Pareto front of distinct "
                        "row/column trade-offs for " + spec.name);
+    for (const auto& [rows, cols] : front)
+      json.add_record("pareto_front",
+                      bench::json_report::record{}
+                          .field("benchmark", spec.name)
+                          .field("rows", static_cast<double>(rows))
+                          .field("cols", static_cast<double>(cols)));
+  }
+  if (args.json_path) {
+    json.scalar("experiment", std::string("fig9"));
+    json.scalar("time_limit_seconds", bench::default_time_limit);
+    json.write_file(*args.json_path);
   }
   return 0;
 }

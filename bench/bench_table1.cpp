@@ -7,8 +7,10 @@
 #include "bench_common.hpp"
 #include "frontend/to_bdd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   std::cout << "== Table I: benchmark properties (our ISCAS85/EPFL-control "
                "equivalents) ==\n\n";
@@ -22,6 +24,15 @@ int main() {
     t.add_row({spec.name, spec.family, cell(spec.net.input_count()),
                cell(spec.net.outputs().size()), cell(r.nodes.size()),
                cell(r.edge_count)});
+    json.add_record(
+        "rows",
+        bench::json_report::record{}
+            .field("benchmark", spec.name)
+            .field("family", spec.family)
+            .field("inputs", static_cast<double>(spec.net.input_count()))
+            .field("outputs", static_cast<double>(spec.net.outputs().size()))
+            .field("nodes", static_cast<double>(r.nodes.size()))
+            .field("edges", static_cast<double>(r.edge_count)));
     if (r.internal_count < 10) all_nontrivial = false;
   }
   t.print(std::cout);
@@ -29,5 +40,9 @@ int main() {
   bench::shape_check(all_nontrivial,
                      "every circuit yields a nontrivial BDD (>= 10 internal "
                      "nodes), matching Table I's scale-spread");
+  if (args.json_path) {
+    json.scalar("experiment", std::string("table1"));
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

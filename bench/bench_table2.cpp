@@ -9,8 +9,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compact;
+  const bench::bench_args args = bench::parse_bench_args(argc, argv);
+  bench::json_report json;
 
   std::cout << "== Table II: COMPACT for gamma in {0, 0.5, 1} ==\n\n";
   table t({"benchmark", "gamma", "rows", "cols", "D", "S", "opt", "time_s"});
@@ -32,6 +34,16 @@ int main() {
                  cell(r.stats.columns), cell(r.stats.max_dimension),
                  cell(r.stats.semiperimeter), r.stats.optimal ? "y" : "n",
                  cell(r.stats.synthesis_seconds, 2)});
+      json.add_record("rows",
+                      bench::json_report::record{}
+                          .field("benchmark", spec.name)
+                          .field("gamma", gamma)
+                          .field("rows", r.stats.rows)
+                          .field("cols", r.stats.columns)
+                          .field("max_dimension", r.stats.max_dimension)
+                          .field("semiperimeter", r.stats.semiperimeter)
+                          .field("optimal", r.stats.optimal ? 1.0 : 0.0)
+                          .field("time_seconds", r.stats.synthesis_seconds));
       if (gamma == 0.0) {
         d_zero.push_back(r.stats.max_dimension);
         s_zero.push_back(r.stats.semiperimeter);
@@ -75,5 +87,13 @@ int main() {
                          square_at_zero * 2 >= converged_at_zero,
                      "gamma=0 produces (near-)square designs on most "
                      "circuits it solves optimally (paper: all but dec)");
+  if (args.json_path) {
+    json.scalar("experiment", std::string("table2"));
+    json.scalar("d_zero_over_half", bench::normalized_average(d_zero, d_half));
+    json.scalar("s_zero_over_half", bench::normalized_average(s_zero, s_half));
+    json.scalar("d_one_over_half", bench::normalized_average(d_one, d_half));
+    json.scalar("s_one_over_half", bench::normalized_average(s_one, s_half));
+    json.write_file(*args.json_path);
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.hpp"
+
 namespace compact::bdd {
 namespace {
 
@@ -42,6 +44,7 @@ node_handle manager::make_node(std::int32_t var, node_handle low,
   if (inserted) {
     check(nodes_.size() < max_nodes, "bdd: node table overflow");
     nodes_.push_back({var, low, high});
+    ++stats_.unique_inserts;
   }
   return it->second;
 }
@@ -63,9 +66,13 @@ node_handle manager::ite(node_handle f, node_handle g, node_handle h) {
   if (g == h) return g;
   if (g == true_handle && h == false_handle) return f;
 
+  ++stats_.ite_calls;
   const ite_key key{f, g, h};
-  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    ++stats_.ite_cache_hits;
     return it->second;
+  }
+  ++stats_.ite_cache_misses;
 
   const std::int32_t top =
       std::min({level(f), level(g), level(h)});
@@ -75,13 +82,41 @@ node_handle manager::ite(node_handle f, node_handle g, node_handle h) {
     return high ? nodes_[u].high : nodes_[u].low;
   };
 
+  ++ite_depth_;
+  stats_.max_ite_depth = std::max(stats_.max_ite_depth, ite_depth_);
   const node_handle high =
       ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
   const node_handle low =
       ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  --ite_depth_;
   const node_handle result = make_node(top, low, high);
   ite_cache_.emplace(key, result);
   return result;
+}
+
+void manager::publish_metrics() const {
+  if (!metrics_enabled()) return;
+  metrics_registry& registry = global_metrics();
+  const auto delta = [](std::uint64_t now, std::uint64_t& prev) {
+    const std::uint64_t d = now - prev;
+    prev = now;
+    return d;
+  };
+  registry.counter("bdd.ite_calls")
+      .add(delta(stats_.ite_calls, published_.ite_calls));
+  registry.counter("bdd.ite_cache_hits")
+      .add(delta(stats_.ite_cache_hits, published_.ite_cache_hits));
+  registry.counter("bdd.ite_cache_misses")
+      .add(delta(stats_.ite_cache_misses, published_.ite_cache_misses));
+  registry.counter("bdd.unique_inserts")
+      .add(delta(stats_.unique_inserts, published_.unique_inserts));
+  registry.gauge("bdd.unique_table_size")
+      .set(static_cast<double>(nodes_.size()));
+  registry.gauge("bdd.unique_table_load").set(unique_table_load());
+  registry
+      .histogram("bdd.max_ite_depth",
+                 {4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0})
+      .observe(static_cast<double>(stats_.max_ite_depth));
 }
 
 node_handle manager::apply_not(node_handle f) {

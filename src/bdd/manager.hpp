@@ -44,12 +44,34 @@ inline constexpr std::int32_t terminal_var = INT32_MAX;
 
 class manager {
  public:
+  /// Operation counters, maintained unconditionally (plain increments on a
+  /// single-threaded structure — the cost is a few instructions per ite()
+  /// call and never changes any computed function).
+  struct statistics {
+    std::uint64_t ite_calls = 0;         // non-terminal ite() invocations
+    std::uint64_t ite_cache_hits = 0;    // computed-table hits
+    std::uint64_t ite_cache_misses = 0;  // recursions actually performed
+    std::uint64_t unique_inserts = 0;    // fresh nodes created
+    std::uint64_t max_ite_depth = 0;     // deepest recursive apply chain
+  };
+
   /// `variable_count` fixes the support (levels 0..variable_count-1).
   /// The variable order is the level order; level 0 is tested first.
   explicit manager(int variable_count);
 
   [[nodiscard]] int variable_count() const { return variable_count_; }
   [[nodiscard]] std::size_t node_table_size() const { return nodes_.size(); }
+  [[nodiscard]] const statistics& stats() const { return stats_; }
+  /// Load factor of the unique (node) hash table.
+  [[nodiscard]] double unique_table_load() const {
+    return unique_.load_factor();
+  }
+
+  /// Add this manager's counters to the global metrics registry ("bdd.*")
+  /// and update the table-size gauges. Publishes the delta since the last
+  /// publish_metrics() call on this manager, so it is safe to call at every
+  /// pipeline stage boundary. No-op when metrics are disabled.
+  void publish_metrics() const;
 
   // --- leaf and literal constructors ------------------------------------
   [[nodiscard]] node_handle constant(bool value) const {
@@ -119,6 +141,9 @@ class manager {
   };
 
   int variable_count_ = 0;
+  statistics stats_;
+  mutable statistics published_;  // totals already pushed to the registry
+  std::uint64_t ite_depth_ = 0;   // current recursion depth inside ite()
   std::vector<node> nodes_;
   // unique table: packed (var, low, high) -> handle
   std::unordered_map<std::uint64_t, node_handle, triple_hash> unique_;

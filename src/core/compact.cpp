@@ -6,6 +6,7 @@
 #include "core/pipeline.hpp"
 #include "frontend/to_bdd.hpp"
 #include "util/stopwatch.hpp"
+#include "util/trace.hpp"
 
 namespace compact::core {
 
@@ -70,6 +71,9 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   const std::vector<synthesis_result> parts = parallel_map(
       options.parallel, static_cast<std::size_t>(output_count),
       [&](std::size_t o) {
+        // One span per output: the fan-out shows up as parallel lanes in
+        // the Chrome trace, keyed by the worker's tid.
+        const trace_span span("output:" + net.outputs()[o].name, "synthesis");
         bdd::manager m(net.input_count());
         const bdd::node_handle root =
             frontend::build_output(net, m, static_cast<int>(o));
@@ -93,6 +97,7 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   // Diagonal composition (Figure 8a): blocks stacked corner to corner, all
   // sharing one bottom input wordline (the merged '1' terminals).
   stopwatch compose_clock;
+  const trace_span compose_span("compose", "synthesis");
   std::vector<const xbar::crossbar*> blocks;
   blocks.reserve(parts.size());
   for (const synthesis_result& part : parts) blocks.push_back(&part.design);

@@ -1,6 +1,7 @@
 #include "core/label_cache.hpp"
 
 #include "util/hash.hpp"
+#include "util/metrics.hpp"
 
 namespace compact::core {
 
@@ -40,9 +41,13 @@ std::optional<cached_labeling> labeling_cache::find(
     for (const auto& [canonical, entry] : it->second)
       if (canonical == key.canonical) {
         ++counters_.hits;
+        if (metrics_enabled())
+          global_metrics().counter("label_cache.hits").increment();
         return entry;
       }
   ++counters_.misses;
+  if (metrics_enabled())
+    global_metrics().counter("label_cache.misses").increment();
   return std::nullopt;
 }
 
@@ -53,6 +58,10 @@ void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
     if (canonical == key.canonical) return;  // first store wins
   slot.emplace_back(key.canonical, std::move(entry));
   ++counters_.entries;
+  if (metrics_enabled())
+    global_metrics()
+        .gauge("label_cache.entries")
+        .set(static_cast<double>(counters_.entries));
 }
 
 labeling_cache::counters labeling_cache::stats() const {

@@ -4,6 +4,7 @@
 #include "core/labelers.hpp"
 #include "milp/model.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace compact::core {
 namespace {
@@ -46,6 +47,7 @@ oct_label_result warm_oct_labeling(const bdd_graph& graph,
 
 mip_label_result label_weighted(const bdd_graph& graph,
                                 const mip_label_options& options) {
+  const trace_span span("label_mip", "label");
   check(options.gamma >= 0.0 && options.gamma <= 1.0,
         "label_weighted: gamma must lie in [0, 1]");
   const graph::undirected_graph& g = graph.g;

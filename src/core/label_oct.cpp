@@ -4,6 +4,8 @@
 #include "core/labelers.hpp"
 #include "graph/bipartite.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace compact::core {
 namespace {
@@ -71,6 +73,7 @@ std::vector<char> balance_flips(
 
 oct_label_result label_minimal_semiperimeter(const bdd_graph& graph,
                                              const oct_label_options& options) {
+  const trace_span span("label_oct", "label");
   const graph::undirected_graph& g = graph.g;
   oct_label_result result;
   result.l.label_of.assign(g.node_count(), vh_label::v);
@@ -86,6 +89,14 @@ oct_label_result label_minimal_semiperimeter(const bdd_graph& graph,
   const graph::oct_result transversal = graph::odd_cycle_transversal(g, oct);
   result.oct_size = transversal.size;
   result.optimal = transversal.optimal;
+  if (metrics_enabled()) {
+    metrics_registry& registry = global_metrics();
+    registry.counter("label_oct.runs").increment();
+    registry
+        .histogram("label_oct.oct_size",
+                   {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+        .observe(static_cast<double>(result.oct_size));
+  }
 
   // Step 2: 2-color the induced bipartite subgraph G_B.
   std::vector<bool> keep(g.node_count());

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/trace.hpp"
 
 namespace compact::core {
 namespace {
@@ -142,9 +144,11 @@ void pipeline::run(synthesis_context& ctx) const {
   for (const pass& p : passes_) {
     telemetry_event event;
     event.stage = p.name;
+    event.stamp();  // ts_us marks the pass *start* on the shared clock
     ctx.current_event = &event;
     stopwatch clock;
     try {
+      const trace_span span(p.name, "pipeline");
       p.run(ctx);
     } catch (...) {
       ctx.current_event = nullptr;
@@ -153,6 +157,10 @@ void pipeline::run(synthesis_context& ctx) const {
     event.seconds = clock.seconds();
     ctx.current_event = nullptr;
     ctx.stats.stage_seconds.push_back({p.name, event.seconds});
+    // Stage boundaries are where the BDD engine's internal counters become
+    // externally visible (the manager itself is metrics-agnostic).
+    if (metrics_enabled() && ctx.manager != nullptr)
+      ctx.manager->publish_metrics();
     if (ctx.telemetry != nullptr) ctx.telemetry->emit(event);
   }
 }

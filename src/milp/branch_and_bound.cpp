@@ -6,7 +6,9 @@
 #include <queue>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/trace.hpp"
 
 namespace compact::milp {
 namespace {
@@ -134,9 +136,30 @@ double relative_gap(double incumbent, double bound) {
 
 }  // namespace
 
+// Adds the solve's totals to the "milp.bnb.*" counters on every exit path
+// of solve_mip (several early returns). No-op when metrics are disabled.
+struct solve_metrics_guard {
+  const mip_result& result;
+  const std::uint64_t& lp_iterations;
+  const std::uint64_t& incumbents;
+  ~solve_metrics_guard() {
+    if (!metrics_enabled()) return;
+    metrics_registry& registry = global_metrics();
+    registry.counter("milp.bnb.nodes_explored")
+        .add(static_cast<std::uint64_t>(result.nodes_explored));
+    registry.counter("milp.bnb.lp_iterations").add(lp_iterations);
+    registry.counter("milp.bnb.incumbents").add(incumbents);
+    registry.counter("milp.bnb.solves").increment();
+  }
+};
+
 mip_result solve_mip(const model& original, const mip_options& options) {
+  const trace_span span("solve_mip", "milp");
   stopwatch clock;
   mip_result result;
+  std::uint64_t lp_iterations = 0;  // node-LP simplex iterations
+  std::uint64_t incumbents = 0;     // accepted incumbent improvements
+  const solve_metrics_guard metrics_guard{result, lp_iterations, incumbents};
 
   for (std::size_t j = 0; j < original.variable_count(); ++j) {
     const variable& v = original.var(static_cast<int>(j));
@@ -152,6 +175,7 @@ mip_result solve_mip(const model& original, const mip_options& options) {
   // stored vector; `recorded` only tracks whether the terminal summary entry
   // below should fire for bound-only runs.
   long recorded = 0;
+  double last_metric_incumbent = inf;
   auto record = [&](double bound) {
     mip_trace_entry entry;
     entry.seconds = clock.seconds();
@@ -159,6 +183,20 @@ mip_result solve_mip(const model& original, const mip_options& options) {
     entry.best_bound = bound;
     entry.relative_gap = relative_gap(incumbent_obj, bound);
     ++recorded;
+    if (incumbent_obj < last_metric_incumbent - 1e-12) {
+      last_metric_incumbent = incumbent_obj;
+      ++incumbents;
+    }
+    if (metrics_enabled()) {
+      metrics_registry& registry = global_metrics();
+      registry.series("milp.gap_over_time")
+          .append(entry.seconds, entry.relative_gap);
+      if (std::isfinite(bound))
+        registry.series("milp.bound_over_time").append(entry.seconds, bound);
+      if (std::isfinite(incumbent_obj))
+        registry.series("milp.incumbent_over_time")
+            .append(entry.seconds, incumbent_obj);
+    }
     if (options.on_trace) options.on_trace(entry);
     if (options.progress)
       options.progress(entry.seconds, incumbent_obj, bound);
@@ -242,6 +280,7 @@ mip_result solve_mip(const model& original, const mip_options& options) {
         std::min(node_lp.time_limit_seconds,
                  std::max(0.01, options.time_limit_seconds - clock.seconds()));
     const lp_result lp = solve_lp(working, node_lp);
+    lp_iterations += static_cast<std::uint64_t>(lp.iterations);
 
     if (lp.status == lp_status::unbounded) {
       // Only possible at the root of a minimization with unbounded
@@ -386,6 +425,10 @@ mip_result solve_mip(const model& original, const mip_options& options) {
     entry.best_integer = incumbent_obj;
     entry.best_bound = result.best_bound;
     entry.relative_gap = result.relative_gap;
+    if (metrics_enabled())
+      global_metrics()
+          .series("milp.gap_over_time")
+          .append(entry.seconds, entry.relative_gap);
     if (options.on_trace) options.on_trace(entry);
   }
   return result;

@@ -1,0 +1,289 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace compact::json {
+namespace {
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  value_ptr parse_document() {
+    skip_ws();
+    value_ptr root = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw parse_error("json: " + message + " at offset " +
+                      std::to_string(pos_));
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  value_ptr parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return value::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return value::make_bool(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return value::make_bool(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return value::make_null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  value_ptr parse_object() {
+    expect('{');
+    std::map<std::string, value_ptr> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') return value::make_object(std::move(members));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  value_ptr parse_array() {
+    expect('[');
+    std::vector<value_ptr> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value::make_array(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return value::make_array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = take();
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separately encoded code units; our producers
+          // never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  value_ptr parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(parsed)) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return value::make_number(parsed);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool value::as_bool() const {
+  check(kind_ == kind::boolean, "json: value is not a boolean");
+  return bool_;
+}
+
+double value::as_number() const {
+  check(kind_ == kind::number, "json: value is not a number");
+  return number_;
+}
+
+const std::string& value::as_string() const {
+  check(kind_ == kind::string, "json: value is not a string");
+  return string_;
+}
+
+const std::vector<value_ptr>& value::as_array() const {
+  check(kind_ == kind::array, "json: value is not an array");
+  return array_;
+}
+
+const std::map<std::string, value_ptr>& value::as_object() const {
+  check(kind_ == kind::object, "json: value is not an object");
+  return object_;
+}
+
+const value* value::find(const std::string& key) const {
+  if (kind_ != kind::object) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : it->second.get();
+}
+
+const value& value::at(const std::string& key) const {
+  const value* found = find(key);
+  check(found != nullptr, "json: missing object key '" + key + "'");
+  return *found;
+}
+
+value_ptr value::make_null() { return std::make_shared<value>(); }
+
+value_ptr value::make_bool(bool b) {
+  auto v = std::make_shared<value>();
+  v->kind_ = kind::boolean;
+  v->bool_ = b;
+  return v;
+}
+
+value_ptr value::make_number(double n) {
+  auto v = std::make_shared<value>();
+  v->kind_ = kind::number;
+  v->number_ = n;
+  return v;
+}
+
+value_ptr value::make_string(std::string s) {
+  auto v = std::make_shared<value>();
+  v->kind_ = kind::string;
+  v->string_ = std::move(s);
+  return v;
+}
+
+value_ptr value::make_array(std::vector<value_ptr> items) {
+  auto v = std::make_shared<value>();
+  v->kind_ = kind::array;
+  v->array_ = std::move(items);
+  return v;
+}
+
+value_ptr value::make_object(std::map<std::string, value_ptr> members) {
+  auto v = std::make_shared<value>();
+  v->kind_ = kind::object;
+  v->object_ = std::move(members);
+  return v;
+}
+
+value_ptr parse(const std::string& text) { return parser(text).parse_document(); }
+
+value_ptr parse_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw error("json: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace compact::json

@@ -1,0 +1,64 @@
+// Minimal JSON document parser (RFC 8259 subset, DOM-style).
+//
+// Exists so tools that consume our own machine-readable outputs —
+// tools/bench_compare diffing google-benchmark JSON, tests validating the
+// Chrome trace export — do not need an external JSON dependency. It parses
+// the full JSON grammar into a small value tree; numbers are doubles.
+// Parse errors throw compact::parse_error with a byte offset.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace compact::json {
+
+enum class kind { null, boolean, number, string, array, object };
+
+class value;
+using value_ptr = std::shared_ptr<value>;
+
+class value {
+ public:
+  [[nodiscard]] kind type() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == kind::null; }
+
+  /// Typed accessors; throw compact::error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<value_ptr>& as_array() const;
+  [[nodiscard]] const std::map<std::string, value_ptr>& as_object() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const value* find(const std::string& key) const;
+  /// Object member by key; throws compact::error when absent.
+  [[nodiscard]] const value& at(const std::string& key) const;
+
+  // Construction (used by the parser; public for tests).
+  static value_ptr make_null();
+  static value_ptr make_bool(bool b);
+  static value_ptr make_number(double n);
+  static value_ptr make_string(std::string s);
+  static value_ptr make_array(std::vector<value_ptr> items);
+  static value_ptr make_object(std::map<std::string, value_ptr> members);
+
+ private:
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<value_ptr> array_;
+  std::map<std::string, value_ptr> object_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+[[nodiscard]] value_ptr parse(const std::string& text);
+
+/// Parse the file at `path`; throws compact::error when unreadable.
+[[nodiscard]] value_ptr parse_file(const std::string& path);
+
+}  // namespace compact::json

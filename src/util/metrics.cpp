@@ -1,0 +1,250 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/telemetry.hpp"
+
+namespace compact {
+
+// --- histogram -------------------------------------------------------------
+
+metric_histogram::metric_histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  check(!bounds_.empty(), "metric_histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    check(bounds_[i - 1] < bounds_[i],
+          "metric_histogram: bounds must be strictly increasing");
+}
+
+void metric_histogram::observe(double value) {
+  // First bucket index whose bound >= value; everything above the last
+  // bound lands in the overflow bucket.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t metric_histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double metric_histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+std::uint64_t metric_histogram::bucket_count(std::size_t i) const {
+  check(i < buckets_.size(), "metric_histogram: bucket index out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_[i];
+}
+
+double metric_histogram::quantile(double q) const {
+  check(q >= 0.0 && q <= 1.0, "metric_histogram: quantile must be in [0, 1]");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow clamps
+    const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction =
+        (rank - before) / static_cast<double>(buckets_[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds_.back();
+}
+
+void metric_histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+// --- series ----------------------------------------------------------------
+
+void metric_series::append(double seconds, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.emplace_back(seconds, value);
+}
+
+std::vector<std::pair<double, double>> metric_series::points() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return points_;
+}
+
+std::size_t metric_series::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return points_.size();
+}
+
+void metric_series::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+// --- registry --------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+struct metrics_registry::entry {
+  std::string kind;
+  std::unique_ptr<metric_counter> counter;
+  std::unique_ptr<metric_gauge> gauge;
+  std::unique_ptr<metric_histogram> histogram;
+  std::unique_ptr<metric_series> series;
+};
+
+metrics_registry::entry& metrics_registry::find_or_create(
+    const std::string& name, const char* kind) {
+  for (auto& [existing_name, existing] : entries_)
+    if (existing_name == name) {
+      check(existing->kind == kind,
+            "metrics_registry: '" + name + "' already registered as a " +
+                existing->kind + ", not a " + kind);
+      return *existing;
+    }
+  // Leak-on-purpose lifetime: handles must survive registry resets and
+  // process teardown ordering, so entries are never destroyed.
+  auto* fresh = new entry;
+  fresh->kind = kind;
+  entries_.emplace_back(name, fresh);
+  return *fresh;
+}
+
+metric_counter& metrics_registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& e = find_or_create(name, "counter");
+  if (!e.counter) e.counter = std::make_unique<metric_counter>();
+  return *e.counter;
+}
+
+metric_gauge& metrics_registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& e = find_or_create(name, "gauge");
+  if (!e.gauge) e.gauge = std::make_unique<metric_gauge>();
+  return *e.gauge;
+}
+
+metric_histogram& metrics_registry::histogram(const std::string& name,
+                                              std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& e = find_or_create(name, "histogram");
+  if (!e.histogram)
+    e.histogram = std::make_unique<metric_histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+metric_series& metrics_registry::series(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& e = find_or_create(name, "series");
+  if (!e.series) e.series = std::make_unique<metric_series>();
+  return *e.series;
+}
+
+std::vector<std::pair<std::string, std::string>> metrics_registry::names()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) out.emplace_back(name, e->kind);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void metrics_registry::write_json(std::ostream& os) const {
+  // Copy the entry list, then serialize without the registry lock held (the
+  // metric objects carry their own synchronization).
+  std::vector<std::pair<std::string, entry*>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries = entries_;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  os << "{\n";
+  bool first = true;
+  for (const auto& [name, e] : entries) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(name) << "\": ";
+    if (e->kind == "counter") {
+      os << e->counter->value();
+    } else if (e->kind == "gauge") {
+      os << json_number(e->gauge->value());
+    } else if (e->kind == "histogram") {
+      const metric_histogram& h = *e->histogram;
+      os << "{\"type\": \"histogram\", \"count\": " << h.count()
+         << ", \"sum\": " << json_number(h.sum()) << ", \"buckets\": [";
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "{\"le\": "
+           << (i < h.bounds().size() ? json_number(h.bounds()[i])
+                                     : std::string("null"))
+           << ", \"count\": " << h.bucket_count(i) << "}";
+      }
+      os << "], \"p50\": " << json_number(h.quantile(0.5))
+         << ", \"p90\": " << json_number(h.quantile(0.9))
+         << ", \"p99\": " << json_number(h.quantile(0.99)) << "}";
+    } else {
+      os << "{\"type\": \"series\", \"points\": [";
+      const auto points = e->series->points();
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "[" << json_number(points[i].first) << ", "
+           << json_number(points[i].second) << "]";
+      }
+      os << "]}";
+    }
+  }
+  os << "\n}\n";
+}
+
+void metrics_registry::reset() {
+  std::vector<std::pair<std::string, entry*>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries = entries_;
+  }
+  for (const auto& [name, e] : entries) {
+    (void)name;
+    if (e->counter) e->counter->reset();
+    if (e->gauge) e->gauge->reset();
+    if (e->histogram) e->histogram->reset();
+    if (e->series) e->series->reset();
+  }
+}
+
+metrics_registry& global_metrics() {
+  static metrics_registry* registry = new metrics_registry;
+  return *registry;
+}
+
+}  // namespace compact

@@ -3,7 +3,14 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/trace.hpp"
+
 namespace compact {
+
+void telemetry_event::stamp() {
+  timestamp_us = monotonic_now_us();
+  thread_id = current_thread_slot();
+}
 
 double telemetry_event::metric_or(const std::string& name,
                                   double fallback) const {
@@ -58,6 +65,10 @@ std::string json_number(double value) {
 std::string to_json_line(const telemetry_event& event) {
   std::string line = "{\"stage\":\"" + json_escape(event.stage) +
                      "\",\"seconds\":" + json_number(event.seconds);
+  if (event.timestamp_us >= 0) {
+    line += ",\"ts_us\":" + std::to_string(event.timestamp_us);
+    line += ",\"tid\":" + std::to_string(event.thread_id);
+  }
   for (const auto& [name, value] : event.metrics)
     line += ",\"" + json_escape(name) + "\":" + json_number(value);
   for (const auto& [name, value] : event.attributes)
@@ -67,9 +78,18 @@ std::string to_json_line(const telemetry_event& event) {
 }
 
 void json_lines_sink::emit(const telemetry_event& event) {
-  const std::string line = to_json_line(event);
+  std::string line;
+  if (event.timestamp_us < 0) {
+    telemetry_event stamped = event;
+    stamped.stamp();
+    line = to_json_line(stamped);
+  } else {
+    line = to_json_line(event);
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
-  os_ << line << '\n';
+  // Flush per line: a run cut short by std::exit or a crash in another
+  // stage must still leave a valid JSON-lines file behind.
+  os_ << line << '\n' << std::flush;
 }
 
 void memory_sink::emit(const telemetry_event& event) {

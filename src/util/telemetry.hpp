@@ -11,6 +11,7 @@
 //     that aggregate counters after a run.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -23,6 +24,13 @@ namespace compact {
 struct telemetry_event {
   std::string stage;     // e.g. "build_graph", "label", "map", "mip_trace"
   double seconds = 0.0;  // wall time of the stage (0 for point events)
+  /// Emission order across pool workers: microseconds on the process-wide
+  /// monotonic clock (util/trace) and the emitting thread's dense slot id.
+  /// -1 = unstamped; stamp() fills both, and json_lines_sink stamps any
+  /// event that arrives unstamped so JSON-lines traces are always
+  /// cross-thread orderable.
+  std::int64_t timestamp_us = -1;
+  int thread_id = -1;
   /// Numeric observations (node counts, dimensions, solver bounds, ...).
   std::vector<std::pair<std::string, double>> metrics;
   /// Categorical observations (labeler name, cache hit/miss, ...).
@@ -34,6 +42,9 @@ struct telemetry_event {
   void attribute(std::string name, std::string value) {
     attributes.emplace_back(std::move(name), std::move(value));
   }
+
+  /// Record the current monotonic time and calling thread id.
+  void stamp();
 
   /// First metric with `name`, or `fallback` when absent.
   [[nodiscard]] double metric_or(const std::string& name,
@@ -52,8 +63,11 @@ class telemetry_sink {
 };
 
 /// Writes one JSON object per event to an ostream (JSON-lines). Keys:
-/// "stage", "seconds", then every metric (number or null when non-finite)
-/// and attribute (string). Emission is serialized by an internal mutex.
+/// "stage", "seconds", "ts_us", "tid", then every metric (number or null
+/// when non-finite) and attribute (string). Unstamped events are stamped at
+/// emission time. Every line is flushed so a truncated run (crash,
+/// std::exit) still leaves only whole, parseable lines behind. Emission is
+/// serialized by an internal mutex.
 class json_lines_sink final : public telemetry_sink {
  public:
   explicit json_lines_sink(std::ostream& os) : os_(os) {}

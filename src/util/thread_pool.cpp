@@ -2,6 +2,10 @@
 
 #include <limits>
 
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/trace.hpp"
+
 namespace compact {
 
 thread_pool::thread_pool(int threads) {
@@ -18,6 +22,14 @@ thread_pool::~thread_pool() {
   }
   ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void thread_pool::note_queue_depth(std::size_t depth) {
+  if (!metrics_enabled()) return;
+  global_metrics()
+      .histogram("thread_pool.queue_depth",
+                 {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+      .observe(static_cast<double>(depth));
 }
 
 void thread_pool::worker_loop() {
@@ -48,8 +60,12 @@ void parallel_for(const parallel_options& options, std::size_t count,
   std::size_t failure_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr failure;
   auto runner = [&] {
+    const trace_span span("parallel_for.worker", "thread_pool");
+    const stopwatch busy;
+    std::size_t executed = 0;
     for (std::size_t i = next.fetch_add(1); i < count;
          i = next.fetch_add(1)) {
+      ++executed;
       try {
         body(i);
       } catch (...) {
@@ -61,6 +77,18 @@ void parallel_for(const parallel_options& options, std::size_t count,
           failure = std::current_exception();
         }
       }
+    }
+    if (metrics_enabled() && executed > 0) {
+      metrics_registry& registry = global_metrics();
+      registry.counter("thread_pool.items_executed").add(executed);
+      const auto busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+      registry.counter("thread_pool.worker_busy_us").add(busy_us);
+      // Per-worker breakdown, keyed by the dense thread slot so the
+      // numbers line up with the Chrome trace "tid" column.
+      registry
+          .counter("thread_pool.worker_busy_us.tid" +
+                   std::to_string(current_thread_slot()))
+          .add(busy_us);
     }
   };
 

@@ -64,17 +64,24 @@ class thread_pool {
     auto job =
         std::make_shared<std::packaged_task<result_t()>>(std::move(task));
     std::future<result_t> result = job->get_future();
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       check(!stopping_, "thread_pool: submit after shutdown");
       queue_.emplace_back([job] { (*job)(); });
+      depth = queue_.size();
     }
+    note_queue_depth(depth);
     ready_.notify_one();
     return result;
   }
 
  private:
   void worker_loop();
+  /// Publish the queue depth observed at submit time to the metrics
+  /// registry (no-op when metrics are disabled). Out of line so the header
+  /// does not pull in util/metrics.
+  static void note_queue_depth(std::size_t depth);
 
   std::mutex mutex_;
   std::condition_variable ready_;

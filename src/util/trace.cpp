@@ -1,0 +1,116 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "util/telemetry.hpp"
+
+namespace compact {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<int> g_next_thread_slot{0};
+
+struct span_store {
+  std::mutex mutex;
+  std::vector<trace_record> records;
+};
+
+span_store& store() {
+  static span_store s;
+  return s;
+}
+
+}  // namespace
+
+std::int64_t monotonic_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+int current_thread_slot() {
+  thread_local const int slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void set_trace_enabled(bool enabled) {
+  // Touch the epoch before the first span so ts 0 is "tracing could start",
+  // not "first span happened".
+  process_epoch();
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void trace_reset() {
+  span_store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.records.clear();
+}
+
+std::size_t trace_span_count() {
+  span_store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.records.size();
+}
+
+void trace_complete(std::string name, std::string category,
+                    std::int64_t start_us, std::int64_t duration_us) {
+  trace_record record;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.start_us = start_us;
+  record.duration_us = duration_us < 0 ? 0 : duration_us;
+  record.thread_id = current_thread_slot();
+  span_store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.records.push_back(std::move(record));
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::vector<trace_record> records;
+  {
+    span_store& s = store();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    records = s.records;
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread metadata: name each tid so the timeline reads "worker N" instead
+  // of a bare number. Collect the distinct tids in record order.
+  std::vector<int> tids;
+  for (const trace_record& r : records) {
+    bool seen = false;
+    for (const int t : tids) seen = seen || t == r.thread_id;
+    if (!seen) tids.push_back(r.thread_id);
+  }
+  for (const int tid : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << (tid == 0 ? std::string("main") : "worker " + std::to_string(tid))
+       << "\"}}";
+  }
+  for (const trace_record& r : records) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\""
+       << json_escape(r.category) << "\",\"ph\":\"X\",\"ts\":" << r.start_us
+       << ",\"dur\":" << r.duration_us << ",\"pid\":1,\"tid\":" << r.thread_id
+       << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace compact

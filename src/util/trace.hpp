@@ -1,0 +1,97 @@
+// Hierarchical span tracing with Chrome trace-event export.
+//
+// A process-wide tracer records named spans (RAII via trace_span) carrying a
+// monotonic microsecond timestamp and a small dense thread id, so the
+// thread-pool fan-out of separate-ROBDD synthesis shows up as a real
+// timeline in chrome://tracing or Perfetto. Tracing is off by default; when
+// disabled, trace_span construction is a single relaxed atomic load and no
+// allocation or locking happens anywhere on the hot path. Designs are
+// bit-identical with tracing on or off: the tracer only observes.
+//
+// Export format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// an object {"traceEvents": [...]} of complete events (ph = "X") with
+// ts/dur in microseconds, plus one metadata event per thread naming it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace compact {
+
+/// Microseconds on the process-wide monotonic clock (steady_clock, zeroed at
+/// first use). Shared by the tracer and telemetry event stamping so both
+/// timelines line up.
+[[nodiscard]] std::int64_t monotonic_now_us();
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order).
+/// Stable for the thread's lifetime; used as the Chrome trace "tid".
+[[nodiscard]] int current_thread_slot();
+
+/// One completed span, in Chrome trace-event terms.
+struct trace_record {
+  std::string name;
+  std::string category;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  int thread_id = 0;
+};
+
+/// Globally enable/disable span recording. Enabling also clears nothing —
+/// spans accumulate until trace_reset(). Thread-safe.
+void set_trace_enabled(bool enabled);
+[[nodiscard]] bool trace_enabled();
+
+/// Drop every recorded span (the enabled flag is untouched).
+void trace_reset();
+
+/// Snapshot count of recorded spans.
+[[nodiscard]] std::size_t trace_span_count();
+
+/// Record one completed span directly (the RAII path below is preferred).
+void trace_complete(std::string name, std::string category,
+                    std::int64_t start_us, std::int64_t duration_us);
+
+/// Serialize every recorded span as {"traceEvents": [...]} — loadable by
+/// chrome://tracing and Perfetto. Complete events carry ph/ts/dur/pid/tid.
+void write_chrome_trace(std::ostream& os);
+
+/// RAII scoped span: records [construction, destruction) on the calling
+/// thread when tracing is enabled at construction time. Cheap to construct
+/// when disabled (one relaxed load, no allocation).
+class trace_span {
+ public:
+  explicit trace_span(const char* name, const char* category = "synthesis")
+      : active_(trace_enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      start_us_ = monotonic_now_us();
+    }
+  }
+  trace_span(std::string name, const char* category = "synthesis")
+      : active_(trace_enabled()) {
+    if (active_) {
+      name_ = std::move(name);
+      category_ = category;
+      start_us_ = monotonic_now_us();
+    }
+  }
+  ~trace_span() {
+    if (active_)
+      trace_complete(std::move(name_), category_,
+                     start_us_, monotonic_now_us() - start_us_);
+  }
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  const char* category_ = "";
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace compact

@@ -1,0 +1,207 @@
+// Metrics registry, span tracer and Chrome trace export tests, plus the
+// key invariant of the whole subsystem: designs are bit-identical with
+// metrics and tracing on or off, at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compact.hpp"
+#include "frontend/benchgen.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "xbar/serialize.hpp"
+
+namespace compact {
+namespace {
+
+// Restores the global enabled flags and clears accumulated state so these
+// tests cannot leak observability state into unrelated tests.
+struct observability_sandbox {
+  ~observability_sandbox() {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    global_metrics().reset();
+    trace_reset();
+  }
+};
+
+// --------------------------------------------------------------------------
+// Histogram buckets and quantiles.
+
+TEST(MetricHistogramTest, BucketBoundariesAreInclusiveUpper) {
+  metric_histogram h({1.0, 2.0, 4.0});
+  // Bucket i counts bounds[i-1] < v <= bounds[i].
+  h.observe(0.5);  // bucket 0 (v <= 1)
+  h.observe(1.0);  // bucket 0 (boundary is inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(4.1);  // overflow
+  h.observe(100);  // overflow
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1 + 100);
+}
+
+TEST(MetricHistogramTest, QuantilesInterpolateAndClampOverflow) {
+  metric_histogram h({10.0, 20.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+  // Median sits exactly at the first bucket's upper bound.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-9);
+  // Quantiles are monotone in q and stay within the covered range.
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+  EXPECT_GE(h.quantile(0.25), 0.0);
+  EXPECT_LE(h.quantile(0.99), 20.0);
+  // Observations past the last bound clamp to bounds().back().
+  for (int i = 0; i < 100; ++i) h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 20.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.9), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Counters, gauges, series, and the registry dump.
+
+TEST(MetricsRegistryTest, CountersAreSharedByNameAndThreadSafe) {
+  observability_sandbox sandbox;
+  metric_counter& c = global_metrics().counter("test.shared_counter");
+  c.reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < 1000; ++i)
+        global_metrics().counter("test.shared_counter").increment();
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(MetricsRegistryTest, WriteJsonRoundTripsThroughOwnParser) {
+  observability_sandbox sandbox;
+  global_metrics().reset();
+  global_metrics().counter("test.rt.counter").add(42);
+  global_metrics().gauge("test.rt.gauge").set(2.5);
+  metric_histogram& h =
+      global_metrics().histogram("test.rt.hist", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  global_metrics().series("test.rt.series").append(0.1, 7.0);
+
+  std::ostringstream os;
+  global_metrics().write_json(os);
+  const json::value_ptr doc = json::parse(os.str());
+  EXPECT_EQ(doc->at("test.rt.counter").as_number(), 42.0);
+  EXPECT_EQ(doc->at("test.rt.gauge").as_number(), 2.5);
+  const json::value& hist = doc->at("test.rt.hist");
+  EXPECT_EQ(hist.at("count").as_number(), 2.0);
+  EXPECT_EQ(hist.at("sum").as_number(), 5.5);
+  const json::value& series = doc->at("test.rt.series");
+  const auto& points = series.at("points").as_array();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0]->as_array()[1]->as_number(), 7.0);
+
+  // names() reports every registration with its kind, sorted.
+  bool saw_counter = false, saw_hist = false;
+  for (const auto& [name, kind] : global_metrics().names()) {
+    if (name == "test.rt.counter") saw_counter = kind == "counter";
+    if (name == "test.rt.hist") saw_hist = kind == "histogram";
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+// --------------------------------------------------------------------------
+// Tracer and Chrome export.
+
+TEST(TraceTest, ChromeExportIsValidAndCarriesSpanFields) {
+  observability_sandbox sandbox;
+  trace_reset();
+  set_trace_enabled(true);
+  {
+    const trace_span outer("outer", "test");
+    const trace_span inner("inner", "test");
+  }
+  std::thread([] { const trace_span worker("on_worker", "test"); }).join();
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_span_count(), 3u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const json::value_ptr doc = json::parse(os.str());
+  const auto& events = doc->at("traceEvents").as_array();
+  std::size_t complete = 0, metadata = 0;
+  bool saw_other_tid = false;
+  for (const json::value_ptr& e : events) {
+    const std::string ph = e->at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e->at("ts").as_number(), 0.0);
+      EXPECT_GE(e->at("dur").as_number(), 0.0);
+      if (e->at("tid").as_number() != 0.0) saw_other_tid = true;
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_GE(metadata, 2u);  // one thread_name record per seen thread
+  EXPECT_TRUE(saw_other_tid);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  observability_sandbox sandbox;
+  trace_reset();
+  set_trace_enabled(false);
+  { const trace_span span("ignored", "test"); }
+  EXPECT_EQ(trace_span_count(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// The subsystem's core contract: observers never change the result.
+
+TEST(ObservabilityTest, DesignsAreByteIdenticalWithObserversOnOrOff) {
+  observability_sandbox sandbox;
+  const frontend::network net = frontend::make_decoder(4);
+
+  const auto run = [&net](int threads) {
+    core::synthesis_options options;
+    options.method = core::labeling_method::minimal_semiperimeter;
+    options.parallel.threads = threads;
+    const core::synthesis_result r =
+        core::synthesize_separate_robdds(net, options);
+    std::ostringstream os;
+    xbar::write_design(r.design, os);
+    return os.str();
+  };
+
+  for (const int threads : {1, 2, 8}) {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    const std::string off = run(threads);
+
+    set_metrics_enabled(true);
+    set_trace_enabled(true);
+    global_metrics().reset();
+    trace_reset();
+    const std::string on = run(threads);
+
+    EXPECT_EQ(off, on) << "design changed with observers on, threads="
+                       << threads;
+    // The instrumented run actually observed something.
+    EXPECT_GT(global_metrics().counter("bdd.ite_calls").value(), 0u);
+    EXPECT_GT(trace_span_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace compact

@@ -312,13 +312,30 @@ TEST(PipelineTelemetryTest, JsonLinesSinkWritesOneParseableObjectPerEvent) {
   event.metric("semiperimeter", 7.0);
   event.metric("gap", std::numeric_limits<double>::infinity());
   event.attribute("cache", "hit\"quoted\"");
+  event.stamp();  // pre-stamped, so the sink emits our timestamp verbatim
   sink.emit(event);
 
   const std::string line = os.str();
-  EXPECT_EQ(line,
-            "{\"stage\":\"label\",\"seconds\":0.25,\"semiperimeter\":7,"
-            "\"gap\":null,\"cache\":\"hit\\\"quoted\\\"\"}\n");
+  EXPECT_EQ(line, "{\"stage\":\"label\",\"seconds\":0.25,\"ts_us\":" +
+                      std::to_string(event.timestamp_us) + ",\"tid\":" +
+                      std::to_string(event.thread_id) +
+                      ",\"semiperimeter\":7,"
+                      "\"gap\":null,\"cache\":\"hit\\\"quoted\\\"\"}\n");
   EXPECT_EQ(line, to_json_line(event) + "\n");
+}
+
+TEST(PipelineTelemetryTest, JsonLinesSinkStampsUnstampedEvents) {
+  std::ostringstream os;
+  json_lines_sink sink(os);
+
+  telemetry_event event;
+  event.stage = "map";
+  sink.emit(event);
+
+  EXPECT_NE(os.str().find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(os.str().find("\"tid\":"), std::string::npos);
+  // The caller's copy is untouched; only the emitted line is stamped.
+  EXPECT_EQ(event.timestamp_us, -1);
 }
 
 TEST(PipelineTest, CanonicalPipelineStages) {

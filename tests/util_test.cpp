@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace compact {
 namespace {
@@ -131,6 +134,32 @@ TEST(TableTest, CellFormatters) {
   EXPECT_EQ(cell(42), "42");
   EXPECT_EQ(cell(std::size_t{7}), "7");
   EXPECT_EQ(cell(2.5, 1), "2.5");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+  // Other control characters take the \u00XX form.
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonNumberTest, IntegralValuesPrintWithoutFraction) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(7.0), "7");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(2.5), "2.5");
+}
+
+TEST(JsonNumberTest, NonFiniteValuesRenderAsNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
 }
 
 }  // namespace

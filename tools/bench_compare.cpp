@@ -1,0 +1,140 @@
+// bench_compare — diff two benchmark JSON files and flag regressions.
+//
+//   bench_compare BASELINE.json CURRENT.json [--threshold FRAC]
+//                 [--metric real_time|cpu_time] [--report-only]
+//
+// Both files use google-benchmark's JSON output format (a top-level
+// "benchmarks" array whose entries carry "name" and per-iteration times) —
+// the format `bench_micro --json FILE` writes, and the committed
+// BENCH_seed.json baseline. Benchmarks are matched by name; a benchmark
+// whose time grew by more than the threshold (default 0.25 = +25%) is a
+// regression.
+//
+// Exit status: 0 when no benchmark regressed (or --report-only was given),
+// 1 when at least one regressed, 2 on usage or parse errors. Timing noise
+// makes this a tripwire, not a verdict — CI runs it report-only and a human
+// reads the table.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+using namespace compact;
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr << "usage: bench_compare BASELINE.json CURRENT.json\n"
+               "         [--threshold FRAC] [--metric real_time|cpu_time]\n"
+               "         [--report-only]\n";
+  std::exit(2);
+}
+
+/// name -> time (in the file's own unit) for every concrete benchmark run.
+std::map<std::string, double> load_times(const std::string& path,
+                                         const std::string& metric) {
+  const json::value_ptr doc = json::parse_file(path);
+  const json::value* benchmarks = doc->find("benchmarks");
+  if (benchmarks == nullptr)
+    throw error(path + ": no \"benchmarks\" array (google-benchmark JSON?)");
+  std::map<std::string, double> times;
+  for (const json::value_ptr& entry : benchmarks->as_array()) {
+    // Skip aggregate rows (mean/median/stddev of repetitions); only
+    // concrete iterations are comparable across files.
+    if (const json::value* run_type = entry->find("run_type");
+        run_type != nullptr && run_type->as_string() != "iteration")
+      continue;
+    const json::value* name = entry->find("name");
+    const json::value* time = entry->find(metric);
+    if (name == nullptr || time == nullptr) continue;
+    times.emplace(name->as_string(), time->as_number());
+  }
+  return times;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> files;
+  double threshold = 0.25;
+  std::string metric = "real_time";
+  bool report_only = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--threshold") {
+      try {
+        threshold = std::stod(value());
+      } catch (const std::exception&) {
+        usage("--threshold expects a number");
+      }
+      if (threshold <= 0.0) usage("--threshold must be positive");
+    } else if (a == "--metric") {
+      metric = value();
+      if (metric != "real_time" && metric != "cpu_time")
+        usage("--metric must be real_time or cpu_time");
+    } else if (a == "--report-only") {
+      report_only = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage("unknown option " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) usage("need exactly two JSON files");
+
+  try {
+    const std::map<std::string, double> baseline =
+        load_times(files[0], metric);
+    const std::map<std::string, double> current = load_times(files[1], metric);
+
+    table t({"benchmark", "baseline", "current", "ratio", "verdict"});
+    int regressions = 0;
+    int improvements = 0;
+    int compared = 0;
+    for (const auto& [name, base_time] : baseline) {
+      const auto it = current.find(name);
+      if (it == current.end()) {
+        t.add_row({name, json_number(base_time), "-", "-", "missing"});
+        continue;
+      }
+      ++compared;
+      const double ratio = base_time > 0.0 ? it->second / base_time : 1.0;
+      std::string verdict = "ok";
+      if (ratio > 1.0 + threshold) {
+        verdict = "REGRESSION";
+        ++regressions;
+      } else if (ratio < 1.0 - threshold) {
+        verdict = "improved";
+        ++improvements;
+      }
+      t.add_row({name, json_number(base_time), json_number(it->second),
+                 cell(ratio, 3), verdict});
+    }
+    for (const auto& [name, time] : current)
+      if (!baseline.contains(name))
+        t.add_row({name, "-", json_number(time), "-", "new"});
+    t.print(std::cout);
+
+    std::cout << "\ncompared " << compared << " benchmark(s): " << regressions
+              << " regression(s), " << improvements << " improvement(s), "
+              << "threshold +" << static_cast<int>(threshold * 100) << "%\n";
+    if (regressions > 0 && report_only)
+      std::cout << "report-only: not failing the run\n";
+    return regressions > 0 && !report_only ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -19,11 +19,17 @@
 //   --out FILE.xbar        save the design
 //   --dot FILE.dot         dump the shared BDD as graphviz
 //   --trace-json FILE      per-stage telemetry as JSON lines
+//   --metrics-json FILE    dump the metrics registry as JSON after the run
+//   --chrome-trace FILE    span timeline in Chrome trace-event format
 //   --print                pretty-print the crossbar
 //   --validate             digital validity check before reporting
+//
+// `compact_cli stats <netlist> [synthesize options]` runs the same flow with
+// the metrics registry enabled and prints it as a table afterwards.
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,9 +45,12 @@
 #include "frontend/pla.hpp"
 #include "frontend/to_bdd.hpp"
 #include "frontend/verilog.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 #include "xbar/evaluate.hpp"
 #include "xbar/serialize.hpp"
 #include "xbar/validate.hpp"
@@ -59,7 +68,9 @@ using namespace compact;
       "      [--time-limit S] [--max-rows N] [--max-cols N] [--threads N]\n"
       "      [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
-      "      [--trace-json F.jsonl] [--print] [--validate]\n"
+      "      [--trace-json F.jsonl] [--metrics-json F.json]\n"
+      "      [--chrome-trace F.json] [--print] [--validate]\n"
+      "  compact_cli stats <netlist> [synthesize options]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
       "      [--threads N]\n"
@@ -137,6 +148,68 @@ int cmd_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Render the global metrics registry as a three-column table. Values are
+/// read back through the registry's own JSON dump so the table and the
+/// --metrics-json file can never disagree.
+void print_metrics_table(std::ostream& os) {
+  std::ostringstream raw;
+  global_metrics().write_json(raw);
+  const json::value_ptr doc = json::parse(raw.str());
+  table t({"metric", "kind", "value"});
+  for (const auto& [name, kind] : global_metrics().names()) {
+    const json::value* v = doc->find(name);
+    if (v == nullptr) continue;
+    std::string rendered;
+    if (kind == "counter" || kind == "gauge") {
+      rendered = json_number(v->as_number());
+    } else if (kind == "histogram") {
+      rendered = "count=" + json_number(v->at("count").as_number()) +
+                 " p50=" + json_number(v->at("p50").as_number()) +
+                 " p99=" + json_number(v->at("p99").as_number());
+    } else {  // series
+      const auto& points = v->at("points").as_array();
+      rendered = "points=" + std::to_string(points.size());
+      if (!points.empty()) {
+        const auto& last = points.back()->as_array();
+        rendered += " last=" + json_number(last[1]->as_number());
+      }
+    }
+    t.add_row({name, kind, rendered});
+  }
+  t.print(os);
+}
+
+/// Writes the --metrics-json / --chrome-trace artifacts when the scope ends,
+/// so they appear on *every* exit path out of cmd_synthesize — including
+/// thrown errors, where the partial timeline is exactly what one wants to
+/// inspect. Write failures warn on stderr; a dump must never mask the
+/// original error with an exception from a destructor.
+struct observability_dump {
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> chrome_path;
+  ~observability_dump() {
+    try {
+      if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        if (out) {
+          global_metrics().write_json(out);
+          out << '\n';
+        } else {
+          std::cerr << "warning: cannot write " << *metrics_path << "\n";
+        }
+      }
+      if (chrome_path) {
+        std::ofstream out(*chrome_path);
+        if (out)
+          write_chrome_trace(out);
+        else
+          std::cerr << "warning: cannot write " << *chrome_path << "\n";
+      }
+    } catch (...) {
+    }
+  }
+};
+
 int cmd_synthesize(const std::vector<std::string>& args) {
   if (args.empty()) usage("synthesize needs a netlist");
   const std::string netlist_path = args[0];
@@ -149,6 +222,7 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   bool do_minimize = false;
   frontend::order_effort order = frontend::order_effort::none;
   std::optional<std::string> out_path, dot_path, report_path, trace_path;
+  std::optional<std::string> metrics_path, chrome_path;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -202,6 +276,10 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       report_path = value();
     } else if (a == "--trace-json") {
       trace_path = value();
+    } else if (a == "--metrics-json") {
+      metrics_path = value();
+    } else if (a == "--chrome-trace") {
+      chrome_path = value();
     } else if (a == "--print") {
       do_print = true;
     } else if (a == "--validate") {
@@ -210,6 +288,18 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       usage("unknown option " + a);
     }
   }
+
+  // Enable the observers before any flow code runs; the dump guard then
+  // persists whatever they saw, even when loading or synthesis throws.
+  if (metrics_path) {
+    set_metrics_enabled(true);
+    global_metrics().reset();
+  }
+  if (chrome_path) {
+    set_trace_enabled(true);
+    trace_reset();
+  }
+  const observability_dump dump{metrics_path, chrome_path};
 
   frontend::network net = load_netlist(netlist_path);
   if (do_minimize) net = frontend::minimize_network(net);
@@ -240,6 +330,7 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   }
 
   core::synthesis_result result = [&] {
+    const trace_span span("synthesize", "cli");
     if (baseline_map) {
       return separate ? baseline::staircase_synthesize_network(net)
                       : baseline::staircase_synthesize(m, built.roots,
@@ -315,6 +406,18 @@ int cmd_synthesize(const std::vector<std::string>& args) {
     std::cout << "\nwrote " << *out_path << "\n";
   }
   return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) usage("stats needs a netlist");
+  // Same flow and flags as synthesize, with the registry force-enabled;
+  // afterwards every counter the run touched prints as a table.
+  set_metrics_enabled(true);
+  global_metrics().reset();
+  const int rc = cmd_synthesize(args);
+  std::cout << "\n";
+  print_metrics_table(std::cout);
+  return rc;
 }
 
 int cmd_equiv(const std::vector<std::string>& args) {
@@ -428,6 +531,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "info") return cmd_info(args);
     if (command == "synthesize") return cmd_synthesize(args);
+    if (command == "stats") return cmd_stats(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "validate") return cmd_validate(args);
     if (command == "equiv") return cmd_equiv(args);

@@ -87,8 +87,21 @@ bench_args parse_bench_args(int argc, char** argv) {
   return parse_args(argc, argv, /*allow_json=*/true);
 }
 
+namespace {
+
+// Build "\"escaped\"" with += rather than operator+ chains; GCC 12's
+// -Wrestrict misfires on the temporary-chaining form.
+std::string quoted(const std::string& value) {
+  std::string text = "\"";
+  text += json_escape(value);
+  text += "\"";
+  return text;
+}
+
+}  // namespace
+
 void json_report::scalar(const std::string& key, const std::string& value) {
-  scalars_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  scalars_.emplace_back(key, quoted(value));
 }
 
 void json_report::scalar(const std::string& key, double value) {
@@ -97,7 +110,7 @@ void json_report::scalar(const std::string& key, double value) {
 
 json_report::record& json_report::record::field(const std::string& key,
                                                 const std::string& value) {
-  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  fields_.emplace_back(key, quoted(value));
   return *this;
 }
 
@@ -111,7 +124,9 @@ std::string json_report::record::body() const {
   std::string body = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (i > 0) body += ", ";
-    body += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+    body += quoted(fields_[i].first);
+    body += ": ";
+    body += fields_[i].second;
   }
   body += "}";
   return body;

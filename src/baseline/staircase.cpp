@@ -38,7 +38,7 @@ core::synthesis_result staircase_synthesize(
   core::labeling labels = core::all_vh_labeling(graph.g.node_count());
   core::mapping_result mapped = core::map_to_crossbar(graph, labels);
   core::synthesis_result result{std::move(mapped.design), std::move(labels),
-                                {}};
+                                {}, {}, {}};
   result.stats =
       stats_of(result.design, graph.g.node_count(), graph.g.edge_count(),
                static_cast<int>(graph.g.node_count()));
@@ -70,7 +70,7 @@ core::synthesis_result staircase_synthesize_network(
   for (const core::synthesis_result& part : parts)
     blocks.push_back(&part.design);
 
-  core::synthesis_result result{core::compose_diagonal(blocks), {}, {}};
+  core::synthesis_result result{core::compose_diagonal(blocks), {}, {}, {}, {}};
   result.stats = stats_of(result.design, total_nodes, total_edges,
                           static_cast<int>(total_nodes));
   result.stats.synthesis_seconds = clock.seconds();

@@ -1,0 +1,51 @@
+#include "bdd/transfer.hpp"
+
+#include <unordered_map>
+
+namespace compact::bdd {
+namespace {
+
+node_handle transfer_rec(const manager& src, node_handle f, manager& dst,
+                         std::unordered_map<node_handle, node_handle>& memo) {
+  if (src.is_terminal(f)) return f;  // terminals share handles by convention
+  const auto hit = memo.find(f);
+  if (hit != memo.end()) return hit->second;
+  const node& n = src.at(f);
+  check(n.var < dst.variable_count(),
+        "bdd::transfer: destination manager has too few variables for x" +
+            std::to_string(n.var));
+  const node_handle low = transfer_rec(src, n.low, dst, memo);
+  const node_handle high = transfer_rec(src, n.high, dst, memo);
+  // ite(x, high, low) re-canonicalizes in dst's unique table. Recursion
+  // depth is bounded by the variable count (levels strictly increase).
+  const node_handle copy = dst.ite(dst.var(n.var), high, low);
+  memo.emplace(f, copy);
+  return copy;
+}
+
+}  // namespace
+
+node_handle transfer(const manager& src, node_handle f, manager& dst) {
+  std::unordered_map<node_handle, node_handle> memo;
+  return transfer_rec(src, f, dst, memo);
+}
+
+std::optional<std::vector<bool>> find_satisfying(const manager& m,
+                                                 node_handle f) {
+  if (f == false_handle) return std::nullopt;
+  std::vector<bool> assignment(static_cast<std::size_t>(m.variable_count()),
+                               false);
+  // In a reduced BDD every internal node has a path to the 1-terminal:
+  // follow the high child unless it is the 0-terminal.
+  node_handle cursor = f;
+  while (!m.is_terminal(cursor)) {
+    const node& n = m.at(cursor);
+    const bool go_high = n.high != false_handle;
+    assignment[static_cast<std::size_t>(n.var)] = go_high;
+    cursor = go_high ? n.high : n.low;
+  }
+  check(cursor == true_handle, "bdd::find_satisfying: walk ended at 0");
+  return assignment;
+}
+
+}  // namespace compact::bdd

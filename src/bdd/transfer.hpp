@@ -1,0 +1,31 @@
+// Cross-manager BDD operations.
+//
+// The symbolic equivalence checker (src/verify) extracts a crossbar's
+// sneak-path functions in a scratch manager and must compare them against
+// spec roots that live in the caller's (const) manager. `transfer` copies a
+// function across managers so both sides share one unique table and the
+// comparison reduces to a canonical handle test; `find_satisfying` turns a
+// non-equivalence witness (the XOR of the two roots) into a concrete
+// counterexample assignment.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace compact::bdd {
+
+/// Copy the function rooted at `f` in `src` into `dst` (memoized over shared
+/// subgraphs, so the copy is linear in the DAG size). `dst` must support at
+/// least every variable `f` tests; throws compact::error otherwise.
+[[nodiscard]] node_handle transfer(const manager& src, node_handle f,
+                                   manager& dst);
+
+/// Some assignment over all of `m.variable_count()` variables satisfying
+/// `f`, or nullopt when f is unsatisfiable. Variables not constrained by the
+/// chosen path are set to 0, so the result is deterministic.
+[[nodiscard]] std::optional<std::vector<bool>> find_satisfying(
+    const manager& m, node_handle f);
+
+}  // namespace compact::bdd

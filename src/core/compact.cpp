@@ -104,7 +104,7 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
   xbar::crossbar composed = compose_diagonal(blocks, options.parallel);
   const double compose_seconds = compose_clock.seconds();
 
-  synthesis_result result{std::move(composed), {}, {}, {}};
+  synthesis_result result{std::move(composed), {}, {}, {}, {}};
   result.stats.graph_nodes = total_nodes;
   result.stats.graph_edges = total_edges;
   result.stats.vh_count = total_vh;

@@ -31,6 +31,7 @@
 #include "frontend/network.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/diagnostics.hpp"
 #include "xbar/crossbar.hpp"
 #include "xbar/validate.hpp"
 
@@ -77,6 +78,13 @@ struct synthesis_options {
   /// against the source BDD (exhaustive or sampled, see xbar/validate) and
   /// record the verdict in synthesis_result::validation.
   bool validate_design = false;
+  /// Append the static analyzer (src/verify) as a verify pass after map:
+  /// structural + labeling checks and symbolic equivalence against the
+  /// source BDD, never simulating an input vector. The report lands in
+  /// synthesis_result::verification. Requires the compact_verify library
+  /// to be linked (it installs the pass; tools and tests link it via
+  /// compact::all).
+  bool verify_design = false;
 };
 
 /// Wall time of one named pipeline stage.
@@ -118,6 +126,9 @@ struct synthesis_result {
   /// Verdict of the optional validate pass (synthesis_options::
   /// validate_design); nullopt when the pass did not run.
   std::optional<xbar::validation_report> validation;
+  /// Diagnostics of the optional verify pass (synthesis_options::
+  /// verify_design); nullopt when the pass did not run.
+  std::optional<verify::report> verification;
 };
 
 /// Map the shared BDD rooted at `roots` (named `names`) onto one crossbar.

@@ -124,7 +124,19 @@ void run_validate(synthesis_context& ctx) {
   ctx.metric("exhaustive", ctx.validation->exhaustive ? 1.0 : 0.0);
 }
 
+// The verify pass body lives in the verify library (verify/pass.cpp) and is
+// installed at startup by whoever links it; a plain function pointer slot
+// keeps core free of a dependency on the analyzer.
+verify_pass_fn& verify_pass_slot() {
+  static verify_pass_fn slot;
+  return slot;
+}
+
 }  // namespace
+
+void set_verify_pass(verify_pass_fn fn) { verify_pass_slot() = std::move(fn); }
+
+bool verify_pass_installed() { return verify_pass_slot() != nullptr; }
 
 pipeline& pipeline::add_pass(std::string name, pass_fn run) {
   check(!name.empty(), "pipeline: pass needs a name");
@@ -176,6 +188,13 @@ pipeline make_synthesis_pipeline(const synthesis_options& options) {
   p.add_pass("build_graph", run_build_graph);
   p.add_pass("label", run_label);
   p.add_pass("map", run_map);
+  if (options.verify_design) {
+    check(verify_pass_installed(),
+          "pipeline: options.verify_design is set but no verify pass is "
+          "installed; link the verify library (compact::all) or call "
+          "verify::install_pipeline_pass() first");
+    p.add_pass("verify", verify_pass_slot());
+  }
   if (options.validate_design) p.add_pass("validate", run_validate);
   return p;
 }
@@ -186,7 +205,8 @@ synthesis_result run_synthesis_pipeline(synthesis_context& ctx) {
   check(ctx.mapped.has_value(),
         "pipeline: run finished without a mapped design");
   synthesis_result result{std::move(ctx.mapped->design), std::move(ctx.labels),
-                          std::move(ctx.stats), std::move(ctx.validation)};
+                          std::move(ctx.stats), std::move(ctx.validation),
+                          std::move(ctx.verification)};
   return result;
 }
 

@@ -62,6 +62,7 @@ struct synthesis_context {
   bool label_cache_hit = false;
   std::optional<mapping_result> mapped;               // map
   std::optional<xbar::validation_report> validation;  // validate
+  std::optional<verify::report> verification;         // verify
   synthesis_stats stats;
 
   /// The event for the currently running pass; passes attach their metrics
@@ -102,9 +103,18 @@ class pipeline {
 /// options.labeler wins, otherwise the method enum maps to "oct" / "mip".
 [[nodiscard]] std::string resolve_labeler_name(const synthesis_options& options);
 
-/// Build the canonical pipeline for `options`:
-/// build_graph -> label -> map, plus validate when options.validate_design.
+/// Build the canonical pipeline for `options`: build_graph -> label -> map,
+/// plus verify when options.verify_design and validate when
+/// options.validate_design.
 [[nodiscard]] pipeline make_synthesis_pipeline(const synthesis_options& options);
+
+/// The verify pass body is installed by the verify library (see
+/// verify/pass.hpp) rather than linked directly, so core does not depend on
+/// the analyzer it feeds. make_synthesis_pipeline throws when
+/// options.verify_design is set and no pass is installed.
+using verify_pass_fn = std::function<void(synthesis_context&)>;
+void set_verify_pass(verify_pass_fn fn);
+[[nodiscard]] bool verify_pass_installed();
 
 /// Run the canonical pipeline over an initialized context and package the
 /// result. The context's options/telemetry/cache fields must already be set.

@@ -51,9 +51,11 @@ class rng {
   /// Uniform integer in [0, bound). bound must be positive.
   std::uint64_t next_below(std::uint64_t bound) {
     // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
-    // the bounds used in this library (<= 2^32).
+    // the bounds used in this library (<= 2^32). __extension__ keeps the
+    // GCC/Clang-only 128-bit type quiet under -Wpedantic.
+    __extension__ using uint128 = unsigned __int128;
     return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+        (static_cast<uint128>(next_u64()) * bound) >> 64);
   }
 
   /// Uniform double in [0, 1).

@@ -1,0 +1,175 @@
+// Labeling-legality checks (LBLxxx): the V/H/VH assignment must be a legal
+// bipartition-with-transversal (Section V-B) and its size accounting must
+// match the crossbar it produced (S = n + k, Lemma 2).
+#include "core/labeling.hpp"
+#include "verify/checks.hpp"
+
+namespace compact::verify {
+namespace {
+
+using core::vh_label;
+
+bool sizes_match(const artifacts& a) {
+  return a.labels->label_of.size() == a.graph->g.node_count();
+}
+
+const char* label_name(vh_label l) {
+  switch (l) {
+    case vh_label::v:
+      return "V";
+    case vh_label::h:
+      return "H";
+    case vh_label::vh:
+      return "VH";
+  }
+  return "?";
+}
+
+// LBL001 — no edge may join two V's or two H's: a memristor always joins a
+// wordline to a bitline.
+void check_feasibility(const artifacts& a, report& out) {
+  if (!sizes_match(a)) return;  // LBL004 reports the size mismatch
+  const core::labeling& l = *a.labels;
+  const std::vector<graph::edge>& edges = a.graph->g.edges();
+  for (const graph::edge& e : edges) {
+    const vh_label lu = l.label_of[static_cast<std::size_t>(e.u)];
+    const vh_label lv = l.label_of[static_cast<std::size_t>(e.v)];
+    const bool both_v = lu == vh_label::v && lv == vh_label::v;
+    const bool both_h = lu == vh_label::h && lv == vh_label::h;
+    if (!both_v && !both_h) continue;
+    diagnostic d;
+    d.check_id = "LBL001";
+    d.level = severity::error;
+    d.message = "edge {" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+                "} joins two " + label_name(lu) +
+                "-labeled nodes; a memristor can only join a wordline to a "
+                "bitline";
+    d.fix = "relabel node " + std::to_string(e.u) + " or node " +
+            std::to_string(e.v) + (both_v ? " as H or VH" : " as V or VH");
+    d.anchors = {node_entity(e.u), node_entity(e.v)};
+    out.add(std::move(d));
+  }
+}
+
+// LBL002 — alignment: every output node and the 1-terminal must carry at
+// least an H label, or the mapper cannot put them on wordlines.
+void check_alignment(const artifacts& a, report& out) {
+  if (!sizes_match(a)) return;
+  for (const graph::node_id v : a.graph->aligned_nodes()) {
+    if (a.labels->has_row(v)) continue;
+    const bool is_terminal = v == a.graph->terminal_node;
+    std::string role = is_terminal ? "the '1' terminal" : "an output root";
+    diagnostic d;
+    d.check_id = "LBL002";
+    d.level = severity::error;
+    d.message = "node " + std::to_string(v) + " is " + role +
+                " but is labeled V; roots and the terminal must sit on "
+                "wordlines";
+    d.fix = "label node " + std::to_string(v) + " as H or VH";
+    d.anchors = {node_entity(v)};
+    for (const core::bdd_graph::output_binding& o : a.graph->outputs)
+      if (o.node == v) d.anchors.push_back(output_entity(o.name));
+    out.add(std::move(d));
+  }
+}
+
+// LBL003 — OCT size accounting: with n graph nodes and k VH labels the
+// semiperimeter is exactly S = n + k (each node contributes one nanowire,
+// each VH node a second). Checked against both the labeling's own counts
+// and, when present, the concrete crossbar.
+void check_size_accounting(const artifacts& a, report& out) {
+  if (!sizes_match(a)) return;
+  const std::size_t n = a.graph->g.node_count();
+  if (n == 0) return;  // constants-only design; no accounting to do
+  const core::labeling_stats stats = core::compute_stats(*a.labels);
+  const int expected =
+      static_cast<int>(n) + stats.vh_count;  // S = n + k
+  if (stats.semiperimeter != expected) {
+    diagnostic d;
+    d.check_id = "LBL003";
+    d.level = severity::error;
+    d.message = "labeling accounting broken: R + C = " +
+                std::to_string(stats.semiperimeter) + " but n + k = " +
+                std::to_string(n) + " + " + std::to_string(stats.vh_count) +
+                " = " + std::to_string(expected);
+    d.anchors = {entity{}};
+    out.add(std::move(d));
+  }
+  if (a.design != nullptr && a.design->semiperimeter() != expected) {
+    diagnostic d;
+    d.check_id = "LBL003";
+    d.level = severity::error;
+    d.message = "crossbar semiperimeter " +
+                std::to_string(a.design->semiperimeter()) +
+                " != n + k = " + std::to_string(expected) +
+                " (n = " + std::to_string(n) +
+                " graph nodes, k = " + std::to_string(stats.vh_count) +
+                " VH labels)";
+    d.fix = "re-run the mapper; rows/columns were added or dropped outside "
+            "the labeling";
+    d.anchors = {entity{}};
+    out.add(std::move(d));
+  }
+}
+
+// LBL004 — the labeling must cover exactly the graph's vertex set.
+void check_labeling_size(const artifacts& a, report& out) {
+  if (sizes_match(a)) return;
+  diagnostic d;
+  d.check_id = "LBL004";
+  d.level = severity::error;
+  d.message = "labeling covers " + std::to_string(a.labels->label_of.size()) +
+              " nodes but the graph has " +
+              std::to_string(a.graph->g.node_count());
+  d.fix = "rebuild the labeling from this graph";
+  d.anchors = {entity{}};
+  out.add(std::move(d));
+}
+
+}  // namespace
+
+std::vector<check_descriptor> labeling_checks() {
+  std::vector<check_descriptor> checks;
+  check_descriptor c;
+
+  c.id = "LBL001";
+  c.name = "labeling-feasibility";
+  c.description =
+      "No graph edge may join two V-labeled or two H-labeled nodes";
+  c.default_severity = severity::error;
+  c.needs_labeling = true;
+  c.run = check_feasibility;
+  checks.push_back(c);
+
+  c = {};
+  c.id = "LBL002";
+  c.name = "labeling-alignment";
+  c.description =
+      "Output roots and the 1-terminal must carry a wordline (H or VH) label";
+  c.default_severity = severity::error;
+  c.needs_labeling = true;
+  c.run = check_alignment;
+  checks.push_back(c);
+
+  c = {};
+  c.id = "LBL003";
+  c.name = "labeling-size-accounting";
+  c.description = "Semiperimeter accounting S = n + k must hold";
+  c.default_severity = severity::error;
+  c.needs_labeling = true;
+  c.run = check_size_accounting;
+  checks.push_back(c);
+
+  c = {};
+  c.id = "LBL004";
+  c.name = "labeling-covers-graph";
+  c.description = "The labeling vector must be parallel to the graph's nodes";
+  c.default_severity = severity::error;
+  c.needs_labeling = true;
+  c.run = check_labeling_size;
+  checks.push_back(c);
+
+  return checks;
+}
+
+}  // namespace compact::verify

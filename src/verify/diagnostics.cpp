@@ -1,0 +1,281 @@
+#include "verify/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/telemetry.hpp"  // json_escape
+
+namespace compact::verify {
+namespace {
+
+/// json_escape produces escaped *contents*; JSON strings also need quotes.
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  out += json_escape(text);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(severity s) {
+  switch (s) {
+    case severity::note:
+      return "note";
+    case severity::warning:
+      return "warning";
+    case severity::error:
+      return "error";
+  }
+  return "error";
+}
+
+std::optional<severity> parse_severity(std::string_view text) {
+  if (text == "note") return severity::note;
+  if (text == "warning") return severity::warning;
+  if (text == "error") return severity::error;
+  return std::nullopt;
+}
+
+entity node_entity(int index) {
+  return {entity_kind::node, index, -1, {}};
+}
+entity row_entity(int index) {
+  return {entity_kind::row, index, -1, {}};
+}
+entity column_entity(int index) {
+  return {entity_kind::column, index, -1, {}};
+}
+entity junction_entity(int row, int column) {
+  return {entity_kind::junction, row, column, {}};
+}
+entity output_entity(std::string name) {
+  return {entity_kind::output, -1, -1, std::move(name)};
+}
+entity variable_entity(int index) {
+  return {entity_kind::variable, index, -1, {}};
+}
+
+std::string to_string(const entity& e) {
+  switch (e.kind) {
+    case entity_kind::design:
+      return "design";
+    case entity_kind::node:
+      return "node " + std::to_string(e.index);
+    case entity_kind::row:
+      return "row " + std::to_string(e.index);
+    case entity_kind::column:
+      return "column " + std::to_string(e.index);
+    case entity_kind::junction:
+      return "junction (" + std::to_string(e.index) + ", " +
+             std::to_string(e.column) + ")";
+    case entity_kind::output:
+      return "output '" + e.name + "'";
+    case entity_kind::variable:
+      return "variable x" + std::to_string(e.index);
+  }
+  return "design";
+}
+
+void report::add(diagnostic d) {
+  check(!d.check_id.empty(), "diagnostic needs a check id");
+  check(!d.message.empty(), "diagnostic needs a message");
+  diagnostics_.push_back(std::move(d));
+}
+
+void report::mark_check_run(std::string check_id) {
+  // Idempotent: merging reports or re-running a family must not inflate
+  // the "checks run" accounting.
+  if (std::find(checks_run_.begin(), checks_run_.end(), check_id) !=
+      checks_run_.end())
+    return;
+  checks_run_.push_back(std::move(check_id));
+}
+
+std::size_t report::count(severity level) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [&](const diagnostic& d) { return d.level == level; }));
+}
+
+bool report::clean(severity at_or_above) const {
+  return std::none_of(diagnostics_.begin(), diagnostics_.end(),
+                      [&](const diagnostic& d) {
+                        return static_cast<int>(d.level) >=
+                               static_cast<int>(at_or_above);
+                      });
+}
+
+bool report::has_check(const std::string& check_id) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [&](const diagnostic& d) { return d.check_id == check_id; });
+}
+
+std::vector<const diagnostic*> report::by_check(
+    const std::string& check_id) const {
+  std::vector<const diagnostic*> found;
+  for (const diagnostic& d : diagnostics_)
+    if (d.check_id == check_id) found.push_back(&d);
+  return found;
+}
+
+int lint_exit_code(const report& r, severity fail_on) {
+  return r.clean(fail_on) ? 0 : 1;
+}
+
+namespace {
+
+void write_entity_json(const entity& e, std::ostream& os) {
+  os << "{\"text\":" << quoted(to_string(e));
+  switch (e.kind) {
+    case entity_kind::design:
+      os << ",\"kind\":\"design\"";
+      break;
+    case entity_kind::node:
+      os << ",\"kind\":\"node\",\"index\":" << e.index;
+      break;
+    case entity_kind::row:
+      os << ",\"kind\":\"row\",\"index\":" << e.index;
+      break;
+    case entity_kind::column:
+      os << ",\"kind\":\"column\",\"index\":" << e.index;
+      break;
+    case entity_kind::junction:
+      os << ",\"kind\":\"junction\",\"row\":" << e.index
+         << ",\"column\":" << e.column;
+      break;
+    case entity_kind::output:
+      os << ",\"kind\":\"output\",\"name\":" << quoted(e.name);
+      break;
+    case entity_kind::variable:
+      os << ",\"kind\":\"variable\",\"index\":" << e.index;
+      break;
+  }
+  os << "}";
+}
+
+void write_diagnostic_json(const diagnostic& d, std::ostream& os) {
+  os << "{\"check\":" << quoted(d.check_id)
+     << ",\"severity\":\"" << severity_name(d.level) << "\""
+     << ",\"message\":" << quoted(d.message);
+  if (!d.fix.empty()) os << ",\"fix\":" << quoted(d.fix);
+  os << ",\"anchors\":[";
+  for (std::size_t i = 0; i < d.anchors.size(); ++i) {
+    if (i != 0) os << ",";
+    write_entity_json(d.anchors[i], os);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_json(const report& r, std::ostream& os) {
+  os << "{\"diagnostics\":[";
+  const std::vector<diagnostic>& all = r.diagnostics();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) os << ",";
+    write_diagnostic_json(all[i], os);
+  }
+  os << "],\"summary\":{\"errors\":" << r.error_count()
+     << ",\"warnings\":" << r.warning_count()
+     << ",\"notes\":" << r.note_count() << "}"
+     << ",\"checks_run\":[";
+  for (std::size_t i = 0; i < r.checks_run().size(); ++i) {
+    if (i != 0) os << ",";
+    os << quoted(r.checks_run()[i]);
+  }
+  os << "]}\n";
+}
+
+namespace {
+
+/// SARIF logicalLocation `kind` for an entity. SARIF's vocabulary is
+/// source-code-centric; "element" is the recommended catch-all for hardware
+/// design entities.
+const char* sarif_logical_kind(const entity& e) {
+  return e.kind == entity_kind::design ? "module" : "element";
+}
+
+void write_sarif_location(const diagnostic& d, const sarif_options& options,
+                          std::ostream& os) {
+  os << "{";
+  bool first = true;
+  if (!options.artifact_uri.empty()) {
+    os << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":"
+       << quoted(options.artifact_uri)
+       << "},\"region\":{\"startLine\":1,\"startColumn\":1}}";
+    first = false;
+  }
+  if (!d.anchors.empty()) {
+    if (!first) os << ",";
+    os << "\"logicalLocations\":[";
+    for (std::size_t i = 0; i < d.anchors.size(); ++i) {
+      if (i != 0) os << ",";
+      const entity& e = d.anchors[i];
+      os << "{\"name\":" << quoted(to_string(e))
+         << ",\"fullyQualifiedName\":"
+         << quoted("design/" + to_string(e))
+         << ",\"kind\":\"" << sarif_logical_kind(e) << "\"}";
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_sarif(const report& r, const sarif_options& options,
+                 std::ostream& os) {
+  os << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+     << "\"version\":\"2.1.0\",\"runs\":[{";
+
+  // tool.driver with the full rule table.
+  os << "\"tool\":{\"driver\":{\"name\":" << quoted(options.tool_name)
+     << ",\"version\":" << quoted(options.tool_version)
+     << ",\"informationUri\":" << quoted(options.information_uri)
+     << ",\"rules\":[";
+  for (std::size_t i = 0; i < options.rules.size(); ++i) {
+    if (i != 0) os << ",";
+    const sarif_rule& rule = options.rules[i];
+    os << "{\"id\":" << quoted(rule.id)
+       << ",\"name\":" << quoted(rule.name)
+       << ",\"shortDescription\":{\"text\":" << quoted(rule.description)
+       << "},\"defaultConfiguration\":{\"level\":\""
+       << severity_name(rule.default_severity) << "\"}}";
+  }
+  os << "]}},";
+
+  if (!options.artifact_uri.empty()) {
+    os << "\"artifacts\":[{\"location\":{\"uri\":"
+       << quoted(options.artifact_uri) << "}}],";
+  }
+
+  os << "\"results\":[";
+  const std::vector<diagnostic>& all = r.diagnostics();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) os << ",";
+    const diagnostic& d = all[i];
+    os << "{\"ruleId\":" << quoted(d.check_id);
+    for (std::size_t k = 0; k < options.rules.size(); ++k) {
+      if (options.rules[k].id == d.check_id) {
+        os << ",\"ruleIndex\":" << k;
+        break;
+      }
+    }
+    std::string text = d.message;
+    if (!d.fix.empty()) text += " Suggested fix: " + d.fix;
+    os << ",\"level\":\"" << severity_name(d.level) << "\""
+       << ",\"message\":{\"text\":" << quoted(text) << "}"
+       << ",\"locations\":[";
+    write_sarif_location(d, options, os);
+    os << "]";
+    if (!d.fix.empty())
+      os << ",\"properties\":{\"suggestedFix\":" << quoted(d.fix) << "}";
+    os << "}";
+  }
+  os << "],\"columnKind\":\"utf16CodeUnits\"}]}\n";
+}
+
+}  // namespace compact::verify

@@ -1,0 +1,151 @@
+// Diagnostics engine for the static design analyzer (compact-verify).
+//
+// Every check reports findings as `diagnostic` records: a stable check ID
+// (e.g. "LBL001"), a severity, a human-readable message, an optional
+// suggested fix, and anchors naming the design entities involved (a BDD
+// graph node, a crossbar row/column/junction, an output port). A `report`
+// collects them and exports machine-readable views: a plain JSON dump for
+// tooling, and SARIF 2.1.0 for GitHub code scanning.
+//
+// This header deliberately depends only on util/ so that core/ can hold a
+// report in its synthesis results without a dependency cycle; the checks
+// themselves (which depend on core/, xbar/ and bdd/) live in the sibling
+// compact_verify library.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compact::verify {
+
+// --- severities -------------------------------------------------------------
+
+enum class severity : int { note = 0, warning = 1, error = 2 };
+
+/// "note", "warning" or "error" (also the SARIF result level).
+[[nodiscard]] const char* severity_name(severity s);
+
+/// Inverse of severity_name; nullopt for unknown text.
+[[nodiscard]] std::optional<severity> parse_severity(std::string_view text);
+
+// --- design-entity anchors --------------------------------------------------
+
+enum class entity_kind : int {
+  design,    // the whole artifact
+  node,      // BDD graph vertex (index)
+  row,       // crossbar wordline (index)
+  column,    // crossbar bitline (index)
+  junction,  // memristor at (index, column)
+  output,    // named output port
+  variable,  // Boolean input variable (index)
+};
+
+struct entity {
+  entity_kind kind = entity_kind::design;
+  int index = -1;    // node/row/column/junction-row/variable index
+  int column = -1;   // junction column (kind == junction only)
+  std::string name;  // output name (kind == output only)
+};
+
+[[nodiscard]] entity node_entity(int index);
+[[nodiscard]] entity row_entity(int index);
+[[nodiscard]] entity column_entity(int index);
+[[nodiscard]] entity junction_entity(int row, int column);
+[[nodiscard]] entity output_entity(std::string name);
+[[nodiscard]] entity variable_entity(int index);
+
+/// Human-readable rendering, e.g. "junction (3, 7)" or "output 'sum'".
+[[nodiscard]] std::string to_string(const entity& e);
+
+// --- diagnostics ------------------------------------------------------------
+
+struct diagnostic {
+  std::string check_id;  // stable, e.g. "XBR004"
+  severity level = severity::error;
+  std::string message;
+  std::string fix;  // suggested fix; empty when none applies
+  std::vector<entity> anchors;
+};
+
+/// The outcome of one analyzer run: every diagnostic emitted plus the IDs of
+/// the checks that actually ran (so "clean" is distinguishable from
+/// "skipped for missing artifacts").
+class report {
+ public:
+  void add(diagnostic d);
+  void mark_check_run(std::string check_id);
+
+  [[nodiscard]] const std::vector<diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] const std::vector<std::string>& checks_run() const {
+    return checks_run_;
+  }
+
+  [[nodiscard]] std::size_t count(severity level) const;
+  [[nodiscard]] std::size_t error_count() const {
+    return count(severity::error);
+  }
+  [[nodiscard]] std::size_t warning_count() const {
+    return count(severity::warning);
+  }
+  [[nodiscard]] std::size_t note_count() const {
+    return count(severity::note);
+  }
+
+  /// True when no diagnostic reaches `at_or_above`. The default treats
+  /// notes as advisory: a design is clean when it has no warnings/errors.
+  [[nodiscard]] bool clean(severity at_or_above = severity::warning) const;
+
+  /// True when some diagnostic came from the given check.
+  [[nodiscard]] bool has_check(const std::string& check_id) const;
+  [[nodiscard]] std::vector<const diagnostic*> by_check(
+      const std::string& check_id) const;
+
+ private:
+  std::vector<diagnostic> diagnostics_;
+  std::vector<std::string> checks_run_;
+};
+
+/// The `compact_cli lint` exit-code contract: 1 when any diagnostic is at or
+/// above `fail_on`, 0 otherwise. (2 stays reserved for usage errors and 3
+/// for infeasible synthesis, matching the rest of the CLI.)
+[[nodiscard]] int lint_exit_code(const report& r, severity fail_on);
+
+// --- machine-readable export ------------------------------------------------
+
+/// One JSON object: {"diagnostics": [...], "summary": {...}, "checks_run":
+/// [...]} — the lint --json artifact.
+void write_json(const report& r, std::ostream& os);
+
+/// Rule metadata for the SARIF `tool.driver.rules` table; the analyzer fills
+/// this from its check registry.
+struct sarif_rule {
+  std::string id;           // "LBL001"
+  std::string name;         // "labeling-feasibility"
+  std::string description;  // one-liner
+  severity default_severity = severity::error;
+};
+
+struct sarif_options {
+  std::string tool_name = "compact-verify";
+  std::string tool_version = "1.0.0";
+  std::string information_uri =
+      "https://github.com/compact/compact/blob/main/docs/static_analysis.md";
+  /// URI of the analyzed artifact (netlist or .xbar path). When set, every
+  /// result carries a physicalLocation so GitHub code scanning can anchor
+  /// it; logical locations (rows, nodes, junctions) are always emitted.
+  std::string artifact_uri;
+  std::vector<sarif_rule> rules;
+};
+
+/// SARIF 2.1.0 document (one run). Valid against the OASIS 2.1.0 schema;
+/// tools/check_sarif.py and tests/diagnostics_test.cpp pin the structure.
+void write_sarif(const report& r, const sarif_options& options,
+                 std::ostream& os);
+
+}  // namespace compact::verify

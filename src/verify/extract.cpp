@@ -1,0 +1,180 @@
+#include "verify/extract.hpp"
+
+#include <algorithm>
+
+#include "bdd/transfer.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace compact::verify {
+
+bdd::node_handle device_function(const xbar::device& d, bdd::manager& m) {
+  switch (d.kind) {
+    case xbar::literal_kind::off:
+      return m.constant(false);
+    case xbar::literal_kind::on:
+      return m.constant(true);
+    case xbar::literal_kind::positive:
+    case xbar::literal_kind::negative:
+      check(d.variable >= 0 && d.variable < m.variable_count(),
+            "device_function: variable x" + std::to_string(d.variable) +
+                " out of range [0, " + std::to_string(m.variable_count()) +
+                ")");
+      return d.kind == xbar::literal_kind::positive ? m.var(d.variable)
+                                                    : m.nvar(d.variable);
+  }
+  return m.constant(false);
+}
+
+extraction_result extract_sneak_functions(const xbar::crossbar& design,
+                                          bdd::manager& m) {
+  const trace_span span("extract_sneak_functions", "verify");
+  check(design.input_row() >= 0 && design.input_row() < design.rows(),
+        "extract_sneak_functions: design has no input row");
+  const int rows = design.rows();
+  const int cols = design.columns();
+
+  // Sparse device grid: (wire index, device function) adjacency in both
+  // directions, skipping off junctions entirely.
+  struct link {
+    int other;
+    bdd::node_handle fn;
+  };
+  std::vector<std::vector<link>> of_row(static_cast<std::size_t>(rows));
+  std::vector<std::vector<link>> of_col(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const xbar::device& d = design.at(r, c);
+      if (d.kind == xbar::literal_kind::off) continue;
+      const bdd::node_handle fn = device_function(d, m);
+      of_row[static_cast<std::size_t>(r)].push_back({c, fn});
+      of_col[static_cast<std::size_t>(c)].push_back({r, fn});
+    }
+  }
+
+  extraction_result result;
+  result.row_function.assign(static_cast<std::size_t>(rows),
+                             m.constant(false));
+  result.column_function.assign(static_cast<std::size_t>(cols),
+                                m.constant(false));
+  result.row_function[static_cast<std::size_t>(design.input_row())] =
+      m.constant(true);
+
+  // Least-fixpoint iteration. The reachability functions only ever grow
+  // (every update ORs new terms in), so termination is guaranteed; the
+  // number of sweeps is bounded by the crossbar's conduction diameter
+  // (alternating row/column hops), typically far below rows + columns.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.fixpoint_iterations;
+    for (int c = 0; c < cols; ++c) {
+      bdd::node_handle fn = result.column_function[static_cast<std::size_t>(c)];
+      for (const link& l : of_col[static_cast<std::size_t>(c)])
+        fn = m.apply_or(
+            fn, m.apply_and(
+                    result.row_function[static_cast<std::size_t>(l.other)],
+                    l.fn));
+      if (fn != result.column_function[static_cast<std::size_t>(c)]) {
+        result.column_function[static_cast<std::size_t>(c)] = fn;
+        changed = true;
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      if (r == design.input_row()) continue;
+      bdd::node_handle fn = result.row_function[static_cast<std::size_t>(r)];
+      for (const link& l : of_row[static_cast<std::size_t>(r)])
+        fn = m.apply_or(
+            fn, m.apply_and(
+                    result.column_function[static_cast<std::size_t>(l.other)],
+                    l.fn));
+      if (fn != result.row_function[static_cast<std::size_t>(r)]) {
+        result.row_function[static_cast<std::size_t>(r)] = fn;
+        changed = true;
+      }
+    }
+  }
+
+  if (metrics_enabled()) {
+    global_metrics().counter("verify.extractions").increment();
+    global_metrics()
+        .histogram("verify.fixpoint_iterations",
+                   {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+        .observe(static_cast<double>(result.fixpoint_iterations));
+  }
+  return result;
+}
+
+equivalence_report check_symbolic_equivalence(
+    const xbar::crossbar& design, const bdd::manager& spec,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names) {
+  const trace_span span("check_symbolic_equivalence", "verify");
+  check(roots.size() == names.size(),
+        "check_symbolic_equivalence: roots/names size mismatch");
+
+  // The scratch manager must cover both the spec's support and whatever the
+  // devices are programmed with (a corrupted design may reference extra
+  // variables; those must extract, not crash, so the checker can flag them).
+  int variables = spec.variable_count();
+  for (int r = 0; r < design.rows(); ++r)
+    for (int c = 0; c < design.columns(); ++c)
+      variables = std::max(variables, design.at(r, c).variable + 1);
+  bdd::manager scratch(variables);
+
+  equivalence_report report;
+  const bool extractable =
+      design.input_row() >= 0 && design.input_row() < design.rows();
+  extraction_result extracted;
+  if (extractable) {
+    extracted = extract_sneak_functions(design, scratch);
+    report.fixpoint_iterations = extracted.fixpoint_iterations;
+    report.extraction_nodes = scratch.node_table_size();
+  }
+
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    output_equivalence out;
+    out.name = names[i];
+
+    // Resolve the output: a sensed wordline, or a declared constant.
+    bdd::node_handle got = bdd::false_handle;
+    for (const xbar::output_port& port : design.outputs()) {
+      if (port.name == out.name) {
+        if (!extractable || port.row < 0 || port.row >= design.rows()) break;
+        got = extracted.row_function[static_cast<std::size_t>(port.row)];
+        out.found = true;
+        break;
+      }
+    }
+    if (!out.found) {
+      for (const auto& [name, value] : design.constant_outputs()) {
+        if (name == out.name) {
+          got = scratch.constant(value);
+          out.found = true;
+          break;
+        }
+      }
+    }
+
+    if (out.found) {
+      const bdd::node_handle want = bdd::transfer(spec, roots[i], scratch);
+      out.equivalent = scratch.same_function(got, want);
+      if (!out.equivalent) {
+        const bdd::node_handle diff = scratch.apply_xor(got, want);
+        if (const auto witness = bdd::find_satisfying(scratch, diff)) {
+          // Report only the spec's variables; scratch-only extras are
+          // design corruption flagged separately.
+          out.counterexample.assign(
+              witness->begin(),
+              witness->begin() + spec.variable_count());
+        }
+      }
+    }
+    report.equivalent = report.equivalent && out.found && out.equivalent;
+    report.outputs.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace compact::verify

@@ -1,0 +1,77 @@
+// Symbolic sneak-path extraction (the heart of compact-verify).
+//
+// `xbar::validate_against_bdd` decides validity by *enumerating* input
+// assignments — exact up to ~20 variables, sampled beyond. This module
+// replaces enumeration with a symbolic computation: the set of wordlines
+// reachable from the input wordline is expressed as one BDD per nanowire
+// over the input variables, computed as the least fixpoint of
+//
+//   col[c]  =  OR_r ( row[r] AND device(r, c) )
+//   row[r]  =  OR_c ( col[c] AND device(r, c) )      (input row pinned to 1)
+//
+// which mirrors the BFS in xbar/evaluate.cpp but over all 2^n assignments
+// at once. The extracted function of an output wordline is then compared
+// against the spec root by canonical ROBDD handle equality — an exact
+// equivalence check whose cost scales with BDD sizes, not with 2^n.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::verify {
+
+/// The symbolic device function: false for off, true for on, x / !x for
+/// literal devices. Throws compact::error when the device's variable is out
+/// of range for `m`.
+[[nodiscard]] bdd::node_handle device_function(const xbar::device& d,
+                                               bdd::manager& m);
+
+struct extraction_result {
+  /// row_function[r] is true under exactly the assignments that make
+  /// wordline r reachable from the input wordline.
+  std::vector<bdd::node_handle> row_function;
+  /// Same for bitlines (exposed for diagnostics; a bitline whose function
+  /// is constant false is electrically dead).
+  std::vector<bdd::node_handle> column_function;
+  int fixpoint_iterations = 0;
+};
+
+/// Extract every nanowire's reachability function into `m`. `m` must
+/// support every variable programmed on the design's devices.
+[[nodiscard]] extraction_result extract_sneak_functions(
+    const xbar::crossbar& design, bdd::manager& m);
+
+// --- equivalence against a specification -----------------------------------
+
+struct output_equivalence {
+  std::string name;
+  bool found = false;       // design exposes this output at all
+  bool equivalent = false;  // extracted function == spec function
+  /// A concrete disagreeing assignment (indexed by variable) when
+  /// found && !equivalent; empty otherwise.
+  std::vector<bool> counterexample;
+};
+
+struct equivalence_report {
+  bool equivalent = true;  // all spec outputs found and equivalent
+  std::vector<output_equivalence> outputs;  // parallel to the spec roots
+  int fixpoint_iterations = 0;
+  /// Scratch-manager node table size after extraction — the symbolic
+  /// analogue of validation_report::checked_assignments.
+  std::size_t extraction_nodes = 0;
+};
+
+/// Check the design's sneak-path functions against the spec BDD roots
+/// (named by `names`, parallel) without evaluating a single assignment.
+/// Both the design's device literals and the spec roots must speak the same
+/// variable numbering — run this before any remap_variables, exactly like
+/// xbar::validate_against_bdd.
+[[nodiscard]] equivalence_report check_symbolic_equivalence(
+    const xbar::crossbar& design, const bdd::manager& spec,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names);
+
+}  // namespace compact::verify

@@ -1,0 +1,209 @@
+#include "verify/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/trace.hpp"
+
+namespace compact::verify {
+
+using core::vh_label;
+using xbar::literal_kind;
+
+const char* mutation_kind_name(mutation_kind kind) {
+  switch (kind) {
+    case mutation_kind::label_flip:
+      return "label_flip";
+    case mutation_kind::bridge_drop:
+      return "bridge_drop";
+    case mutation_kind::literal_flip:
+      return "literal_flip";
+    case mutation_kind::literal_retarget:
+      return "literal_retarget";
+    case mutation_kind::device_drop:
+      return "device_drop";
+  }
+  return "?";
+}
+
+std::string mutation::describe() const {
+  std::string text = mutation_kind_name(kind);
+  if (kind == mutation_kind::label_flip)
+    return text + " node " + std::to_string(node);
+  return text + " junction (" + std::to_string(row) + ", " +
+         std::to_string(column) + ")";
+}
+
+namespace {
+
+/// Deterministic stride sample: keep at most `limit` entries spread evenly
+/// across the candidate list. No RNG, so self-test runs are reproducible.
+void sample_into(std::vector<mutation>& out,
+                 const std::vector<mutation>& candidates, std::size_t limit) {
+  if (candidates.size() <= limit) {
+    out.insert(out.end(), candidates.begin(), candidates.end());
+    return;
+  }
+  for (std::size_t i = 0; i < limit; ++i)
+    out.push_back(candidates[i * candidates.size() / limit]);
+}
+
+}  // namespace
+
+std::vector<mutation> enumerate_mutations(const artifacts& a,
+                                          std::size_t limit_per_kind) {
+  std::vector<mutation> label_flips;
+  std::vector<mutation> bridge_drops;
+  std::vector<mutation> literal_flips;
+  std::vector<mutation> retargets;
+  std::vector<mutation> device_drops;
+
+  if (a.labels != nullptr)
+    for (std::size_t v = 0; v < a.labels->label_of.size(); ++v)
+      label_flips.push_back(
+          {mutation_kind::label_flip, static_cast<int>(v), -1, -1});
+
+  if (a.design != nullptr) {
+    const int variables = a.resolve_variable_count();
+    for (int r = 0; r < a.design->rows(); ++r) {
+      for (int c = 0; c < a.design->columns(); ++c) {
+        const xbar::device& d = a.design->at(r, c);
+        if (d.kind == literal_kind::on)
+          bridge_drops.push_back({mutation_kind::bridge_drop, -1, r, c});
+        if (d.kind != literal_kind::positive &&
+            d.kind != literal_kind::negative)
+          continue;
+        literal_flips.push_back({mutation_kind::literal_flip, -1, r, c});
+        device_drops.push_back({mutation_kind::device_drop, -1, r, c});
+        if (variables >= 2)
+          retargets.push_back({mutation_kind::literal_retarget, -1, r, c});
+      }
+    }
+  }
+
+  std::vector<mutation> out;
+  sample_into(out, label_flips, limit_per_kind);
+  sample_into(out, bridge_drops, limit_per_kind);
+  sample_into(out, literal_flips, limit_per_kind);
+  sample_into(out, retargets, limit_per_kind);
+  sample_into(out, device_drops, limit_per_kind);
+  return out;
+}
+
+bool apply_mutation(const artifacts& base, const mutation& m,
+                    xbar::crossbar& design, core::labeling& labels) {
+  switch (m.kind) {
+    case mutation_kind::label_flip: {
+      if (m.node < 0 ||
+          static_cast<std::size_t>(m.node) >= labels.label_of.size())
+        return false;
+      vh_label& l = labels.label_of[static_cast<std::size_t>(m.node)];
+      // Deterministic cycle V -> H -> VH -> V: every flip changes the
+      // node's nanowire demands, so a consistent mapping cannot survive.
+      switch (l) {
+        case vh_label::v:
+          l = vh_label::h;
+          break;
+        case vh_label::h:
+          l = vh_label::vh;
+          break;
+        case vh_label::vh:
+          l = vh_label::v;
+          break;
+      }
+      return true;
+    }
+    case mutation_kind::bridge_drop: {
+      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
+          m.column >= design.columns())
+        return false;
+      if (design.at(m.row, m.column).kind != literal_kind::on) return false;
+      design.set(m.row, m.column, {literal_kind::off, -1});
+      return true;
+    }
+    case mutation_kind::literal_flip: {
+      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
+          m.column >= design.columns())
+        return false;
+      const xbar::device d = design.at(m.row, m.column);
+      if (d.kind == literal_kind::positive)
+        design.set(m.row, m.column, {literal_kind::negative, d.variable});
+      else if (d.kind == literal_kind::negative)
+        design.set(m.row, m.column, {literal_kind::positive, d.variable});
+      else
+        return false;
+      return true;
+    }
+    case mutation_kind::literal_retarget: {
+      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
+          m.column >= design.columns())
+        return false;
+      const xbar::device d = design.at(m.row, m.column);
+      if (d.kind != literal_kind::positive &&
+          d.kind != literal_kind::negative)
+        return false;
+      const int variables = base.resolve_variable_count();
+      if (variables < 2) return false;
+      design.set(m.row, m.column,
+                 {d.kind, (d.variable + 1) % variables});
+      return true;
+    }
+    case mutation_kind::device_drop: {
+      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
+          m.column >= design.columns())
+        return false;
+      const xbar::device d = design.at(m.row, m.column);
+      if (d.kind != literal_kind::positive &&
+          d.kind != literal_kind::negative)
+        return false;
+      design.set(m.row, m.column, {literal_kind::off, -1});
+      return true;
+    }
+  }
+  return false;
+}
+
+self_test_result run_self_test(const artifacts& a,
+                               const analyzer_options& options,
+                               std::size_t limit_per_kind) {
+  const trace_span span("verify.self_test", "verify");
+  self_test_result result;
+
+  // Errors the pristine design already triggers don't count as kills.
+  std::set<std::string> baseline_errors;
+  {
+    const report baseline = analyze(a, options);
+    for (const diagnostic& d : baseline.diagnostics())
+      if (d.level == severity::error) baseline_errors.insert(d.check_id);
+  }
+
+  for (const mutation& m : enumerate_mutations(a, limit_per_kind)) {
+    xbar::crossbar design =
+        a.design != nullptr ? *a.design : xbar::crossbar(1, 1);
+    core::labeling labels =
+        a.labels != nullptr ? *a.labels : core::labeling{};
+    if (!apply_mutation(a, m, design, labels)) continue;
+
+    artifacts mutated = a;
+    if (a.design != nullptr) mutated.design = &design;
+    if (a.labels != nullptr) mutated.labels = &labels;
+
+    self_test_outcome outcome;
+    outcome.m = m;
+    const report mutated_report = analyze(mutated, options);
+    std::set<std::string> fired;
+    for (const diagnostic& d : mutated_report.diagnostics())
+      if (d.level == severity::error &&
+          baseline_errors.count(d.check_id) == 0)
+        fired.insert(d.check_id);
+    outcome.killed = !fired.empty();
+    outcome.triggered_checks.assign(fired.begin(), fired.end());
+
+    ++result.total;
+    if (outcome.killed) ++result.killed;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace compact::verify

@@ -1,0 +1,72 @@
+// Mutation-kill self-test for the static analyzer.
+//
+// The analyzer's checks are only trustworthy if they actually fire on
+// broken designs. This harness takes a known-good set of artifacts,
+// applies single-point mutations (flip a label, drop a bridge, flip or
+// retarget a literal, drop a device), re-runs the analyzer on the mutated
+// copy and verifies every mutation is "killed" — at least one check
+// reports an error that the pristine design does not trigger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "verify/analyzer.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace compact::verify {
+
+enum class mutation_kind : std::uint8_t {
+  label_flip,        // change one node's V/H/VH label
+  bridge_drop,       // turn one always-on bridge off
+  literal_flip,      // swap one device's positive/negative polarity
+  literal_retarget,  // point one device at a different input variable
+  device_drop,       // turn one literal device off
+};
+
+[[nodiscard]] const char* mutation_kind_name(mutation_kind kind);
+
+struct mutation {
+  mutation_kind kind = mutation_kind::label_flip;
+  int node = -1;    // label_flip: target graph node
+  int row = -1;     // device mutations: junction row
+  int column = -1;  // device mutations: junction column
+  [[nodiscard]] std::string describe() const;
+};
+
+/// All applicable single-point mutations for `a`, capped at
+/// `limit_per_kind` per kind by deterministic stride sampling (no RNG, so
+/// runs are reproducible). label_flip needs a labeling; the device
+/// mutations need a design.
+[[nodiscard]] std::vector<mutation> enumerate_mutations(
+    const artifacts& a, std::size_t limit_per_kind);
+
+/// Apply `m` to copies of the mutable artifacts. Returns false when the
+/// mutation does not apply (e.g. no such device). `design`/`labels` must
+/// start as copies of the originals.
+bool apply_mutation(const artifacts& base, const mutation& m,
+                    xbar::crossbar& design, core::labeling& labels);
+
+struct self_test_outcome {
+  mutation m;
+  bool killed = false;
+  std::vector<std::string> triggered_checks;  // check IDs that fired errors
+};
+
+struct self_test_result {
+  std::size_t total = 0;
+  std::size_t killed = 0;
+  std::vector<self_test_outcome> outcomes;
+  [[nodiscard]] bool all_killed() const { return killed == total; }
+};
+
+/// Run the full mutate → analyze → expect-error loop. `a` should lint
+/// clean; any error its pristine form already triggers is excluded from
+/// kill credit so a noisy baseline cannot fake coverage.
+[[nodiscard]] self_test_result run_self_test(
+    const artifacts& a, const analyzer_options& options = {},
+    std::size_t limit_per_kind = 4);
+
+}  // namespace compact::verify

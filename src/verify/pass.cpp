@@ -1,0 +1,48 @@
+#include "verify/pass.hpp"
+
+#include "util/error.hpp"
+#include "verify/analyzer.hpp"
+
+namespace compact::verify {
+namespace {
+
+void run_verify(core::synthesis_context& ctx) {
+  check(ctx.mapped.has_value(), "pipeline: verify needs a mapped design");
+  const artifacts a = make_artifacts(ctx);
+  ctx.verification = analyze(a);
+  const report& r = *ctx.verification;
+  ctx.attribute("verdict", r.clean() ? "clean" : "dirty");
+  ctx.metric("errors", static_cast<double>(r.error_count()));
+  ctx.metric("warnings", static_cast<double>(r.warning_count()));
+  ctx.metric("notes", static_cast<double>(r.note_count()));
+  ctx.metric("checks_run", static_cast<double>(r.checks_run().size()));
+}
+
+// Linking the verify library is opting in: fill core's pass slot at load
+// time so options.verify_design works without further ceremony.
+const bool installed = install_pipeline_pass();
+
+}  // namespace
+
+artifacts make_artifacts(const core::synthesis_context& ctx) {
+  artifacts a;
+  if (ctx.mapped.has_value()) {
+    a.design = &ctx.mapped->design;
+    a.mapping = &*ctx.mapped;
+  }
+  a.graph = &ctx.graph;
+  a.labels = &ctx.labels;
+  a.spec = ctx.manager;
+  a.spec_roots = ctx.roots;
+  a.spec_names = ctx.names;
+  if (ctx.manager != nullptr) a.variable_count = ctx.manager->variable_count();
+  return a;
+}
+
+bool install_pipeline_pass() {
+  (void)installed;
+  core::set_verify_pass(run_verify);
+  return true;
+}
+
+}  // namespace compact::verify

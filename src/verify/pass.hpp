@@ -1,0 +1,24 @@
+// Pipeline integration: the optional "verify" pass that runs the static
+// analyzer over a synthesis context right after mapping.
+//
+// Core's pipeline only holds a function-pointer slot for this pass (see
+// core/pipeline.hpp); linking the verify library and calling
+// install_pipeline_pass() — done automatically by a static initializer in
+// pass.cpp — fills it. synthesis_options::verify_design then turns the
+// pass on per run.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "verify/checks.hpp"
+
+namespace compact::verify {
+
+/// Non-owning view of a synthesis context's artifacts for the analyzer.
+/// The context must outlive the returned struct and have a mapped design.
+[[nodiscard]] artifacts make_artifacts(const core::synthesis_context& ctx);
+
+/// Install the verify pass into core's pipeline slot. Idempotent; returns
+/// true so it can seed a static initializer.
+bool install_pipeline_pass();
+
+}  // namespace compact::verify

@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "xbar/evaluate.hpp"
@@ -62,6 +63,16 @@ validation_report validate_against_bdd(
   };
 
   report.exhaustive = variable_count <= options.exhaustive_limit;
+  if (report.exhaustive && variable_count > max_exhaustive_variables)
+    throw error(
+        "validate: exhaustive enumeration of " +
+        std::to_string(variable_count) + " variables (2^" +
+        std::to_string(variable_count) +
+        " assignments) is refused; the limit is " +
+        std::to_string(max_exhaustive_variables) +
+        " variables. Use symbolic equivalence instead ('compact_cli lint' "
+        "or verify::check_symbolic_equivalence), which is exact at any "
+        "width, or lower validation_options::exhaustive_limit to sample.");
   const std::uint64_t total =
       report.exhaustive ? 1ULL << variable_count
                         : static_cast<std::uint64_t>(options.samples);

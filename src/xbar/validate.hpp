@@ -18,8 +18,17 @@
 
 namespace compact::xbar {
 
+/// Hard ceiling on exhaustive enumeration (2^24 = 16.7M assignments, a few
+/// seconds; 2^25+ quickly becomes minutes to hours). validate_against_bdd
+/// throws when options push the exhaustive path past it — symbolic
+/// equivalence (verify/extract.hpp) is exact at any width and is the right
+/// tool beyond this point.
+inline constexpr int max_exhaustive_variables = 24;
+
 struct validation_options {
   /// Exhaustive enumeration up to this many variables, sampling beyond.
+  /// Clamped by max_exhaustive_variables: asking for an exhaustive scan of
+  /// a wider support is an error, not a silent fallback.
   int exhaustive_limit = 12;
   int samples = 2000;
   std::uint64_t seed = 12345;

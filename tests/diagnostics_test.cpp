@@ -1,0 +1,175 @@
+// The diagnostics engine: severities, entities, report bookkeeping, the
+// lint exit-code contract, and the JSON / SARIF 2.1.0 exports (structure
+// pinned by parsing them back with util/json).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace compact::verify {
+namespace {
+
+diagnostic make(const std::string& id, severity level,
+                const std::string& message) {
+  diagnostic d;
+  d.check_id = id;
+  d.level = level;
+  d.message = message;
+  return d;
+}
+
+TEST(DiagnosticsTest, SeverityNamesRoundTrip) {
+  for (const severity s : {severity::note, severity::warning, severity::error})
+    EXPECT_EQ(parse_severity(severity_name(s)), s);
+  EXPECT_FALSE(parse_severity("fatal").has_value());
+  EXPECT_FALSE(parse_severity("").has_value());
+}
+
+TEST(DiagnosticsTest, EntityRendering) {
+  EXPECT_EQ(to_string(node_entity(3)), "node 3");
+  EXPECT_EQ(to_string(row_entity(2)), "row 2");
+  EXPECT_EQ(to_string(column_entity(7)), "column 7");
+  EXPECT_EQ(to_string(junction_entity(1, 4)), "junction (1, 4)");
+  EXPECT_EQ(to_string(output_entity("sum")), "output 'sum'");
+  EXPECT_EQ(to_string(variable_entity(0)), "variable x0");
+  EXPECT_EQ(to_string(entity{}), "design");
+}
+
+TEST(DiagnosticsTest, ReportCountsAndCleanliness) {
+  report r;
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.clean(severity::note));
+
+  r.add(make("AAA001", severity::note, "informational"));
+  EXPECT_TRUE(r.clean());                 // notes are advisory
+  EXPECT_FALSE(r.clean(severity::note));  // unless the bar is lowered
+
+  r.add(make("BBB002", severity::warning, "suspicious"));
+  r.add(make("BBB002", severity::error, "broken"));
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.note_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 1u);
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_TRUE(r.has_check("BBB002"));
+  EXPECT_FALSE(r.has_check("CCC003"));
+  EXPECT_EQ(r.by_check("BBB002").size(), 2u);
+}
+
+TEST(DiagnosticsTest, LintExitCodeContract) {
+  report r;
+  EXPECT_EQ(lint_exit_code(r, severity::note), 0);
+
+  r.add(make("AAA001", severity::note, "n"));
+  EXPECT_EQ(lint_exit_code(r, severity::note), 1);
+  EXPECT_EQ(lint_exit_code(r, severity::warning), 0);
+  EXPECT_EQ(lint_exit_code(r, severity::error), 0);
+
+  r.add(make("AAA002", severity::warning, "w"));
+  EXPECT_EQ(lint_exit_code(r, severity::warning), 1);
+  EXPECT_EQ(lint_exit_code(r, severity::error), 0);
+
+  r.add(make("AAA003", severity::error, "e"));
+  EXPECT_EQ(lint_exit_code(r, severity::error), 1);
+}
+
+TEST(DiagnosticsTest, ChecksRunAreDeduplicated) {
+  report r;
+  r.mark_check_run("LBL001");
+  r.mark_check_run("LBL001");
+  r.mark_check_run("XBR001");
+  EXPECT_EQ(r.checks_run().size(), 2u);
+}
+
+TEST(DiagnosticsTest, JsonExportStructure) {
+  report r;
+  diagnostic d = make("XBR004", severity::error, "dims \"mismatch\"");
+  d.fix = "re-run the mapper";
+  d.anchors = {row_entity(3), output_entity("f0")};
+  r.add(std::move(d));
+  r.mark_check_run("XBR004");
+
+  std::ostringstream os;
+  write_json(r, os);
+  const json::value_ptr doc = json::parse(os.str());
+
+  const auto& diags = doc->at("diagnostics").as_array();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->at("check").as_string(), "XBR004");
+  EXPECT_EQ(diags[0]->at("severity").as_string(), "error");
+  EXPECT_EQ(diags[0]->at("message").as_string(), "dims \"mismatch\"");
+  EXPECT_EQ(diags[0]->at("fix").as_string(), "re-run the mapper");
+  EXPECT_EQ(diags[0]->at("anchors").as_array().size(), 2u);
+  EXPECT_EQ(doc->at("summary").at("errors").as_number(), 1.0);
+  EXPECT_EQ(doc->at("summary").at("warnings").as_number(), 0.0);
+  EXPECT_EQ(doc->at("checks_run").as_array().size(), 1u);
+}
+
+TEST(DiagnosticsTest, SarifExportStructure) {
+  report r;
+  diagnostic d = make("LBL001", severity::error, "V-V edge");
+  d.fix = "relabel node 1";
+  d.anchors = {node_entity(1), node_entity(2)};
+  r.add(std::move(d));
+  r.add(make("XBR002", severity::warning, "dangling memristor"));
+
+  sarif_options options;
+  options.artifact_uri = "designs/foo.xbar";
+  options.rules = {
+      {"LBL001", "labeling-feasibility", "no V-V / H-H edges",
+       severity::error},
+      {"XBR002", "dead-column", "no dangling devices", severity::warning},
+  };
+  std::ostringstream os;
+  write_sarif(r, options, os);
+  const json::value_ptr doc = json::parse(os.str());
+
+  EXPECT_EQ(doc->at("version").as_string(), "2.1.0");
+  EXPECT_NE(doc->at("$schema").as_string().find("sarif"), std::string::npos);
+  const auto& runs = doc->at("runs").as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const json::value& driver = runs[0]->at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "compact-verify");
+  const auto& rules = driver.at("rules").as_array();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0]->at("id").as_string(), "LBL001");
+
+  const auto& results = runs[0]->at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0]->at("ruleId").as_string(), "LBL001");
+  EXPECT_EQ(results[0]->at("ruleIndex").as_number(), 0.0);
+  EXPECT_EQ(results[0]->at("level").as_string(), "error");
+  EXPECT_EQ(results[1]->at("ruleId").as_string(), "XBR002");
+  EXPECT_EQ(results[1]->at("ruleIndex").as_number(), 1.0);
+  EXPECT_EQ(results[1]->at("level").as_string(), "warning");
+  // The fix rides in the message and in properties.suggestedFix.
+  const std::string text = results[0]->at("message").at("text").as_string();
+  EXPECT_NE(text.find("relabel node 1"), std::string::npos);
+  // Anchored results carry a physicalLocation (artifact_uri is set) plus
+  // logical locations for the design entities.
+  const auto& locations = results[0]->at("locations").as_array();
+  ASSERT_FALSE(locations.empty());
+  EXPECT_EQ(locations[0]
+                ->at("physicalLocation")
+                .at("artifactLocation")
+                .at("uri")
+                .as_string(),
+            "designs/foo.xbar");
+}
+
+TEST(DiagnosticsTest, SarifRuleIndexOmittedForUnknownRules) {
+  report r;
+  r.add(make("ZZZ999", severity::error, "unregistered"));
+  sarif_options options;  // empty rules table
+  std::ostringstream os;
+  write_sarif(r, options, os);
+  const json::value_ptr doc = json::parse(os.str());
+  const auto& results = doc->at("runs").as_array()[0]->at("results").as_array();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->at("ruleId").as_string(), "ZZZ999");
+  EXPECT_EQ(results[0]->find("ruleIndex"), nullptr);
+}
+
+}  // namespace
+}  // namespace compact::verify

@@ -14,7 +14,11 @@ namespace {
 /// size (n+1)/2.
 model odd_cycle_cover(int n) {
   model m;
-  for (int i = 0; i < n; ++i) m.add_binary(1.0, "x" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    m.add_binary(1.0, name);
+  }
   for (int i = 0; i < n; ++i)
     m.add_constraint({{i, 1.0}, {(i + 1) % n, 1.0}},
                      relation::greater_equal, 1.0);

@@ -72,8 +72,12 @@ TEST(GateNetworkTest, LevelsAreMonotone) {
   const std::vector<int> levels = gates.levels();
   for (std::size_t i = 0; i < gates.size(); ++i) {
     const gate& g = gates.gates[i];
-    if (g.a >= 0) EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.a)]);
-    if (g.b >= 0) EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.b)]);
+    if (g.a >= 0) {
+      EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.a)]);
+    }
+    if (g.b >= 0) {
+      EXPECT_GT(levels[i], levels[static_cast<std::size_t>(g.b)]);
+    }
   }
 }
 

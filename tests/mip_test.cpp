@@ -103,7 +103,9 @@ TEST(MipTest, TraceIsMonotone) {
   }
   // Bound never exceeds incumbent at termination.
   EXPECT_LE(r.best_bound, r.objective + 1e-6);
-  if (r.status == mip_status::optimal) EXPECT_LE(r.relative_gap, 1e-6);
+  if (r.status == mip_status::optimal) {
+    EXPECT_LE(r.relative_gap, 1e-6);
+  }
 }
 
 TEST(MipTest, RandomBinaryProgramsMatchBruteForce) {

@@ -35,7 +35,9 @@ struct random_function {
         f = m.apply_or(f, cube);
       }
       roots.push_back(f);
-      names.push_back("f" + std::to_string(o));
+      std::string name = "f";
+      name += std::to_string(o);
+      names.push_back(std::move(name));
     }
   }
 };

@@ -220,8 +220,9 @@ TEST(SimplexTest, OptimalSolutionsAlwaysFeasibleUnderRandomFixings) {
     }
     const lp_result r = solve_lp(m);
     ASSERT_NE(r.status, lp_status::iteration_limit) << "trial " << trial;
-    if (r.status == lp_status::optimal)
+    if (r.status == lp_status::optimal) {
       EXPECT_TRUE(m.is_feasible_continuous(r.x, 1e-6)) << "trial " << trial;
+    }
   }
 }
 

@@ -86,10 +86,16 @@ TEST(ToBddTest, OptimizeOrderShrinksABadDeclarationOrder) {
   network net("blockcmp");
   std::vector<int> a, b;
   const int bits = 5;
-  for (int i = 0; i < bits; ++i)
-    a.push_back(net.add_input("a" + std::to_string(i)));
-  for (int i = 0; i < bits; ++i)
-    b.push_back(net.add_input("b" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) {
+    std::string name = "a";
+    name += std::to_string(i);
+    a.push_back(net.add_input(name));
+  }
+  for (int i = 0; i < bits; ++i) {
+    std::string name = "b";
+    name += std::to_string(i);
+    b.push_back(net.add_input(name));
+  }
   int eq = net.add_const(true);
   for (int i = 0; i < bits; ++i)
     eq = net.add_and(eq, net.add_xnor(a[i], b[i]));

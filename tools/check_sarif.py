@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Structural validator for compact-verify SARIF output.
+
+Checks the invariants of SARIF 2.1.0 that GitHub code scanning and other
+consumers rely on, without needing the (network-fetched) JSON schema:
+
+  * version is exactly "2.1.0" and $schema points at the 2.1.0 schema;
+  * every run carries tool.driver.name and a rules table with unique ids;
+  * every result has a ruleId, a level from the SARIF vocabulary, and a
+    non-empty message.text;
+  * when a result carries ruleIndex it must point at the rule whose id
+    matches its ruleId;
+  * locations, when present, are physical (artifactLocation.uri) or
+    logical (name + kind) locations.
+
+Usage: check_sarif.py FILE.sarif [FILE.sarif ...]
+Exits 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_result(path, result, rules):
+    ok = True
+    rule_id = result.get("ruleId")
+    if not rule_id:
+        ok = fail(path, "result without ruleId")
+    if result.get("level") not in LEVELS:
+        ok = fail(path, f"result level {result.get('level')!r} not in {sorted(LEVELS)}")
+    text = result.get("message", {}).get("text", "")
+    if not text:
+        ok = fail(path, f"result {rule_id}: empty message.text")
+    if "ruleIndex" in result:
+        index = result["ruleIndex"]
+        if not isinstance(index, int) or index < 0 or index >= len(rules):
+            ok = fail(path, f"result {rule_id}: ruleIndex {index} out of range")
+        elif rules[index].get("id") != rule_id:
+            ok = fail(
+                path,
+                f"result {rule_id}: ruleIndex {index} names "
+                f"{rules[index].get('id')!r}",
+            )
+    for location in result.get("locations", []):
+        physical = location.get("physicalLocation")
+        logical = location.get("logicalLocations", [])
+        if physical is None and not logical:
+            ok = fail(path, f"result {rule_id}: empty location")
+        if physical is not None and not physical.get("artifactLocation", {}).get("uri"):
+            ok = fail(path, f"result {rule_id}: physicalLocation without uri")
+        for entry in logical:
+            if not entry.get("name") or not entry.get("kind"):
+                ok = fail(path, f"result {rule_id}: logicalLocation needs name+kind")
+    return ok
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    ok = True
+    if doc.get("version") != "2.1.0":
+        ok = fail(path, f"version is {doc.get('version')!r}, want '2.1.0'")
+    if "sarif-schema-2.1.0" not in doc.get("$schema", ""):
+        ok = fail(path, "$schema does not reference sarif-schema-2.1.0")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(path, "runs must be a non-empty array")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            ok = fail(path, "tool.driver.name missing")
+        rules = driver.get("rules", [])
+        ids = [rule.get("id") for rule in rules]
+        if len(ids) != len(set(ids)):
+            ok = fail(path, "duplicate rule ids in the rules table")
+        for rule in rules:
+            if not rule.get("id"):
+                ok = fail(path, "rule without id")
+        for result in run.get("results", []):
+            ok = check_result(path, result, rules) and ok
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        if check_file(path):
+            print(f"{path}: OK")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

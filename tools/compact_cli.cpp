@@ -38,6 +38,7 @@
 #include "bdd/dot.hpp"
 #include "bdd/stats.hpp"
 #include "core/compact.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "frontend/blif.hpp"
 #include "frontend/equivalence.hpp"
@@ -51,6 +52,10 @@
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
+#include "verify/analyzer.hpp"
+#include "verify/extract.hpp"
+#include "verify/mutate.hpp"
+#include "verify/pass.hpp"
 #include "xbar/evaluate.hpp"
 #include "xbar/serialize.hpp"
 #include "xbar/validate.hpp"
@@ -69,13 +74,18 @@ using namespace compact;
       "      [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
       "      [--trace-json F.jsonl] [--metrics-json F.json]\n"
-      "      [--chrome-trace F.json] [--print] [--validate]\n"
+      "      [--chrome-trace F.json] [--print] [--validate] [--verify]\n"
       "  compact_cli stats <netlist> [synthesize options]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
-      "      [--threads N]\n"
+      "      [--threads N] [--symbolic]\n"
       "  compact_cli equiv <netlist-a> <netlist-b>\n"
-      "  compact_cli margins <design.xbar> --inputs N\n";
+      "  compact_cli margins <design.xbar> --inputs N\n"
+      "  compact_cli lint <netlist> [--method oct|mip] [--gamma G]\n"
+      "      [--time-limit S] [--threads N] [--sarif F.sarif] [--json F]\n"
+      "      [--fail-on note|warning|error] [--no-equivalence]\n"
+      "      [--self-test] [--mutations N]\n"
+      "  compact_cli lint <design.xbar> <netlist> [lint options]\n";
   std::exit(2);
 }
 
@@ -122,6 +132,8 @@ xbar::loaded_design load_design(const std::string& path) {
   if (!file) throw error("cannot open " + path);
   return xbar::read_design(file);
 }
+
+void print_lint_report(const verify::report& r, std::ostream& os);
 
 std::vector<std::string> input_names(const frontend::network& net) {
   std::vector<std::string> names;
@@ -284,6 +296,11 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       do_print = true;
     } else if (a == "--validate") {
       do_validate = true;
+    } else if (a == "--verify") {
+      // The pass body lives in the verify library; installing explicitly
+      // keeps this working even if no other verify symbol is referenced.
+      verify::install_pipeline_pass();
+      options.verify_design = true;
     } else {
       usage("unknown option " + a);
     }
@@ -354,6 +371,16 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   t.add_row({"relative gap", cell(100.0 * result.stats.relative_gap, 2) + "%"});
   t.add_row({"synthesis time (s)", cell(result.stats.synthesis_seconds, 3)});
   t.print(std::cout);
+
+  if (result.verification.has_value()) {
+    const verify::report& v = *result.verification;
+    std::cout << "\nverify: " << (v.clean() ? "CLEAN" : "DIRTY") << " ("
+              << v.checks_run().size() << " checks)\n";
+    if (!v.clean()) {
+      print_lint_report(v, std::cout);
+      return 1;
+    }
+  }
 
   std::optional<xbar::validation_report> validation;
   if (do_validate || report_path) {
@@ -466,16 +493,38 @@ int cmd_validate(const std::vector<std::string>& args) {
   const xbar::loaded_design loaded = load_design(args[0]);
   const frontend::network net = load_netlist(args[1]);
   xbar::validation_options options;
+  bool symbolic = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--samples" && i + 1 < args.size())
       options.samples = parse_positive_flag("--samples", args[++i]);
     else if (args[i] == "--threads" && i + 1 < args.size())
       options.parallel.threads = parse_positive_flag("--threads", args[++i]);
+    else if (args[i] == "--symbolic")
+      symbolic = true;
     else
       usage("unknown option " + args[i]);
   }
   bdd::manager m(net.input_count());
   const frontend::sbdd built = frontend::build_sbdd(net, m);
+  if (symbolic || net.input_count() > xbar::max_exhaustive_variables) {
+    // Wide supports route to symbolic equivalence: exact at any width, no
+    // assignment enumeration at all.
+    const verify::equivalence_report eq = verify::check_symbolic_equivalence(
+        loaded.design, m, built.roots, built.names);
+    std::cout << (eq.equivalent ? "PASS" : "FAIL") << " (symbolic, "
+              << eq.fixpoint_iterations << " fixpoint iterations)\n";
+    for (const verify::output_equivalence& o : eq.outputs) {
+      if (o.found && o.equivalent) continue;
+      std::cout << "output '" << o.name << "' "
+                << (o.found ? "differs from its specification" : "is missing");
+      if (!o.counterexample.empty()) {
+        std::cout << " under assignment ";
+        for (const bool b : o.counterexample) std::cout << (b ? '1' : '0');
+      }
+      std::cout << "\n";
+    }
+    return eq.equivalent ? 0 : 1;
+  }
   const xbar::validation_report report =
       xbar::validate_against_bdd(loaded.design, m, built.roots, built.names,
                                  net.input_count(), options);
@@ -484,6 +533,165 @@ int cmd_validate(const std::vector<std::string>& args) {
             << (report.exhaustive ? "exhaustive" : "sampled") << ")\n";
   if (!report.valid) std::cout << report.first_failure << "\n";
   return report.valid ? 0 : 1;
+}
+
+void print_lint_report(const verify::report& r, std::ostream& os) {
+  for (const verify::diagnostic& d : r.diagnostics()) {
+    os << d.check_id << ' ' << verify::severity_name(d.level) << ": "
+       << d.message;
+    if (!d.anchors.empty()) {
+      os << " [";
+      for (std::size_t i = 0; i < d.anchors.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << verify::to_string(d.anchors[i]);
+      }
+      os << "]";
+    }
+    os << "\n";
+    if (!d.fix.empty()) os << "  fix: " << d.fix << "\n";
+  }
+  os << r.error_count() << " error(s), " << r.warning_count()
+     << " warning(s), " << r.note_count() << " note(s); "
+     << r.checks_run().size() << " checks run\n";
+}
+
+/// `compact_cli lint` — run the static analyzer (src/verify) without
+/// simulating a single input vector.
+///
+/// Two input shapes: a netlist (the full pipeline runs, so labeling /
+/// mapping / structural / equivalence checks all apply) or a saved .xbar
+/// plus the netlist it claims to implement (structural + symbolic
+/// equivalence only). --self-test flips into the mutation-kill harness:
+/// every injected corruption must be caught by some check.
+int cmd_lint(const std::vector<std::string>& args) {
+  if (args.empty()) usage("lint needs a netlist or a design");
+  const bool xbar_mode = args[0].ends_with(".xbar");
+  std::size_t positional = 1;
+  std::string design_path, netlist_path;
+  if (xbar_mode) {
+    if (args.size() < 2 || args[1].starts_with("--"))
+      usage("lint <design.xbar> needs the netlist it implements");
+    design_path = args[0];
+    netlist_path = args[1];
+    positional = 2;
+  } else {
+    netlist_path = args[0];
+  }
+
+  core::synthesis_options options;
+  verify::analyzer_options analyzer_options;
+  verify::severity fail_on = verify::severity::warning;
+  bool self_test = false;
+  std::size_t mutations_per_kind = 4;
+  std::optional<std::string> sarif_path, json_path;
+
+  for (std::size_t i = positional; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--method") {
+      const std::string& v = value();
+      if (v == "oct")
+        options.method = core::labeling_method::minimal_semiperimeter;
+      else if (v == "mip")
+        options.method = core::labeling_method::weighted_mip;
+      else
+        usage("unknown method " + v);
+    } else if (a == "--gamma") {
+      options.gamma = parse_double_flag(a, value());
+    } else if (a == "--time-limit") {
+      options.time_limit_seconds = parse_double_flag(a, value());
+    } else if (a == "--threads") {
+      options.parallel.threads = parse_positive_flag(a, value());
+    } else if (a == "--sarif") {
+      sarif_path = value();
+    } else if (a == "--json") {
+      json_path = value();
+    } else if (a == "--fail-on") {
+      const std::string& v = value();
+      const std::optional<verify::severity> parsed =
+          verify::parse_severity(v);
+      if (!parsed) usage("--fail-on expects note|warning|error, got " + v);
+      fail_on = *parsed;
+    } else if (a == "--no-equivalence") {
+      analyzer_options.equivalence = false;
+    } else if (a == "--self-test") {
+      self_test = true;
+    } else if (a == "--mutations") {
+      mutations_per_kind =
+          static_cast<std::size_t>(parse_positive_flag(a, value()));
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+
+  const frontend::network net = load_netlist(netlist_path);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+
+  // Assemble the artifacts: either adopt the saved design as-is, or run the
+  // synthesis pipeline and keep every intermediate stage for the checks.
+  std::optional<xbar::loaded_design> loaded;
+  core::synthesis_context ctx;
+  verify::artifacts artifacts;
+  if (xbar_mode) {
+    loaded = load_design(design_path);
+    artifacts.design = &loaded->design;
+  } else {
+    ctx.manager = &m;
+    ctx.roots = &built.roots;
+    ctx.names = &built.names;
+    ctx.options = options;
+    const core::pipeline pipeline = core::make_synthesis_pipeline(ctx.options);
+    pipeline.run(ctx);
+    artifacts = verify::make_artifacts(ctx);
+  }
+  artifacts.spec = &m;
+  artifacts.spec_roots = &built.roots;
+  artifacts.spec_names = &built.names;
+  artifacts.variable_count = net.input_count();
+
+  if (self_test) {
+    const verify::self_test_result result =
+        verify::run_self_test(artifacts, analyzer_options, mutations_per_kind);
+    for (const verify::self_test_outcome& o : result.outcomes) {
+      std::cout << (o.killed ? "killed  " : "SURVIVED") << "  "
+                << o.m.describe();
+      if (!o.triggered_checks.empty()) {
+        std::cout << "  (";
+        for (std::size_t i = 0; i < o.triggered_checks.size(); ++i) {
+          if (i != 0) std::cout << ", ";
+          std::cout << o.triggered_checks[i];
+        }
+        std::cout << ")";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "self-test: " << result.killed << "/" << result.total
+              << " mutations killed\n";
+    return result.all_killed() && result.total > 0 ? 0 : 1;
+  }
+
+  const verify::report report = verify::analyze(artifacts, analyzer_options);
+  print_lint_report(report, std::cout);
+
+  if (json_path) {
+    std::ofstream out(*json_path);
+    if (!out) throw error("cannot write " + *json_path);
+    verify::write_json(report, out);
+  }
+  if (sarif_path) {
+    std::ofstream out(*sarif_path);
+    if (!out) throw error("cannot write " + *sarif_path);
+    verify::sarif_options sarif;
+    sarif.artifact_uri = xbar_mode ? design_path : netlist_path;
+    sarif.rules = verify::registry_rules();
+    verify::write_sarif(report, sarif, out);
+    std::cout << "wrote " << *sarif_path << "\n";
+  }
+  return verify::lint_exit_code(report, fail_on);
 }
 
 int cmd_margins(const std::vector<std::string>& args) {
@@ -536,6 +744,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "equiv") return cmd_equiv(args);
     if (command == "margins") return cmd_margins(args);
+    if (command == "lint") return cmd_lint(args);
     usage("unknown command " + command);
   } catch (const infeasible_error& e) {
     std::cerr << "infeasible: " << e.what() << "\n";

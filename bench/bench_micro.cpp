@@ -3,6 +3,8 @@
 // performance regressions in the substrates.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,11 @@
 namespace {
 
 using namespace compact;
+
+/// Worker threads for the solver benchmark, set by `--threads N`. A flag
+/// rather than ->Arg so the benchmark NAME is identical across runs and
+/// bench_compare can diff a --threads 1 run against a --threads 2 run.
+int g_solver_threads = 1;
 
 void BM_BddBuildAdder(benchmark::State& state) {
   const frontend::network net =
@@ -166,11 +173,34 @@ void BM_ParallelSampledValidate(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSampledValidate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+/// The labeling hot path end to end: weighted-MIP synthesis (kernelized OCT
+/// warm start + presolve + round-based parallel branch-and-bound) under
+/// `--threads`. The design is bit-identical for any thread count; only the
+/// wall clock may move.
+void BM_MipLabelingSolver(benchmark::State& state) {
+  const frontend::network net = frontend::make_comparator(3);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  core::synthesis_options options;
+  options.method = core::labeling_method::weighted_mip;
+  options.gamma = 0.5;
+  options.time_limit_seconds = 30.0;
+  options.parallel.threads = g_solver_threads;
+  for (auto _ : state) {
+    const core::synthesis_result r =
+        core::synthesize(m, built.roots, built.names, options);
+    benchmark::DoNotOptimize(r.stats.semiperimeter);
+  }
+  state.counters["threads"] = static_cast<double>(g_solver_threads);
+}
+BENCHMARK(BM_MipLabelingSolver)->UseRealTime();
+
 }  // namespace
 
 // Custom main instead of benchmark_main: `--json FILE` is shorthand for
 // google-benchmark's `--benchmark_out=FILE --benchmark_out_format=json`,
-// matching the table/figure harnesses' machine-readable flag.
+// and `--threads N` sets the solver benchmark's worker count — both match
+// the table/figure harnesses' flags.
 int main(int argc, char** argv) {
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
@@ -180,6 +210,8 @@ int main(int argc, char** argv) {
     if (a == "--json" && i + 1 < argc) {
       storage.emplace_back(std::string("--benchmark_out=") + argv[++i]);
       storage.emplace_back("--benchmark_out_format=json");
+    } else if (a == "--threads" && i + 1 < argc) {
+      g_solver_threads = std::max(1, std::atoi(argv[++i]));
     } else {
       storage.push_back(a);
     }

@@ -1,18 +1,14 @@
-// File-based flow: BLIF in, crossbar stats out (the tool-style entry point
-// of Figure 2: "the Boolean function is specified using a Verilog, BLIF or
-// PLA file").
+// File-based flow through the stable public API: BLIF in, crossbar stats
+// out (the tool-style entry point of Figure 2: "the Boolean function is
+// specified using a Verilog, BLIF or PLA file"). Uses only
+// api/compact_api.hpp: parse + BDD build + synthesis + validation all run
+// behind one call.
 //
 //   $ ./blif_flow circuit.blif            # read a file
 //   $ ./blif_flow                         # demo on a built-in netlist
-#include <fstream>
 #include <iostream>
-#include <sstream>
 
-#include "core/compact.hpp"
-#include "frontend/blif.hpp"
-#include "frontend/to_bdd.hpp"
-#include "util/table.hpp"
-#include "xbar/validate.hpp"
+#include "api/compact_api.hpp"
 
 namespace {
 
@@ -42,49 +38,42 @@ constexpr const char* demo_blif = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace compact;
+  namespace api = compact::api;
 
-  frontend::network net = [&] {
-    if (argc > 1) {
-      std::ifstream file(argv[1]);
-      if (!file) {
-        std::cerr << "cannot open " << argv[1] << "\n";
-        std::exit(2);
-      }
-      return frontend::parse_blif(file);
-    }
+  api::netlist_source source;
+  if (argc > 1) {
+    source.path = argv[1];
+  } else {
     std::cout << "(no file given; using the built-in demo netlist)\n\n";
-    return frontend::parse_blif_string(demo_blif);
-  }();
+    source.text = demo_blif;
+  }
 
-  bdd::manager m(net.input_count());
-  const frontend::sbdd built = frontend::build_sbdd(net, m);
-
-  core::synthesis_options options;
-  options.method = core::labeling_method::weighted_mip;
+  api::synthesis_options_v1 options;
+  options.labeler = "mip";
   options.gamma = 0.5;
   options.time_limit_seconds = 30.0;
-  const core::synthesis_result r =
-      core::synthesize(m, built.roots, built.names, options);
+  options.validate = true;  // check the design against the source BDDs
 
-  table t({"metric", "value"});
-  t.add_row({"model", net.name()});
-  t.add_row({"inputs", cell(net.input_count())});
-  t.add_row({"outputs", cell(net.outputs().size())});
-  t.add_row({"BDD graph nodes", cell(r.stats.graph_nodes)});
-  t.add_row({"VH labels", cell(r.stats.vh_count)});
-  t.add_row({"rows x cols", cell(r.stats.rows) + " x " + cell(r.stats.columns)});
-  t.add_row({"semiperimeter", cell(r.stats.semiperimeter)});
-  t.add_row({"max dimension", cell(r.stats.max_dimension)});
-  t.add_row({"labeling proven optimal", r.stats.optimal ? "yes" : "no"});
-  t.add_row({"synthesis time (s)", cell(r.stats.synthesis_seconds, 3)});
-  t.print(std::cout);
+  try {
+    const api::synthesis_outcome r = api::synthesize(source, options);
 
-  const xbar::validation_report report = xbar::validate_against_bdd(
-      r.design, m, built.roots, built.names, net.input_count());
-  std::cout << "\nvalidity: " << (report.valid ? "PASS" : "FAIL") << " ("
-            << report.checked_assignments << " assignments, "
-            << (report.exhaustive ? "exhaustive" : "sampled") << ")\n";
-  if (!report.valid) std::cout << report.first_failure << "\n";
-  return report.valid ? 0 : 1;
+    std::cout << "outputs:";
+    for (const std::string& name : r.mapped.output_names())
+      std::cout << ' ' << name;
+    std::cout << "\nBDD graph nodes:         " << r.stats.graph_nodes
+              << "\nVH labels:               " << r.stats.vh_count
+              << "\nrows x cols:             " << r.stats.rows << " x "
+              << r.stats.columns
+              << "\nsemiperimeter:           " << r.stats.semiperimeter
+              << "\nmax dimension:           " << r.stats.max_dimension
+              << "\nlabeling proven optimal: "
+              << (r.stats.optimal ? "yes" : "no")
+              << "\nsynthesis time (s):      " << r.stats.synthesis_seconds
+              << "\n\nvalidity: " << (r.validation.passed ? "PASS" : "FAIL")
+              << " (" << r.validation.detail << ")\n";
+    return r.validation.passed ? 0 : 1;
+  } catch (const api::error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

@@ -1,45 +1,49 @@
-// Quickstart: the paper's running example, end to end.
+// Quickstart: the paper's running example through the stable public API.
 //
-// Builds f = (a AND b) OR c, maps it to a crossbar with COMPACT, prints the
+// Describes f = (a AND b) OR c as a tiny inline BLIF netlist, maps it to a
+// crossbar with COMPACT (Method 1, minimal semiperimeter), prints the
 // design, and evaluates it for the instance a=1, b=1, c=0 (Figure 2 of the
-// paper).
+// paper). Everything below uses only api/compact_api.hpp — the facade any
+// embedding application should target.
 //
 //   $ ./quickstart
 #include <iostream>
+#include <vector>
 
-#include "core/compact.hpp"
-#include "xbar/evaluate.hpp"
+#include "api/compact_api.hpp"
 
 int main() {
-  using namespace compact;
+  namespace api = compact::api;
 
-  // 1. Describe the function as a BDD (a CUDD-style manager).
-  bdd::manager m(3);
-  const bdd::node_handle a = m.var(0);
-  const bdd::node_handle b = m.var(1);
-  const bdd::node_handle c = m.var(2);
-  const bdd::node_handle f = m.apply_or(m.apply_and(a, b), c);
+  // 1. Describe the function (inline BLIF; a file path works the same way).
+  api::netlist_source source;
+  source.text =
+      ".model quickstart\n"
+      ".inputs a b c\n"
+      ".outputs f\n"
+      ".names a b c f\n"
+      "11- 1\n"
+      "--1 1\n"
+      ".end\n";
 
   // 2. Synthesize a crossbar with minimal semiperimeter (Method 1).
-  core::synthesis_options options;
-  options.method = core::labeling_method::minimal_semiperimeter;
-  const core::synthesis_result result =
-      core::synthesize(m, {f}, {"f"}, options);
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  const api::synthesis_outcome outcome = api::synthesize(source, options);
 
-  std::cout << "f = (a & b) | c mapped to a " << result.stats.rows << " x "
-            << result.stats.columns << " crossbar\n"
-            << "  BDD graph nodes (n): " << result.stats.graph_nodes << "\n"
-            << "  VH labels (k):       " << result.stats.vh_count << "\n"
-            << "  semiperimeter S=n+k: " << result.stats.semiperimeter << "\n"
-            << "  max dimension D:     " << result.stats.max_dimension
-            << "\n\n";
-
-  result.design.print(std::cout, {"a", "b", "c"});
+  std::cout << "f = (a & b) | c mapped to a " << outcome.stats.rows << " x "
+            << outcome.stats.columns << " crossbar\n"
+            << "  BDD graph nodes (n): " << outcome.stats.graph_nodes << "\n"
+            << "  VH labels (k):       " << outcome.stats.vh_count << "\n"
+            << "  semiperimeter S=n+k: " << outcome.stats.semiperimeter << "\n"
+            << "  max dimension D:     " << outcome.stats.max_dimension
+            << "\n\n"
+            << outcome.mapped.render();
 
   // 3. Evaluate the crossbar: program the devices from an assignment and
   //    check for a conducting path from the input to the output wordline.
   const std::vector<bool> instance{true, true, false};  // a=1, b=1, c=0
-  const bool value = xbar::evaluate_output(result.design, instance, "f");
+  const bool value = outcome.mapped.evaluate_output(instance, "f");
   std::cout << "\nf(a=1, b=1, c=0) evaluates to " << (value ? "1" : "0")
             << " (expected 1)\n";
   return value ? 0 : 1;

@@ -1,0 +1,407 @@
+#include "api/compact_api.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/compact.hpp"
+#include "core/pipeline.hpp"
+#include "frontend/blif.hpp"
+#include "frontend/minimize.hpp"
+#include "frontend/pla.hpp"
+#include "frontend/to_bdd.hpp"
+#include "frontend/verilog.hpp"
+#include "util/error.hpp"
+#include "util/telemetry.hpp"
+#include "verify/analyzer.hpp"
+#include "verify/pass.hpp"
+#include "xbar/evaluate.hpp"
+#include "xbar/serialize.hpp"
+#include "xbar/validate.hpp"
+
+namespace compact::api {
+namespace {
+
+/// Run `f`, translating the library's exception hierarchy into the facade's
+/// own (clients compile against this header alone and must be able to catch
+/// everything the facade throws by spelling api:: types only).
+template <typename F>
+auto translated(F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const compact::parse_error& e) {
+    throw parse_error(e.what());
+  } catch (const compact::infeasible_error& e) {
+    throw infeasible_error(e.what());
+  } catch (const compact::error& e) {
+    throw error(e.what());
+  }
+}
+
+[[nodiscard]] std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Resolve the parser for `source`: explicit format, else path extension,
+/// else BLIF for inline text.
+[[nodiscard]] std::string resolve_format(const netlist_source& source) {
+  if (!source.format.empty()) {
+    const std::string f = lower(source.format);
+    if (f != "blif" && f != "pla" && f != "verilog")
+      throw parse_error("unknown netlist format '" + source.format +
+                        "' (expected blif, pla, or verilog)");
+    return f;
+  }
+  if (!source.path.empty()) {
+    const std::string p = source.path;
+    if (p.ends_with(".blif")) return "blif";
+    if (p.ends_with(".pla")) return "pla";
+    if (p.ends_with(".v") || p.ends_with(".verilog")) return "verilog";
+    throw parse_error("cannot infer netlist format of " + p +
+                      " (expected .blif, .pla, .v, or .verilog)");
+  }
+  return "blif";
+}
+
+[[nodiscard]] frontend::network load_network(const netlist_source& source) {
+  if (source.path.empty() == source.text.empty())
+    throw error("netlist_source needs exactly one of `path` or `text`");
+  const std::string format = resolve_format(source);
+  const auto parse = [&](std::istream& is) {
+    if (format == "blif") return frontend::parse_blif(is);
+    if (format == "pla") return frontend::parse_pla(is);
+    return frontend::parse_verilog(is);
+  };
+  if (!source.path.empty()) {
+    std::ifstream file(source.path);
+    if (!file) throw parse_error("cannot open " + source.path);
+    return parse(file);
+  }
+  std::istringstream text(source.text);
+  return parse(text);
+}
+
+[[nodiscard]] std::vector<std::string> input_names(
+    const frontend::network& net) {
+  std::vector<std::string> names;
+  for (int i : net.inputs()) names.push_back(net.node(i).name);
+  return names;
+}
+
+[[nodiscard]] frontend::order_effort parse_order(const std::string& name) {
+  if (name == "none") return frontend::order_effort::none;
+  if (name == "sift") return frontend::order_effort::sift;
+  if (name == "exhaustive") return frontend::order_effort::exhaustive;
+  throw error("unknown variable_order '" + name +
+              "' (expected none, sift, or exhaustive)");
+}
+
+[[nodiscard]] diagnostic_v1 to_diagnostic(const verify::diagnostic& d) {
+  diagnostic_v1 out;
+  out.check = d.check_id;
+  out.severity = verify::severity_name(d.level);
+  out.message = d.message;
+  out.fix = d.fix;
+  for (const verify::entity& e : d.anchors)
+    out.anchors.push_back(verify::to_string(e));
+  return out;
+}
+
+[[nodiscard]] lint_outcome to_lint_outcome(const verify::report& r) {
+  lint_outcome out;
+  out.checks_run = r.checks_run();
+  out.errors = r.error_count();
+  out.warnings = r.warning_count();
+  out.notes = r.note_count();
+  for (const verify::diagnostic& d : r.diagnostics())
+    out.diagnostics.push_back(to_diagnostic(d));
+  return out;
+}
+
+/// Translate the versioned plain-struct knobs into the internal options.
+[[nodiscard]] core::synthesis_options to_core_options(
+    const synthesis_options_v1& options) {
+  if (!(options.gamma >= 0.0 && options.gamma <= 1.0))
+    throw error("gamma must lie in [0, 1]");
+  if (options.time_limit_seconds <= 0.0)
+    throw error("time_limit_seconds must be positive");
+  if (options.threads < 1) throw error("threads must be >= 1");
+  if (options.max_rows < 0 || options.max_columns < 0)
+    throw error("max_rows / max_columns must be >= 0 (0 = unbounded)");
+
+  core::synthesis_options core;
+  if (options.labeler == "oct")
+    core.method = core::labeling_method::minimal_semiperimeter;
+  else if (options.labeler == "mip")
+    core.method = core::labeling_method::weighted_mip;
+  else
+    core.labeler = options.labeler;  // registry dispatch by name
+  core.gamma = options.gamma;
+  core.alignment = options.alignment;
+  core.time_limit_seconds = options.time_limit_seconds;
+  core.parallel.threads = options.threads;
+  if (options.max_rows > 0) core.max_rows = options.max_rows;
+  if (options.max_columns > 0) core.max_columns = options.max_columns;
+  core.oct_reduction = options.kernelize;
+  return core;
+}
+
+[[nodiscard]] synthesis_stats_v1 to_stats(const core::synthesis_stats& s) {
+  synthesis_stats_v1 out;
+  out.graph_nodes = s.graph_nodes;
+  out.vh_count = s.vh_count;
+  out.rows = s.rows;
+  out.columns = s.columns;
+  out.semiperimeter = s.semiperimeter;
+  out.max_dimension = s.max_dimension;
+  out.area = s.area;
+  out.power_proxy = s.power_proxy;
+  out.delay_steps = s.delay_steps;
+  out.optimal = s.optimal;
+  out.relative_gap = s.relative_gap;
+  out.synthesis_seconds = s.synthesis_seconds;
+  return out;
+}
+
+}  // namespace
+
+int api_version() { return COMPACT_API_VERSION; }
+
+// ---------------------------------------------------------------------------
+// design
+
+struct design::impl {
+  xbar::crossbar mapped{1, 1};
+  std::vector<std::string> variable_names;
+};
+
+design::design() : impl_(std::make_unique<impl>()) {}
+design::design(const design& other)
+    : impl_(std::make_unique<impl>(*other.impl_)) {}
+design::design(design&& other) noexcept = default;
+design& design::operator=(const design& other) {
+  impl_ = std::make_unique<impl>(*other.impl_);
+  return *this;
+}
+design& design::operator=(design&& other) noexcept = default;
+design::~design() = default;
+
+int design::rows() const { return impl_->mapped.rows(); }
+int design::columns() const { return impl_->mapped.columns(); }
+
+std::vector<std::string> design::output_names() const {
+  std::vector<std::string> names;
+  for (const xbar::output_port& o : impl_->mapped.outputs())
+    names.push_back(o.name);
+  for (const auto& [name, value] : impl_->mapped.constant_outputs()) {
+    (void)value;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string design::to_text() const {
+  std::ostringstream os;
+  xbar::write_design(impl_->mapped, os, impl_->variable_names);
+  return os.str();
+}
+
+design design::from_text(const std::string& text) {
+  return translated([&] {
+    std::istringstream is(text);
+    const xbar::loaded_design loaded = xbar::read_design(is);
+    design d;
+    d.impl_->mapped = loaded.design;
+    d.impl_->variable_names = loaded.variable_names;
+    return d;
+  });
+}
+
+std::string design::render() const {
+  std::ostringstream os;
+  impl_->mapped.print(os, impl_->variable_names);
+  return os.str();
+}
+
+std::vector<bool> design::evaluate(const std::vector<bool>& assignment) const {
+  return translated([&] { return xbar::evaluate(impl_->mapped, assignment); });
+}
+
+bool design::evaluate_output(const std::vector<bool>& assignment,
+                             const std::string& output_name) const {
+  return translated([&] {
+    return xbar::evaluate_output(impl_->mapped, assignment, output_name);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// synthesize
+
+synthesis_outcome synthesize(const netlist_source& source,
+                             const synthesis_options_v1& options) {
+  return translated([&]() -> synthesis_outcome {
+    core::synthesis_options core = to_core_options(options);
+
+    frontend::network net = load_network(source);
+    if (options.minimize_network) net = frontend::minimize_network(net);
+
+    // The separate-ROBDD flow builds per-output BDDs internally under the
+    // declaration order; a permuted order would desynchronize validation.
+    frontend::order_effort order = parse_order(options.variable_order);
+    if (options.separate_robdds) order = frontend::order_effort::none;
+    const std::vector<int> variable_order =
+        frontend::optimize_order(net, order);
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m, variable_order);
+
+    // The sink must outlive synthesis; one JSON object per pipeline stage.
+    std::ofstream trace_file;
+    std::optional<json_lines_sink> trace_sink;
+    if (!options.trace_json_path.empty()) {
+      trace_file.open(options.trace_json_path);
+      if (!trace_file)
+        throw compact::error("cannot write " + options.trace_json_path);
+      trace_sink.emplace(trace_file);
+      core.telemetry = &*trace_sink;
+    }
+    if (options.verify) {
+      // The pass body lives in the verify library; installing explicitly
+      // keeps this working even if no other verify symbol is referenced.
+      verify::install_pipeline_pass();
+      core.verify_design = true;
+    }
+
+    core::synthesis_result result =
+        options.separate_robdds
+            ? core::synthesize_separate_robdds(net, core)
+            : core::synthesize(m, built.roots, built.names, core);
+
+    synthesis_outcome outcome;
+    outcome.stats = to_stats(result.stats);
+
+    if (result.verification.has_value()) {
+      const verify::report& r = *result.verification;
+      outcome.verification.ran = true;
+      outcome.verification.passed = r.clean();
+      outcome.verification.detail =
+          std::to_string(r.error_count()) + " error(s), " +
+          std::to_string(r.warning_count()) + " warning(s), " +
+          std::to_string(r.note_count()) + " note(s); " +
+          std::to_string(r.checks_run().size()) + " checks run";
+      for (const verify::diagnostic& d : r.diagnostics())
+        outcome.diagnostics.push_back(to_diagnostic(d));
+    }
+
+    if (options.validate) {
+      // Validation runs in BDD-variable space (the space the design was
+      // synthesized in), before any remapping.
+      xbar::validation_options validation_options;
+      validation_options.parallel = core.parallel;
+      const xbar::validation_report report = xbar::validate_against_bdd(
+          result.design, m, built.roots, built.names, net.input_count(),
+          validation_options);
+      outcome.validation.ran = true;
+      outcome.validation.passed = report.valid;
+      outcome.validation.detail =
+          report.valid
+              ? std::to_string(report.checked_assignments) + " assignments (" +
+                    (report.exhaustive ? "exhaustive" : "sampled") + ")"
+              : report.first_failure;
+    }
+
+    // Express device literals in declared-input numbering so evaluate()
+    // assignments read naturally (level l tested input variable_order[l]).
+    if (!options.separate_robdds && !variable_order.empty()) {
+      bool identity = true;
+      for (std::size_t l = 0; l < variable_order.size(); ++l)
+        if (variable_order[l] != static_cast<int>(l)) identity = false;
+      if (!identity)
+        result.design = xbar::remap_variables(result.design, variable_order);
+    }
+
+    outcome.mapped.internals().mapped = std::move(result.design);
+    outcome.mapped.internals().variable_names = input_names(net);
+    return outcome;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// lint
+
+bool lint_outcome::clean(const std::string& fail_on) const {
+  const std::optional<verify::severity> floor =
+      verify::parse_severity(fail_on);
+  if (!floor)
+    throw error("unknown fail_on severity '" + fail_on +
+                "' (expected note, warning, or error)");
+  switch (*floor) {
+    case verify::severity::note:
+      return notes + warnings + errors == 0;
+    case verify::severity::warning:
+      return warnings + errors == 0;
+    case verify::severity::error:
+      return errors == 0;
+  }
+  return errors == 0;
+}
+
+lint_outcome lint(const netlist_source& source,
+                  const lint_options_v1& options) {
+  return translated([&]() -> lint_outcome {
+    synthesis_options_v1 synth;
+    synth.labeler = options.labeler;
+    synth.gamma = options.gamma;
+    synth.time_limit_seconds = options.time_limit_seconds;
+    synth.threads = options.threads;
+    core::synthesis_options core = to_core_options(synth);
+
+    const frontend::network net = load_network(source);
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m);
+
+    // Run the full pipeline and keep every intermediate stage for the
+    // checks (labeling, mapping, structural, equivalence).
+    core::synthesis_context ctx;
+    ctx.manager = &m;
+    ctx.roots = &built.roots;
+    ctx.names = &built.names;
+    ctx.options = core;
+    const core::pipeline pipeline = core::make_synthesis_pipeline(ctx.options);
+    pipeline.run(ctx);
+
+    verify::artifacts artifacts = verify::make_artifacts(ctx);
+    artifacts.spec = &m;
+    artifacts.spec_roots = &built.roots;
+    artifacts.spec_names = &built.names;
+    artifacts.variable_count = net.input_count();
+
+    verify::analyzer_options analyzer_options;
+    analyzer_options.equivalence = options.equivalence;
+    return to_lint_outcome(verify::analyze(artifacts, analyzer_options));
+  });
+}
+
+lint_outcome lint(const design& d, const netlist_source& source,
+                  const lint_options_v1& options) {
+  return translated([&]() -> lint_outcome {
+    const frontend::network net = load_network(source);
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m);
+
+    verify::artifacts artifacts;
+    artifacts.design = &d.internals().mapped;
+    artifacts.spec = &m;
+    artifacts.spec_roots = &built.roots;
+    artifacts.spec_names = &built.names;
+    artifacts.variable_count = net.input_count();
+
+    verify::analyzer_options analyzer_options;
+    analyzer_options.equivalence = options.equivalence;
+    return to_lint_outcome(verify::analyze(artifacts, analyzer_options));
+  });
+}
+
+}  // namespace compact::api

@@ -1,0 +1,262 @@
+// compact::api — the stable public facade of the COMPACT library.
+//
+// Everything an embedding application needs lives in this one header:
+// describe a Boolean function (a netlist file or inline text), synthesize a
+// flow-based crossbar design, inspect / serialize / evaluate the result, and
+// run the static design analyzer. The facade is deliberately narrow and
+// versioned:
+//
+//   * plain-struct options — every knob is a value type with a default; new
+//     knobs are only ever appended, so client code compiled against version
+//     N keeps compiling against version N+1.
+//   * an opaque `design` handle — internal representation changes never leak
+//     into client builds (the header includes only the standard library).
+//   * COMPACT_API_VERSION / api_version() — the macro is the version this
+//     header was shipped with, the function is the version the linked
+//     library implements; compare them to catch header/library skew.
+//
+// The internal subsystem headers (core/, xbar/, milp/, ...) remain available
+// but are *transitional* for external consumers: they may change between
+// versions without notice (see DESIGN.md). New integrations should include
+// only this header and link compact::all.
+//
+// Quickstart:
+//
+//   compact::api::netlist_source src;
+//   src.text = "...BLIF text...";              // or src.path = "adder.blif"
+//   compact::api::synthesis_options_v1 opt;
+//   opt.labeler = "mip";
+//   opt.gamma = 0.5;
+//   const compact::api::synthesis_outcome out =
+//       compact::api::synthesize(src, opt);
+//   std::cout << out.mapped.render();
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+/// Version of the facade this header describes. Bumped whenever a public
+/// struct gains a field or a function changes meaning; see api_version().
+#define COMPACT_API_VERSION 1
+
+namespace compact::api {
+
+/// Facade version implemented by the linked library. A mismatch with
+/// COMPACT_API_VERSION means the header and the library come from different
+/// checkouts.
+[[nodiscard]] int api_version();
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// Base class of every exception the facade throws.
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A netlist or design could not be read or parsed.
+class parse_error : public error {
+ public:
+  using error::error;
+};
+
+/// The requested constraints (row/column budgets) admit no design.
+class infeasible_error : public error {
+ public:
+  using error::error;
+};
+
+// ---------------------------------------------------------------------------
+// Inputs
+
+/// A Boolean-function specification. Exactly one of `path` / `text` must be
+/// set. Formats: "blif", "pla", "verilog"; empty means infer from the path
+/// extension (.blif / .pla / .v / .verilog), or "blif" for inline text.
+struct netlist_source {
+  std::string path;
+  std::string text;
+  std::string format;
+};
+
+/// Synthesis knobs, version 1. Plain values only; the defaults reproduce the
+/// paper's headline configuration (weighted MIP, gamma = 0.5).
+struct synthesis_options_v1 {
+  /// Labeling strategy: "oct" (Method 1, minimal semiperimeter), "mip"
+  /// (Method 2, weighted objective), or any name registered with the
+  /// labeler registry.
+  std::string labeler = "mip";
+  /// Weight of the semiperimeter vs. the max dimension in Method 2's
+  /// objective gamma*S + (1-gamma)*D. Must lie in [0, 1].
+  double gamma = 0.5;
+  /// Run the alignment post-pass after labeling.
+  bool alignment = true;
+  /// Wall-clock budget for the labeling solver, in seconds.
+  double time_limit_seconds = 60.0;
+  /// Worker threads for the parallel stages (solver branch-and-bound,
+  /// per-output fan-out, validation). Results are bit-identical for any
+  /// value; 1 is fully serial.
+  int threads = 1;
+  /// Hard crossbar budgets; 0 = unbounded. Only the "mip" labeler supports
+  /// budgets — synthesize() throws infeasible_error when no design fits.
+  int max_rows = 0;
+  int max_columns = 0;
+  /// Map one ROBDD per output and compose along the diagonal (the prior
+  /// multi-output strategy) instead of one shared SBDD.
+  bool separate_robdds = false;
+  /// Two-level minimize the network before building BDDs.
+  bool minimize_network = false;
+  /// BDD variable-order effort: "none", "sift", or "exhaustive". Ignored
+  /// (forced to "none") when separate_robdds is set.
+  std::string variable_order = "none";
+  /// Kernelize OCT instances (strip bipartite components, eliminate
+  /// degree-<=2 vertices) before the exact solvers run. Lossless; disable
+  /// only to A/B the reductions.
+  bool kernelize = true;
+  /// Check the design against the source BDDs (exhaustive or sampled) and
+  /// record the verdict in synthesis_outcome::validation.
+  bool validate = false;
+  /// Run the static analyzer as a pipeline pass and record its diagnostics
+  /// in synthesis_outcome::diagnostics / verification.
+  bool verify = false;
+  /// When non-empty, write per-stage telemetry as JSON lines to this path.
+  std::string trace_json_path;
+};
+
+// ---------------------------------------------------------------------------
+// The design handle
+
+/// A synthesized crossbar design. Opaque value type: copyable, movable,
+/// serializable; the memristor-level representation stays internal.
+class design {
+ public:
+  design();
+  design(const design& other);
+  design(design&& other) noexcept;
+  design& operator=(const design& other);
+  design& operator=(design&& other) noexcept;
+  ~design();
+
+  /// Crossbar dimensions (wordlines x bitlines).
+  [[nodiscard]] int rows() const;
+  [[nodiscard]] int columns() const;
+  /// Output names in evaluation order (function outputs, then constants).
+  [[nodiscard]] std::vector<std::string> output_names() const;
+
+  /// Serialize to the textual `.xbar` format (round-trips via from_text).
+  [[nodiscard]] std::string to_text() const;
+  /// Parse a `.xbar` document; throws parse_error on malformed input.
+  [[nodiscard]] static design from_text(const std::string& text);
+  /// Human-readable grid rendering (for terminals and logs).
+  [[nodiscard]] std::string render() const;
+
+  /// Program every device from `assignment` (declared-input order) and sense
+  /// all outputs, in output_names() order.
+  [[nodiscard]] std::vector<bool> evaluate(
+      const std::vector<bool>& assignment) const;
+  /// Single output by name.
+  [[nodiscard]] bool evaluate_output(const std::vector<bool>& assignment,
+                                     const std::string& output_name) const;
+
+  /// Internal bridge for first-party tools (the CLI); NOT part of the
+  /// stable facade — its layout may change between versions.
+  struct impl;
+  [[nodiscard]] const impl& internals() const { return *impl_; }
+  [[nodiscard]] impl& internals() { return *impl_; }
+
+ private:
+  std::unique_ptr<impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Outcomes
+
+/// Size and quality measures of a synthesized design (Table 4 columns).
+struct synthesis_stats_v1 {
+  std::size_t graph_nodes = 0;  // n: BDD nodes after 0-terminal removal
+  int vh_count = 0;             // k: nodes labeled VH
+  int rows = 0;
+  int columns = 0;
+  int semiperimeter = 0;        // S = n + k
+  int max_dimension = 0;        // D = max(rows, columns)
+  long long area = 0;
+  int power_proxy = 0;          // active (literal-carrying) memristors
+  int delay_steps = 0;          // rows + 1
+  bool optimal = false;         // labeling proven optimal within the budget
+  double relative_gap = 0.0;    // solver gap at termination
+  double synthesis_seconds = 0.0;
+};
+
+/// Verdict of an optional post-synthesis check.
+struct check_result_v1 {
+  bool ran = false;
+  bool passed = false;
+  std::string detail;  // failure description / summary counts
+};
+
+/// One analyzer finding.
+struct diagnostic_v1 {
+  std::string check;     // registry ID, e.g. "XBR003"
+  std::string severity;  // "note" | "warning" | "error"
+  std::string message;
+  std::string fix;       // suggested remedy; may be empty
+  /// Human-readable locations (devices, nodes, outputs) the finding anchors
+  /// to; may be empty.
+  std::vector<std::string> anchors;
+};
+
+struct synthesis_outcome {
+  design mapped;
+  synthesis_stats_v1 stats;
+  /// Digital validity check (options.validate).
+  check_result_v1 validation;
+  /// Static-analyzer verdict (options.verify); findings in `diagnostics`.
+  check_result_v1 verification;
+  std::vector<diagnostic_v1> diagnostics;
+};
+
+/// Parse + BDD-build + synthesis in one call. Throws parse_error on bad
+/// input, infeasible_error when budgets admit no design, error otherwise.
+[[nodiscard]] synthesis_outcome synthesize(
+    const netlist_source& source, const synthesis_options_v1& options = {});
+
+// ---------------------------------------------------------------------------
+// Lint
+
+struct lint_options_v1 {
+  /// Synthesis knobs used when linting a netlist (the full pipeline runs so
+  /// labeling / mapping / equivalence checks all apply).
+  std::string labeler = "mip";
+  double gamma = 0.5;
+  double time_limit_seconds = 60.0;
+  int threads = 1;
+  /// Run the symbolic-equivalence check family (the expensive one).
+  bool equivalence = true;
+};
+
+struct lint_outcome {
+  std::vector<diagnostic_v1> diagnostics;
+  std::vector<std::string> checks_run;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  /// True when no diagnostic at or above `fail_on` severity was reported.
+  /// fail_on is "note", "warning" (default), or "error".
+  [[nodiscard]] bool clean(const std::string& fail_on = "warning") const;
+};
+
+/// Synthesize `source` and run every applicable static check on the
+/// intermediate artifacts (never simulating a single input vector).
+[[nodiscard]] lint_outcome lint(const netlist_source& source,
+                                const lint_options_v1& options = {});
+
+/// Check an existing design against the netlist it claims to implement
+/// (structural checks + symbolic equivalence).
+[[nodiscard]] lint_outcome lint(const design& d, const netlist_source& source,
+                                const lint_options_v1& options = {});
+
+}  // namespace compact::api

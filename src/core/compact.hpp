@@ -57,8 +57,14 @@ struct synthesis_options {
   /// design fits.
   std::optional<int> max_rows;
   std::optional<int> max_columns;
+  /// Kernelize OCT instances (core/oct_reduce) before the solvers run:
+  /// bipartite components are stripped and degree-<=2 vertices eliminated,
+  /// with the transversal lifted back exactly. On by default; disable only
+  /// to A/B the reductions (cache keys include this flag).
+  bool oct_reduction = true;
   /// Used by synthesize_separate_robdds to fan per-output ROBDD synthesis
-  /// and block composition out across workers. Results are deterministic
+  /// and block composition out across workers, and by the labeling stage
+  /// for the parallel branch-and-bound solver. Results are deterministic
   /// for any thread count (modulo the wall-clock solver time limits, which
   /// are timing-dependent even serially).
   parallel_options parallel;

@@ -75,6 +75,8 @@ mip_label_result label_weighted(const bdd_graph& graph,
       oct_label_options oct;
       oct.alignment = options.alignment;
       oct.time_limit_seconds = options.oct_time_limit_seconds;
+      oct.reduce = options.reduce;
+      oct.threads = options.threads;
       oct_label_result fallback = warm_oct_labeling(graph, oct, options.cache);
       result.l = std::move(fallback.l);
       result.optimal = false;
@@ -181,6 +183,7 @@ mip_label_result label_weighted(const bdd_graph& graph,
   // ---- Warm start from Method 1. -----------------------------------------
   milp::mip_options mip;
   mip.time_limit_seconds = options.time_limit_seconds;
+  mip.threads = options.threads;
   // The objective lives on the lattice {gamma*s + (1-gamma)*d : s, d in Z};
   // when gamma sits on the 1/20 grid the minimal positive lattice element
   // is gcd(p, 20-p)/20, and half of it certifies optimality.
@@ -198,11 +201,16 @@ mip_label_result label_weighted(const bdd_graph& graph,
         b = t;
       }
       mip.absolute_gap_tolerance = 0.499 * static_cast<double>(a) / q;
+      // Same lattice, stronger use: node LP bounds round up to the next
+      // lattice point, pruning subtrees that cannot beat the incumbent.
+      mip.objective_lattice = static_cast<double>(a) / q;
     }
   }
   if (options.warm_start_with_oct) {
     oct_label_options oct;
     oct.alignment = options.alignment;
+    oct.reduce = options.reduce;
+    oct.threads = options.threads;
     // The warm start must not dwarf the MIP's own budget.
     oct.time_limit_seconds = std::min(
         options.oct_time_limit_seconds,

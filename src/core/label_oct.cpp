@@ -2,6 +2,7 @@
 #include <array>
 
 #include "core/labelers.hpp"
+#include "core/oct_reduce.hpp"
 #include "graph/bipartite.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -82,11 +83,17 @@ oct_label_result label_minimal_semiperimeter(const bdd_graph& graph,
     return result;
   }
 
-  // Step 1: minimum odd cycle transversal -> the VH set.
+  // Step 1: minimum odd cycle transversal -> the VH set. Kernelize first
+  // (unless disabled): the reductions are exact, so the lifted transversal
+  // has the same size as an unreduced solve, and the solver only sees the
+  // irreducible core of the graph.
   graph::oct_options oct;
   oct.engine = options.engine;
   oct.time_limit_seconds = options.time_limit_seconds;
-  const graph::oct_result transversal = graph::odd_cycle_transversal(g, oct);
+  oct.threads = options.threads;
+  const graph::oct_result transversal =
+      options.reduce ? reduced_odd_cycle_transversal(g, oct)
+                     : graph::odd_cycle_transversal(g, oct);
   result.oct_size = transversal.size;
   result.optimal = transversal.optimal;
   if (metrics_enabled()) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/oct_reduce.hpp"
 #include "util/error.hpp"
 
 namespace compact::core {
@@ -37,6 +38,8 @@ class oct_labeler final : public labeler {
     oct.alignment = request.alignment;
     oct.engine = request.oct_engine;
     oct.time_limit_seconds = request.time_limit_seconds;
+    oct.reduce = request.reduce;
+    oct.threads = request.threads;
     return oct;
   }
 
@@ -74,6 +77,8 @@ class mip_labeler final : public labeler {
     mip.max_columns = request.max_columns;
     mip.oct_time_limit_seconds =
         std::max(1.0, request.time_limit_seconds * 0.25);
+    mip.reduce = request.reduce;
+    mip.threads = request.threads;
     mip.cache = request.cache;
     mip.telemetry = request.telemetry;
     return mip;
@@ -124,11 +129,22 @@ std::vector<std::string> names_locked(const registry& r) {
 
 }  // namespace
 
+// Both salts deliberately EXCLUDE the thread count: every labeler is
+// required to be bit-identical across thread counts, so a cache entry
+// written at --threads 8 must satisfy a --threads 1 request (and the
+// determinism tests would catch a violation). They deliberately INCLUDE the
+// reduction toggle and oct_reduction_version: reductions change which of
+// several equal-cost labelings is found, so entries written with reductions
+// off (or under an older rule set) must never be served to a reductions-on
+// request.
+
 std::string oct_cache_salt(const oct_label_options& options) {
   return std::string("align=") + (options.alignment ? "1" : "0") +
          ";balance=" + (options.balance ? "1" : "0") +
          ";engine=" + engine_name(options.engine) +
-         ";tl=" + encode_double(options.time_limit_seconds);
+         ";tl=" + encode_double(options.time_limit_seconds) +
+         ";reduce=" + (options.reduce ? "1" : "0") +
+         ";rv=" + std::to_string(options.reduce ? oct_reduction_version : 0);
 }
 
 std::string mip_cache_salt(const mip_label_options& options) {
@@ -138,7 +154,9 @@ std::string mip_cache_salt(const mip_label_options& options) {
          ";warm=" + (options.warm_start_with_oct ? "1" : "0") +
          ";oct_tl=" + encode_double(options.oct_time_limit_seconds) +
          ";max_r=" + encode_optional_int(options.max_rows) +
-         ";max_c=" + encode_optional_int(options.max_columns);
+         ";max_c=" + encode_optional_int(options.max_columns) +
+         ";reduce=" + (options.reduce ? "1" : "0") +
+         ";rv=" + std::to_string(options.reduce ? oct_reduction_version : 0);
 }
 
 void register_labeler(std::unique_ptr<labeler> implementation) {

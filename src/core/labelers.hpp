@@ -37,6 +37,13 @@ struct oct_label_options {
   bool balance = true;  // balance R vs C among equal-semiperimeter colorings
   graph::oct_engine engine = graph::oct_engine::bnb;
   double time_limit_seconds = 60.0;
+  /// Kernelize the graph (core/oct_reduce) before running the OCT engine.
+  /// Exact: the lifted transversal has the same size as an unreduced solve.
+  bool reduce = true;
+  /// Worker threads for the underlying solver (ilp engine only; the
+  /// combinatorial bnb engine is single-threaded). Never part of cache
+  /// keys: results are bit-identical across thread counts.
+  int threads = 1;
 };
 
 struct oct_label_result {
@@ -57,6 +64,12 @@ struct mip_label_options {
   /// an incumbent even when the solver times out at the root).
   bool warm_start_with_oct = true;
   double oct_time_limit_seconds = 30.0;
+  /// Kernelize the OCT warm-start subproblem (core/oct_reduce). Part of the
+  /// cache key (tie-breaking among equal-cost labelings can differ).
+  bool reduce = true;
+  /// Worker threads for the branch-and-bound solver. Never part of cache
+  /// keys: the solver is deterministic across thread counts.
+  int threads = 1;
   /// Optional hard budgets on the crossbar dimensions (Section III's
   /// constrained problem formulation). When no labeling fits,
   /// label_weighted throws infeasible_error; when the solver cannot decide
@@ -98,6 +111,12 @@ struct labeler_request {
   graph::oct_engine oct_engine = graph::oct_engine::bnb;
   std::optional<int> max_rows;
   std::optional<int> max_columns;
+  /// Kernelize OCT instances before solving (core/oct_reduce). Affects
+  /// cache keys (together with oct_reduction_version).
+  bool reduce = true;
+  /// Solver worker threads. Excluded from cache keys by contract: every
+  /// labeler must return bit-identical results for any thread count.
+  int threads = 1;
   /// Shared labeling cache for nested subproblems (e.g. the MIP labeler's
   /// OCT warm start); the pipeline separately memoizes the labeler's own
   /// result. May be null.

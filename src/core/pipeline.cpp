@@ -35,6 +35,8 @@ void run_label(synthesis_context& ctx) {
   request.oct_engine = ctx.options.oct_engine;
   request.max_rows = ctx.options.max_rows;
   request.max_columns = ctx.options.max_columns;
+  request.reduce = ctx.options.oct_reduction;
+  request.threads = ctx.options.parallel.threads;
   request.cache = ctx.cache;
   request.telemetry = ctx.telemetry;
 

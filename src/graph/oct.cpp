@@ -132,6 +132,7 @@ oct_result odd_cycle_transversal(const undirected_graph& g,
     case oct_engine::ilp: {
       milp::mip_options mip;
       mip.time_limit_seconds = options.time_limit_seconds;
+      mip.threads = options.threads;
       std::vector<double> warm(product.node_count());
       for (std::size_t v = 0; v < warm.size(); ++v)
         warm[v] = warm_cover[v] ? 1.0 : 0.0;

@@ -27,6 +27,9 @@ enum class oct_engine {
 struct oct_options {
   oct_engine engine = oct_engine::bnb;
   double time_limit_seconds = 60.0;
+  /// Worker threads for the ilp engine's branch-and-bound (the bnb engine
+  /// is single-threaded). Results are identical for any value.
+  int threads = 1;
 };
 
 /// Minimum odd cycle transversal via the vertex-cover reduction. If the time

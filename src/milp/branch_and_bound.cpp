@@ -5,9 +5,11 @@
 #include <limits>
 #include <queue>
 
+#include "milp/presolve.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace compact::milp {
@@ -16,15 +18,23 @@ namespace {
 constexpr double inf = std::numeric_limits<double>::infinity();
 constexpr double int_tolerance = 1e-6;
 
+/// Nodes solved per round. Constant by design: the search tree depends on
+/// the batch size, so it must never depend on mip_options::threads or the
+/// bit-identical-across-thread-counts guarantee breaks.
+constexpr std::size_t batch_size = 8;
+
 struct bb_node {
   double lp_bound = -inf;  // parent LP objective (lower bound for subtree)
+  std::uint64_t id = 0;    // creation order; the deterministic tie-break
   // Branching decisions along the path from the root: (var, lower, upper).
   std::vector<std::tuple<int, double, double>> fixings;
 };
 
 struct node_order {
   bool operator()(const bb_node& a, const bb_node& b) const {
-    return a.lp_bound > b.lp_bound;  // min-heap on bound (best-first)
+    // Min-heap on (bound, id): best-first, oldest node among equal bounds.
+    if (a.lp_bound != b.lp_bound) return a.lp_bound > b.lp_bound;
+    return a.id > b.id;
   }
 };
 
@@ -66,8 +76,8 @@ std::optional<std::vector<double>> round_heuristic(const model& m,
 /// Diving heuristic: starting from `working`'s current bounds, repeatedly
 /// fix the most fractional integer variable to its nearest value (flipping
 /// once on infeasibility) until the LP relaxation turns integral. Returns
-/// an integer-feasible point for the *original* bounds or nullopt. The
-/// model's bounds are restored by the caller (apply_node).
+/// an integer-feasible point for the *original* model or nullopt. `working`
+/// is a per-item scratch copy, so its bounds need no restoring.
 std::optional<std::vector<double>> dive_heuristic(model& working,
                                                   const model& original,
                                                   const lp_options& lp_opts,
@@ -134,6 +144,28 @@ double relative_gap(double incumbent, double bound) {
   return std::clamp(gap, 0.0, 1.0);
 }
 
+/// Everything one batch item reports back to the (serial) merge step.
+struct item_outcome {
+  lp_status status = lp_status::infeasible;
+  double objective = inf;
+  long iterations = 0;
+  bool pruned = false;  // bound >= round-start incumbent, node concluded
+  int branch_var = -1;
+  double down_lower = 0.0, down_upper = 0.0;  // child bounds when branching
+  double up_lower = 0.0, up_upper = 0.0;
+  // Child dual bounds from strong-branching probes (-inf = not probed; the
+  // merge takes max(parent bound, probe bound)). A dead child was proven
+  // infeasible or past the incumbent and must not be queued.
+  double down_bound = -inf, up_bound = -inf;
+  bool down_dead = false, up_dead = false;
+  std::optional<std::vector<double>> integral;  // snapped integer point
+  std::optional<std::vector<double>> rounded;   // rounding heuristic point
+  bool dive_attempted = false;
+  std::optional<std::vector<double>> dived;     // diving heuristic point
+  int thread_slot = 0;
+  std::uint64_t busy_us = 0;
+};
+
 }  // namespace
 
 // Adds the solve's totals to the "milp.bnb.*" counters on every exit path
@@ -142,6 +174,7 @@ struct solve_metrics_guard {
   const mip_result& result;
   const std::uint64_t& lp_iterations;
   const std::uint64_t& incumbents;
+  const std::uint64_t& rounds;
   ~solve_metrics_guard() {
     if (!metrics_enabled()) return;
     metrics_registry& registry = global_metrics();
@@ -149,6 +182,7 @@ struct solve_metrics_guard {
         .add(static_cast<std::uint64_t>(result.nodes_explored));
     registry.counter("milp.bnb.lp_iterations").add(lp_iterations);
     registry.counter("milp.bnb.incumbents").add(incumbents);
+    registry.counter("milp.bnb.rounds").add(rounds);
     registry.counter("milp.bnb.solves").increment();
   }
 };
@@ -159,7 +193,9 @@ mip_result solve_mip(const model& original, const mip_options& options) {
   mip_result result;
   std::uint64_t lp_iterations = 0;  // node-LP simplex iterations
   std::uint64_t incumbents = 0;     // accepted incumbent improvements
-  const solve_metrics_guard metrics_guard{result, lp_iterations, incumbents};
+  std::uint64_t rounds = 0;         // synchronous search rounds
+  const solve_metrics_guard metrics_guard{result, lp_iterations, incumbents,
+                                          rounds};
 
   for (std::size_t j = 0; j < original.variable_count(); ++j) {
     const variable& v = original.var(static_cast<int>(j));
@@ -170,6 +206,38 @@ mip_result solve_mip(const model& original, const mip_options& options) {
 
   double incumbent_obj = inf;
   std::vector<double> incumbent;
+  if (options.warm_start) {
+    check(original.is_feasible(*options.warm_start),
+          "solve_mip: warm start is not feasible");
+    incumbent = *options.warm_start;
+    incumbent_obj = original.objective_value(incumbent);
+  }
+
+  // Presolve: the tree search runs on the reduced model. Indexing is
+  // preserved, so incumbents live in the original space and no postsolve is
+  // needed; feasibility of accepted incumbents is always re-checked against
+  // `original`.
+  model searched = original;
+  if (options.presolve) {
+    presolve_result pre = presolve_model(original);
+    if (pre.stats.proved_infeasible) {
+      result.seconds = clock.seconds();
+      if (!std::isfinite(incumbent_obj)) {
+        result.status = mip_status::infeasible;
+        return result;
+      }
+      // A feasible warm start contradicts the infeasibility proof; trust
+      // the checked point (this can only happen right at tolerance edges)
+      // and report it as the final incumbent.
+      result.x = std::move(incumbent);
+      result.objective = incumbent_obj;
+      result.best_bound = incumbent_obj;
+      result.relative_gap = 0.0;
+      result.status = mip_status::optimal;
+      return result;
+    }
+    searched = std::move(pre.reduced);
+  }
 
   // Milestones flow out through the on_trace event callback rather than a
   // stored vector; `recorded` only tracks whether the terminal summary entry
@@ -202,31 +270,15 @@ mip_result solve_mip(const model& original, const mip_options& options) {
       options.progress(entry.seconds, incumbent_obj, bound);
   };
 
-  if (options.warm_start) {
-    check(original.is_feasible(*options.warm_start),
-          "solve_mip: warm start is not feasible");
-    incumbent = *options.warm_start;
-    incumbent_obj = original.objective_value(incumbent);
-  }
-
-  // Working copy whose bounds are rewritten per node.
-  model working = original;
-  std::vector<std::pair<double, double>> root_bounds;
-  root_bounds.reserve(original.variable_count());
-  for (std::size_t j = 0; j < original.variable_count(); ++j) {
-    const variable& v = original.var(static_cast<int>(j));
-    root_bounds.emplace_back(v.lower, v.upper);
-  }
-  auto apply_node = [&](const bb_node& node) {
-    for (std::size_t j = 0; j < root_bounds.size(); ++j)
-      working.set_bounds(static_cast<int>(j), root_bounds[j].first,
-                         root_bounds[j].second);
-    for (const auto& [var, lo, hi] : node.fixings)
-      working.set_bounds(var, lo, hi);
-  };
-
   std::priority_queue<bb_node, std::vector<bb_node>, node_order> open;
-  open.push(bb_node{});
+  std::uint64_t next_node_id = 0;
+  open.push(bb_node{-inf, next_node_id++, {}});
+
+  // Worker pool for node LPs. Created once per solve; each batch item gets
+  // its own copy of `searched`, so workers share nothing mutable.
+  const int thread_count = std::max(1, options.threads);
+  std::optional<thread_pool> pool;
+  if (thread_count > 1) pool.emplace(thread_count);
 
   bool limits_hit = false;
   bool root_done = false;
@@ -243,12 +295,168 @@ mip_result solve_mip(const model& original, const mip_options& options) {
     return incumbent_obj - bound <= options.absolute_gap_tolerance;
   };
 
+  // Round a fractional LP bound up to the next objective-lattice point
+  // (options.objective_lattice, caller's promise). Every integer-feasible
+  // objective is a lattice multiple, so this stays a valid dual bound for
+  // the subtree while making near-incumbent subtrees prunable.
+  auto strengthen = [&](double bound) {
+    const double step = options.objective_lattice;
+    if (step <= 0.0 || !std::isfinite(bound)) return bound;
+    return std::ceil(bound / step - 1e-6) * step;
+  };
+
+  /// Solve one node on (a copy of) the reduced model. Pure function of the
+  /// node, the round-start incumbent and the LP options — never of thread
+  /// scheduling — so the merge below is deterministic.
+  auto process_item = [&](const bb_node& node, double round_incumbent,
+                          bool root_known, bool dive_scheduled,
+                          lp_options node_lp,
+                          double remaining) -> item_outcome {
+    stopwatch busy;
+    item_outcome out;
+    out.thread_slot = current_thread_slot();
+    model working = searched;
+    for (const auto& [var, lo, hi] : node.fixings)
+      working.set_bounds(var, lo, hi);
+    const lp_result lp = solve_lp(working, node_lp);
+    out.status = lp.status;
+    out.iterations = lp.iterations;
+    if (lp.status != lp_status::optimal) {
+      out.busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+      return out;
+    }
+    out.objective = strengthen(lp.objective);
+    if (root_known && out.objective >= round_incumbent - 1e-9) {
+      out.pruned = true;
+      out.busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+      return out;
+    }
+
+    out.branch_var = most_fractional(working, lp.x);
+    if (out.branch_var == -1) {
+      // Integer feasible: snap to exact integers.
+      std::vector<double> x = lp.x;
+      for (std::size_t j = 0; j < working.variable_count(); ++j)
+        if (working.var(static_cast<int>(j)).is_integer)
+          x[j] = std::round(x[j]);
+      out.integral = std::move(x);
+      out.busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+      return out;
+    }
+
+    // Rounding heuristic: cheap incumbents early in the search.
+    out.rounded = round_heuristic(original, lp.x);
+
+    // Strong branching: probe the most fractional candidates with
+    // iteration-capped child LPs; branch where the weaker child bound
+    // improves most. A probe that proves a child infeasible or past the
+    // incumbent concludes that subtree here — it is never queued — and a
+    // node with both children dead is finished outright.
+    if (options.strong_branching_candidates > 0) {
+      struct sb_candidate {
+        double dist;
+        int priority;
+        int var;
+      };
+      std::vector<sb_candidate> candidates;
+      for (std::size_t j = 0; j < working.variable_count(); ++j) {
+        const variable& v = working.var(static_cast<int>(j));
+        if (!v.is_integer) continue;
+        const double frac = lp.x[j] - std::floor(lp.x[j]);
+        const double dist = std::min(frac, 1.0 - frac);
+        if (dist <= int_tolerance) continue;
+        candidates.push_back({dist, v.branch_priority, static_cast<int>(j)});
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const sb_candidate& a, const sb_candidate& b) {
+                  if (a.priority != b.priority) return a.priority > b.priority;
+                  if (a.dist != b.dist) return a.dist > b.dist;
+                  return a.var < b.var;
+                });
+      if (candidates.size() >
+          static_cast<std::size_t>(options.strong_branching_candidates))
+        candidates.resize(
+            static_cast<std::size_t>(options.strong_branching_candidates));
+
+      lp_options probe_lp = node_lp;
+      probe_lp.max_iterations = options.strong_branching_iterations;
+      double best_score = -inf;
+      for (const sb_candidate& c : candidates) {
+        const double value = lp.x[static_cast<std::size_t>(c.var)];
+        const double lo = working.var(c.var).lower;
+        const double hi = working.var(c.var).upper;
+        double bound[2] = {out.objective, out.objective};  // down, up
+        bool dead[2] = {false, false};
+        for (int side = 0; side < 2; ++side) {
+          working.set_bounds(c.var, side == 0 ? lo : std::ceil(value),
+                             side == 0 ? std::floor(value) : hi);
+          const lp_result probe = solve_lp(working, probe_lp);
+          out.iterations += probe.iterations;
+          if (probe.status == lp_status::infeasible) {
+            dead[side] = true;
+          } else if (probe.status == lp_status::optimal) {
+            bound[side] = std::max(out.objective, strengthen(probe.objective));
+            if (root_known && bound[side] >= round_incumbent - 1e-9)
+              dead[side] = true;
+          }
+          // Inconclusive probes (iteration cap) keep the parent bound.
+        }
+        working.set_bounds(c.var, lo, hi);
+        if (dead[0] && dead[1]) {
+          out.pruned = true;  // no improving solution below this node
+          break;
+        }
+        const double gain_down = dead[0] ? 1e30 : bound[0] - out.objective;
+        const double gain_up = dead[1] ? 1e30 : bound[1] - out.objective;
+        const double score = std::min(gain_down, gain_up) +
+                             1e-4 * std::max(gain_down, gain_up);
+        if (score > best_score) {
+          best_score = score;
+          out.branch_var = c.var;
+          out.down_bound = bound[0];
+          out.up_bound = bound[1];
+          out.down_dead = dead[0];
+          out.up_dead = dead[1];
+        }
+      }
+      if (out.pruned) {
+        out.busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+        return out;
+      }
+    }
+
+    const double value = lp.x[static_cast<std::size_t>(out.branch_var)];
+    out.down_lower = working.var(out.branch_var).lower;
+    out.down_upper = std::floor(value);
+    out.up_lower = std::ceil(value);
+    out.up_upper = working.var(out.branch_var).upper;
+
+    // Diving heuristic: LP-guided fix-and-resolve, scheduled by the
+    // coordinator (deterministically, by node ordinal).
+    if (dive_scheduled) {
+      out.dive_attempted = true;
+      lp_options dive_lp = node_lp;
+      dive_lp.time_limit_seconds = std::min(dive_lp.time_limit_seconds,
+                                            std::max(0.01, remaining / 20.0));
+      out.dived = dive_heuristic(
+          working, original, dive_lp, lp.x,
+          std::min<int>(static_cast<int>(working.variable_count()), 160),
+          /*time_budget_seconds=*/remaining * 0.5);
+    }
+    out.busy_us = static_cast<std::uint64_t>(busy.seconds() * 1e6);
+    return out;
+  };
+
+  std::vector<bb_node> batch;
+  std::vector<bool> dive_flags;
   while (!open.empty()) {
     if (clock.seconds() > options.time_limit_seconds ||
         result.nodes_explored >= options.node_limit) {
       limits_hit = true;
       break;
     }
+    ++rounds;
+    const double round_start_seconds = clock.seconds();
 
     // Global dual bound: best (lowest) bound among open nodes, capped by the
     // incumbent. Before the root LP is solved there is no meaningful bound.
@@ -267,122 +475,151 @@ mip_result solve_mip(const model& original, const mip_options& options) {
     }
     if (root_done && gap_closed(global_bound)) break;
 
-    bb_node node = open.top();
-    open.pop();
-    if (root_done && (node.lp_bound >= incumbent_obj - 1e-9 ||
-                      gap_closed(node.lp_bound)))
-      continue;
+    // Pop this round's batch, dropping nodes already pruned by the current
+    // incumbent (they are concluded, not explored).
+    batch.clear();
+    while (batch.size() < batch_size && !open.empty()) {
+      bb_node node = open.top();
+      open.pop();
+      if (root_done && (node.lp_bound >= incumbent_obj - 1e-9 ||
+                        gap_closed(node.lp_bound)))
+        continue;
+      batch.push_back(std::move(node));
+    }
+    if (batch.empty()) break;
 
-    ++result.nodes_explored;
-    apply_node(node);
+    // Round-start snapshot everything the items depend on.
+    const double round_incumbent = incumbent_obj;
+    const bool root_known = root_done;
+    const double remaining =
+        options.time_limit_seconds - clock.seconds();
     lp_options node_lp = options.lp;
     node_lp.time_limit_seconds =
-        std::min(node_lp.time_limit_seconds,
-                 std::max(0.01, options.time_limit_seconds - clock.seconds()));
-    const lp_result lp = solve_lp(working, node_lp);
-    lp_iterations += static_cast<std::uint64_t>(lp.iterations);
-
-    if (lp.status == lp_status::unbounded) {
-      // Only possible at the root of a minimization with unbounded
-      // continuous directions.
-      result.status = mip_status::unbounded;
-      result.seconds = clock.seconds();
-      return result;
+        std::min(node_lp.time_limit_seconds, std::max(0.01, remaining));
+    const long dive_period = std::isfinite(round_incumbent)
+                                 ? 128
+                                 : (dive_failures < 5 ? 4 : 64);
+    dive_flags.assign(batch.size(), false);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const long ordinal = result.nodes_explored + static_cast<long>(i) + 1;
+      dive_flags[i] = ordinal % dive_period == 1 && remaining > 0.5;
     }
-    if (lp.status == lp_status::infeasible ||
-        lp.status == lp_status::iteration_limit) {
-      if (!root_done && lp.status == lp_status::infeasible &&
-          !options.warm_start) {
-        result.status = mip_status::infeasible;
+
+    std::vector<item_outcome> outcomes;
+    outcomes.reserve(batch.size());
+    if (pool && batch.size() > 1) {
+      std::vector<std::future<item_outcome>> futures;
+      futures.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        futures.push_back(pool->submit([&, i] {
+          return process_item(batch[i], round_incumbent, root_known,
+                              dive_flags[i], node_lp, remaining);
+        }));
+      }
+      for (auto& f : futures) f.wait();  // never unwind past running tasks
+      for (auto& f : futures) outcomes.push_back(f.get());
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        outcomes.push_back(process_item(batch[i], round_incumbent, root_known,
+                                        dive_flags[i], node_lp, remaining));
+    }
+
+    // Merge in item order: this loop is the only place the incumbent, the
+    // open heap, and node ids mutate, so the search is a deterministic
+    // function of the batch (which is itself thread-count-independent).
+    std::uint64_t round_busy_us = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bb_node& node = batch[i];
+      item_outcome& r = outcomes[i];
+      ++result.nodes_explored;
+      lp_iterations += static_cast<std::uint64_t>(r.iterations);
+      round_busy_us += r.busy_us;
+      if (metrics_enabled())
+        global_metrics()
+            .counter("milp.bnb.nodes_by_worker.tid" +
+                     std::to_string(r.thread_slot))
+            .increment();
+
+      if (r.status == lp_status::unbounded) {
+        // Only possible at the root of a minimization with unbounded
+        // continuous directions.
+        result.status = mip_status::unbounded;
         result.seconds = clock.seconds();
         return result;
       }
-      if (lp.status == lp_status::iteration_limit) proof_incomplete = true;
-      root_done = true;
-      continue;
-    }
-
-    if (!root_done) {
-      root_done = true;
-      record(lp.objective);
-    }
-    if (lp.objective >= incumbent_obj - 1e-9) continue;  // pruned by bound
-
-    const int branch_var = most_fractional(working, lp.x);
-    if (branch_var == -1) {
-      // Integer feasible: snap to exact integers and accept.
-      std::vector<double> x = lp.x;
-      for (std::size_t j = 0; j < working.variable_count(); ++j)
-        if (working.var(static_cast<int>(j)).is_integer)
-          x[j] = std::round(x[j]);
-      const double obj = original.objective_value(x);
-      if (obj < incumbent_obj - 1e-9 && original.is_feasible(x)) {
-        incumbent_obj = obj;
-        incumbent = std::move(x);
-        const double bound =
-            open.empty() ? incumbent_obj
-                         : std::min(open.top().lp_bound, incumbent_obj);
-        record(bound);
-      }
-      continue;
-    }
-
-    // Rounding heuristic: cheap incumbents early in the search.
-    if (auto rounded = round_heuristic(original, lp.x)) {
-      const double obj = original.objective_value(*rounded);
-      if (obj < incumbent_obj - 1e-9) {
-        incumbent_obj = obj;
-        incumbent = std::move(*rounded);
-        const double bound =
-            std::min(open.empty() ? lp.objective : open.top().lp_bound,
-                     incumbent_obj);
-        record(bound);
-      }
-    }
-
-    const double value = lp.x[branch_var];
-    bb_node down = node;
-    down.lp_bound = lp.objective;
-    down.fixings.emplace_back(branch_var, working.var(branch_var).lower,
-                              std::floor(value));
-    bb_node up = node;
-    up.lp_bound = lp.objective;
-    up.fixings.emplace_back(branch_var, std::ceil(value),
-                            working.var(branch_var).upper);
-    open.push(std::move(down));
-    open.push(std::move(up));
-
-    // Diving heuristic: LP-guided fix-and-resolve. The workhorse incumbent
-    // finder when rounding cannot repair fractional points — run eagerly
-    // until a first incumbent exists, sparingly afterwards, and back off
-    // when dives keep failing (each dive costs many LP solves).
-    const long dive_period = std::isfinite(incumbent_obj)
-                                 ? 128
-                                 : (dive_failures < 5 ? 4 : 64);
-    const double remaining =
-        options.time_limit_seconds - clock.seconds();
-    if (result.nodes_explored % dive_period == 1 && remaining > 0.5) {
-      // A dive issues up to 2*depth LP solves; keep each one small so the
-      // dive as a whole respects the global deadline.
-      lp_options dive_lp = node_lp;
-      dive_lp.time_limit_seconds =
-          std::min(dive_lp.time_limit_seconds, std::max(0.01, remaining / 20.0));
-      auto dived = dive_heuristic(
-          working, original, dive_lp, lp.x,
-          std::min<int>(static_cast<int>(working.variable_count()), 160),
-          /*time_budget_seconds=*/remaining * 0.5);
-      if (dived) {
-        const double obj = original.objective_value(*dived);
-        if (obj < incumbent_obj - 1e-9) {
-          dive_failures = 0;
-          incumbent_obj = obj;
-          incumbent = std::move(*dived);
-          record(std::min(open.empty() ? lp.objective : open.top().lp_bound,
-                          incumbent_obj));
+      if (r.status == lp_status::infeasible ||
+          r.status == lp_status::iteration_limit) {
+        if (!root_done && r.status == lp_status::infeasible &&
+            !options.warm_start) {
+          result.status = mip_status::infeasible;
+          result.seconds = clock.seconds();
+          return result;
         }
-      } else {
-        ++dive_failures;
+        if (r.status == lp_status::iteration_limit) proof_incomplete = true;
+        root_done = true;
+        continue;
       }
+      if (!root_done) {
+        root_done = true;
+        record(r.objective);
+      }
+      if (r.pruned) continue;
+      // Re-check against the merged incumbent, which may have improved
+      // since the round-start snapshot the worker pruned against.
+      if (r.objective >= incumbent_obj - 1e-9) continue;
+
+      auto accept = [&](std::vector<double>&& x) {
+        const double obj = original.objective_value(x);
+        if (obj < incumbent_obj - 1e-9 && original.is_feasible(x)) {
+          incumbent_obj = obj;
+          incumbent = std::move(x);
+          record(std::min(open.empty() ? r.objective : open.top().lp_bound,
+                          incumbent_obj));
+          return true;
+        }
+        return false;
+      };
+
+      if (r.branch_var == -1) {
+        if (r.integral) accept(std::move(*r.integral));
+        continue;
+      }
+      if (r.rounded) accept(std::move(*r.rounded));
+
+      bb_node down;
+      down.lp_bound = std::max(r.objective, r.down_bound);
+      down.id = next_node_id++;
+      down.fixings = node.fixings;
+      down.fixings.emplace_back(r.branch_var, r.down_lower, r.down_upper);
+      bb_node up;
+      up.lp_bound = std::max(r.objective, r.up_bound);
+      up.id = next_node_id++;
+      up.fixings = node.fixings;
+      up.fixings.emplace_back(r.branch_var, r.up_lower, r.up_upper);
+      if (!r.down_dead) open.push(std::move(down));
+      if (!r.up_dead) open.push(std::move(up));
+
+      if (r.dive_attempted) {
+        if (r.dived) {
+          if (accept(std::move(*r.dived))) dive_failures = 0;
+        } else {
+          ++dive_failures;
+        }
+      }
+    }
+
+    // Busy vs idle worker time: the round wall-clock times the worker count
+    // bounds what the pool could have done; the shortfall (merge barrier,
+    // LP imbalance, batches smaller than the pool) is idle time.
+    if (metrics_enabled() && pool) {
+      metrics_registry& registry = global_metrics();
+      registry.counter("milp.bnb.worker_busy_us").add(round_busy_us);
+      const auto capacity_us = static_cast<std::uint64_t>(
+          (clock.seconds() - round_start_seconds) * 1e6 *
+          static_cast<double>(thread_count));
+      if (capacity_us > round_busy_us)
+        registry.counter("milp.bnb.worker_idle_us")
+            .add(capacity_us - round_busy_us);
     }
   }
 

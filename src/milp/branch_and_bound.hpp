@@ -4,6 +4,15 @@
 // the paper relies on (Section VI-C and Figures 10-11): a wall-clock time
 // limit, warm-start incumbents, and a convergence trace recording the best
 // integer solution, the best bound, and the relative gap over time.
+//
+// The search is organized in synchronous rounds so it parallelizes without
+// losing determinism: each round pops a fixed-size batch of best-first nodes
+// (ordered by (lp_bound, node id)), solves their LPs on worker threads with
+// per-item model copies and the round-start incumbent, then merges children
+// and incumbent candidates back in item order. Because the batch size, the
+// node ids, and the merge order are all independent of the thread count,
+// results are bit-identical for any mip_options::threads value (modulo the
+// wall-clock limits, which are timing-dependent even serially).
 #pragma once
 
 #include <functional>
@@ -40,8 +49,36 @@ struct mip_options {
   /// known to live on a lattice (e.g. gamma*S + (1-gamma)*D with integral
   /// S, D), setting this to half the lattice step proves optimality early.
   double absolute_gap_tolerance = 1e-9;
+  /// Caller's promise that every integer-feasible objective value is an
+  /// integer multiple of this step (0 = no such structure). Node LP bounds
+  /// are then rounded up to the next lattice point before pruning and
+  /// ordering, which prunes subtrees whose fractional bound cannot reach a
+  /// better lattice point than the incumbent. Purely bound strengthening:
+  /// the incumbent set is unchanged, and results stay bit-identical across
+  /// thread counts.
+  double objective_lattice = 0.0;
   /// Optional integer-feasible warm start (checked, then used as incumbent).
   std::optional<std::vector<double>> warm_start;
+  /// Run milp/presolve (bound tightening, fixed-variable substitution,
+  /// redundant-row removal) before the root LP. The search then operates on
+  /// the reduced model; variable indexing is preserved, so no postsolve is
+  /// needed and `x` always matches the input model.
+  bool presolve = true;
+  /// Strong branching: at each branching node, probe up to this many of the
+  /// most fractional candidates by solving iteration-capped LPs of both
+  /// children, then branch where the weaker child bound improves most.
+  /// Probes that prove a child infeasible or past the incumbent conclude
+  /// that subtree on the spot, so it is never queued. Fewer, better nodes
+  /// at a higher per-node cost; 0 restores plain most-fractional branching.
+  /// Probing is part of the node's pure function, so determinism across
+  /// thread counts is unaffected.
+  int strong_branching_candidates = 4;
+  /// Simplex iteration cap per strong-branching probe LP. Probes that hit
+  /// the cap are inconclusive and fall back to the parent bound.
+  long strong_branching_iterations = 150;
+  /// Worker threads for node LP solves (1 = fully serial). Results are
+  /// bit-identical for any value; see the file comment.
+  int threads = 1;
   lp_options lp;
   /// If set, called whenever the incumbent or bound improves.
   std::function<void(double seconds, double incumbent, double bound)>

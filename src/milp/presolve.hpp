@@ -1,0 +1,58 @@
+// MIP presolve: shrink a model before the root LP is solved.
+//
+// Three classic, feasibility-preserving reductions run to a fixpoint:
+//
+//  * bound tightening — for each constraint, the minimum activity of the
+//    other terms implies a bound on each variable; integer bounds round
+//    inward. Implied bounds hold for *every* feasible point, so no solution
+//    (and no warm start) is ever cut off.
+//  * fixed-variable substitution — a variable whose bounds coincide is a
+//    constant: its terms fold into the right-hand sides. The variable stays
+//    in the model (indexing is preserved, so branch-and-bound needs no
+//    postsolve), it just no longer appears in any row.
+//  * redundant-row removal — a constraint satisfied by the variable bounds
+//    alone constrains nothing and is dropped.
+//
+// Presolve may also prove infeasibility outright (a bound crossing or a row
+// whose best achievable activity still violates it), which lets solve_mip
+// answer without a single simplex iteration.
+#pragma once
+
+#include <cstddef>
+
+#include "milp/model.hpp"
+
+namespace compact::milp {
+
+struct presolve_options {
+  /// Maximum tightening sweeps before settling for the current fixpoint.
+  int max_rounds = 10;
+  /// Violations beyond this prove infeasibility; kept conservative so
+  /// floating-point noise never declares a feasible model infeasible.
+  double feasibility_tolerance = 1e-7;
+};
+
+struct presolve_stats {
+  int rounds = 0;
+  std::size_t bounds_tightened = 0;
+  std::size_t variables_fixed = 0;      // variables substituted out of rows
+  std::size_t rows_removed = 0;         // redundant or emptied constraints
+  std::size_t terms_removed = 0;        // dropped coefficients (incl. zeros)
+  bool proved_infeasible = false;
+};
+
+struct presolve_result {
+  /// Same variables in the same order (bounds possibly tightened), with
+  /// surviving rows only. Meaningless when stats.proved_infeasible.
+  model reduced;
+  presolve_stats stats;
+};
+
+/// Presolve `m`. Every point feasible for `m` is feasible for `reduced` and
+/// vice versa (the feasible region is preserved exactly, up to bound
+/// tightenings implied by the constraints themselves). Publishes
+/// milp.presolve.* metrics when enabled.
+[[nodiscard]] presolve_result presolve_model(const model& m,
+                                             const presolve_options& options = {});
+
+}  // namespace compact::milp

@@ -1,0 +1,172 @@
+// The stable public facade (api/compact_api.hpp): synthesis, lint, the
+// opaque design handle, serialization round trips, and the error contract —
+// everything an embedding application can reach.
+#include <gtest/gtest.h>
+
+#include "api/compact_api.hpp"
+
+namespace {
+
+namespace api = compact::api;
+
+constexpr const char* kMajority =
+    ".model majority\n"
+    ".inputs a b c\n"
+    ".outputs f\n"
+    ".names a b c f\n"
+    "11- 1\n"
+    "1-1 1\n"
+    "-11 1\n"
+    ".end\n";
+
+api::netlist_source majority_source() {
+  api::netlist_source source;
+  source.text = kMajority;
+  return source;
+}
+
+TEST(ApiTest, VersionMacroMatchesLibrary) {
+  EXPECT_EQ(api::api_version(), COMPACT_API_VERSION);
+}
+
+TEST(ApiTest, SynthesizeMajorityEndToEnd) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+
+  EXPECT_GT(out.stats.rows, 0);
+  EXPECT_GT(out.stats.columns, 0);
+  EXPECT_EQ(out.stats.semiperimeter,
+            static_cast<int>(out.stats.graph_nodes) + out.stats.vh_count);
+  EXPECT_EQ(out.mapped.rows(), out.stats.rows);
+  EXPECT_EQ(out.mapped.columns(), out.stats.columns);
+  ASSERT_EQ(out.mapped.output_names().size(), 1u);
+  EXPECT_EQ(out.mapped.output_names()[0], "f");
+
+  // Truth table of majority(a, b, c), declared-input order.
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = (bits & 4) != 0;
+    const bool b = (bits & 2) != 0;
+    const bool c = (bits & 1) != 0;
+    const bool expected = (a && b) || (a && c) || (b && c);
+    EXPECT_EQ(out.mapped.evaluate_output({a, b, c}, "f"), expected)
+        << "assignment " << bits;
+  }
+}
+
+TEST(ApiTest, DesignSerializationRoundTrips) {
+  const api::synthesis_outcome out = api::synthesize(majority_source());
+  const std::string text = out.mapped.to_text();
+  const api::design reloaded = api::design::from_text(text);
+  EXPECT_EQ(reloaded.rows(), out.mapped.rows());
+  EXPECT_EQ(reloaded.columns(), out.mapped.columns());
+  EXPECT_EQ(reloaded.to_text(), text);
+  EXPECT_EQ(reloaded.evaluate({true, true, false}),
+            out.mapped.evaluate({true, true, false}));
+}
+
+TEST(ApiTest, DesignIsCopyableAndMovable) {
+  const api::synthesis_outcome out = api::synthesize(majority_source());
+  api::design copy = out.mapped;
+  EXPECT_EQ(copy.to_text(), out.mapped.to_text());
+  const api::design moved = std::move(copy);
+  EXPECT_EQ(moved.to_text(), out.mapped.to_text());
+}
+
+TEST(ApiTest, ValidateAndVerifyReportClean) {
+  api::synthesis_options_v1 options;
+  options.validate = true;
+  options.verify = true;
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+  EXPECT_TRUE(out.validation.ran);
+  EXPECT_TRUE(out.validation.passed) << out.validation.detail;
+  EXPECT_TRUE(out.verification.ran);
+  EXPECT_TRUE(out.verification.passed) << out.verification.detail;
+}
+
+TEST(ApiTest, SeparateRobddsAndThreadsMatchSharedResultsContract) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  options.separate_robdds = true;
+  options.threads = 2;
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+  EXPECT_GT(out.stats.rows, 0);
+  EXPECT_EQ(out.mapped.evaluate_output({true, true, false}, "f"), true);
+}
+
+TEST(ApiTest, BadOptionsThrowApiError) {
+  api::synthesis_options_v1 bad_gamma;
+  bad_gamma.gamma = 1.5;
+  EXPECT_THROW((void)api::synthesize(majority_source(), bad_gamma),
+               api::error);
+
+  api::netlist_source bad_source;  // neither path nor text
+  EXPECT_THROW((void)api::synthesize(bad_source), api::error);
+
+  api::netlist_source bad_format = majority_source();
+  bad_format.format = "vhdl";
+  EXPECT_THROW((void)api::synthesize(bad_format), api::parse_error);
+}
+
+TEST(ApiTest, MalformedNetlistThrowsParseError) {
+  api::netlist_source source;
+  source.text = ".model broken\n.inputs a\n.outputs f\n.names a f\nZZ 1\n";
+  EXPECT_THROW((void)api::synthesize(source), api::parse_error);
+}
+
+TEST(ApiTest, InfeasibleBudgetThrowsInfeasibleError) {
+  api::synthesis_options_v1 options;
+  options.labeler = "mip";
+  options.max_rows = 1;
+  options.time_limit_seconds = 5.0;
+  EXPECT_THROW((void)api::synthesize(majority_source(), options),
+               api::infeasible_error);
+}
+
+TEST(ApiTest, LintCleanNetlist) {
+  api::lint_options_v1 options;
+  options.time_limit_seconds = 5.0;
+  const api::lint_outcome out = api::lint(majority_source(), options);
+  EXPECT_EQ(out.errors, 0u) << (out.diagnostics.empty()
+                                    ? ""
+                                    : out.diagnostics[0].message);
+  EXPECT_FALSE(out.checks_run.empty());
+  EXPECT_TRUE(out.clean("warning"));
+}
+
+TEST(ApiTest, LintFlagsCorruptedDesign) {
+  // Hand-written two-device AND design with a negated literal: functionally
+  // wrong, so the equivalence family must report an error.
+  const char* tiny_blif =
+      ".model tiny\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+  const char* bad_xbar =
+      "xbar 1\ndim 2 1\ninput 1\noutput 0 f\nd 0 0 +1\nd 1 0 -0\nend\n";
+  api::netlist_source source;
+  source.text = tiny_blif;
+  const api::design bad = api::design::from_text(bad_xbar);
+  const api::lint_outcome out = api::lint(bad, source);
+  EXPECT_GT(out.errors, 0u);
+  EXPECT_FALSE(out.clean("error"));
+}
+
+TEST(ApiTest, LintCleanFailOnLevels) {
+  const char* tiny_blif =
+      ".model tiny\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+  // Same design with an extra dead bitline: a warning but not an error.
+  const char* warn_xbar =
+      "xbar 1\ndim 2 2\ninput 1\noutput 0 f\nd 0 0 +1\nd 1 0 +0\nend\n";
+  api::netlist_source source;
+  source.text = tiny_blif;
+  const api::design warn = api::design::from_text(warn_xbar);
+  const api::lint_outcome out = api::lint(warn, source);
+  EXPECT_EQ(out.errors, 0u);
+  EXPECT_GT(out.warnings, 0u);
+  EXPECT_FALSE(out.clean("warning"));
+  EXPECT_TRUE(out.clean("error"));
+  EXPECT_THROW((void)out.clean("bogus"), api::error);
+}
+
+}  // namespace

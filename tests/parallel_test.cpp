@@ -266,5 +266,38 @@ TEST(ParallelDeterminismTest, SeparateRobddsDesignIdenticalAcrossThreadCounts) {
   }
 }
 
+// The labeling solver's round-based parallel branch-and-bound must produce
+// bit-identical designs for any thread count (the Table 4 protocol:
+// weighted MIP, gamma = 0.5, one shared SBDD per circuit).
+TEST(ParallelDeterminismTest, SolverDesignsBitIdenticalAcrossThreadCounts) {
+  const std::vector<frontend::network> circuits = {
+      frontend::make_mux_tree(3), frontend::make_comparator(3),
+      frontend::make_parity(8, 2)};
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    const frontend::network& net = circuits[c];
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m);
+    core::synthesis_options options;
+    options.method = core::labeling_method::weighted_mip;
+    options.gamma = 0.5;
+    options.time_limit_seconds = 60.0;  // solved to optimality well within
+    options.parallel.threads = 1;
+    const core::synthesis_result serial =
+        core::synthesize(m, built.roots, built.names, options);
+    EXPECT_TRUE(serial.stats.optimal) << "circuit " << c;
+    const std::string serial_text = design_text(serial.design);
+    for (const int threads : {2, 8}) {
+      options.parallel.threads = threads;
+      const core::synthesis_result parallel_result =
+          core::synthesize(m, built.roots, built.names, options);
+      EXPECT_EQ(design_text(parallel_result.design), serial_text)
+          << "circuit " << c << " threads=" << threads;
+      EXPECT_EQ(parallel_result.stats.vh_count, serial.stats.vh_count);
+      EXPECT_EQ(parallel_result.stats.semiperimeter,
+                serial.stats.semiperimeter);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace compact

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analog/margins.hpp"
+#include "api/compact_api.hpp"
 #include "baseline/staircase.hpp"
 #include "bdd/dot.hpp"
 #include "bdd/stats.hpp"
@@ -222,7 +223,11 @@ struct observability_dump {
   }
 };
 
-int cmd_synthesize(const std::vector<std::string>& args) {
+/// Transitional synthesize path. Everything the stable facade covers now
+/// routes through cmd_synthesize below; this body only remains for the
+/// flags that need pipeline internals (--baseline, --dot, --report) and is
+/// slated to fold into the facade (see DESIGN.md, "public API").
+int cmd_synthesize_legacy(const std::vector<std::string>& args) {
   if (args.empty()) usage("synthesize needs a netlist");
   const std::string netlist_path = args[0];
 
@@ -435,6 +440,150 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Render one facade diagnostic in the same shape print_lint_report uses.
+void print_diagnostic(const api::diagnostic_v1& d, std::ostream& os) {
+  os << d.check << ' ' << d.severity << ": " << d.message;
+  if (!d.anchors.empty()) {
+    os << " [";
+    for (std::size_t i = 0; i < d.anchors.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << d.anchors[i];
+    }
+    os << "]";
+  }
+  os << "\n";
+  if (!d.fix.empty()) os << "  fix: " << d.fix << "\n";
+}
+
+/// `compact_cli synthesize` — netlist in, crossbar out, through the stable
+/// compact::api facade. Only --baseline / --dot / --report still detour into
+/// the transitional legacy path (they need pipeline internals the facade
+/// deliberately does not expose).
+int cmd_synthesize(const std::vector<std::string>& args) {
+  if (args.empty()) usage("synthesize needs a netlist");
+  for (const std::string& a : args)
+    if (a == "--baseline" || a == "--dot" || a == "--report")
+      return cmd_synthesize_legacy(args);
+
+  api::netlist_source source;
+  source.path = args[0];
+  api::synthesis_options_v1 options;
+  bool do_print = false;
+  std::optional<std::string> out_path;
+  std::optional<std::string> metrics_path, chrome_path;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--method") {
+      const std::string& v = value();
+      if (v != "oct" && v != "mip") usage("unknown method " + v);
+      options.labeler = v;
+    } else if (a == "--gamma") {
+      options.gamma = parse_double_flag(a, value());
+      if (options.gamma < 0.0 || options.gamma > 1.0)
+        usage("--gamma must be in [0, 1]");
+    } else if (a == "--time-limit") {
+      options.time_limit_seconds = parse_double_flag(a, value());
+      if (options.time_limit_seconds <= 0.0)
+        usage("--time-limit must be positive");
+    } else if (a == "--max-rows") {
+      options.max_rows = parse_positive_flag(a, value());
+    } else if (a == "--max-cols") {
+      options.max_columns = parse_positive_flag(a, value());
+    } else if (a == "--threads") {
+      options.threads = parse_positive_flag(a, value());
+    } else if (a == "--order") {
+      const std::string& v = value();
+      if (v != "none" && v != "sift" && v != "exhaustive")
+        usage("unknown order effort " + v);
+      options.variable_order = v;
+    } else if (a == "--minimize") {
+      options.minimize_network = true;
+    } else if (a == "--separate-robdds") {
+      options.separate_robdds = true;
+    } else if (a == "--out") {
+      out_path = value();
+    } else if (a == "--trace-json") {
+      options.trace_json_path = value();
+    } else if (a == "--metrics-json") {
+      metrics_path = value();
+    } else if (a == "--chrome-trace") {
+      chrome_path = value();
+    } else if (a == "--print") {
+      do_print = true;
+    } else if (a == "--validate") {
+      options.validate = true;
+    } else if (a == "--verify") {
+      options.verify = true;
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+  if (options.separate_robdds && options.variable_order != "none") {
+    std::cerr << "note: --order is ignored with --separate-robdds\n";
+    options.variable_order = "none";
+  }
+
+  // Enable the observers before any flow code runs; the dump guard then
+  // persists whatever they saw, even when loading or synthesis throws.
+  if (metrics_path) {
+    set_metrics_enabled(true);
+    global_metrics().reset();
+  }
+  if (chrome_path) {
+    set_trace_enabled(true);
+    trace_reset();
+  }
+  const observability_dump dump{metrics_path, chrome_path};
+
+  const api::synthesis_outcome outcome = api::synthesize(source, options);
+  const api::synthesis_stats_v1& s = outcome.stats;
+
+  table t({"metric", "value"});
+  t.add_row({"rows x cols", cell(s.rows) + " x " + cell(s.columns)});
+  t.add_row({"semiperimeter S", cell(s.semiperimeter)});
+  t.add_row({"max dimension D", cell(s.max_dimension)});
+  t.add_row({"area", cell(s.area)});
+  t.add_row({"BDD graph nodes (n)", cell(s.graph_nodes)});
+  t.add_row({"VH labels (k)", cell(s.vh_count)});
+  t.add_row({"power proxy (literal devices)", cell(s.power_proxy)});
+  t.add_row({"delay (steps)", cell(s.delay_steps)});
+  t.add_row({"labeling optimal", s.optimal ? "yes" : "no"});
+  t.add_row({"relative gap", cell(100.0 * s.relative_gap, 2) + "%"});
+  t.add_row({"synthesis time (s)", cell(s.synthesis_seconds, 3)});
+  t.print(std::cout);
+
+  if (outcome.verification.ran) {
+    std::cout << "\nverify: "
+              << (outcome.verification.passed ? "CLEAN" : "DIRTY") << " ("
+              << outcome.verification.detail << ")\n";
+    if (!outcome.verification.passed) {
+      for (const api::diagnostic_v1& d : outcome.diagnostics)
+        print_diagnostic(d, std::cout);
+      return 1;
+    }
+  }
+  if (outcome.validation.ran) {
+    std::cout << "\nvalidity: "
+              << (outcome.validation.passed ? "PASS" : "FAIL") << " ("
+              << outcome.validation.detail << ")\n";
+    if (!outcome.validation.passed) return 1;
+  }
+
+  if (do_print) std::cout << '\n' << outcome.mapped.render();
+  if (out_path) {
+    std::ofstream out(*out_path);
+    if (!out) throw error("cannot write " + *out_path);
+    out << outcome.mapped.to_text();
+    std::cout << "\nwrote " << *out_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.empty()) usage("stats needs a netlist");
   // Same flow and flags as synthesize, with the registry force-enabled;
@@ -563,7 +712,10 @@ void print_lint_report(const verify::report& r, std::ostream& os) {
 /// plus the netlist it claims to implement (structural + symbolic
 /// equivalence only). --self-test flips into the mutation-kill harness:
 /// every injected corruption must be caught by some check.
-int cmd_lint(const std::vector<std::string>& args) {
+/// Transitional lint path for the flags that need analyzer internals
+/// (--sarif / --json report files and the mutation self-test); plain lint
+/// runs route through the facade in cmd_lint below.
+int cmd_lint_legacy(const std::vector<std::string>& args) {
   if (args.empty()) usage("lint needs a netlist or a design");
   const bool xbar_mode = args[0].ends_with(".xbar");
   std::size_t positional = 1;
@@ -694,6 +846,79 @@ int cmd_lint(const std::vector<std::string>& args) {
   return verify::lint_exit_code(report, fail_on);
 }
 
+/// `compact_cli lint` — run the static analyzer through the facade's
+/// lint() entry points. Accepts a netlist (full pipeline, so labeling /
+/// mapping / structural / equivalence checks all apply) or a saved .xbar
+/// plus the netlist it claims to implement.
+int cmd_lint(const std::vector<std::string>& args) {
+  if (args.empty()) usage("lint needs a netlist or a design");
+  for (const std::string& a : args)
+    if (a == "--sarif" || a == "--json" || a == "--self-test" ||
+        a == "--mutations")
+      return cmd_lint_legacy(args);
+
+  const bool xbar_mode = args[0].ends_with(".xbar");
+  std::size_t positional = 1;
+  std::string design_path, netlist_path;
+  if (xbar_mode) {
+    if (args.size() < 2 || args[1].starts_with("--"))
+      usage("lint <design.xbar> needs the netlist it implements");
+    design_path = args[0];
+    netlist_path = args[1];
+    positional = 2;
+  } else {
+    netlist_path = args[0];
+  }
+
+  api::lint_options_v1 options;
+  std::string fail_on = "warning";
+  for (std::size_t i = positional; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--method") {
+      const std::string& v = value();
+      if (v != "oct" && v != "mip") usage("unknown method " + v);
+      options.labeler = v;
+    } else if (a == "--gamma") {
+      options.gamma = parse_double_flag(a, value());
+    } else if (a == "--time-limit") {
+      options.time_limit_seconds = parse_double_flag(a, value());
+    } else if (a == "--threads") {
+      options.threads = parse_positive_flag(a, value());
+    } else if (a == "--fail-on") {
+      const std::string& v = value();
+      if (v != "note" && v != "warning" && v != "error")
+        usage("--fail-on expects note|warning|error, got " + v);
+      fail_on = v;
+    } else if (a == "--no-equivalence") {
+      options.equivalence = false;
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+
+  api::netlist_source source;
+  source.path = netlist_path;
+  const api::lint_outcome outcome = [&] {
+    if (!xbar_mode) return api::lint(source, options);
+    std::ifstream file(design_path);
+    if (!file) throw error("cannot open " + design_path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return api::lint(api::design::from_text(text.str()), source, options);
+  }();
+
+  for (const api::diagnostic_v1& d : outcome.diagnostics)
+    print_diagnostic(d, std::cout);
+  std::cout << outcome.errors << " error(s), " << outcome.warnings
+            << " warning(s), " << outcome.notes << " note(s); "
+            << outcome.checks_run.size() << " checks run\n";
+  return outcome.clean(fail_on) ? 0 : 1;
+}
+
 int cmd_margins(const std::vector<std::string>& args) {
   if (args.empty()) usage("margins needs a design");
   const xbar::loaded_design loaded = load_design(args[0]);
@@ -749,7 +974,13 @@ int main(int argc, char** argv) {
   } catch (const infeasible_error& e) {
     std::cerr << "infeasible: " << e.what() << "\n";
     return 3;
+  } catch (const api::infeasible_error& e) {
+    std::cerr << "infeasible: " << e.what() << "\n";
+    return 3;
   } catch (const error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const api::error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {

@@ -58,6 +58,34 @@ void BM_BddIteThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_BddIteThroughput);
 
+/// Memoized Shannon cofactor on a maximally shared DAG (parity): every
+/// internal node has two parents, so an unmemoized traversal is 2^n.
+void BM_BddRestrictParity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  bdd::manager m(n);
+  bdd::node_handle f = m.var(0);
+  for (int v = 1; v < n; ++v) f = m.apply_xor(f, m.var(v));
+  for (auto _ : state) {
+    bdd::node_handle g = f;
+    for (int v = n - 1; v >= 0; v -= 2) g = m.restrict_var(g, v, false);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BddRestrictParity)->Arg(16)->Arg(32);
+
+/// Mark-and-sweep cost on a freshly built SBDD: build leaves the adder's
+/// intermediate ite results garbage; the sweep keeps only the sum roots.
+void BM_BddGcMarkSweep(benchmark::State& state) {
+  const frontend::network net = frontend::make_ripple_adder(16);
+  for (auto _ : state) {
+    bdd::manager m(net.input_count());
+    const frontend::sbdd built = frontend::build_sbdd(net, m);
+    const bdd::manager::gc_result r = m.collect_garbage(built.roots);
+    benchmark::DoNotOptimize(r.reclaimed);
+  }
+}
+BENCHMARK(BM_BddGcMarkSweep);
+
 void BM_OctOnParityGraph(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   bdd::manager m(n);

@@ -274,10 +274,13 @@ synthesis_outcome synthesize(const netlist_source& source,
       core.verify_design = true;
     }
 
+    // The manager is owned by this call and only `built.roots` is read
+    // afterwards (validation, remapping), so the GC entry point is safe:
+    // stage-boundary sweeps free the SBDD build's intermediates.
     core::synthesis_result result =
         options.separate_robdds
             ? core::synthesize_separate_robdds(net, core)
-            : core::synthesize(m, built.roots, built.names, core);
+            : core::synthesize_gc(m, built.roots, built.names, core);
 
     synthesis_outcome outcome;
     outcome.stats = to_stats(result.stats);

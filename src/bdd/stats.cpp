@@ -1,17 +1,27 @@
 #include "bdd/stats.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
 
 namespace compact::bdd {
 
 reachable_set collect_reachable(const manager& m,
                                 const std::vector<node_handle>& roots) {
   reachable_set result;
-  std::unordered_set<node_handle> seen;
+  // Dense visited bitmap over the manager's arena slots: handles are small
+  // dense integers, so this beats a hash set on every traversal.
+  std::vector<std::uint64_t> seen_bits((m.node_capacity() + 63) / 64, 0);
+  const auto seen = [&](node_handle u) {
+    const std::uint64_t bit = std::uint64_t{1} << (u & 63);
+    const bool hit = (seen_bits[u >> 6] & bit) != 0;
+    seen_bits[u >> 6] |= bit;
+    return hit;
+  };
   std::vector<node_handle> stack;
-  for (node_handle r : roots)
-    if (seen.insert(r).second) stack.push_back(r);
+  for (node_handle r : roots) {
+    check(r < m.node_capacity(), "bdd: dangling node handle");
+    if (!seen(r)) stack.push_back(r);
+  }
 
   while (!stack.empty()) {
     const node_handle u = stack.back();
@@ -23,9 +33,9 @@ reachable_set collect_reachable(const manager& m,
     }
     ++result.internal_count;
     result.edge_count += 2;
-    const node& n = m.at(u);
-    if (seen.insert(n.low).second) stack.push_back(n.low);
-    if (seen.insert(n.high).second) stack.push_back(n.high);
+    const node n = m.at(u);
+    if (!seen(n.low)) stack.push_back(n.low);
+    if (!seen(n.high)) stack.push_back(n.high);
   }
   return result;
 }

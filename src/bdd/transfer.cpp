@@ -16,9 +16,10 @@ node_handle transfer_rec(const manager& src, node_handle f, manager& dst,
             std::to_string(n.var));
   const node_handle low = transfer_rec(src, n.low, dst, memo);
   const node_handle high = transfer_rec(src, n.high, dst, memo);
-  // ite(x, high, low) re-canonicalizes in dst's unique table. Recursion
-  // depth is bounded by the variable count (levels strictly increase).
-  const node_handle copy = dst.ite(dst.var(n.var), high, low);
+  // The copied children are canonical in dst and keep src's level order, so
+  // the node re-canonicalizes with a single unique-table insert (no ite
+  // recursion). Recursion depth is bounded by the variable count.
+  const node_handle copy = dst.canonical_node(n.var, low, high);
   memo.emplace(f, copy);
   return copy;
 }

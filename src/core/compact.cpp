@@ -33,11 +33,29 @@ synthesis_result synthesize(const bdd::manager& m,
   return result;
 }
 
+synthesis_result synthesize_gc(bdd::manager& m,
+                               const std::vector<bdd::node_handle>& roots,
+                               const std::vector<std::string>& names,
+                               const synthesis_options& options) {
+  stopwatch clock;
+  synthesis_context ctx;
+  ctx.manager = &m;
+  ctx.gc_manager = &m;
+  ctx.roots = &roots;
+  ctx.names = &names;
+  ctx.options = options;
+  ctx.telemetry = options.telemetry;
+  ctx.cache = options.cache;
+  synthesis_result result = run_synthesis_pipeline(ctx);
+  result.stats.synthesis_seconds = clock.seconds();
+  return result;
+}
+
 synthesis_result synthesize_network(const frontend::network& net,
                                     const synthesis_options& options) {
   bdd::manager m(net.input_count());
   const frontend::sbdd built = frontend::build_sbdd(net, m);
-  return synthesize(m, built.roots, built.names, options);
+  return synthesize_gc(m, built.roots, built.names, options);
 }
 
 synthesis_result synthesize_separate_robdds(const frontend::network& net,
@@ -75,9 +93,10 @@ synthesis_result synthesize_separate_robdds(const frontend::network& net,
         // the Chrome trace, keyed by the worker's tid.
         const trace_span span("output:" + net.outputs()[o].name, "synthesis");
         bdd::manager m(net.input_count());
-        const bdd::node_handle root =
-            frontend::build_output(net, m, static_cast<int>(o));
-        return synthesize(m, {root}, {net.outputs()[o].name}, per_output);
+        const std::vector<bdd::node_handle> roots{
+            frontend::build_output(net, m, static_cast<int>(o))};
+        const std::vector<std::string> names{net.outputs()[o].name};
+        return synthesize_gc(m, roots, names, per_output);
       });
   const double outputs_seconds = outputs_clock.seconds();
 

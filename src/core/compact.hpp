@@ -68,6 +68,15 @@ struct synthesis_options {
   /// for any thread count (modulo the wall-clock solver time limits, which
   /// are timing-dependent even serially).
   parallel_options parallel;
+  /// Run bdd::manager mark-and-sweep at every pipeline stage boundary,
+  /// keeping only the synthesis roots (plus externally protected handles)
+  /// alive. Only takes effect for flows that own their manager — the
+  /// network entry points below and anyone who wires
+  /// synthesis_context::gc_manager — because sweeping a caller-provided
+  /// manager could invalidate handles the caller still holds. Designs are
+  /// bit-identical with GC on or off; collection only frees the build's
+  /// intermediate nodes (peak-memory control on large SBDDs).
+  bool gc_at_stage_boundaries = true;
   /// Labeling memoization cache shared across synthesize() calls (gamma
   /// sweeps, benchmark re-runs). Non-owning; may be null. Thread-safe.
   labeling_cache* cache = nullptr;
@@ -138,8 +147,20 @@ struct synthesis_result {
 };
 
 /// Map the shared BDD rooted at `roots` (named `names`) onto one crossbar.
+/// The manager is const and is never garbage-collected through this entry
+/// point — the caller may hold handles outside `roots`.
 [[nodiscard]] synthesis_result synthesize(
     const bdd::manager& m, const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names,
+    const synthesis_options& options = {});
+
+/// synthesize() for callers that cede the manager's contents to the flow:
+/// when options.gc_at_stage_boundaries holds, mark-and-sweep runs at every
+/// pipeline stage boundary with `roots` (plus protected handles) as the
+/// live set. Handles in `roots` stay valid; any other handle the caller
+/// holds may be swept. Designs are bit-identical to the const overload's.
+[[nodiscard]] synthesis_result synthesize_gc(
+    bdd::manager& m, const std::vector<bdd::node_handle>& roots,
     const std::vector<std::string>& names,
     const synthesis_options& options = {});
 

@@ -171,8 +171,16 @@ void pipeline::run(synthesis_context& ctx) const {
     event.seconds = clock.seconds();
     ctx.current_event = nullptr;
     ctx.stats.stage_seconds.push_back({p.name, event.seconds});
-    // Stage boundaries are where the BDD engine's internal counters become
-    // externally visible (the manager itself is metrics-agnostic).
+    // Stage boundaries are the engine's collection points: between passes
+    // the live set is exactly the synthesis roots, so everything else the
+    // build left behind (intermediate ite results) can be swept. Designs
+    // are bit-identical with GC on or off — later passes only read the
+    // roots' DAGs, which the sweep provably keeps.
+    if (ctx.options.gc_at_stage_boundaries && ctx.gc_manager != nullptr &&
+        ctx.roots != nullptr)
+      ctx.gc_manager->collect_garbage(*ctx.roots);
+    // Stage boundaries are also where the BDD engine's internal counters
+    // become externally visible (the manager itself is metrics-agnostic).
     if (metrics_enabled() && ctx.manager != nullptr)
       ctx.manager->publish_metrics();
     if (ctx.telemetry != nullptr) ctx.telemetry->emit(event);

@@ -48,6 +48,13 @@ struct synthesis_context {
   const bdd::manager* manager = nullptr;
   const std::vector<bdd::node_handle>* roots = nullptr;
   const std::vector<std::string>* names = nullptr;
+  /// Mutable alias of `manager`, set only by flows that own the manager
+  /// (synthesize_network, the separate-ROBDD per-output workers). When set
+  /// and options.gc_at_stage_boundaries holds, the pipeline runs
+  /// mark-and-sweep after every pass with `roots` as the live set. Leave
+  /// null for caller-provided managers — a sweep would invalidate handles
+  /// the caller still holds outside `roots`.
+  bdd::manager* gc_manager = nullptr;
   synthesis_options options;
 
   // Shared services (both may be null; both are thread-safe when shared).

@@ -96,6 +96,21 @@ extraction_result extract_sneak_functions(const xbar::crossbar& design,
     }
   }
 
+  // The fixpoint leaves every superseded iterate (and the per-device
+  // literal nodes) in the manager; sweep them so only the converged
+  // reachability functions remain. The caller's follow-up work (spec
+  // transfer, XOR witnesses) then runs against a compact table, and
+  // node_table_size() reports the extraction's true footprint.
+  {
+    std::vector<bdd::node_handle> live;
+    live.reserve(result.row_function.size() + result.column_function.size());
+    live.insert(live.end(), result.row_function.begin(),
+                result.row_function.end());
+    live.insert(live.end(), result.column_function.begin(),
+                result.column_function.end());
+    m.collect_garbage(live);
+  }
+
   if (metrics_enabled()) {
     global_metrics().counter("verify.extractions").increment();
     global_metrics()

@@ -244,6 +244,91 @@ TEST(BddTest, DotExportContainsStructure) {
   EXPECT_NE(s.find("\"f\""), std::string::npos);
 }
 
+TEST(BddTest, NodeTableOverflowThrowsWithoutCorruptingUniqueTable) {
+  // Live cap of 6 = 2 terminals + 4 decision nodes. Regression for the old
+  // engine, which registered the new handle in the unique table *before*
+  // the capacity check: after the throw, retrying the same node silently
+  // returned a handle one past the node array.
+  manager m(8, /*node_limit=*/6);
+  std::vector<node_handle> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(m.var(i));
+  EXPECT_EQ(m.node_table_size(), 6u);
+
+  EXPECT_THROW((void)m.var(4), error);
+  // The failed insert must leave no trace: same request throws again
+  // instead of resolving to a dangling handle.
+  EXPECT_THROW((void)m.var(4), error);
+  EXPECT_EQ(m.node_table_size(), 6u);
+
+  // Every pre-overflow handle still works, and hits return existing nodes.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.var(i), vars[static_cast<std::size_t>(i)]);
+    std::vector<bool> a(8, false);
+    a[static_cast<std::size_t>(i)] = true;
+    EXPECT_TRUE(m.evaluate(vars[static_cast<std::size_t>(i)], a));
+  }
+
+  // Collection frees capacity and allocation recovers.
+  const manager::gc_result gc = m.collect_garbage({vars[0]});
+  EXPECT_EQ(gc.reclaimed, 3u);
+  EXPECT_NO_THROW((void)m.var(4));
+}
+
+TEST(BddTest, RestrictIsLinearOnMaximallySharedDags) {
+  // Parity of n variables: every internal node has two parents, so paths
+  // from the root double per level. The unmemoized engine revisited each
+  // node once per path — 2^38 visits here — and this test timed out.
+  const int n = 40;
+  manager m(n);
+  node_handle f = m.var(0);
+  for (int v = 1; v < n; ++v) f = m.apply_xor(f, m.var(v));
+
+  node_handle parity_below = m.var(0);
+  for (int v = 1; v < n - 1; ++v)
+    parity_below = m.apply_xor(parity_below, m.var(v));
+
+  EXPECT_EQ(m.restrict_var(f, n - 1, false), parity_below);
+  EXPECT_EQ(m.restrict_var(f, n - 1, true), m.apply_not(parity_below));
+  // Quantification runs two restrictions per call; exists x. parity = true.
+  EXPECT_EQ(m.exists(f, n - 1), true_handle);
+  EXPECT_EQ(m.forall(f, n - 1), false_handle);
+  EXPECT_GT(m.stats().restrict_cache_hits, 0u);
+}
+
+TEST(BddTest, IteComputedTableKeepsHitRateOnWideManagers) {
+  // The old ite hash shifted f left by 42 bits, discarding its top bits;
+  // wide builds collided avoidably. A ripple adder's SBDD build is
+  // cache-friendly — most of its ite() traffic must hit.
+  manager m(32);
+  // 16-bit ripple adder over interleaved inputs, sum bits kept alive.
+  node_handle carry = m.constant(false);
+  std::vector<node_handle> sums;
+  for (int b = 0; b < 16; ++b) {
+    const node_handle x = m.var(2 * b);
+    const node_handle y = m.var(2 * b + 1);
+    sums.push_back(m.apply_xor(m.apply_xor(x, y), carry));
+    carry = m.apply_or(m.apply_and(x, y),
+                       m.apply_and(m.apply_xor(x, y), carry));
+  }
+  const manager::statistics& s = m.stats();
+  ASSERT_GT(s.ite_calls, 0u);
+  const double hit_rate = static_cast<double>(s.ite_cache_hits) /
+                          static_cast<double>(s.ite_calls);
+  EXPECT_GT(hit_rate, 0.25) << "hits " << s.ite_cache_hits << " of "
+                            << s.ite_calls;
+}
+
+TEST(BddTest, CanonicalNodeMatchesIteAndValidatesInvariants) {
+  manager m(4);
+  const node_handle low = m.var(2);
+  const node_handle high = m.apply_and(m.var(2), m.var(3));
+  const node_handle direct = m.canonical_node(1, low, high);
+  EXPECT_EQ(direct, m.ite(m.var(1), high, low));
+  // Level invariant violations must be rejected, not stored.
+  EXPECT_THROW((void)m.canonical_node(2, low, high), error);
+  EXPECT_THROW((void)m.canonical_node(-1, low, high), error);
+}
+
 TEST(BddTest, ManagerSupportsManyVariables) {
   manager m(512);
   node_handle f = m.constant(true);

@@ -12,6 +12,7 @@
 #include "bdd/stats.hpp"
 #include "core/compact.hpp"
 #include "core/labelers.hpp"
+#include "core/partition.hpp"
 #include "frontend/benchgen.hpp"
 #include "frontend/to_bdd.hpp"
 #include "graph/oct.hpp"
@@ -222,6 +223,45 @@ void BM_MipLabelingSolver(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(g_solver_threads);
 }
 BENCHMARK(BM_MipLabelingSolver)->UseRealTime();
+
+/// Plan computation alone (greedy interval packing + boundary refinement),
+/// cache disabled so every iteration does the full work. Arg = per-array
+/// capacity; smaller capacities mean more fragments and more refinement
+/// boundaries.
+void BM_PartitionPlan(benchmark::State& state) {
+  const frontend::network net = frontend::make_priority_encoder(64);
+  bdd::manager m(net.input_count());
+  const frontend::sbdd built = frontend::build_sbdd(net, m);
+  const core::bdd_graph g = core::build_bdd_graph(m, built.roots, built.names);
+  core::partition_options options;
+  options.max_rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const core::partition_plan plan =
+        core::plan_partition(g, options, /*cache=*/nullptr);
+    benchmark::DoNotOptimize(plan.fragment_count);
+  }
+}
+BENCHMARK(BM_PartitionPlan)->Arg(16)->Arg(32)->Arg(64);
+
+/// Partitioned synthesis end to end: plan + per-fragment label/map + stitch
+/// on a circuit small enough for the exact OCT labeler, split across ~6
+/// arrays. The labeling cache makes iterations after the first measure the
+/// partition/stitch overhead on top of cache hits — exactly the steady-state
+/// cost an embedding sweep pays.
+void BM_PartitionSynthesis(benchmark::State& state) {
+  const frontend::network net = frontend::make_parity(16, 2);
+  core::synthesis_options options;
+  options.method = core::labeling_method::minimal_semiperimeter;
+  options.max_rows = 12;
+  options.max_columns = 12;
+  options.partition = true;
+  for (auto _ : state) {
+    const core::partitioned_synthesis_result r =
+        core::synthesize_partitioned_network(net, options);
+    benchmark::DoNotOptimize(r.stats.arrays);
+  }
+}
+BENCHMARK(BM_PartitionSynthesis);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/compact.hpp"
+#include "core/partition.hpp"
 #include "core/pipeline.hpp"
 #include "frontend/blif.hpp"
 #include "frontend/minimize.hpp"
@@ -18,6 +19,7 @@
 #include "verify/analyzer.hpp"
 #include "verify/pass.hpp"
 #include "xbar/evaluate.hpp"
+#include "xbar/partitioned.hpp"
 #include "xbar/serialize.hpp"
 #include "xbar/validate.hpp"
 
@@ -146,6 +148,7 @@ auto translated(F&& f) -> decltype(f()) {
   if (options.max_rows > 0) core.max_rows = options.max_rows;
   if (options.max_columns > 0) core.max_columns = options.max_columns;
   core.oct_reduction = options.kernelize;
+  core.partition = options.partition;
   return core;
 }
 
@@ -163,6 +166,10 @@ auto translated(F&& f) -> decltype(f()) {
   out.optimal = s.optimal;
   out.relative_gap = s.relative_gap;
   out.synthesis_seconds = s.synthesis_seconds;
+  out.arrays = s.arrays;
+  out.cut_edges = s.cut_edges;
+  out.bridge_connections = s.bridges;
+  out.total_semiperimeter = s.semiperimeter;
   return out;
 }
 
@@ -175,6 +182,10 @@ int api_version() { return COMPACT_API_VERSION; }
 
 struct design::impl {
   xbar::crossbar mapped{1, 1};
+  /// Set for multi-array designs; `mapped` is then unused. Single-array
+  /// designs (including degenerate partitions) always live in `mapped` so
+  /// their serialization stays byte-identical to version 1.
+  std::optional<xbar::partitioned_design> partitioned;
   std::vector<std::string> variable_names;
 };
 
@@ -189,10 +200,20 @@ design& design::operator=(const design& other) {
 design& design::operator=(design&& other) noexcept = default;
 design::~design() = default;
 
-int design::rows() const { return impl_->mapped.rows(); }
-int design::columns() const { return impl_->mapped.columns(); }
+int design::rows() const {
+  return impl_->partitioned ? impl_->partitioned->max_fragment_rows()
+                            : impl_->mapped.rows();
+}
+int design::columns() const {
+  return impl_->partitioned ? impl_->partitioned->max_fragment_columns()
+                            : impl_->mapped.columns();
+}
+int design::array_count() const {
+  return impl_->partitioned ? impl_->partitioned->array_count() : 1;
+}
 
 std::vector<std::string> design::output_names() const {
+  if (impl_->partitioned) return impl_->partitioned->output_names();
   std::vector<std::string> names;
   for (const xbar::output_port& o : impl_->mapped.outputs())
     names.push_back(o.name);
@@ -205,35 +226,53 @@ std::vector<std::string> design::output_names() const {
 
 std::string design::to_text() const {
   std::ostringstream os;
-  xbar::write_design(impl_->mapped, os, impl_->variable_names);
+  if (impl_->partitioned)
+    xbar::write_partitioned_design(*impl_->partitioned, os,
+                                   impl_->variable_names);
+  else
+    xbar::write_design(impl_->mapped, os, impl_->variable_names);
   return os.str();
 }
 
 design design::from_text(const std::string& text) {
   return translated([&] {
     std::istringstream is(text);
-    const xbar::loaded_design loaded = xbar::read_design(is);
+    xbar::loaded_partitioned_design loaded = xbar::read_partitioned_design(is);
     design d;
-    d.impl_->mapped = loaded.design;
     d.impl_->variable_names = loaded.variable_names;
+    // A one-array document with no bridges is a plain design; keep it in the
+    // single-array representation so it round-trips as version 1.
+    if (loaded.design.array_count() == 1 && loaded.design.connections().empty())
+      d.impl_->mapped = std::move(loaded.design.fragment(0));
+    else
+      d.impl_->partitioned = std::move(loaded.design);
     return d;
   });
 }
 
 std::string design::render() const {
   std::ostringstream os;
-  impl_->mapped.print(os, impl_->variable_names);
+  if (impl_->partitioned)
+    impl_->partitioned->print(os, impl_->variable_names);
+  else
+    impl_->mapped.print(os, impl_->variable_names);
   return os.str();
 }
 
 std::vector<bool> design::evaluate(const std::vector<bool>& assignment) const {
-  return translated([&] { return xbar::evaluate(impl_->mapped, assignment); });
+  return translated([&] {
+    return impl_->partitioned ? xbar::evaluate(*impl_->partitioned, assignment)
+                              : xbar::evaluate(impl_->mapped, assignment);
+  });
 }
 
 bool design::evaluate_output(const std::vector<bool>& assignment,
                              const std::string& output_name) const {
   return translated([&] {
-    return xbar::evaluate_output(impl_->mapped, assignment, output_name);
+    return impl_->partitioned
+               ? xbar::evaluate_output(*impl_->partitioned, assignment,
+                                       output_name)
+               : xbar::evaluate_output(impl_->mapped, assignment, output_name);
   });
 }
 
@@ -243,6 +282,10 @@ bool design::evaluate_output(const std::vector<bool>& assignment,
 synthesis_outcome synthesize(const netlist_source& source,
                              const synthesis_options_v1& options) {
   return translated([&]() -> synthesis_outcome {
+    if (options.partition && options.separate_robdds)
+      throw error(
+          "partition and separate_robdds are mutually exclusive (the "
+          "separate-ROBDD flow already composes one block per output)");
     core::synthesis_options core = to_core_options(options);
 
     frontend::network net = load_network(source);
@@ -272,6 +315,59 @@ synthesis_outcome synthesize(const netlist_source& source,
       // keeps this working even if no other verify symbol is referenced.
       verify::install_pipeline_pass();
       core.verify_design = true;
+    }
+
+    // Multi-array flow: partition the SBDD under the budgets, synthesize
+    // every fragment, stitch via bridges. A plan of one fragment falls back
+    // to the canonical pipeline, so the design matches an unpartitioned run.
+    if (options.partition) {
+      core::partitioned_synthesis_result result =
+          core::synthesize_partitioned(m, built.roots, built.names, core);
+
+      synthesis_outcome outcome;
+      outcome.stats = to_stats(result.stats);
+      if (result.verification.has_value()) {
+        const verify::report& r = *result.verification;
+        outcome.verification.ran = true;
+        outcome.verification.passed = r.clean();
+        outcome.verification.detail =
+            std::to_string(r.error_count()) + " error(s), " +
+            std::to_string(r.warning_count()) + " warning(s), " +
+            std::to_string(r.note_count()) + " note(s); " +
+            std::to_string(r.checks_run().size()) + " checks run";
+        for (const verify::diagnostic& d : r.diagnostics())
+          outcome.diagnostics.push_back(to_diagnostic(d));
+      }
+      if (options.validate) {
+        xbar::validation_options validation_options;
+        validation_options.parallel = core.parallel;
+        const xbar::validation_report report = xbar::validate_against_bdd(
+            result.design, m, built.roots, built.names, net.input_count(),
+            validation_options);
+        outcome.validation.ran = true;
+        outcome.validation.passed = report.valid;
+        outcome.validation.detail =
+            report.valid
+                ? std::to_string(report.checked_assignments) +
+                      " assignments (" +
+                      (report.exhaustive ? "exhaustive" : "sampled") + ")"
+                : report.first_failure;
+      }
+      if (!variable_order.empty()) {
+        bool identity = true;
+        for (std::size_t l = 0; l < variable_order.size(); ++l)
+          if (variable_order[l] != static_cast<int>(l)) identity = false;
+        if (!identity)
+          result.design = xbar::remap_variables(result.design, variable_order);
+      }
+      if (result.design.array_count() == 1 &&
+          result.design.connections().empty())
+        outcome.mapped.internals().mapped =
+            std::move(result.design.fragment(0));
+      else
+        outcome.mapped.internals().partitioned = std::move(result.design);
+      outcome.mapped.internals().variable_names = input_names(net);
+      return outcome;
     }
 
     // The manager is owned by this call and only `built.roots` is read
@@ -395,7 +491,10 @@ lint_outcome lint(const design& d, const netlist_source& source,
     const frontend::sbdd built = frontend::build_sbdd(net, m);
 
     verify::artifacts artifacts;
-    artifacts.design = &d.internals().mapped;
+    if (d.internals().partitioned)
+      artifacts.partitioned = &*d.internals().partitioned;
+    else
+      artifacts.design = &d.internals().mapped;
     artifacts.spec = &m;
     artifacts.spec_roots = &built.roots;
     artifacts.spec_names = &built.names;

@@ -41,7 +41,10 @@
 
 /// Version of the facade this header describes. Bumped whenever a public
 /// struct gains a field or a function changes meaning; see api_version().
-#define COMPACT_API_VERSION 1
+/// Version 2 added partitioned (multi-array) synthesis: the `partition`
+/// option, the multi-array fields of synthesis_stats_v1, and
+/// design::array_count().
+#define COMPACT_API_VERSION 2
 
 namespace compact::api {
 
@@ -101,10 +104,20 @@ struct synthesis_options_v1 {
   /// per-output fan-out, validation). Results are bit-identical for any
   /// value; 1 is fully serial.
   int threads = 1;
-  /// Hard crossbar budgets; 0 = unbounded. Only the "mip" labeler supports
-  /// budgets — synthesize() throws infeasible_error when no design fits.
+  /// Hard crossbar budgets; 0 = unbounded. Every labeler honors them: the
+  /// "mip" labeler enforces them inside the solver, and the map stage
+  /// re-checks the mapped design for all labelers — synthesize() throws
+  /// infeasible_error naming the overflow dimension when no design fits
+  /// (unless `partition` below is set).
   int max_rows = 0;
   int max_columns = 0;
+  /// Split designs that exceed the budgets across multiple crossbar arrays
+  /// joined by bridge connections instead of failing. The outcome's design
+  /// then reports array_count() > 1 and serializes in the multi-array
+  /// `xbar 2` format; without budgets (or when one array suffices) the
+  /// design is identical to an unpartitioned run's. Incompatible with
+  /// separate_robdds.
+  bool partition = false;
   /// Map one ROBDD per output and compose along the diagonal (the prior
   /// multi-output strategy) instead of one shared SBDD.
   bool separate_robdds = false;
@@ -141,15 +154,21 @@ class design {
   design& operator=(design&& other) noexcept;
   ~design();
 
-  /// Crossbar dimensions (wordlines x bitlines).
+  /// Crossbar dimensions (wordlines x bitlines). For a multi-array design
+  /// these are the largest fragment's dimensions.
   [[nodiscard]] int rows() const;
   [[nodiscard]] int columns() const;
+  /// Number of crossbar arrays (1 for a single-array design).
+  [[nodiscard]] int array_count() const;
   /// Output names in evaluation order (function outputs, then constants).
   [[nodiscard]] std::vector<std::string> output_names() const;
 
   /// Serialize to the textual `.xbar` format (round-trips via from_text).
+  /// Single-array designs write format version 1; multi-array designs write
+  /// the `xbar 2` multi-array format.
   [[nodiscard]] std::string to_text() const;
-  /// Parse a `.xbar` document; throws parse_error on malformed input.
+  /// Parse a `.xbar` document (format version 1 or 2); throws parse_error
+  /// on malformed input.
   [[nodiscard]] static design from_text(const std::string& text);
   /// Human-readable grid rendering (for terminals and logs).
   [[nodiscard]] std::string render() const;
@@ -189,6 +208,13 @@ struct synthesis_stats_v1 {
   bool optimal = false;         // labeling proven optimal within the budget
   double relative_gap = 0.0;    // solver gap at termination
   double synthesis_seconds = 0.0;
+  /// Multi-array accounting (1 / 0 / 0 / semiperimeter for single-array
+  /// designs). For partitioned designs rows/columns above are the largest
+  /// fragment's and total_semiperimeter sums every fragment's.
+  int arrays = 1;
+  int cut_edges = 0;           // SBDD edges crossing fragment boundaries
+  int bridge_connections = 0;  // inter-array net welds
+  int total_semiperimeter = 0;
 };
 
 /// Verdict of an optional post-synthesis check.

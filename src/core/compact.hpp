@@ -37,6 +37,8 @@
 
 namespace compact::core {
 
+class partition_cache;  // core/partition
+
 enum class labeling_method {
   minimal_semiperimeter,  // Method 1: OCT + 2-coloring (gamma = 1 semantics)
   weighted_mip,           // Method 2: MIP on gamma*S + (1-gamma)*D
@@ -52,11 +54,23 @@ struct synthesis_options {
   bool alignment = true;
   double time_limit_seconds = 60.0;
   graph::oct_engine oct_engine = graph::oct_engine::bnb;
-  /// Hard budgets on the crossbar dimensions (Section III). Only supported
-  /// by the weighted_mip method; synthesis throws infeasible_error when no
-  /// design fits.
+  /// Hard budgets on the crossbar dimensions (Section III). The weighted_mip
+  /// method enforces them inside the solver; for every method the map pass
+  /// re-checks the mapped design and throws infeasible_error naming the
+  /// overflow dimension when a budget is exceeded (unless `partition` below
+  /// splits the design across arrays instead).
   std::optional<int> max_rows;
   std::optional<int> max_columns;
+  /// Split designs that exceed the budgets across multiple crossbar arrays
+  /// (core/partition) instead of failing. Read by the
+  /// synthesize_partitioned entry points and the api facade; the
+  /// single-array entry points above ignore it except to suppress the
+  /// overflow guard for per-fragment runs.
+  bool partition = false;
+  /// Partition-plan memoization shared across synthesize_partitioned calls
+  /// (benchmark sweeps), keyed like the labeling cache. Non-owning; may be
+  /// null. Thread-safe.
+  partition_cache* partition_memo = nullptr;
   /// Kernelize OCT instances (core/oct_reduce) before the solvers run:
   /// bipartite components are stripped and degree-<=2 vertices eliminated,
   /// with the transversal lifted back exactly. On by default; disable only
@@ -129,6 +143,12 @@ struct synthesis_stats {
   bool optimal = false;         // labeling proven optimal within the limit
   double relative_gap = 0.0;    // MIP gap at termination (0 for method 1)
   std::vector<milp::mip_trace_entry> trace;  // MIP convergence (Fig. 10)
+  /// Multi-array accounting (1 / 0 / 0 for single-array designs). For
+  /// partitioned designs, rows/columns above are the largest fragment's
+  /// while semiperimeter, area and power_proxy are totals over fragments.
+  int arrays = 1;               // fragments in the mapped design
+  int cut_edges = 0;            // SBDD edges crossing fragment boundaries
+  int bridges = 0;              // inter-array net welds (one per port)
 
   /// Wall time of the named stage, or 0 when it did not run.
   [[nodiscard]] double stage_time(const std::string& stage) const;

@@ -50,8 +50,9 @@ class oct_labeler final : public labeler {
 
   [[nodiscard]] labeler_result label(
       const bdd_graph& graph, const labeler_request& request) const override {
-    check(!request.max_rows && !request.max_columns,
-          "labeler oct: dimension budgets require the mip labeler");
+    // Dimension budgets are not part of the OCT objective; the map pass
+    // enforces them post hoc (and partitioning splits designs that cannot
+    // fit), so a budgeted request labels exactly like an unbudgeted one.
     oct_label_result r = label_minimal_semiperimeter(graph, to_options(request));
     labeler_result result;
     result.l = std::move(r.l);

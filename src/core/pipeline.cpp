@@ -94,6 +94,28 @@ void run_label(synthesis_context& ctx) {
 void run_map(synthesis_context& ctx) {
   ctx.mapped.emplace(map_to_crossbar(ctx.graph, ctx.labels));
   const xbar::crossbar& design = ctx.mapped->design;
+  // Dimension budgets are a contract for every labeler, not only the MIP
+  // (which enforces them in-solver): an oversized mapped design must fail
+  // loudly, naming the overflow dimension, never ship silently. Partitioned
+  // flows suppress the guard — their fragments are packed to fit, and the
+  // partition pass is the remedy the message recommends.
+  if (!ctx.options.partition) {
+    const auto overflow = [](const char* dimension, int needed, int budget,
+                             const char* flag) {
+      return std::string("infeasible: mapped design needs ") +
+             std::to_string(needed) + " " + dimension + " but " + flag +
+             " is " + std::to_string(budget) +
+             "; enable partitioning (--partition) or raise the budget";
+    };
+    if (ctx.options.max_rows && design.rows() > *ctx.options.max_rows)
+      throw infeasible_error(overflow("rows", design.rows(),
+                                      *ctx.options.max_rows, "--max-rows"));
+    if (ctx.options.max_columns &&
+        design.columns() > *ctx.options.max_columns)
+      throw infeasible_error(overflow("columns", design.columns(),
+                                      *ctx.options.max_columns,
+                                      "--max-cols"));
+  }
   ctx.stats.rows = design.rows();
   ctx.stats.columns = design.columns();
   ctx.stats.semiperimeter = design.semiperimeter();
@@ -191,6 +213,16 @@ std::string resolve_labeler_name(const synthesis_options& options) {
   if (!options.labeler.empty()) return options.labeler;
   return options.method == labeling_method::minimal_semiperimeter ? "oct"
                                                                   : "mip";
+}
+
+pipeline make_label_map_pipeline(const synthesis_options&) {
+  // Per-fragment synthesis (core/partition): the fragment graph is already
+  // installed in the context, and verification/validation run stitched over
+  // the whole partitioned design, not per fragment.
+  pipeline p;
+  p.add_pass("label", run_label);
+  p.add_pass("map", run_map);
+  return p;
 }
 
 pipeline make_synthesis_pipeline(const synthesis_options& options) {

@@ -115,6 +115,10 @@ class pipeline {
 /// options.validate_design.
 [[nodiscard]] pipeline make_synthesis_pipeline(const synthesis_options& options);
 
+/// label -> map only, for contexts whose graph is installed directly (the
+/// per-fragment runs of core/partition).
+[[nodiscard]] pipeline make_label_map_pipeline(const synthesis_options& options);
+
 /// The verify pass body is installed by the verify library (see
 /// verify/pass.hpp) rather than linked directly, so core does not depend on
 /// the analyzer it feeds. make_synthesis_pipeline throws when

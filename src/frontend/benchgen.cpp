@@ -512,4 +512,16 @@ std::vector<benchmark_spec> hard_benchmark_suite() {
   return suite;
 }
 
+std::vector<benchmark_spec> partition_benchmark_suite() {
+  std::vector<benchmark_spec> suite;
+  auto add = [&suite](const std::string& family, network net) {
+    suite.push_back({net.name(), family, std::move(net)});
+  };
+  add("iscas85-like", make_ripple_adder(24));
+  add("iscas85-like", make_ripple_adder(32));
+  add("iscas85-like", make_parity(48, 4));
+  add("epfl-control-like", make_priority_encoder(96));
+  return suite;
+}
+
 }  // namespace compact::frontend

@@ -95,4 +95,9 @@ struct benchmark_spec {
 /// (Fig. 11 equivalents).
 [[nodiscard]] std::vector<benchmark_spec> hard_benchmark_suite();
 
+/// Adder/parity/priority family members whose unconstrained designs exceed
+/// a 64x64 crossbar array in at least one dimension — the instances the
+/// multi-array partitioning pass (core/partition) exists for.
+[[nodiscard]] std::vector<benchmark_spec> partition_benchmark_suite();
+
 }  // namespace compact::frontend

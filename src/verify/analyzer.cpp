@@ -27,7 +27,7 @@ const std::vector<check_descriptor>& all_checks() {
   static const std::vector<check_descriptor> registry = [] {
     std::vector<check_descriptor> checks;
     for (auto family : {labeling_checks, structure_checks, mapping_checks,
-                        equivalence_checks}) {
+                        equivalence_checks, partition_checks}) {
       std::vector<check_descriptor> contributed = family();
       for (check_descriptor& c : contributed)
         checks.push_back(std::move(c));
@@ -54,11 +54,15 @@ bool applicable(const check_descriptor& c, const artifacts& a) {
   if (c.needs_labeling && !a.has_labeling()) return false;
   if (c.needs_mapping && !a.has_mapping()) return false;
   if (c.needs_spec && !a.has_spec()) return false;
+  if (c.needs_partitioned && !a.has_partitioned()) return false;
+  if (c.needs_partitioned_spec && !a.has_partitioned_spec()) return false;
   return true;
 }
 
 bool is_equivalence(const check_descriptor& c) {
-  return c.id.rfind("EQV", 0) == 0;
+  // PAR003 is the stitched symbolic-equivalence check: same cost profile as
+  // the EQV family, so the same opt-out gates it.
+  return c.id.rfind("EQV", 0) == 0 || c.id == "PAR003";
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "core/mapping.hpp"
 #include "verify/diagnostics.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/partitioned.hpp"
 
 namespace compact::verify {
 
@@ -35,6 +36,9 @@ namespace compact::verify {
 /// manager, falling back to the largest device variable".
 struct artifacts {
   const xbar::crossbar* design = nullptr;
+  /// A multi-array design (PARxxx checks). Independent of `design`: linting
+  /// a partitioned artifact sets only this.
+  const xbar::partitioned_design* partitioned = nullptr;
   const core::bdd_graph* graph = nullptr;
   const core::labeling* labels = nullptr;
   const core::mapping_result* mapping = nullptr;
@@ -56,6 +60,11 @@ struct artifacts {
     return design != nullptr && spec != nullptr && spec_roots != nullptr &&
            spec_names != nullptr;
   }
+  [[nodiscard]] bool has_partitioned() const { return partitioned != nullptr; }
+  [[nodiscard]] bool has_partitioned_spec() const {
+    return partitioned != nullptr && spec != nullptr &&
+           spec_roots != nullptr && spec_names != nullptr;
+  }
 };
 
 struct check_descriptor {
@@ -68,6 +77,8 @@ struct check_descriptor {
   bool needs_labeling = false;  // graph + labels
   bool needs_mapping = false;   // graph + labels + mapping + design
   bool needs_spec = false;      // design + spec manager/roots/names
+  bool needs_partitioned = false;       // partitioned design
+  bool needs_partitioned_spec = false;  // partitioned + spec
   // Null for a "companion" check whose findings are emitted by a sibling's
   // pass over the same artifacts (e.g. MAP003 rides on MAP002's grid diff).
   // Companions still appear in the registry for SARIF rule metadata and are
@@ -76,8 +87,8 @@ struct check_descriptor {
 };
 
 /// All registered checks, in stable ID order. The families live in
-/// checks_labeling.cpp, checks_structure.cpp, checks_mapping.cpp and
-/// checks_equivalence.cpp.
+/// checks_labeling.cpp, checks_structure.cpp, checks_mapping.cpp,
+/// checks_equivalence.cpp and checks_partition.cpp.
 [[nodiscard]] const std::vector<check_descriptor>& all_checks();
 
 /// Registry lookup; throws compact::error for unknown IDs.
@@ -88,5 +99,6 @@ struct check_descriptor {
 [[nodiscard]] std::vector<check_descriptor> structure_checks();
 [[nodiscard]] std::vector<check_descriptor> mapping_checks();
 [[nodiscard]] std::vector<check_descriptor> equivalence_checks();
+[[nodiscard]] std::vector<check_descriptor> partition_checks();
 
 }  // namespace compact::verify

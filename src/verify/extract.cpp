@@ -121,6 +121,111 @@ extraction_result extract_sneak_functions(const xbar::crossbar& design,
   return result;
 }
 
+stitched_extraction_result extract_stitched_functions(
+    const xbar::partitioned_design& design, bdd::manager& m) {
+  const trace_span span("extract_stitched_functions", "verify");
+  const int input_fragment = design.input_array();
+  check(input_fragment >= 0,
+        "extract_stitched_functions: no fragment declares an input row");
+
+  // Flatten every nanowire of every fragment into one index space (per
+  // fragment: rows first, then columns), exactly like the concrete stitched
+  // evaluation in xbar/partitioned.cpp.
+  const int fragment_count = design.array_count();
+  std::vector<int> offset(static_cast<std::size_t>(fragment_count), 0);
+  int total = 0;
+  for (int f = 0; f < fragment_count; ++f) {
+    offset[static_cast<std::size_t>(f)] = total;
+    total += design.fragment(f).rows() + design.fragment(f).columns();
+  }
+  const auto of_row = [&](int f, int r) {
+    return offset[static_cast<std::size_t>(f)] + r;
+  };
+  const auto of_column = [&](int f, int c) {
+    return offset[static_cast<std::size_t>(f)] + design.fragment(f).rows() + c;
+  };
+  const auto of_wire = [&](const xbar::wire_ref& w) {
+    return w.kind == xbar::wire_kind::row ? of_row(w.array, w.index)
+                                          : of_column(w.array, w.index);
+  };
+
+  struct link {
+    int other;
+    bdd::node_handle fn;
+  };
+  std::vector<std::vector<link>> links(static_cast<std::size_t>(total));
+  for (int f = 0; f < fragment_count; ++f) {
+    const xbar::crossbar& fragment = design.fragment(f);
+    for (int r = 0; r < fragment.rows(); ++r)
+      for (int c = 0; c < fragment.columns(); ++c) {
+        const xbar::device& d = fragment.at(r, c);
+        if (d.kind == xbar::literal_kind::off) continue;
+        const bdd::node_handle fn = device_function(d, m);
+        links[static_cast<std::size_t>(of_row(f, r))].push_back(
+            {of_column(f, c), fn});
+        links[static_cast<std::size_t>(of_column(f, c))].push_back(
+            {of_row(f, r), fn});
+      }
+  }
+  // A bridge welds its two wires into one net: an always-true link.
+  for (const xbar::bridge& b : design.connections()) {
+    const int wa = of_wire(b.a);
+    const int wb = of_wire(b.b);
+    links[static_cast<std::size_t>(wa)].push_back({wb, m.constant(true)});
+    links[static_cast<std::size_t>(wb)].push_back({wa, m.constant(true)});
+  }
+
+  const int input_wire =
+      of_row(input_fragment, design.fragment(input_fragment).input_row());
+  std::vector<bdd::node_handle> fn(static_cast<std::size_t>(total),
+                                   m.constant(false));
+  fn[static_cast<std::size_t>(input_wire)] = m.constant(true);
+
+  stitched_extraction_result result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.fixpoint_iterations;
+    for (int w = 0; w < total; ++w) {
+      if (w == input_wire) continue;
+      bdd::node_handle value = fn[static_cast<std::size_t>(w)];
+      for (const link& l : links[static_cast<std::size_t>(w)])
+        value = m.apply_or(
+            value,
+            m.apply_and(fn[static_cast<std::size_t>(l.other)], l.fn));
+      if (value != fn[static_cast<std::size_t>(w)]) {
+        fn[static_cast<std::size_t>(w)] = value;
+        changed = true;
+      }
+    }
+  }
+
+  m.collect_garbage(fn);
+
+  result.row_function.resize(static_cast<std::size_t>(fragment_count));
+  result.column_function.resize(static_cast<std::size_t>(fragment_count));
+  for (int f = 0; f < fragment_count; ++f) {
+    const xbar::crossbar& fragment = design.fragment(f);
+    auto& rows = result.row_function[static_cast<std::size_t>(f)];
+    auto& cols = result.column_function[static_cast<std::size_t>(f)];
+    rows.reserve(static_cast<std::size_t>(fragment.rows()));
+    cols.reserve(static_cast<std::size_t>(fragment.columns()));
+    for (int r = 0; r < fragment.rows(); ++r)
+      rows.push_back(fn[static_cast<std::size_t>(of_row(f, r))]);
+    for (int c = 0; c < fragment.columns(); ++c)
+      cols.push_back(fn[static_cast<std::size_t>(of_column(f, c))]);
+  }
+
+  if (metrics_enabled()) {
+    global_metrics().counter("verify.extractions").increment();
+    global_metrics()
+        .histogram("verify.fixpoint_iterations",
+                   {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+        .observe(static_cast<double>(result.fixpoint_iterations));
+  }
+  return result;
+}
+
 equivalence_report check_symbolic_equivalence(
     const xbar::crossbar& design, const bdd::manager& spec,
     const std::vector<bdd::node_handle>& roots,
@@ -183,6 +288,78 @@ equivalence_report check_symbolic_equivalence(
           out.counterexample.assign(
               witness->begin(),
               witness->begin() + spec.variable_count());
+        }
+      }
+    }
+    report.equivalent = report.equivalent && out.found && out.equivalent;
+    report.outputs.push_back(std::move(out));
+  }
+  return report;
+}
+
+equivalence_report check_partitioned_equivalence(
+    const xbar::partitioned_design& design, const bdd::manager& spec,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names) {
+  const trace_span span("check_partitioned_equivalence", "verify");
+  check(roots.size() == names.size(),
+        "check_partitioned_equivalence: roots/names size mismatch");
+
+  int variables = spec.variable_count();
+  for (const xbar::crossbar& fragment : design.fragments())
+    for (int r = 0; r < fragment.rows(); ++r)
+      for (int c = 0; c < fragment.columns(); ++c)
+        variables = std::max(variables, fragment.at(r, c).variable + 1);
+  bdd::manager scratch(variables);
+
+  equivalence_report report;
+  const bool extractable = design.input_array() >= 0;
+  stitched_extraction_result extracted;
+  if (extractable) {
+    extracted = extract_stitched_functions(design, scratch);
+    report.fixpoint_iterations = extracted.fixpoint_iterations;
+    report.extraction_nodes = scratch.node_table_size();
+  }
+
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    output_equivalence out;
+    out.name = names[i];
+
+    // Resolve the output on whichever fragment senses it (sensed wordline
+    // first, then declared constants).
+    bdd::node_handle got = bdd::false_handle;
+    for (int f = 0; f < design.array_count() && !out.found; ++f) {
+      const xbar::crossbar& fragment = design.fragment(f);
+      for (const xbar::output_port& port : fragment.outputs()) {
+        if (port.name != out.name) continue;
+        if (extractable && port.row >= 0 && port.row < fragment.rows()) {
+          got = extracted.row_function[static_cast<std::size_t>(f)]
+                                      [static_cast<std::size_t>(port.row)];
+          out.found = true;
+        }
+        break;
+      }
+    }
+    if (!out.found) {
+      for (int f = 0; f < design.array_count() && !out.found; ++f)
+        for (const auto& [name, value] :
+             design.fragment(f).constant_outputs()) {
+          if (name == out.name) {
+            got = scratch.constant(value);
+            out.found = true;
+            break;
+          }
+        }
+    }
+
+    if (out.found) {
+      const bdd::node_handle want = bdd::transfer(spec, roots[i], scratch);
+      out.equivalent = scratch.same_function(got, want);
+      if (!out.equivalent) {
+        const bdd::node_handle diff = scratch.apply_xor(got, want);
+        if (const auto witness = bdd::find_satisfying(scratch, diff)) {
+          out.counterexample.assign(
+              witness->begin(), witness->begin() + spec.variable_count());
         }
       }
     }

@@ -20,6 +20,7 @@
 
 #include "bdd/manager.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/partitioned.hpp"
 
 namespace compact::verify {
 
@@ -43,6 +44,22 @@ struct extraction_result {
 /// support every variable programmed on the design's devices.
 [[nodiscard]] extraction_result extract_sneak_functions(
     const xbar::crossbar& design, bdd::manager& m);
+
+/// Stitched extraction over a partitioned design: the same fixpoint, but
+/// over the union conduction graph of every fragment where each bridge is a
+/// constant-true link between its two wires. Indexing is per fragment.
+struct stitched_extraction_result {
+  /// row_function[f][r]: reachability of fragment f's wordline r from the
+  /// input net.
+  std::vector<std::vector<bdd::node_handle>> row_function;
+  std::vector<std::vector<bdd::node_handle>> column_function;
+  int fixpoint_iterations = 0;
+};
+
+/// Extract every fragment's nanowire reachability functions into `m`.
+/// Exactly one fragment must declare the input wordline.
+[[nodiscard]] stitched_extraction_result extract_stitched_functions(
+    const xbar::partitioned_design& design, bdd::manager& m);
 
 // --- equivalence against a specification -----------------------------------
 
@@ -71,6 +88,14 @@ struct equivalence_report {
 /// xbar::validate_against_bdd.
 [[nodiscard]] equivalence_report check_symbolic_equivalence(
     const xbar::crossbar& design, const bdd::manager& spec,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& names);
+
+/// Same contract for a partitioned design: each spec output is resolved on
+/// whichever fragment senses it, with reachability computed over the
+/// stitched conduction graph.
+[[nodiscard]] equivalence_report check_partitioned_equivalence(
+    const xbar::partitioned_design& design, const bdd::manager& spec,
     const std::vector<bdd::node_handle>& roots,
     const std::vector<std::string>& names);
 

@@ -1,5 +1,6 @@
 #include "verify/pass.hpp"
 
+#include "core/partition.hpp"
 #include "util/error.hpp"
 #include "verify/analyzer.hpp"
 
@@ -18,7 +19,23 @@ void run_verify(core::synthesis_context& ctx) {
   ctx.metric("checks_run", static_cast<double>(r.checks_run().size()));
 }
 
-// Linking the verify library is opting in: fill core's pass slot at load
+// Stitched verification for partitioned designs (core/partition's slot):
+// run the full analyzer with the partitioned artifact plus the spec, so the
+// PARxxx structural checks and the stitched equivalence check all fire.
+report run_partition_verify(const xbar::partitioned_design& design,
+                            const bdd::manager& spec,
+                            const std::vector<bdd::node_handle>& roots,
+                            const std::vector<std::string>& names) {
+  artifacts a;
+  a.partitioned = &design;
+  a.spec = &spec;
+  a.spec_roots = &roots;
+  a.spec_names = &names;
+  a.variable_count = spec.variable_count();
+  return analyze(a);
+}
+
+// Linking the verify library is opting in: fill core's pass slots at load
 // time so options.verify_design works without further ceremony.
 const bool installed = install_pipeline_pass();
 
@@ -42,6 +59,7 @@ artifacts make_artifacts(const core::synthesis_context& ctx) {
 bool install_pipeline_pass() {
   (void)installed;
   core::set_verify_pass(run_verify);
+  core::set_partition_verify(run_partition_verify);
   return true;
 }
 

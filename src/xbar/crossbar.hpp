@@ -63,6 +63,10 @@ class crossbar {
   /// The wordline driven with V_in.
   void set_input_row(int row);
   [[nodiscard]] int input_row() const { return input_row_; }
+  /// Remove the input designation. Fragments of a partitioned design other
+  /// than the one holding the '1' terminal are driven through bridges, not
+  /// directly (xbar/partitioned).
+  void clear_input_row() { input_row_ = -1; }
 
   /// Add a sensed output wordline. Constant outputs are modeled with
   /// add_constant_output (no row is consumed for constant 0).

@@ -13,6 +13,31 @@
 //   d ROW COL on      # devices: on / +VAR / -VAR (off junctions omitted)
 //   d ROW COL +3
 //   end
+//
+// Format version 2 carries a partitioned (multi-array) design: the header
+// is followed by a mandatory `arrays K` count, optional global `var` lines,
+// K array blocks (each the version-1 body between `array I` and `endarray`),
+// and the inter-array connection list:
+//
+//   xbar 2
+//   arrays 2
+//   var 0 a
+//   array 0
+//   dim R C
+//   input ROW
+//   output ROW NAME
+//   const NAME 0|1
+//   d ROW COL +0
+//   endarray
+//   array 1
+//   ...
+//   endarray
+//   connect 0 row 3 1 col 0   # weld wires into one electrical net
+//   end
+//
+// Single-array designs keep writing version 1, so unpartitioned output is
+// byte-identical to what pre-partitioning builds produced; the version-2
+// reader accepts both versions.
 #pragma once
 
 #include <istream>
@@ -21,6 +46,7 @@
 #include <vector>
 
 #include "xbar/crossbar.hpp"
+#include "xbar/partitioned.hpp"
 
 namespace compact::xbar {
 
@@ -33,8 +59,29 @@ struct loaded_design {
   std::vector<std::string> variable_names;  // may be empty
 };
 
-/// Parse a `.xbar` stream; throws parse_error on malformed input.
+/// Parse a version-1 `.xbar` stream; throws parse_error on malformed input
+/// (including version-2 headers — multi-array consumers use
+/// read_partitioned_design).
 [[nodiscard]] loaded_design read_design(std::istream& is);
+
+/// Write a partitioned design: format version 2, except that a design of
+/// one fragment with no connections degrades to the version-1 text of
+/// write_design, byte for byte.
+void write_partitioned_design(const partitioned_design& design,
+                              std::ostream& os,
+                              const std::vector<std::string>& variable_names =
+                                  {});
+
+struct loaded_partitioned_design {
+  partitioned_design design;
+  std::vector<std::string> variable_names;  // may be empty
+};
+
+/// Parse either format version: version 1 loads as a single-fragment
+/// design, version 2 as written by write_partitioned_design. Throws
+/// parse_error on malformed input.
+[[nodiscard]] loaded_partitioned_design read_partitioned_design(
+    std::istream& is);
 
 /// Graphviz view of the design as the bipartite wordline/bitline graph:
 /// one node per nanowire, one labeled edge per programmed device. Input

@@ -1,6 +1,7 @@
 #include "xbar/validate.hpp"
 
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <mutex>
 
@@ -21,47 +22,13 @@ std::string describe(const std::vector<bool>& assignment,
   return text;
 }
 
-}  // namespace
-
-validation_report validate_against_bdd(
-    const crossbar& design, const bdd::manager& m,
-    const std::vector<bdd::node_handle>& roots,
-    const std::vector<std::string>& output_names, int variable_count,
-    const validation_options& options) {
-  check(roots.size() == output_names.size(),
-        "validate: roots/output_names size mismatch");
+/// The deterministic first-failure scan shared by both overloads.
+/// `check_one` checks a single assignment and returns a failure description
+/// (empty on success); it must be safe to call concurrently.
+validation_report scan_assignments(
+    const std::function<std::string(const std::vector<bool>&)>& check_one,
+    int variable_count, const validation_options& options) {
   validation_report report;
-
-  // Check one assignment; returns a failure description, empty on success.
-  auto check_one = [&](const std::vector<bool>& assignment) -> std::string {
-    const std::vector<bool> row_reach = reachable_rows(design, assignment);
-    for (std::size_t i = 0; i < roots.size(); ++i) {
-      const bool expected = m.evaluate(roots[i], assignment);
-      bool got = false;
-      bool found = false;
-      for (const output_port& o : design.outputs()) {
-        if (o.name == output_names[i]) {
-          got = row_reach[static_cast<std::size_t>(o.row)];
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        for (const auto& [name, value] : design.constant_outputs()) {
-          if (name == output_names[i]) {
-            got = value;
-            found = true;
-            break;
-          }
-        }
-      }
-      if (!found) return "design has no output named " + output_names[i];
-      if (got != expected)
-        return describe(assignment, output_names[i], expected, got);
-    }
-    return {};
-  };
-
   report.exhaustive = variable_count <= options.exhaustive_limit;
   if (report.exhaustive && variable_count > max_exhaustive_variables)
     throw error(
@@ -122,6 +89,95 @@ validation_report validate_against_bdd(
     report.first_failure = first_description;
   }
   return report;
+}
+
+}  // namespace
+
+validation_report validate_against_bdd(
+    const crossbar& design, const bdd::manager& m,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& output_names, int variable_count,
+    const validation_options& options) {
+  check(roots.size() == output_names.size(),
+        "validate: roots/output_names size mismatch");
+
+  // Check one assignment; returns a failure description, empty on success.
+  auto check_one = [&](const std::vector<bool>& assignment) -> std::string {
+    const std::vector<bool> row_reach = reachable_rows(design, assignment);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const bool expected = m.evaluate(roots[i], assignment);
+      bool got = false;
+      bool found = false;
+      for (const output_port& o : design.outputs()) {
+        if (o.name == output_names[i]) {
+          got = row_reach[static_cast<std::size_t>(o.row)];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        for (const auto& [name, value] : design.constant_outputs()) {
+          if (name == output_names[i]) {
+            got = value;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) return "design has no output named " + output_names[i];
+      if (got != expected)
+        return describe(assignment, output_names[i], expected, got);
+    }
+    return {};
+  };
+
+  return scan_assignments(check_one, variable_count, options);
+}
+
+validation_report validate_against_bdd(
+    const partitioned_design& design, const bdd::manager& m,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& output_names, int variable_count,
+    const validation_options& options) {
+  check(roots.size() == output_names.size(),
+        "validate: roots/output_names size mismatch");
+
+  auto check_one = [&](const std::vector<bool>& assignment) -> std::string {
+    const std::vector<std::vector<bool>> row_reach =
+        reachable_rows(design, assignment);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const bool expected = m.evaluate(roots[i], assignment);
+      bool got = false;
+      bool found = false;
+      for (int f = 0; f < design.array_count() && !found; ++f) {
+        const crossbar& fragment = design.fragment(f);
+        for (const output_port& o : fragment.outputs()) {
+          if (o.name == output_names[i]) {
+            got = row_reach[static_cast<std::size_t>(f)]
+                           [static_cast<std::size_t>(o.row)];
+            found = true;
+            break;
+          }
+        }
+      }
+      for (int f = 0; f < design.array_count() && !found; ++f) {
+        for (const auto& [name, value] :
+             design.fragment(f).constant_outputs()) {
+          if (name == output_names[i]) {
+            got = value;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) return "design has no output named " + output_names[i];
+      if (got != expected)
+        return describe(assignment, output_names[i], expected, got);
+    }
+    return {};
+  };
+
+  return scan_assignments(check_one, variable_count, options);
 }
 
 }  // namespace compact::xbar

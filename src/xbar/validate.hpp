@@ -15,6 +15,7 @@
 #include "bdd/manager.hpp"
 #include "util/thread_pool.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/partitioned.hpp"
 
 namespace compact::xbar {
 
@@ -49,6 +50,15 @@ struct validation_report {
 /// output of the design realizing roots[i].
 [[nodiscard]] validation_report validate_against_bdd(
     const crossbar& design, const bdd::manager& m,
+    const std::vector<bdd::node_handle>& roots,
+    const std::vector<std::string>& output_names, int variable_count,
+    const validation_options& options = {});
+
+/// Same contract for a partitioned design: each output is sensed on
+/// whichever fragment binds it, with reachability computed over the stitched
+/// conduction graph (bridged wires are one net).
+[[nodiscard]] validation_report validate_against_bdd(
+    const partitioned_design& design, const bdd::manager& m,
     const std::vector<bdd::node_handle>& roots,
     const std::vector<std::string>& output_names, int variable_count,
     const validation_options& options = {});

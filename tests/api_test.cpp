@@ -126,6 +126,69 @@ TEST(ApiTest, InfeasibleBudgetThrowsInfeasibleError) {
                api::infeasible_error);
 }
 
+TEST(ApiTest, PartitionedSynthesisSplitsAndStaysCorrect) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  options.max_rows = 3;
+  options.max_columns = 3;
+  options.partition = true;
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+  EXPECT_GE(out.stats.arrays, 2);
+  EXPECT_EQ(out.mapped.array_count(), out.stats.arrays);
+  EXPECT_LE(out.stats.rows, 3);
+  EXPECT_LE(out.stats.columns, 3);
+  EXPECT_GT(out.stats.bridge_connections, 0);
+  EXPECT_GE(out.stats.total_semiperimeter, out.stats.semiperimeter);
+
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = (bits & 4) != 0;
+    const bool b = (bits & 2) != 0;
+    const bool c = (bits & 1) != 0;
+    const bool expected = (a && b) || (a && c) || (b && c);
+    EXPECT_EQ(out.mapped.evaluate_output({a, b, c}, "f"), expected)
+        << "assignment " << bits;
+  }
+}
+
+TEST(ApiTest, PartitionedDesignSerializesAsV2AndRoundTrips) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  options.max_rows = 3;
+  options.max_columns = 3;
+  options.partition = true;
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+  const std::string text = out.mapped.to_text();
+  EXPECT_EQ(text.rfind("xbar 2\n", 0), 0u) << text;
+
+  const api::design reloaded = api::design::from_text(text);
+  EXPECT_EQ(reloaded.array_count(), out.mapped.array_count());
+  EXPECT_EQ(reloaded.to_text(), text);
+  EXPECT_EQ(reloaded.evaluate({true, true, false}),
+            out.mapped.evaluate({true, true, false}));
+}
+
+TEST(ApiTest, UnpartitionedGuardNamesTheOverflowDimension) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  options.max_rows = 2;
+  try {
+    (void)api::synthesize(majority_source(), options);
+    FAIL() << "expected infeasible_error";
+  } catch (const api::infeasible_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rows"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ApiTest, PartitionRejectsSeparateRobdds) {
+  api::synthesis_options_v1 options;
+  options.partition = true;
+  options.separate_robdds = true;
+  EXPECT_THROW((void)api::synthesize(majority_source(), options), api::error);
+}
+
 TEST(ApiTest, LintCleanNetlist) {
   api::lint_options_v1 options;
   options.time_limit_seconds = 5.0;

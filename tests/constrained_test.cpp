@@ -66,11 +66,25 @@ TEST(ConstrainedTest, RowBudgetBelowAlignedCountIsInfeasible) {
                infeasible_error);
 }
 
-TEST(ConstrainedTest, OctMethodRejectsBudgets) {
+TEST(ConstrainedTest, OctMethodEnforcesBudgetsPostMap) {
+  // The OCT objective ignores budgets while solving; the map pass enforces
+  // them afterwards. Loose budgets change nothing, impossible budgets raise
+  // a structured infeasibility naming the overflow dimension.
   const frontend::network net = frontend::make_parity(4, 1);
-  synthesis_options options = constrained(10, 10);
-  options.method = labeling_method::minimal_semiperimeter;
-  EXPECT_THROW((void)synthesize_network(net, options), error);
+  synthesis_options loose = constrained(1000, 1000);
+  loose.method = labeling_method::minimal_semiperimeter;
+  const synthesis_result fits = synthesize_network(net, loose);
+  EXPECT_LE(fits.stats.rows, 1000);
+
+  synthesis_options impossible = constrained(2, std::nullopt);
+  impossible.method = labeling_method::minimal_semiperimeter;
+  try {
+    (void)synthesize_network(net, impossible);
+    FAIL() << "expected infeasible_error";
+  } catch (const infeasible_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rows"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

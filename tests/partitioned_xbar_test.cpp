@@ -1,0 +1,163 @@
+// Partitioned (multi-array) designs at the xbar layer: stitched evaluation
+// across bridge connections, the `xbar 2` serialization format (round trip,
+// version-1 backward reads, malformed-header rejection), and the degenerate
+// single-fragment document that must stay byte-identical to version 1.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xbar/partitioned.hpp"
+#include "xbar/serialize.hpp"
+
+namespace compact::xbar {
+namespace {
+
+/// Two-fragment AND: fragment 0 carries the input wordline and the `a`
+/// device onto its bitline; a bridge welds that bitline to fragment 1's
+/// bitline, whose `b` device reaches the sensed output wordline.
+///
+///   input (f0 row 1) --a-- f0 col 0 == f1 col 0 --b-- f (f1 row 0)
+partitioned_design split_and() {
+  crossbar first(2, 1);
+  first.set_input_row(1);
+  first.set_literal(1, 0, 0, true);
+
+  crossbar second(1, 1);
+  second.add_output(0, "f");
+  second.set_literal(0, 0, 1, true);
+
+  partitioned_design design;
+  design.add_fragment(std::move(first));
+  design.add_fragment(std::move(second));
+  design.add_connection({0, wire_kind::column, 0}, {1, wire_kind::column, 0});
+  return design;
+}
+
+TEST(PartitionedXbarTest, StitchedEvaluationCrossesBridges) {
+  const partitioned_design design = split_and();
+  EXPECT_EQ(design.array_count(), 2);
+  EXPECT_EQ(design.input_array(), 0);
+  for (int bits = 0; bits < 4; ++bits) {
+    const bool a = (bits & 1) != 0;
+    const bool b = (bits & 2) != 0;
+    EXPECT_EQ(evaluate_output(design, {a, b}, "f"), a && b) << bits;
+  }
+}
+
+TEST(PartitionedXbarTest, ReachableRowsFollowTheBridge) {
+  const partitioned_design design = split_and();
+  const std::vector<std::vector<bool>> off = reachable_rows(design,
+                                                            {false, true});
+  EXPECT_TRUE(off[0][1]);    // the input wordline is always live
+  EXPECT_FALSE(off[1][0]);   // a=0 opens the path before the bridge
+  const std::vector<std::vector<bool>> on = reachable_rows(design,
+                                                           {true, true});
+  EXPECT_TRUE(on[1][0]);     // a=b=1 conducts through both fragments
+}
+
+TEST(PartitionedXbarTest, AggregateMetricsSumFragments) {
+  const partitioned_design design = split_and();
+  EXPECT_EQ(design.total_semiperimeter(), (2 + 1) + (1 + 1));
+  EXPECT_EQ(design.total_area(), 2 * 1 + 1 * 1);
+  EXPECT_EQ(design.active_device_count(), 2);
+  EXPECT_EQ(design.max_fragment_rows(), 2);
+  EXPECT_EQ(design.delay_steps(), 3);
+  EXPECT_EQ(design.output_names(), std::vector<std::string>{"f"});
+}
+
+TEST(PartitionedXbarTest, FormatV2RoundTripsExactly) {
+  const partitioned_design original = split_and();
+  std::ostringstream os;
+  write_partitioned_design(original, os, {"a", "b"});
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("xbar 2\n", 0), 0u) << text;
+
+  std::istringstream is(text);
+  const loaded_partitioned_design loaded = read_partitioned_design(is);
+  EXPECT_EQ(loaded.design.array_count(), 2);
+  ASSERT_EQ(loaded.design.connections().size(), 1u);
+  EXPECT_TRUE(loaded.design.connections()[0].a ==
+              (wire_ref{0, wire_kind::column, 0}));
+  EXPECT_EQ(loaded.variable_names, (std::vector<std::string>{"a", "b"}));
+  for (int bits = 0; bits < 4; ++bits) {
+    const std::vector<bool> assignment{(bits & 1) != 0, (bits & 2) != 0};
+    EXPECT_EQ(evaluate(loaded.design, assignment),
+              evaluate(original, assignment))
+        << bits;
+  }
+
+  // Canonical form: re-serializing the loaded design reproduces the text.
+  std::ostringstream again;
+  write_partitioned_design(loaded.design, again, loaded.variable_names);
+  EXPECT_EQ(again.str(), text);
+}
+
+TEST(PartitionedXbarTest, VersionOneDocumentsLoadAsOneFragment) {
+  crossbar x(2, 1);
+  x.set_input_row(1);
+  x.add_output(0, "f");
+  x.set_literal(1, 0, 0, true);
+  x.set_on(0, 0);
+  std::ostringstream os;
+  write_design(x, os);
+
+  std::istringstream is(os.str());
+  const loaded_partitioned_design loaded = read_partitioned_design(is);
+  EXPECT_EQ(loaded.design.array_count(), 1);
+  EXPECT_TRUE(loaded.design.connections().empty());
+  EXPECT_EQ(evaluate_output(loaded.design, {true}, "f"), true);
+  EXPECT_EQ(evaluate_output(loaded.design, {false}, "f"), false);
+}
+
+TEST(PartitionedXbarTest, SingleFragmentWritesByteIdenticalVersionOne) {
+  crossbar x(2, 1);
+  x.set_input_row(1);
+  x.add_output(0, "f");
+  x.set_literal(1, 0, 0, true);
+  std::ostringstream v1;
+  write_design(x, v1, {"a"});
+
+  std::ostringstream v2;
+  write_partitioned_design(wrap_single(x), v2, {"a"});
+  EXPECT_EQ(v2.str(), v1.str());
+}
+
+TEST(PartitionedXbarTest, MalformedDocumentsRejected) {
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_partitioned_design(is);
+  };
+  // Unsupported version, missing arrays count, bad counts, short documents.
+  EXPECT_THROW((void)parse(""), parse_error);
+  EXPECT_THROW((void)parse("xbar 3\ndim 1 1\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 2\ndim 1 1\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 2\narrays 0\nend\n"), parse_error);
+  EXPECT_THROW((void)parse("xbar 2\narrays 2\n"
+                           "array 0\ndim 1 1\nendarray\nend\n"),
+               parse_error);
+  EXPECT_THROW((void)parse("xbar 2\narrays 1\narray 0\ndim 1 1\nendarray\n"),
+               parse_error);
+  // Bridges must name real wires of real, distinct arrays.
+  EXPECT_THROW((void)parse("xbar 2\narrays 2\n"
+                           "array 0\ndim 1 1\ninput 0\nendarray\n"
+                           "array 1\ndim 1 1\noutput 0 f\nendarray\n"
+                           "connect 0 diag 0 1 col 0\nend\n"),
+               parse_error);
+  EXPECT_THROW((void)parse("xbar 2\narrays 2\n"
+                           "array 0\ndim 1 1\ninput 0\nendarray\n"
+                           "array 1\ndim 1 1\noutput 0 f\nendarray\n"
+                           "connect 0 col 0 0 row 0\nend\n"),
+               error);
+  EXPECT_THROW((void)parse("xbar 2\narrays 2\n"
+                           "array 0\ndim 1 1\ninput 0\nendarray\n"
+                           "array 1\ndim 1 1\noutput 0 f\nendarray\n"
+                           "connect 0 col 7 1 row 0\nend\n"),
+               error);
+  // The version-1 reader stays strict: a version-2 header is not for it.
+  std::istringstream v2_doc("xbar 2\narrays 1\narray 0\ndim 1 1\nendarray\n"
+                            "end\n");
+  EXPECT_THROW((void)read_design(v2_doc), parse_error);
+}
+
+}  // namespace
+}  // namespace compact::xbar

@@ -13,6 +13,8 @@
 //   --time-limit S         solver budget in seconds (default 60)
 //   --max-rows N           hard row budget (Section III)
 //   --max-cols N           hard column budget
+//   --partition            split across multiple arrays instead of failing
+//                          when the budgets are exceeded
 //   --separate-robdds      prior multi-output strategy instead of one SBDD
 //   --baseline             staircase mapping of [16] instead of COMPACT
 //   --threads N            worker threads for parallel stages (default 1)
@@ -71,8 +73,8 @@ using namespace compact;
       "usage:\n"
       "  compact_cli info <netlist>\n"
       "  compact_cli synthesize <netlist> [--method oct|mip] [--gamma G]\n"
-      "      [--time-limit S] [--max-rows N] [--max-cols N] [--threads N]\n"
-      "      [--order none|sift|exhaustive] [--minimize]\n"
+      "      [--time-limit S] [--max-rows N] [--max-cols N] [--partition]\n"
+      "      [--threads N] [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
       "      [--trace-json F.jsonl] [--metrics-json F.json]\n"
       "      [--chrome-trace F.json] [--print] [--validate] [--verify]\n"
@@ -132,6 +134,15 @@ xbar::loaded_design load_design(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw error("cannot open " + path);
   return xbar::read_design(file);
+}
+
+/// Version-tolerant loader: accepts both the single-array `xbar 1` format
+/// and the multi-array `xbar 2` format (evaluate / validate / lint). The
+/// commands that only model one array (margins) keep using load_design.
+xbar::loaded_partitioned_design load_partitioned(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw error("cannot open " + path);
+  return xbar::read_partitioned_design(file);
 }
 
 void print_lint_report(const verify::report& r, std::ostream& os);
@@ -281,6 +292,10 @@ int cmd_synthesize_legacy(const std::vector<std::string>& args) {
         usage("unknown order effort " + v);
     } else if (a == "--minimize") {
       do_minimize = true;
+    } else if (a == "--partition") {
+      // Partitioned synthesis lives behind the facade; the legacy detour
+      // exists only for flags that need pipeline internals.
+      usage("--partition cannot combine with --baseline/--dot/--report");
     } else if (a == "--separate-robdds") {
       separate = true;
     } else if (a == "--baseline") {
@@ -494,6 +509,8 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       options.max_rows = parse_positive_flag(a, value());
     } else if (a == "--max-cols") {
       options.max_columns = parse_positive_flag(a, value());
+    } else if (a == "--partition") {
+      options.partition = true;
     } else if (a == "--threads") {
       options.threads = parse_positive_flag(a, value());
     } else if (a == "--order") {
@@ -544,8 +561,19 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   const api::synthesis_stats_v1& s = outcome.stats;
 
   table t({"metric", "value"});
-  t.add_row({"rows x cols", cell(s.rows) + " x " + cell(s.columns)});
-  t.add_row({"semiperimeter S", cell(s.semiperimeter)});
+  if (s.arrays > 1) {
+    // Partition-aware cost report: rows x cols is the largest fragment, and
+    // the inter-array accounting (Section: partitioning) joins the table.
+    t.add_row({"arrays used", cell(s.arrays)});
+    t.add_row({"largest array (rows x cols)",
+               cell(s.rows) + " x " + cell(s.columns)});
+    t.add_row({"total semiperimeter", cell(s.total_semiperimeter)});
+    t.add_row({"cut size (SBDD edges)", cell(s.cut_edges)});
+    t.add_row({"bridge connections", cell(s.bridge_connections)});
+  } else {
+    t.add_row({"rows x cols", cell(s.rows) + " x " + cell(s.columns)});
+    t.add_row({"semiperimeter S", cell(s.semiperimeter)});
+  }
   t.add_row({"max dimension D", cell(s.max_dimension)});
   t.add_row({"area", cell(s.area)});
   t.add_row({"BDD graph nodes (n)", cell(s.graph_nodes)});
@@ -619,7 +647,7 @@ int cmd_equiv(const std::vector<std::string>& args) {
 
 int cmd_evaluate(const std::vector<std::string>& args) {
   if (args.size() < 2) usage("evaluate needs a design and assignment bits");
-  const xbar::loaded_design loaded = load_design(args[0]);
+  const xbar::loaded_partitioned_design loaded = load_partitioned(args[0]);
   const std::string& bits = args[1];
   std::vector<bool> assignment;
   for (char c : bits) {
@@ -627,19 +655,15 @@ int cmd_evaluate(const std::vector<std::string>& args) {
     assignment.push_back(c == '1');
   }
   const std::vector<bool> out = xbar::evaluate(loaded.design, assignment);
-  std::size_t index = 0;
-  for (const xbar::output_port& o : loaded.design.outputs())
-    std::cout << o.name << " = " << (out[index++] ? 1 : 0) << "\n";
-  for (const auto& [name, value] : loaded.design.constant_outputs()) {
-    (void)value;
-    std::cout << name << " = " << (out[index++] ? 1 : 0) << "\n";
-  }
+  const std::vector<std::string> names = loaded.design.output_names();
+  for (std::size_t index = 0; index < names.size(); ++index)
+    std::cout << names[index] << " = " << (out[index] ? 1 : 0) << "\n";
   return 0;
 }
 
 int cmd_validate(const std::vector<std::string>& args) {
   if (args.size() < 2) usage("validate needs a design and a netlist");
-  const xbar::loaded_design loaded = load_design(args[0]);
+  const xbar::loaded_partitioned_design loaded = load_partitioned(args[0]);
   const frontend::network net = load_netlist(args[1]);
   xbar::validation_options options;
   bool symbolic = false;
@@ -653,13 +677,21 @@ int cmd_validate(const std::vector<std::string>& args) {
     else
       usage("unknown option " + args[i]);
   }
+  // Single-array documents (format 1, or a degenerate format 2) validate
+  // through the plain crossbar checkers; real multi-array designs route to
+  // the stitched overloads, which merge bridged wires into one net.
+  const bool multi =
+      loaded.design.array_count() > 1 || !loaded.design.connections().empty();
   bdd::manager m(net.input_count());
   const frontend::sbdd built = frontend::build_sbdd(net, m);
   if (symbolic || net.input_count() > xbar::max_exhaustive_variables) {
     // Wide supports route to symbolic equivalence: exact at any width, no
     // assignment enumeration at all.
-    const verify::equivalence_report eq = verify::check_symbolic_equivalence(
-        loaded.design, m, built.roots, built.names);
+    const verify::equivalence_report eq =
+        multi ? verify::check_partitioned_equivalence(loaded.design, m,
+                                                      built.roots, built.names)
+              : verify::check_symbolic_equivalence(loaded.design.fragment(0),
+                                                   m, built.roots, built.names);
     std::cout << (eq.equivalent ? "PASS" : "FAIL") << " (symbolic, "
               << eq.fixpoint_iterations << " fixpoint iterations)\n";
     for (const verify::output_equivalence& o : eq.outputs) {
@@ -675,8 +707,12 @@ int cmd_validate(const std::vector<std::string>& args) {
     return eq.equivalent ? 0 : 1;
   }
   const xbar::validation_report report =
-      xbar::validate_against_bdd(loaded.design, m, built.roots, built.names,
-                                 net.input_count(), options);
+      multi ? xbar::validate_against_bdd(loaded.design, m, built.roots,
+                                         built.names, net.input_count(),
+                                         options)
+            : xbar::validate_against_bdd(loaded.design.fragment(0), m,
+                                         built.roots, built.names,
+                                         net.input_count(), options);
   std::cout << (report.valid ? "PASS" : "FAIL") << " ("
             << report.checked_assignments << " assignments, "
             << (report.exhaustive ? "exhaustive" : "sampled") << ")\n";
@@ -785,12 +821,19 @@ int cmd_lint_legacy(const std::vector<std::string>& args) {
 
   // Assemble the artifacts: either adopt the saved design as-is, or run the
   // synthesis pipeline and keep every intermediate stage for the checks.
-  std::optional<xbar::loaded_design> loaded;
+  // Saved designs load version-tolerantly: a multi-array document fills the
+  // partitioned artifact slot (PARxxx checks + stitched equivalence), a
+  // single-array one the plain design slot.
+  std::optional<xbar::loaded_partitioned_design> loaded;
   core::synthesis_context ctx;
   verify::artifacts artifacts;
   if (xbar_mode) {
-    loaded = load_design(design_path);
-    artifacts.design = &loaded->design;
+    loaded = load_partitioned(design_path);
+    if (loaded->design.array_count() > 1 ||
+        !loaded->design.connections().empty())
+      artifacts.partitioned = &loaded->design;
+    else
+      artifacts.design = &loaded->design.fragment(0);
   } else {
     ctx.manager = &m;
     ctx.roots = &built.roots;

@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
   for (const frontend::benchmark_spec& spec :
        frontend::hard_benchmark_suite())
     dump(spec);
+  for (const frontend::benchmark_spec& spec :
+       frontend::partition_benchmark_suite())
+    dump(spec);
 
   std::cout << "wrote " << written << " netlists to " << directory << "\n";
   return 0;

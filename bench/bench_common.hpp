@@ -60,6 +60,10 @@ struct bench_args {
 /// top-level object holding scalars and arrays of flat record objects.
 /// Strings are escaped; doubles follow telemetry's number formatting
 /// (integral values print without a fraction, non-finite prints null).
+/// write() prepends a run-record stamp — schema_version, git_sha (from
+/// $COMPACT_GIT_SHA, else "unknown") and, when byte accounting is enabled,
+/// mem.<account>.peak_bytes scalars — which bench_compare's attribution
+/// mode reads as the "(run)" pseudo-benchmark.
 class json_report {
  public:
   void scalar(const std::string& key, const std::string& value);

@@ -15,6 +15,7 @@
 #include "frontend/to_bdd.hpp"
 #include "frontend/verilog.hpp"
 #include "util/error.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/telemetry.hpp"
 #include "verify/analyzer.hpp"
 #include "verify/pass.hpp"
@@ -37,6 +38,12 @@ auto translated(F&& f) -> decltype(f()) {
     throw parse_error(e.what());
   } catch (const compact::infeasible_error& e) {
     throw infeasible_error(e.what());
+  } catch (const compact::resource_limit_error& e) {
+    throw resource_limit_error(
+        e.limit_kind() == compact::resource_limit_error::kind::memory
+            ? resource_limit_error::kind::memory
+            : resource_limit_error::kind::deadline,
+        e.what());
   } catch (const compact::error& e) {
     throw error(e.what());
   }
@@ -149,6 +156,10 @@ auto translated(F&& f) -> decltype(f()) {
   if (options.max_columns > 0) core.max_columns = options.max_columns;
   core.oct_reduction = options.kernelize;
   core.partition = options.partition;
+  if (options.deadline_seconds < 0.0)
+    throw error("deadline_seconds must be >= 0 (0 = unlimited)");
+  core.memory_limit_bytes = options.memory_limit_bytes;
+  core.deadline_seconds = options.deadline_seconds;
   return core;
 }
 
@@ -279,8 +290,10 @@ bool design::evaluate_output(const std::vector<bool>& assignment,
 // ---------------------------------------------------------------------------
 // synthesize
 
-synthesis_outcome synthesize(const netlist_source& source,
-                             const synthesis_options_v1& options) {
+namespace {
+
+synthesis_outcome synthesize_impl(const netlist_source& source,
+                                  const synthesis_options_v1& options) {
   return translated([&]() -> synthesis_outcome {
     if (options.partition && options.separate_robdds)
       throw error(
@@ -425,6 +438,26 @@ synthesis_outcome synthesize(const netlist_source& source,
     outcome.mapped.internals().variable_names = input_names(net);
     return outcome;
   });
+}
+
+}  // namespace
+
+synthesis_outcome synthesize(const netlist_source& source,
+                             const synthesis_options_v1& options) {
+  // Arm the flight recorder before any work so the postmortem captures the
+  // whole run; dump on any failure, then let the exception propagate (the
+  // translated() wrapper inside synthesize_impl has already mapped it into
+  // the api:: hierarchy).
+  if (!options.flight_record_path.empty())
+    compact::set_flight_record_path(options.flight_record_path);
+  try {
+    return synthesize_impl(source, options);
+  } catch (const std::exception& e) {
+    if (!options.flight_record_path.empty())
+      compact::dump_flight_postmortem(std::string("api.synthesize failed: ") +
+                                      e.what());
+    throw;
+  }
 }
 
 // ---------------------------------------------------------------------------

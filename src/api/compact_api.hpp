@@ -44,7 +44,10 @@
 /// Version 2 added partitioned (multi-array) synthesis: the `partition`
 /// option, the multi-array fields of synthesis_stats_v1, and
 /// design::array_count().
-#define COMPACT_API_VERSION 2
+/// Version 3 added resource budgets and failure observability: the
+/// `memory_limit_bytes` / `deadline_seconds` / `flight_record_path` options
+/// and the resource_limit_error exception.
+#define COMPACT_API_VERSION 3
 
 namespace compact::api {
 
@@ -72,6 +75,25 @@ class parse_error : public error {
 class infeasible_error : public error {
  public:
   using error::error;
+};
+
+/// A resource budget (synthesis_options_v1::memory_limit_bytes or
+/// deadline_seconds) was exceeded. The run fails with a structured error
+/// instead of letting the process OOM or silently overrun its deadline;
+/// limit_kind() names the budget that tripped.
+class resource_limit_error : public error {
+ public:
+  enum class kind { memory, deadline };
+  resource_limit_error(kind which, const std::string& message)
+      : error(message), kind_(which) {}
+  [[nodiscard]] kind limit_kind() const { return kind_; }
+  /// "memory" or "deadline" — stable strings for logs and exit paths.
+  [[nodiscard]] const char* kind_name() const {
+    return kind_ == kind::memory ? "memory" : "deadline";
+  }
+
+ private:
+  kind kind_;
 };
 
 // ---------------------------------------------------------------------------
@@ -138,6 +160,23 @@ struct synthesis_options_v1 {
   bool verify = false;
   /// When non-empty, write per-stage telemetry as JSON lines to this path.
   std::string trace_json_path;
+  /// Hard byte budget for the run's accounted memory (the BDD arena and
+  /// tables, labeling/partition caches, solver pools); 0 = unlimited. The
+  /// watchdog samples at stage/round boundaries, sheds caches past ~85% of
+  /// the budget, and throws resource_limit_error (kind memory) on a breach.
+  /// Observation only: the synthesized design is bit-identical with or
+  /// without a (non-tripping) budget. Appended in version 3.
+  std::uint64_t memory_limit_bytes = 0;
+  /// Hard wall-clock budget for the whole run, in seconds; 0 = unlimited.
+  /// Unlike time_limit_seconds (a solver effort knob that degrades to the
+  /// best incumbent), hitting the deadline aborts the run with
+  /// resource_limit_error (kind deadline). Appended in version 3.
+  double deadline_seconds = 0.0;
+  /// When non-empty, enable the failure flight recorder and, if synthesis
+  /// throws, write a postmortem JSON artifact (recent events, memory
+  /// accounts, metrics, active spans) to this path before the exception
+  /// propagates. Appended in version 3.
+  std::string flight_record_path;
 };
 
 // ---------------------------------------------------------------------------

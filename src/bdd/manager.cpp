@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
+#include "util/watchdog.hpp"
 
 namespace compact::bdd {
 namespace {
@@ -73,6 +75,30 @@ manager::manager(int variable_count, std::size_t node_limit)
   set_live(true_handle);
   table_.assign(initial_table_capacity, false_handle);
   ite_cache_.assign(initial_ite_cache_capacity, ite_entry{});
+  account_memory();
+}
+
+manager::~manager() {
+  // Drain whatever this manager charged, regardless of the current enabled
+  // flag, so accounts return to baseline when a manager dies mid-run.
+  const bool was_enabled = memtrack_enabled();
+  set_memtrack_enabled(false);
+  account_memory();
+  set_memtrack_enabled(was_enabled);
+}
+
+void manager::account_memory() {
+  static mem_account& arena = memtrack_account("bdd.arena");
+  static mem_account& table = memtrack_account("bdd.unique_table");
+  static mem_account& ite_cache = memtrack_account("bdd.ite_cache");
+  account_set(arena, arena_bytes_accounted_,
+              chunks_.size() * sizeof(chunk) +
+                  live_bits_.capacity() * sizeof(std::uint64_t) +
+                  free_.capacity() * sizeof(node_handle));
+  account_set(table, table_bytes_accounted_,
+              table_.capacity() * sizeof(node_handle));
+  account_set(ite_cache, ite_bytes_accounted_,
+              ite_cache_.capacity() * sizeof(ite_entry));
 }
 
 node manager::at(node_handle f) const {
@@ -87,8 +113,15 @@ node_handle manager::allocate_slot() {
     return h;
   }
   if (slot_count_ == chunks_.size() * chunk_capacity) {
+    // Arena growth is the structural boundary inside a large build: sample
+    // the resource watchdog here (before any mutation, so a memory or
+    // deadline trip leaves the manager untouched) and re-account the arena
+    // after the new chunk lands. Overshoot past a memory limit is bounded
+    // by one chunk per trip.
+    (void)resource_checkpoint("bdd.arena_growth");
     chunks_.push_back(std::make_unique<chunk>());
     live_bits_.resize((chunks_.size() * chunk_capacity + 63) / 64, 0);
+    account_memory();
   }
   return static_cast<node_handle>(slot_count_++);
 }
@@ -108,6 +141,7 @@ void manager::grow_unique_table() {
   table_entries_ = 0;
   for (const node_handle h : old)
     if (h != false_handle) insert_unique(h);
+  account_memory();
 }
 
 node_handle manager::make_node(std::int32_t var, node_handle low,
@@ -183,6 +217,7 @@ void manager::maybe_grow_ite_cache() {
     ite_cache_[hash_ite(e.f, e.g, e.h) & (ite_cache_.size() - 1)] = e;
   }
   ite_misses_at_resize_ = stats_.ite_cache_misses;
+  account_memory();
 }
 
 node_handle manager::ite(node_handle f, node_handle g, node_handle h) {
@@ -344,6 +379,7 @@ manager::gc_result manager::collect_garbage(
 
   ++stats_.gc_runs;
   stats_.gc_reclaimed += reclaimed;
+  account_memory();
   return {live_count_, reclaimed};
 }
 

@@ -85,6 +85,11 @@ class manager {
   /// already hold.
   explicit manager(int variable_count);
   manager(int variable_count, std::size_t node_limit);
+  /// Releases this manager's bytes from the memtrack accounts (the arena,
+  /// unique table and computed table it charged while accounting was on).
+  ~manager();
+  manager(const manager&) = delete;
+  manager& operator=(const manager&) = delete;
 
   [[nodiscard]] int variable_count() const { return variable_count_; }
   /// Live nodes (terminals included). Shrinks when collect_garbage sweeps.
@@ -217,6 +222,10 @@ class manager {
   void ite_cache_insert(node_handle f, node_handle g, node_handle h,
                         node_handle result);
   void maybe_grow_ite_cache();
+  /// Reconcile this manager's container footprints into the process-wide
+  /// memtrack accounts (mem.bdd.*). Called at the structural growth points
+  /// and after GC; near-zero cost while memtrack is disabled.
+  void account_memory();
 
   int variable_count_ = 0;
   std::size_t node_limit_ = 0;
@@ -247,6 +256,12 @@ class manager {
   std::unordered_map<node_handle, node_handle> restrict_memo_;
   std::unordered_map<node_handle, std::uint32_t> protected_;
   mutable std::unordered_map<node_handle, double> sat_cache_;
+
+  // Bytes this manager last charged to each memtrack account, reconciled by
+  // account_memory() (zero whenever memtrack is disabled).
+  std::uint64_t arena_bytes_accounted_ = 0;
+  std::uint64_t table_bytes_accounted_ = 0;
+  std::uint64_t ite_bytes_accounted_ = 0;
 };
 
 }  // namespace compact::bdd

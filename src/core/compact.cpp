@@ -7,8 +7,19 @@
 #include "frontend/to_bdd.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
+#include "util/watchdog.hpp"
 
 namespace compact::core {
+namespace {
+
+resource_limits limits_of(const synthesis_options& options) {
+  resource_limits limits;
+  limits.memory_limit_bytes = options.memory_limit_bytes;
+  limits.deadline_seconds = options.deadline_seconds;
+  return limits;
+}
+
+}  // namespace
 
 double synthesis_stats::stage_time(const std::string& stage) const {
   for (const stage_timing& t : stage_seconds)
@@ -21,6 +32,7 @@ synthesis_result synthesize(const bdd::manager& m,
                             const std::vector<std::string>& names,
                             const synthesis_options& options) {
   stopwatch clock;
+  const resource_limit_scope watchdog(limits_of(options));
   synthesis_context ctx;
   ctx.manager = &m;
   ctx.roots = &roots;
@@ -38,6 +50,7 @@ synthesis_result synthesize_gc(bdd::manager& m,
                                const std::vector<std::string>& names,
                                const synthesis_options& options) {
   stopwatch clock;
+  const resource_limit_scope watchdog(limits_of(options));
   synthesis_context ctx;
   ctx.manager = &m;
   ctx.gc_manager = &m;
@@ -53,6 +66,9 @@ synthesis_result synthesize_gc(bdd::manager& m,
 
 synthesis_result synthesize_network(const frontend::network& net,
                                     const synthesis_options& options) {
+  // Install the watchdog before the SBDD build: that is where a runaway
+  // netlist allocates, long before the first pipeline stage boundary.
+  const resource_limit_scope watchdog(limits_of(options));
   bdd::manager m(net.input_count());
   const frontend::sbdd built = frontend::build_sbdd(net, m);
   return synthesize_gc(m, built.roots, built.names, options);
@@ -61,6 +77,7 @@ synthesis_result synthesize_network(const frontend::network& net,
 synthesis_result synthesize_separate_robdds(const frontend::network& net,
                                             const synthesis_options& options) {
   stopwatch clock;
+  const resource_limit_scope watchdog(limits_of(options));
   const auto output_count = static_cast<int>(net.outputs().size());
   check(output_count > 0, "synthesize_separate_robdds: network has no outputs");
 

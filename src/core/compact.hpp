@@ -107,6 +107,20 @@ struct synthesis_options {
   /// against the source BDD (exhaustive or sampled, see xbar/validate) and
   /// record the verdict in synthesis_result::validation.
   bool validate_design = false;
+  /// Hard byte budget for the run, enforced by the ambient resource
+  /// watchdog (util/watchdog) against the memtrack process-live total and
+  /// sampled at pipeline stage boundaries, branch-and-bound rounds and BDD
+  /// arena growth. 0 = unlimited. A breach throws resource_limit_error
+  /// (kind memory); crossing ~85% of the budget triggers load shedding
+  /// (stage-boundary GC plus labeling-cache eviction) first. Setting a
+  /// budget force-enables memtrack for the run. The outermost entry point
+  /// installs the watchdog; nested flows share its budget.
+  std::uint64_t memory_limit_bytes = 0;
+  /// Wall-clock deadline for the run, enforced at the same sampling points;
+  /// 0 = none. A breach throws resource_limit_error (kind deadline). Unlike
+  /// time_limit_seconds (a solver heuristic budget that degrades answer
+  /// quality gracefully), the deadline is a hard failure.
+  double deadline_seconds = 0.0;
   /// Append the static analyzer (src/verify) as a verify pass after map:
   /// structural + labeling checks and symbolic equivalence against the
   /// source BDD, never simulating an input vector. The report lands in

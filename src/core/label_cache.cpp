@@ -1,9 +1,26 @@
 #include "core/label_cache.hpp"
 
 #include "util/hash.hpp"
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
 
 namespace compact::core {
+namespace {
+
+mem_account& cache_account() {
+  static mem_account& account = memtrack_account("cache.labeling");
+  return account;
+}
+
+// Estimated footprint of one stored entry: the canonical key string, the
+// labeling payload, and fixed bucket/bookkeeping overhead.
+std::uint64_t entry_bytes(const std::string& canonical,
+                          const cached_labeling& entry) {
+  return canonical.size() + entry.l.label_of.size() * sizeof(vh_label) +
+         sizeof(cached_labeling) + 48;
+}
+
+}  // namespace
 
 label_cache_key make_label_cache_key(const bdd_graph& graph,
                                      const std::string& labeler_name,
@@ -56,8 +73,10 @@ void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
   bucket& slot = entries_[key.digest];
   for (const auto& [canonical, existing] : slot)
     if (canonical == key.canonical) return;  // first store wins
+  content_bytes_ += entry_bytes(key.canonical, entry);
   slot.emplace_back(key.canonical, std::move(entry));
   ++counters_.entries;
+  account_set(cache_account(), bytes_accounted_, content_bytes_);
   if (metrics_enabled())
     global_metrics()
         .gauge("label_cache.entries")
@@ -73,6 +92,13 @@ void labeling_cache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   counters_ = {};
+  content_bytes_ = 0;
+  account_set(cache_account(), bytes_accounted_, content_bytes_);
+}
+
+labeling_cache::~labeling_cache() {
+  // Drain the charge regardless of the current enabled flag.
+  if (bytes_accounted_ != 0) cache_account().sub(bytes_accounted_);
 }
 
 }  // namespace compact::core

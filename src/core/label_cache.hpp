@@ -78,11 +78,20 @@ class labeling_cache {
 
   void clear();
 
+  ~labeling_cache();
+  labeling_cache() = default;
+  labeling_cache(const labeling_cache&) = delete;
+  labeling_cache& operator=(const labeling_cache&) = delete;
+
  private:
   using bucket = std::vector<std::pair<std::string, cached_labeling>>;
   mutable std::mutex mutex_;
   mutable counters counters_;
   std::unordered_map<std::uint64_t, bucket> entries_;
+  // Estimated bytes held (keys + payload vectors + per-entry overhead) and
+  // the portion charged to the mem.cache.labeling account.
+  std::uint64_t content_bytes_ = 0;
+  std::uint64_t bytes_accounted_ = 0;
 };
 
 }  // namespace compact::core

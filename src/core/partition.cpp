@@ -7,7 +7,9 @@
 #include "frontend/to_bdd.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
+#include "util/watchdog.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -19,6 +21,11 @@ namespace {
 /// unchanged input: stored plans must never be served across algorithm
 /// revisions (the cache key includes this).
 constexpr int partition_algorithm_version = 1;
+
+mem_account& partition_cache_account() {
+  static mem_account& account = memtrack_account("cache.partition");
+  return account;
+}
 
 /// Refinement is a local search; a small fixed sweep bound keeps planning
 /// linear-ish while catching the boundary-misplacement the greedy pass
@@ -220,8 +227,13 @@ void partition_cache::store(const label_cache_key& key, partition_plan plan) {
   bucket& slot = entries_[key.digest];
   for (const auto& [canonical, existing] : slot)
     if (canonical == key.canonical) return;  // first store wins
+  content_bytes_ += key.canonical.size() +
+                    plan.fragment_of.size() * sizeof(int) +
+                    plan.cut_edges.size() * sizeof(std::size_t) +
+                    sizeof(partition_plan) + 48;
   slot.emplace_back(key.canonical, std::move(plan));
   ++counters_.entries;
+  account_set(partition_cache_account(), bytes_accounted_, content_bytes_);
   if (metrics_enabled())
     global_metrics()
         .gauge("partition_cache.entries")
@@ -237,6 +249,13 @@ void partition_cache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   counters_ = {};
+  content_bytes_ = 0;
+  account_set(partition_cache_account(), bytes_accounted_, content_bytes_);
+}
+
+partition_cache::~partition_cache() {
+  // Drain the charge regardless of the current enabled flag.
+  if (bytes_accounted_ != 0) partition_cache_account().sub(bytes_accounted_);
 }
 
 partition_plan plan_partition(const bdd_graph& graph,
@@ -375,6 +394,8 @@ partitioned_synthesis_result synthesize_partitioned(
     bdd::manager& m, const std::vector<bdd::node_handle>& roots,
     const std::vector<std::string>& names, const synthesis_options& options) {
   stopwatch clock;
+  const resource_limit_scope watchdog(
+      {options.memory_limit_bytes, options.deadline_seconds});
   partitioned_synthesis_result result;
 
   stopwatch graph_clock;
@@ -576,6 +597,10 @@ partitioned_synthesis_result synthesize_partitioned(
 
 partitioned_synthesis_result synthesize_partitioned_network(
     const frontend::network& net, const synthesis_options& options) {
+  // Installed before the SBDD build, which allocates long before the first
+  // sampled boundary inside synthesize_partitioned.
+  const resource_limit_scope watchdog(
+      {options.memory_limit_bytes, options.deadline_seconds});
   bdd::manager m(net.input_count());
   const frontend::sbdd built = frontend::build_sbdd(net, m);
   return synthesize_partitioned(m, built.roots, built.names, options);

@@ -80,11 +80,19 @@ class partition_cache {
   [[nodiscard]] counters stats() const;
   void clear();
 
+  ~partition_cache();
+  partition_cache() = default;
+  partition_cache(const partition_cache&) = delete;
+  partition_cache& operator=(const partition_cache&) = delete;
+
  private:
   using bucket = std::vector<std::pair<std::string, partition_plan>>;
   mutable std::mutex mutex_;
   mutable counters counters_;
   std::unordered_map<std::uint64_t, bucket> entries_;
+  // Estimated bytes held and the portion charged to mem.cache.partition.
+  std::uint64_t content_bytes_ = 0;
+  std::uint64_t bytes_accounted_ = 0;
 };
 
 /// Cache key for partitioning `graph` under `options` (graph node count +

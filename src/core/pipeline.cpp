@@ -2,10 +2,14 @@
 
 #include <utility>
 
+#include "core/partition.hpp"
 #include "util/error.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
+#include "util/watchdog.hpp"
 
 namespace compact::core {
 namespace {
@@ -188,23 +192,41 @@ void pipeline::run(synthesis_context& ctx) const {
       p.run(ctx);
     } catch (...) {
       ctx.current_event = nullptr;
+      if (flight_recorder_enabled())
+        flight_record("pipeline.error", p.name + " threw");
       throw;
     }
     event.seconds = clock.seconds();
     ctx.current_event = nullptr;
     ctx.stats.stage_seconds.push_back({p.name, event.seconds});
+    if (flight_recorder_enabled())
+      flight_record("pipeline.stage",
+                    p.name + " done in " + std::to_string(event.seconds) + "s");
+    // Stage boundaries sample the ambient resource watchdog. A hard breach
+    // throws resource_limit_error out of the run; soft memory pressure
+    // sheds load first — force a sweep even when stage-boundary GC is off
+    // and evict the memoization caches (pure time/space trades: designs
+    // never depend on cache contents or collection points).
+    const bool shed = resource_checkpoint("pipeline.stage_boundary") ==
+                      resource_pressure::soft_memory;
     // Stage boundaries are the engine's collection points: between passes
     // the live set is exactly the synthesis roots, so everything else the
     // build left behind (intermediate ite results) can be swept. Designs
     // are bit-identical with GC on or off — later passes only read the
     // roots' DAGs, which the sweep provably keeps.
-    if (ctx.options.gc_at_stage_boundaries && ctx.gc_manager != nullptr &&
-        ctx.roots != nullptr)
+    if ((ctx.options.gc_at_stage_boundaries || shed) &&
+        ctx.gc_manager != nullptr && ctx.roots != nullptr)
       ctx.gc_manager->collect_garbage(*ctx.roots);
+    if (shed) {
+      if (ctx.cache != nullptr) ctx.cache->clear();
+      if (ctx.options.partition_memo != nullptr)
+        ctx.options.partition_memo->clear();
+    }
     // Stage boundaries are also where the BDD engine's internal counters
     // become externally visible (the manager itself is metrics-agnostic).
     if (metrics_enabled() && ctx.manager != nullptr)
       ctx.manager->publish_metrics();
+    publish_memtrack_metrics();
     if (ctx.telemetry != nullptr) ctx.telemetry->emit(event);
   }
 }

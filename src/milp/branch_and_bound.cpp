@@ -7,7 +7,9 @@
 
 #include "milp/presolve.hpp"
 #include "util/error.hpp"
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
+#include "util/watchdog.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -449,6 +451,7 @@ mip_result solve_mip(const model& original, const mip_options& options) {
 
   std::vector<bb_node> batch;
   std::vector<bool> dive_flags;
+  account_guard open_nodes_charge(memtrack_account("milp.bnb_nodes"));
   while (!open.empty()) {
     if (clock.seconds() > options.time_limit_seconds ||
         result.nodes_explored >= options.node_limit) {
@@ -456,6 +459,12 @@ mip_result solve_mip(const model& original, const mip_options& options) {
       break;
     }
     ++rounds;
+    // Round boundary: sample the ambient resource watchdog (a memory or
+    // deadline trip aborts the whole solve with resource_limit_error) and
+    // re-account the open-node queue. The byte figure counts node headers;
+    // per-node branching paths are small and excluded.
+    (void)resource_checkpoint("milp.bnb.round");
+    open_nodes_charge.set(open.size() * sizeof(bb_node));
     const double round_start_seconds = clock.seconds();
 
     // Global dual bound: best (lowest) bound among open nodes, capped by the

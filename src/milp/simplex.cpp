@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/memtrack.hpp"
 #include "util/stopwatch.hpp"
 
 namespace compact::milp {
@@ -20,6 +21,12 @@ class tableau_solver {
       : model_(m), options_(options) {
     build();
   }
+  ~tableau_solver() {
+    if (bytes_accounted_ != 0)
+      memtrack_account("milp.tableau").sub(bytes_accounted_);
+  }
+  tableau_solver(const tableau_solver&) = delete;
+  tableau_solver& operator=(const tableau_solver&) = delete;
 
   lp_result run() {
     lp_result result;
@@ -118,6 +125,14 @@ class tableau_solver {
     basis_.assign(m, -1);
     status_.assign(total_, var_status::at_lower);
     x_basic_.assign(m, 0.0);
+    // Charge the dominant allocations (tableau rows + column-sized arrays)
+    // to mem.milp.tableau for the life of this solve.
+    static mem_account& tableau_account = memtrack_account("milp.tableau");
+    account_set(tableau_account, bytes_accounted_,
+                static_cast<std::uint64_t>(m) *
+                        (static_cast<std::uint64_t>(total_) + 2) *
+                        sizeof(double) +
+                    static_cast<std::uint64_t>(total_) * 5 * sizeof(double));
 
     for (int i = 0; i < m; ++i) {
       const constraint& c = model_.constraints()[i];
@@ -387,6 +402,7 @@ class tableau_solver {
   std::vector<double> x_basic_;
   std::vector<double> lower_, upper_;
   std::vector<double> cost_, reduced_;
+  std::uint64_t bytes_accounted_ = 0;  // charged to mem.milp.tableau
 };
 
 }  // namespace

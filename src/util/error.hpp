@@ -29,6 +29,26 @@ class infeasible_error : public error {
   using error::error;
 };
 
+/// Thrown when a run exceeds an explicit resource budget (memory limit or
+/// deadline) installed by the resource watchdog. Carries which limit
+/// tripped so callers and the CLI can report "memory" vs "deadline"
+/// structurally instead of parsing the message.
+class resource_limit_error : public error {
+ public:
+  enum class kind { memory, deadline };
+
+  resource_limit_error(kind which, const std::string& message)
+      : error(message), kind_(which) {}
+
+  [[nodiscard]] kind limit_kind() const { return kind_; }
+  [[nodiscard]] const char* kind_name() const {
+    return kind_ == kind::memory ? "memory" : "deadline";
+  }
+
+ private:
+  kind kind_;
+};
+
 /// Internal consistency check. Unlike assert(), it is active in all build
 /// types: mapping bugs must never silently produce an invalid crossbar.
 inline void check(bool condition, const std::string& message) {

@@ -1,0 +1,223 @@
+#include "util/flight_recorder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "util/memtrack.hpp"
+#include "util/metrics.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace.hpp"
+
+namespace compact {
+namespace {
+
+constexpr std::size_t kCapacity = 256;  // power of two
+constexpr std::size_t kKindWords = 2;    // 16 bytes of kind text
+constexpr std::size_t kDetailWords = 20;  // 160 bytes of detail text
+
+// One ring slot. Every field is an atomic word, so concurrent writers and
+// snapshot readers are data-race free (and TSan-clean) by construction; the
+// per-slot sequence counter (odd = write in progress, even = complete)
+// detects torn snapshots. A writer lapped by >= kCapacity events can race
+// another writer for the same slot; the worst case is garbled text behind a
+// still-consistent sequence — acceptable for a postmortem aid, never UB.
+struct slot {
+  std::atomic<std::uint64_t> seq{0};  // 0 = never written
+  std::atomic<std::int64_t> timestamp_us{0};
+  std::atomic<std::uint32_t> thread_id{0};
+  std::array<std::atomic<std::uint64_t>, kKindWords> kind{};
+  std::array<std::atomic<std::uint64_t>, kDetailWords> detail{};
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_ticket{0};
+
+std::array<slot, kCapacity>& ring() {
+  static std::array<slot, kCapacity>* r = new std::array<slot, kCapacity>;
+  return *r;
+}
+
+void store_text(std::atomic<std::uint64_t>* words, std::size_t word_count,
+                const char* text, std::size_t length) {
+  const std::size_t budget = word_count * sizeof(std::uint64_t) - 1;
+  const std::size_t n = std::min(length, budget);
+  char buffer[kDetailWords * sizeof(std::uint64_t)] = {};
+  std::memcpy(buffer, text, n);
+  for (std::size_t i = 0; i < word_count; ++i) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, buffer + i * sizeof(word), sizeof(word));
+    words[i].store(word, std::memory_order_relaxed);
+  }
+}
+
+std::string load_text(const std::atomic<std::uint64_t>* words,
+                      std::size_t word_count) {
+  char buffer[kDetailWords * sizeof(std::uint64_t) + 1] = {};
+  for (std::size_t i = 0; i < word_count; ++i) {
+    const std::uint64_t word = words[i].load(std::memory_order_relaxed);
+    std::memcpy(buffer + i * sizeof(word), &word, sizeof(word));
+  }
+  return std::string(buffer);  // stops at the first NUL
+}
+
+struct path_store {
+  std::mutex mutex;
+  std::string path;
+};
+
+path_store& postmortem_path() {
+  static path_store* s = new path_store;
+  return *s;
+}
+
+}  // namespace
+
+void set_flight_recorder_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool flight_recorder_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::size_t flight_recorder_capacity() { return kCapacity; }
+
+void flight_record(const char* kind, const std::string& detail) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  const std::uint64_t ticket =
+      g_next_ticket.fetch_add(1, std::memory_order_relaxed);
+  slot& s = ring()[ticket & (kCapacity - 1)];
+  s.seq.store(2 * ticket + 1, std::memory_order_release);
+  s.timestamp_us.store(monotonic_now_us(), std::memory_order_relaxed);
+  s.thread_id.store(static_cast<std::uint32_t>(current_thread_slot()),
+                    std::memory_order_relaxed);
+  store_text(s.kind.data(), kKindWords, kind, std::strlen(kind));
+  store_text(s.detail.data(), kDetailWords, detail.data(), detail.size());
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<flight_event> flight_snapshot() {
+  std::vector<flight_event> events;
+  events.reserve(kCapacity);
+  for (slot& s : ring()) {
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    flight_event event;
+    event.timestamp_us = s.timestamp_us.load(std::memory_order_relaxed);
+    event.thread_id =
+        static_cast<int>(s.thread_id.load(std::memory_order_relaxed));
+    event.kind = load_text(s.kind.data(), kKindWords);
+    event.detail = load_text(s.detail.data(), kDetailWords);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    event.sequence = s1 / 2 - 1;
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const flight_event& a, const flight_event& b) {
+              return a.sequence < b.sequence;
+            });
+  return events;
+}
+
+std::uint64_t flight_recorded_count() {
+  return g_next_ticket.load(std::memory_order_relaxed);
+}
+
+void flight_reset() {
+  for (slot& s : ring()) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.timestamp_us.store(0, std::memory_order_relaxed);
+    s.thread_id.store(0, std::memory_order_relaxed);
+    for (auto& w : s.kind) w.store(0, std::memory_order_relaxed);
+    for (auto& w : s.detail) w.store(0, std::memory_order_relaxed);
+  }
+  g_next_ticket.store(0, std::memory_order_relaxed);
+}
+
+void write_flight_postmortem(std::ostream& os, const std::string& reason) {
+  const std::vector<flight_event> events = flight_snapshot();
+  const std::uint64_t recorded = flight_recorded_count();
+  os << "{\n";
+  os << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  os << "  \"recorder_enabled\": "
+     << (flight_recorder_enabled() ? "true" : "false") << ",\n";
+  os << "  \"capacity\": " << kCapacity << ",\n";
+  os << "  \"recorded\": " << recorded << ",\n";
+  os << "  \"captured\": " << events.size() << ",\n";
+  os << "  \"dropped\": " << recorded - std::min<std::uint64_t>(recorded, events.size())
+     << ",\n";
+
+  os << "  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const flight_event& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n    {\"sequence\": " << e.sequence
+       << ", \"timestamp_us\": " << e.timestamp_us
+       << ", \"thread\": " << e.thread_id << ", \"kind\": \""
+       << json_escape(e.kind) << "\", \"detail\": \"" << json_escape(e.detail)
+       << "\"}";
+  }
+  os << (events.empty() ? "],\n" : "\n  ],\n");
+
+  os << "  \"active_spans\": [";
+  const std::vector<std::string> spans = active_spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(spans[i]) << "\"";
+  }
+  os << "],\n";
+
+  os << "  \"memory\": {\"process_bytes\": " << memtrack_process_live()
+     << ", \"process_peak_bytes\": " << memtrack_process_peak()
+     << ", \"accounts\": {";
+  bool first = true;
+  for (const mem_account* account : memtrack_accounts()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(account->name()) << "\": {\"bytes\": "
+       << account->live() << ", \"peak_bytes\": " << account->peak() << "}";
+  }
+  os << "}},\n";
+
+  os << "  \"metrics\": ";
+  global_metrics().write_json(os);
+  os << "}\n";
+}
+
+void set_flight_record_path(const std::string& path) {
+  {
+    path_store& s = postmortem_path();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.path = path;
+  }
+  if (!path.empty()) {
+    set_flight_recorder_enabled(true);
+    set_span_stack_tracking(true);
+  }
+}
+
+std::string flight_record_path() {
+  path_store& s = postmortem_path();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.path;
+}
+
+bool dump_flight_postmortem(const std::string& reason) noexcept {
+  try {
+    const std::string path = flight_record_path();
+    if (path.empty()) return false;
+    std::ofstream out(path);
+    if (!out) return false;
+    write_flight_postmortem(out, reason);
+    return out.good();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace compact

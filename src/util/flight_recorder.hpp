@@ -1,0 +1,75 @@
+// Failure flight recorder: a bounded, lock-free ring of recent telemetry
+// and trace events that can dump a postmortem JSON artifact when a run dies.
+//
+// The recorder answers "what was the process doing right before it failed?"
+// without the overhead or volume of full tracing: writers stamp fixed-size
+// slots (timestamp, thread, short kind/detail text) guarded by per-slot
+// sequence counters, so recording never blocks, never allocates, and is
+// safe from pool workers (every slot field is an atomic word — clean under
+// TSan). The ring keeps the last flight_recorder_capacity() events; older
+// ones are overwritten and counted as dropped.
+//
+// Recording follows the util/metrics gating idiom: off by default, one
+// relaxed atomic load when disabled, observation only — designs are
+// bit-identical with the recorder on or off.
+//
+// A postmortem dump bundles the surviving events (oldest first), the
+// calling thread's active span stack, every memory account, and the live
+// metrics registry into one JSON object. The CLI and api facade trigger
+// dumps on infeasible/parse/resource-limit/uncaught errors.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace compact {
+
+/// Globally enable/disable event capture. Off by default.
+void set_flight_recorder_enabled(bool enabled);
+[[nodiscard]] bool flight_recorder_enabled();
+
+/// Number of ring slots (fixed, power of two).
+[[nodiscard]] std::size_t flight_recorder_capacity();
+
+/// Record one event. `kind` is a short dotted tag ("pipeline.stage",
+/// "watchdog.trip", "cli.error"); `detail` is free text. Both are truncated
+/// to the slot's fixed text budget. No-op (one relaxed load) when disabled.
+void flight_record(const char* kind, const std::string& detail);
+
+/// One event recovered from the ring.
+struct flight_event {
+  std::uint64_t sequence = 0;  // global record index (0 = first ever)
+  std::int64_t timestamp_us = 0;
+  int thread_id = 0;
+  std::string kind;
+  std::string detail;
+};
+
+/// Events currently readable from the ring, oldest first. Slots being
+/// written concurrently are skipped rather than waited on.
+[[nodiscard]] std::vector<flight_event> flight_snapshot();
+
+/// Total events ever recorded (including overwritten ones).
+[[nodiscard]] std::uint64_t flight_recorded_count();
+
+/// Drop all events and zero the counters (the enabled flag is untouched).
+void flight_reset();
+
+/// Write the postmortem JSON artifact: {reason, recorded/captured/dropped
+/// counts, events, active_spans (calling thread), memory accounts, metrics}.
+void write_flight_postmortem(std::ostream& os, const std::string& reason);
+
+/// Process-wide postmortem destination used by the CLI's failure paths.
+/// Empty means "no dump". Setting a non-empty path also enables the
+/// recorder and span-stack tracking.
+void set_flight_record_path(const std::string& path);
+[[nodiscard]] std::string flight_record_path();
+
+/// If a postmortem path is set, write the artifact there (best effort,
+/// never throws) and return true. Returns false when no path is set or the
+/// file could not be written.
+bool dump_flight_postmortem(const std::string& reason) noexcept;
+
+}  // namespace compact

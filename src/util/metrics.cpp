@@ -50,15 +50,24 @@ double metric_histogram::quantile(double q) const {
   check(q >= 0.0 && q <= 1.0, "metric_histogram: quantile must be in [0, 1]");
   const std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) return 0.0;
-  // Rank of the target observation (1-based), then walk the buckets.
+  // Rank of the target observation (1-based), then walk the buckets. The
+  // comparisons carry a tolerance proportional to the total count: q *
+  // count_ computed in floating point can land a hair above an exact
+  // cumulative boundary, and without the tolerance a rank sitting on a
+  // bucket's top edge would interpolate into the NEXT non-empty bucket —
+  // a whole-bucket jump (e.g. p99 reported as 20 instead of 10 when the
+  // middle bucket is empty). Ranks on an edge return the bound exactly.
   const double rank = q * static_cast<double>(count_);
+  const double eps = 1e-9 * static_cast<double>(count_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
     const double before = static_cast<double>(seen);
     seen += buckets_[i];
-    if (static_cast<double>(seen) < rank) continue;
+    const double cumulative = static_cast<double>(seen);
+    if (cumulative < rank - eps) continue;
     if (i == bounds_.size()) return bounds_.back();  // overflow clamps
+    if (rank >= cumulative - eps) return bounds_[i];  // exactly on the edge
     const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
     const double upper = bounds_[i];
     const double fraction =
@@ -79,7 +88,22 @@ void metric_histogram::reset() {
 
 void metric_series::append(double seconds, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Bounded retention: once the buffer fills, keep every other stored point
+  // and double the accept stride, so a service-mode process holds at most
+  // max_points() points whose spacing coarsens deterministically (the same
+  // append sequence always yields the same retained set).
+  if (skip_ + 1 < stride_) {
+    ++skip_;
+    return;
+  }
+  skip_ = 0;
   points_.emplace_back(seconds, value);
+  if (points_.size() >= max_points()) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < points_.size(); i += 2) points_[kept++] = points_[i];
+    points_.resize(kept);
+    stride_ *= 2;
+  }
 }
 
 std::vector<std::pair<double, double>> metric_series::points() const {
@@ -95,6 +119,8 @@ std::size_t metric_series::size() const {
 void metric_series::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   points_.clear();
+  stride_ = 1;
+  skip_ = 0;
 }
 
 // --- registry --------------------------------------------------------------

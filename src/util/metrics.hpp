@@ -83,17 +83,32 @@ class metric_histogram {
 };
 
 /// Append-only (seconds, value) series for convergence-style metrics (e.g.
-/// the MIP's gap over time).
+/// the MIP's gap over time). Retention is bounded: at most max_points()
+/// points are kept, and on overflow the series deterministically halves its
+/// resolution (drops every other stored point and doubles the accept
+/// stride), so long-running processes never grow a series without limit
+/// while the retained points still span the whole timeline.
 class metric_series {
  public:
+  /// Hard cap on stored points; reaching it triggers downsampling.
+  [[nodiscard]] static constexpr std::size_t max_points() { return 4096; }
+
   void append(double seconds, double value);
   [[nodiscard]] std::vector<std::pair<double, double>> points() const;
   [[nodiscard]] std::size_t size() const;
+  /// Current accept stride: 1 until the first downsample, then 2, 4, ...
+  /// Only every stride()-th append is stored.
+  [[nodiscard]] std::size_t stride() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stride_;
+  }
   void reset();
 
  private:
   mutable std::mutex mutex_;
   std::vector<std::pair<double, double>> points_;
+  std::size_t stride_ = 1;
+  std::size_t skip_ = 0;
 };
 
 /// Globally enable/disable metric publication from the instrumented hot

@@ -10,6 +10,14 @@ namespace compact {
 namespace {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_span_stack_tracking{false};
+
+// Per-thread stack of open span names; only the owning thread touches it,
+// so no synchronization is needed and readers see their own stack only.
+std::vector<std::string>& thread_span_stack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
 
 std::chrono::steady_clock::time_point process_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -76,6 +84,29 @@ void trace_complete(std::string name, std::string category,
   const std::lock_guard<std::mutex> lock(s.mutex);
   s.records.push_back(std::move(record));
 }
+
+void set_span_stack_tracking(bool enabled) {
+  g_span_stack_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+bool span_stack_tracking() {
+  return g_span_stack_tracking.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> active_spans() { return thread_span_stack(); }
+
+namespace detail {
+
+void push_active_span(const std::string& name) {
+  thread_span_stack().push_back(name);
+}
+
+void pop_active_span() {
+  std::vector<std::string>& stack = thread_span_stack();
+  if (!stack.empty()) stack.pop_back();
+}
+
+}  // namespace detail
 
 void write_chrome_trace(std::ostream& os) {
   std::vector<trace_record> records;

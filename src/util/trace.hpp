@@ -18,6 +18,7 @@
 #include <ostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace compact {
 
@@ -58,28 +59,47 @@ void trace_complete(std::string name, std::string category,
 /// chrome://tracing and Perfetto. Complete events carry ph/ts/dur/pid/tid.
 void write_chrome_trace(std::ostream& os);
 
+/// Enable per-thread tracking of the currently-open span names, independent
+/// of chrome-trace recording, so postmortem dumps (the flight recorder) can
+/// report where a failure happened. Off by default; when off, trace_span
+/// pays one extra relaxed load and nothing else.
+void set_span_stack_tracking(bool enabled);
+[[nodiscard]] bool span_stack_tracking();
+
+/// The calling thread's currently-open span names, outermost first. Only
+/// spans constructed while tracking was enabled appear.
+[[nodiscard]] std::vector<std::string> active_spans();
+
+namespace detail {
+void push_active_span(const std::string& name);
+void pop_active_span();
+}  // namespace detail
+
 /// RAII scoped span: records [construction, destruction) on the calling
 /// thread when tracing is enabled at construction time. Cheap to construct
 /// when disabled (one relaxed load, no allocation).
 class trace_span {
  public:
   explicit trace_span(const char* name, const char* category = "synthesis")
-      : active_(trace_enabled()) {
-    if (active_) {
+      : active_(trace_enabled()), tracked_(span_stack_tracking()) {
+    if (active_ || tracked_) {
       name_ = name;
       category_ = category;
-      start_us_ = monotonic_now_us();
+      if (active_) start_us_ = monotonic_now_us();
     }
+    if (tracked_) detail::push_active_span(name_);
   }
   trace_span(std::string name, const char* category = "synthesis")
-      : active_(trace_enabled()) {
-    if (active_) {
+      : active_(trace_enabled()), tracked_(span_stack_tracking()) {
+    if (active_ || tracked_) {
       name_ = std::move(name);
       category_ = category;
-      start_us_ = monotonic_now_us();
+      if (active_) start_us_ = monotonic_now_us();
     }
+    if (tracked_) detail::push_active_span(name_);
   }
   ~trace_span() {
+    if (tracked_) detail::pop_active_span();
     if (active_)
       trace_complete(std::move(name_), category_,
                      start_us_, monotonic_now_us() - start_us_);
@@ -89,6 +109,7 @@ class trace_span {
 
  private:
   bool active_ = false;
+  bool tracked_ = false;
   std::string name_;
   const char* category_ = "";
   std::int64_t start_us_ = 0;

@@ -1,0 +1,113 @@
+#include "util/watchdog.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "util/flight_recorder.hpp"
+#include "util/memtrack.hpp"
+#include "util/trace.hpp"
+
+namespace compact {
+namespace {
+
+// The installed budgets, all relaxed atomics so pool workers can sample
+// them without locking. Written only by the installing thread while
+// g_active is false, then published with a release store on g_active.
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_memory_limit{0};
+std::atomic<std::uint64_t> g_soft_limit{0};
+std::atomic<std::int64_t> g_deadline_us{0};  // absolute monotonic us; 0 = off
+
+std::string span_context() {
+  const std::vector<std::string> spans = active_spans();
+  if (spans.empty()) return std::string();
+  std::string out = " (spans: ";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += " > ";
+    out += spans[i];
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+bool resource_limits_active() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+resource_pressure resource_checkpoint(const char* where) {
+  if (!g_active.load(std::memory_order_acquire)) return resource_pressure::none;
+
+  const std::int64_t deadline_us = g_deadline_us.load(std::memory_order_relaxed);
+  if (deadline_us != 0) {
+    const std::int64_t now_us = monotonic_now_us();
+    if (now_us > deadline_us) {
+      const std::string message =
+          "resource limit exceeded: deadline (" +
+          std::to_string(now_us / 1000) + " ms elapsed past the budget) at " +
+          where + span_context();
+      flight_record("watchdog.trip", message);
+      throw resource_limit_error(resource_limit_error::kind::deadline, message);
+    }
+  }
+
+  const std::uint64_t limit = g_memory_limit.load(std::memory_order_relaxed);
+  if (limit != 0) {
+    const std::uint64_t live = memtrack_process_live();
+    if (live > limit) {
+      const std::string message =
+          "resource limit exceeded: memory (" + std::to_string(live) +
+          " bytes live > " + std::to_string(limit) + " byte limit) at " +
+          where + span_context();
+      flight_record("watchdog.trip", message);
+      throw resource_limit_error(resource_limit_error::kind::memory, message);
+    }
+    if (live > g_soft_limit.load(std::memory_order_relaxed)) {
+      flight_record("watchdog.pressure",
+                    std::string("soft memory pressure at ") + where + ": " +
+                        std::to_string(live) + " / " + std::to_string(limit) +
+                        " bytes");
+      return resource_pressure::soft_memory;
+    }
+  }
+  return resource_pressure::none;
+}
+
+resource_limit_scope::resource_limit_scope(const resource_limits& limits) {
+  const bool wants_limits =
+      limits.memory_limit_bytes != 0 || limits.deadline_seconds > 0.0;
+  if (!wants_limits || g_active.load(std::memory_order_relaxed)) return;
+
+  previous_memtrack_ = memtrack_enabled();
+  if (limits.memory_limit_bytes != 0) set_memtrack_enabled(true);
+
+  g_memory_limit.store(limits.memory_limit_bytes, std::memory_order_relaxed);
+  const double soft_fraction =
+      limits.soft_fraction > 0.0 && limits.soft_fraction <= 1.0
+          ? limits.soft_fraction
+          : 0.85;
+  g_soft_limit.store(static_cast<std::uint64_t>(
+                         soft_fraction *
+                         static_cast<double>(limits.memory_limit_bytes)),
+                     std::memory_order_relaxed);
+  g_deadline_us.store(
+      limits.deadline_seconds > 0.0
+          ? monotonic_now_us() +
+                static_cast<std::int64_t>(limits.deadline_seconds * 1e6)
+          : 0,
+      std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+  installed_ = true;
+}
+
+resource_limit_scope::~resource_limit_scope() {
+  if (!installed_) return;
+  g_active.store(false, std::memory_order_release);
+  g_memory_limit.store(0, std::memory_order_relaxed);
+  g_soft_limit.store(0, std::memory_order_relaxed);
+  g_deadline_us.store(0, std::memory_order_relaxed);
+  set_memtrack_enabled(previous_memtrack_);
+}
+
+}  // namespace compact

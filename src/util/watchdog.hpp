@@ -1,0 +1,67 @@
+// Ambient resource watchdog: a process-wide memory budget and deadline,
+// sampled cooperatively at cheap structural boundaries (pipeline stage ends,
+// branch-and-bound rounds, BDD arena chunk growth) via resource_checkpoint().
+//
+// The watchdog is ambient rather than threaded through every call chain so
+// the deep engines (the MIP solver inside a labeler inside a pipeline pass)
+// hit the same budget without API changes. A breach throws a structured
+// resource_limit_error naming the limit instead of letting the process OOM
+// or silently overrun its deadline; crossing a soft fraction of the memory
+// limit is reported back to the caller so it can shed load (GC, cache
+// eviction) before the hard line.
+//
+// Limits are installed by resource_limit_scope (RAII). The outermost scope
+// wins: nested installs (partitioned synthesis re-entering the single-array
+// entry point per fragment) are no-ops, so the whole run shares one budget.
+// When no limits are active a checkpoint is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace compact {
+
+/// Budgets enforced by the watchdog. Zero means "no limit" for both axes.
+struct resource_limits {
+  std::uint64_t memory_limit_bytes = 0;
+  double deadline_seconds = 0.0;
+  /// Fraction of the memory limit past which checkpoints report soft
+  /// pressure (GC / cache-eviction hint) without failing the run.
+  double soft_fraction = 0.85;
+};
+
+/// What a checkpoint observed. `soft_memory` means live bytes crossed
+/// soft_fraction * memory_limit_bytes: shed load now or fail soon.
+enum class resource_pressure { none, soft_memory };
+
+/// True when a resource_limit_scope is installed somewhere up the stack.
+[[nodiscard]] bool resource_limits_active();
+
+/// Sample the active limits. Throws resource_limit_error (kind memory or
+/// deadline) on a hard breach; `where` names the sampling site in the error
+/// message and flight-recorder event. Returns soft_memory when past the
+/// soft fraction. One relaxed atomic load when no limits are active.
+resource_pressure resource_checkpoint(const char* where);
+
+/// Installs `limits` for the lifetime of the scope (outermost wins; nested
+/// scopes are inert). A non-zero memory limit force-enables memtrack — the
+/// watchdog compares the accounted process-live total against the budget —
+/// and the prior memtrack flag is restored on exit.
+class resource_limit_scope {
+ public:
+  explicit resource_limit_scope(const resource_limits& limits);
+  ~resource_limit_scope();
+  resource_limit_scope(const resource_limit_scope&) = delete;
+  resource_limit_scope& operator=(const resource_limit_scope&) = delete;
+
+  /// Whether this scope actually installed the limits (false when nested
+  /// under an active scope, or when both budgets were zero).
+  [[nodiscard]] bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+  bool previous_memtrack_ = false;
+};
+
+}  // namespace compact

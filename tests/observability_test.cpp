@@ -70,6 +70,31 @@ TEST(MetricHistogramTest, QuantilesInterpolateAndClampOverflow) {
   EXPECT_EQ(h.quantile(0.9), 0.0);
 }
 
+TEST(MetricHistogramTest, QuantileIsExactAtBucketBoundaries) {
+  metric_histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+  for (int i = 0; i < 20; ++i) h.observe(30.0);  // bucket (20, 40]
+  // Ranks landing exactly on a bucket's cumulative edge return that bucket's
+  // upper bound instead of interpolating into the next bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);  // rank 10 = bucket 0's edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);   // rank 20 = bucket 1's edge
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);   // rank 40 = the covered top
+  // Interior ranks still interpolate linearly within their bucket.
+  EXPECT_NEAR(h.quantile(0.125), 5.0, 1e-9);  // halfway through bucket 0
+  EXPECT_NEAR(h.quantile(0.75), 30.0, 1e-9);  // halfway through bucket 2
+}
+
+TEST(MetricHistogramTest, SingleObservationOnBoundaryStaysInItsBucket) {
+  metric_histogram h({10.0});
+  h.observe(10.0);  // on the bound: inclusive-upper, so bucket 0
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 0u);  // not the overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_GE(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(0.5), 10.0);
+}
+
 // --------------------------------------------------------------------------
 // Counters, gauges, series, and the registry dump.
 
@@ -119,6 +144,42 @@ TEST(MetricsRegistryTest, WriteJsonRoundTripsThroughOwnParser) {
   }
   EXPECT_TRUE(saw_counter);
   EXPECT_TRUE(saw_hist);
+}
+
+TEST(MetricsRegistryTest, SeriesRetentionDownsamplesDeterministically) {
+  observability_sandbox sandbox;
+  metric_series& s = global_metrics().series("test.retention");
+  s.reset();
+  EXPECT_EQ(s.stride(), 1u);
+  const std::size_t cap = metric_series::max_points();
+
+  // Filling to the cap triggers the first halving: every other point is
+  // kept and the accept stride doubles, so retention is bounded and the
+  // same append sequence always retains the same set.
+  for (std::size_t i = 0; i < cap; ++i)
+    s.append(static_cast<double>(i), static_cast<double>(i));
+  EXPECT_EQ(s.size(), cap / 2);
+  EXPECT_EQ(s.stride(), 2u);
+
+  // A second cap's worth of appends (half accepted at stride 2) fills the
+  // buffer again and doubles the stride once more.
+  for (std::size_t i = cap; i < 2 * cap; ++i)
+    s.append(static_cast<double>(i), static_cast<double>(i));
+  EXPECT_EQ(s.stride(), 4u);
+  EXPECT_LE(s.size(), cap);
+
+  // The retained points are an ordered subsequence of what was appended.
+  const std::vector<std::pair<double, double>> points = s.points();
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.front().first, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].first, points[i].second);  // value tracked seconds
+    if (i > 0) EXPECT_LT(points[i - 1].first, points[i].first);
+  }
+
+  s.reset();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.stride(), 1u);
 }
 
 // --------------------------------------------------------------------------

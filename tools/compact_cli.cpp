@@ -22,12 +22,23 @@
 //   --dot FILE.dot         dump the shared BDD as graphviz
 //   --trace-json FILE      per-stage telemetry as JSON lines
 //   --metrics-json FILE    dump the metrics registry as JSON after the run
+//                          (memory gauges mem.* included)
 //   --chrome-trace FILE    span timeline in Chrome trace-event format
+//   --mem-limit BYTES      hard memory budget (K/M/G suffixes accepted);
+//                          a breach exits with code 4
+//   --deadline S           hard wall-clock budget in seconds; exceeding it
+//                          exits with code 4
+//   --flight-record FILE   write a postmortem JSON artifact (recent events,
+//                          memory accounts, metrics) if the run fails
 //   --print                pretty-print the crossbar
 //   --validate             digital validity check before reporting
 //
 // `compact_cli stats <netlist> [synthesize options]` runs the same flow with
-// the metrics registry enabled and prints it as a table afterwards.
+// the metrics registry and memory accounting enabled and prints both as
+// tables afterwards.
+//
+// Exit codes: 0 success, 1 error / dirty verification, 2 usage,
+// 3 infeasible budgets, 4 resource limit (memory or deadline) exceeded.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -49,7 +60,9 @@
 #include "frontend/pla.hpp"
 #include "frontend/to_bdd.hpp"
 #include "frontend/verilog.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/json.hpp"
+#include "util/memtrack.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -77,7 +90,8 @@ using namespace compact;
       "      [--threads N] [--order none|sift|exhaustive] [--minimize]\n"
       "      [--separate-robdds] [--baseline] [--out F.xbar] [--dot F.dot]\n"
       "      [--trace-json F.jsonl] [--metrics-json F.json]\n"
-      "      [--chrome-trace F.json] [--print] [--validate] [--verify]\n"
+      "      [--chrome-trace F.json] [--mem-limit BYTES] [--deadline S]\n"
+      "      [--flight-record F.json] [--print] [--validate] [--verify]\n"
       "  compact_cli stats <netlist> [synthesize options]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
@@ -118,6 +132,32 @@ int parse_positive_flag(const std::string& flag, const std::string& text) {
   const int value = parse_int_flag(flag, text);
   if (value <= 0) usage(flag + " must be positive, got " + text);
   return value;
+}
+
+/// Byte quantity with an optional K / M / G suffix (powers of 1024, case
+/// insensitive): "64M" = 67108864. Used by --mem-limit.
+std::uint64_t parse_bytes_flag(const std::string& flag,
+                               const std::string& text) {
+  std::string digits = text;
+  std::uint64_t multiplier = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': multiplier = 1024ULL; break;
+      case 'm': case 'M': multiplier = 1024ULL * 1024; break;
+      case 'g': case 'G': multiplier = 1024ULL * 1024 * 1024; break;
+      default: break;
+    }
+    if (multiplier != 1) digits.pop_back();
+  }
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(digits, &consumed);
+    if (consumed == digits.size() && !digits.empty() && value > 0)
+      return static_cast<std::uint64_t>(value) * multiplier;
+  } catch (const std::exception&) {
+  }
+  usage(flag + " expects a positive byte count (K/M/G suffix ok), got '" +
+        text + "'");
 }
 
 frontend::network load_netlist(const std::string& path) {
@@ -203,6 +243,32 @@ void print_metrics_table(std::ostream& os) {
   t.print(os);
 }
 
+/// Memory-account gauges (`compact_cli stats`): live / peak bytes per
+/// account plus the process totals the watchdog compares against its limit.
+void print_memory_table(std::ostream& os) {
+  table t({"memory account", "live bytes", "peak bytes"});
+  for (const mem_account* account : memtrack_accounts())
+    t.add_row({account->name(), cell(static_cast<std::size_t>(account->live())),
+               cell(static_cast<std::size_t>(account->peak()))});
+  t.add_row({"process",
+             cell(static_cast<std::size_t>(memtrack_process_live())),
+             cell(static_cast<std::size_t>(memtrack_process_peak()))});
+  t.print(os);
+}
+
+/// One-line flight-recorder status (`compact_cli stats`).
+void print_flight_status(std::ostream& os) {
+  if (!flight_recorder_enabled()) {
+    os << "flight recorder: disabled\n";
+    return;
+  }
+  os << "flight recorder: enabled, " << flight_recorded_count()
+     << " event(s) recorded (capacity " << flight_recorder_capacity() << ")";
+  const std::string path = flight_record_path();
+  if (!path.empty()) os << ", postmortem -> " << path;
+  os << "\n";
+}
+
 /// Writes the --metrics-json / --chrome-trace artifacts when the scope ends,
 /// so they appear on *every* exit path out of cmd_synthesize — including
 /// thrown errors, where the partial timeline is exactly what one wants to
@@ -214,6 +280,10 @@ struct observability_dump {
   ~observability_dump() {
     try {
       if (metrics_path) {
+        // Fold the final memory-account values into the registry so the
+        // mem.* gauges in the JSON reflect end-of-run state, not the last
+        // stage boundary.
+        publish_memtrack_metrics();
         std::ofstream out(*metrics_path);
         if (out) {
           global_metrics().write_json(out);
@@ -312,6 +382,14 @@ int cmd_synthesize_legacy(const std::vector<std::string>& args) {
       metrics_path = value();
     } else if (a == "--chrome-trace") {
       chrome_path = value();
+    } else if (a == "--mem-limit") {
+      options.memory_limit_bytes = parse_bytes_flag(a, value());
+    } else if (a == "--deadline") {
+      options.deadline_seconds = parse_double_flag(a, value());
+      if (options.deadline_seconds <= 0.0)
+        usage("--deadline must be positive");
+    } else if (a == "--flight-record") {
+      set_flight_record_path(value());
     } else if (a == "--print") {
       do_print = true;
     } else if (a == "--validate") {
@@ -331,6 +409,9 @@ int cmd_synthesize_legacy(const std::vector<std::string>& args) {
   if (metrics_path) {
     set_metrics_enabled(true);
     global_metrics().reset();
+    // Memory gauges ride along in the JSON dump (mem.* names).
+    set_memtrack_enabled(true);
+    memtrack_reset();
   }
   if (chrome_path) {
     set_trace_enabled(true);
@@ -530,6 +611,14 @@ int cmd_synthesize(const std::vector<std::string>& args) {
       metrics_path = value();
     } else if (a == "--chrome-trace") {
       chrome_path = value();
+    } else if (a == "--mem-limit") {
+      options.memory_limit_bytes = parse_bytes_flag(a, value());
+    } else if (a == "--deadline") {
+      options.deadline_seconds = parse_double_flag(a, value());
+      if (options.deadline_seconds <= 0.0)
+        usage("--deadline must be positive");
+    } else if (a == "--flight-record") {
+      options.flight_record_path = value();
     } else if (a == "--print") {
       do_print = true;
     } else if (a == "--validate") {
@@ -550,6 +639,9 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   if (metrics_path) {
     set_metrics_enabled(true);
     global_metrics().reset();
+    // Memory gauges ride along in the JSON dump (mem.* names).
+    set_memtrack_enabled(true);
+    memtrack_reset();
   }
   if (chrome_path) {
     set_trace_enabled(true);
@@ -614,13 +706,22 @@ int cmd_synthesize(const std::vector<std::string>& args) {
 
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.empty()) usage("stats needs a netlist");
-  // Same flow and flags as synthesize, with the registry force-enabled;
-  // afterwards every counter the run touched prints as a table.
+  // Same flow and flags as synthesize, with the registry and memory
+  // accounting force-enabled; afterwards every counter the run touched
+  // prints as a table, followed by the memory accounts and the
+  // flight-recorder status.
   set_metrics_enabled(true);
   global_metrics().reset();
+  set_memtrack_enabled(true);
+  memtrack_reset();
   const int rc = cmd_synthesize(args);
+  publish_memtrack_metrics();
   std::cout << "\n";
   print_metrics_table(std::cout);
+  std::cout << "\n";
+  print_memory_table(std::cout);
+  std::cout << "\n";
+  print_flight_status(std::cout);
   return rc;
 }
 
@@ -1015,20 +1116,35 @@ int main(int argc, char** argv) {
     if (command == "lint") return cmd_lint(args);
     usage("unknown command " + command);
   } catch (const infeasible_error& e) {
+    dump_flight_postmortem(std::string("infeasible: ") + e.what());
     std::cerr << "infeasible: " << e.what() << "\n";
     return 3;
   } catch (const api::infeasible_error& e) {
+    dump_flight_postmortem(std::string("infeasible: ") + e.what());
     std::cerr << "infeasible: " << e.what() << "\n";
     return 3;
+  } catch (const resource_limit_error& e) {
+    dump_flight_postmortem(std::string("resource limit: ") + e.what());
+    std::cerr << "resource limit (" << e.kind_name() << "): " << e.what()
+              << "\n";
+    return 4;
+  } catch (const api::resource_limit_error& e) {
+    dump_flight_postmortem(std::string("resource limit: ") + e.what());
+    std::cerr << "resource limit (" << e.kind_name() << "): " << e.what()
+              << "\n";
+    return 4;
   } catch (const error& e) {
+    dump_flight_postmortem(std::string("error: ") + e.what());
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (const api::error& e) {
+    dump_flight_postmortem(std::string("error: ") + e.what());
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {
     // Last-resort net: standard-library exceptions (bad_alloc, filesystem,
     // regex, ...) exit cleanly instead of calling std::terminate.
+    dump_flight_postmortem(std::string("uncaught exception: ") + e.what());
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

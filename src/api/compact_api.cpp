@@ -130,6 +130,47 @@ auto translated(F&& f) -> decltype(f()) {
   return out;
 }
 
+/// Shared tail of both lint() overloads: install the optional electrical /
+/// criticality engines on the artifact bundle, analyze, and lift the engine
+/// summaries into the versioned outcome.
+[[nodiscard]] lint_outcome run_lint(verify::artifacts& artifacts,
+                                    const lint_options_v1& options) {
+  verify::analyzer_options analyzer_options;
+  analyzer_options.equivalence = options.equivalence;
+
+  verify::electrical_options electrical;
+  if (options.electrical) {
+    if (options.margin_threshold <= 0.0)
+      throw error("margin_threshold must be positive");
+    electrical.margin_threshold = options.margin_threshold;
+    artifacts.electrical = &electrical;
+  }
+  verify::criticality_options criticality;
+  if (options.criticality) {
+    if (options.criticality_limit < 0)
+      throw error("criticality_limit must be >= 0 (0 = exhaustive)");
+    criticality.max_faults = options.criticality_limit;
+    artifacts.criticality = &criticality;
+  }
+  verify::analysis_cache cache;
+  artifacts.cache = &cache;
+
+  lint_outcome out = to_lint_outcome(verify::analyze(artifacts,
+                                                     analyzer_options));
+  if (cache.electrical.has_value()) {
+    out.electrical_ran = true;
+    out.electrically_safe = cache.electrical->safe;
+    out.min_margin_ratio = cache.electrical->min_margin_ratio;
+  }
+  if (cache.criticality.has_value()) {
+    out.criticality_ran = true;
+    out.junctions_analyzed = cache.criticality->junction_count;
+    out.critical_junctions = cache.criticality->critical_count;
+    out.criticality_truncated = cache.criticality->truncated;
+  }
+  return out;
+}
+
 /// Translate the versioned plain-struct knobs into the internal options.
 [[nodiscard]] core::synthesis_options to_core_options(
     const synthesis_options_v1& options) {
@@ -510,9 +551,7 @@ lint_outcome lint(const netlist_source& source,
     artifacts.spec_names = &built.names;
     artifacts.variable_count = net.input_count();
 
-    verify::analyzer_options analyzer_options;
-    analyzer_options.equivalence = options.equivalence;
-    return to_lint_outcome(verify::analyze(artifacts, analyzer_options));
+    return run_lint(artifacts, options);
   });
 }
 
@@ -533,9 +572,7 @@ lint_outcome lint(const design& d, const netlist_source& source,
     artifacts.spec_names = &built.names;
     artifacts.variable_count = net.input_count();
 
-    verify::analyzer_options analyzer_options;
-    analyzer_options.equivalence = options.equivalence;
-    return to_lint_outcome(verify::analyze(artifacts, analyzer_options));
+    return run_lint(artifacts, options);
   });
 }
 

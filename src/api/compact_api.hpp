@@ -47,7 +47,11 @@
 /// Version 3 added resource budgets and failure observability: the
 /// `memory_limit_bytes` / `deadline_seconds` / `flight_record_path` options
 /// and the resource_limit_error exception.
-#define COMPACT_API_VERSION 3
+/// Version 4 added electrical & fault-criticality static analysis: the
+/// `electrical` / `margin_threshold` / `criticality` / `criticality_limit`
+/// lint options and the margin / criticality summary fields of
+/// lint_outcome.
+#define COMPACT_API_VERSION 4
 
 namespace compact::api {
 
@@ -301,6 +305,25 @@ struct lint_options_v1 {
   int threads = 1;
   /// Run the symbolic-equivalence check family (the expensive one).
   bool equivalence = true;
+  /// Run the ELCxxx electrical-integrity family: static worst-case ON-path
+  /// vs. best-case sneak-path resistance bounds over the conduction graph,
+  /// flagging outputs whose sensing margin falls below margin_threshold.
+  /// Appended in version 4.
+  bool electrical = false;
+  /// Minimum acceptable static margin ratio (best-case OFF resistance over
+  /// worst-case ON resistance) before ELC001 fires. Ratios below 1.0
+  /// escalate to errors. Only read when `electrical` is set. Appended in
+  /// version 4.
+  double margin_threshold = 10.0;
+  /// Run the FLTxxx fault-criticality family: decide symbolically, per
+  /// junction, whether a stuck-open / stuck-closed defect can flip any
+  /// output. Requires `equivalence` (the family shares its cost class).
+  /// Appended in version 4.
+  bool criticality = false;
+  /// Cap on analyzed faults for the criticality family; 0 = exhaustive.
+  /// Truncated runs are reported as such, never silently. Appended in
+  /// version 4.
+  int criticality_limit = 0;
 };
 
 struct lint_outcome {
@@ -309,6 +332,21 @@ struct lint_outcome {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t notes = 0;
+  /// Electrical summary (meaningful when options.electrical was set and
+  /// `electrical_ran` is true): the smallest static margin ratio across
+  /// sensed outputs and whether every output met the threshold. Appended
+  /// in version 4.
+  bool electrical_ran = false;
+  bool electrically_safe = false;
+  double min_margin_ratio = 0.0;
+  /// Fault-criticality summary (meaningful when options.criticality was
+  /// set and `criticality_ran` is true). `critical_junctions` counts
+  /// single-point-of-failure devices; `criticality_truncated` reports a
+  /// fault budget cut the sweep short. Appended in version 4.
+  bool criticality_ran = false;
+  int junctions_analyzed = 0;
+  int critical_junctions = 0;
+  bool criticality_truncated = false;
   /// True when no diagnostic at or above `fail_on` severity was reported.
   /// fail_on is "note", "warning" (default), or "error".
   [[nodiscard]] bool clean(const std::string& fail_on = "warning") const;

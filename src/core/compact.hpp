@@ -128,6 +128,14 @@ struct synthesis_options {
   /// to be linked (it installs the pass; tools and tests link it via
   /// compact::all).
   bool verify_design = false;
+  /// With verify_design: also run the ELCxxx electrical-integrity family
+  /// (static ON/OFF sensing-margin bounds over the conduction graph). Off
+  /// by default so the verify pass stays purely structural/symbolic.
+  bool verify_electrical = false;
+  /// Minimum acceptable static margin ratio (best-case OFF resistance over
+  /// worst-case ON resistance) before ELC001 fires. Only read when
+  /// verify_electrical is set.
+  double verify_margin_threshold = 10.0;
 };
 
 /// Wall time of one named pipeline stage.

@@ -52,7 +52,7 @@ label_cache_key make_label_cache_key(const bdd_graph& graph,
 
 std::optional<cached_labeling> labeling_cache::find(
     const label_cache_key& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   const auto it = entries_.find(key.digest);
   if (it != entries_.end())
     for (const auto& [canonical, entry] : it->second)
@@ -69,7 +69,7 @@ std::optional<cached_labeling> labeling_cache::find(
 }
 
 void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   bucket& slot = entries_[key.digest];
   for (const auto& [canonical, existing] : slot)
     if (canonical == key.canonical) return;  // first store wins
@@ -84,12 +84,12 @@ void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
 }
 
 labeling_cache::counters labeling_cache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return counters_;
 }
 
 void labeling_cache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entries_.clear();
   counters_ = {};
   content_bytes_ = 0;
@@ -97,7 +97,10 @@ void labeling_cache::clear() {
 }
 
 labeling_cache::~labeling_cache() {
-  // Drain the charge regardless of the current enabled flag.
+  // Drain the charge regardless of the current enabled flag. The lock is
+  // formally redundant in a destructor but keeps the guarded-field access
+  // visible to the thread-safety analysis.
+  const mutex_lock lock(mutex_);
   if (bytes_accounted_ != 0) cache_account().sub(bytes_accounted_);
 }
 

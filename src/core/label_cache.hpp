@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,6 +27,7 @@
 
 #include "core/bdd_graph.hpp"
 #include "core/labeling.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace compact::core {
 
@@ -85,13 +85,14 @@ class labeling_cache {
 
  private:
   using bucket = std::vector<std::pair<std::string, cached_labeling>>;
-  mutable std::mutex mutex_;
-  mutable counters counters_;
-  std::unordered_map<std::uint64_t, bucket> entries_;
+  mutable annotated_mutex mutex_;
+  mutable counters counters_ COMPACT_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, bucket> entries_
+      COMPACT_GUARDED_BY(mutex_);
   // Estimated bytes held (keys + payload vectors + per-entry overhead) and
   // the portion charged to the mem.cache.labeling account.
-  std::uint64_t content_bytes_ = 0;
-  std::uint64_t bytes_accounted_ = 0;
+  std::uint64_t content_bytes_ COMPACT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_accounted_ COMPACT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace compact::core

@@ -206,7 +206,7 @@ label_cache_key make_partition_cache_key(const bdd_graph& graph,
 
 std::optional<partition_plan> partition_cache::find(
     const label_cache_key& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   const auto it = entries_.find(key.digest);
   if (it != entries_.end())
     for (const auto& [canonical, plan] : it->second)
@@ -223,7 +223,7 @@ std::optional<partition_plan> partition_cache::find(
 }
 
 void partition_cache::store(const label_cache_key& key, partition_plan plan) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   bucket& slot = entries_[key.digest];
   for (const auto& [canonical, existing] : slot)
     if (canonical == key.canonical) return;  // first store wins
@@ -241,12 +241,12 @@ void partition_cache::store(const label_cache_key& key, partition_plan plan) {
 }
 
 partition_cache::counters partition_cache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return counters_;
 }
 
 void partition_cache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entries_.clear();
   counters_ = {};
   content_bytes_ = 0;
@@ -579,7 +579,7 @@ partitioned_synthesis_result synthesize_partitioned(
           "verify::install_pipeline_pass() first");
     stopwatch verify_clock;
     result.verification = partition_verify_slot()(result.design, m, roots,
-                                                  names);
+                                                  names, options);
     stats.stage_seconds.push_back({"verify", verify_clock.seconds()});
   }
   if (options.validate_design) {

@@ -26,7 +26,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -36,6 +35,7 @@
 #include "core/bdd_graph.hpp"
 #include "core/compact.hpp"
 #include "core/label_cache.hpp"
+#include "util/thread_annotations.hpp"
 #include "xbar/partitioned.hpp"
 
 namespace compact::core {
@@ -87,12 +87,13 @@ class partition_cache {
 
  private:
   using bucket = std::vector<std::pair<std::string, partition_plan>>;
-  mutable std::mutex mutex_;
-  mutable counters counters_;
-  std::unordered_map<std::uint64_t, bucket> entries_;
+  mutable annotated_mutex mutex_;
+  mutable counters counters_ COMPACT_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, bucket> entries_
+      COMPACT_GUARDED_BY(mutex_);
   // Estimated bytes held and the portion charged to mem.cache.partition.
-  std::uint64_t content_bytes_ = 0;
-  std::uint64_t bytes_accounted_ = 0;
+  std::uint64_t content_bytes_ COMPACT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_accounted_ COMPACT_GUARDED_BY(mutex_) = 0;
 };
 
 /// Cache key for partitioning `graph` under `options` (graph node count +
@@ -170,7 +171,7 @@ struct partitioned_synthesis_result {
 using partition_verify_fn = std::function<verify::report(
     const xbar::partitioned_design& design, const bdd::manager& spec,
     const std::vector<bdd::node_handle>& roots,
-    const std::vector<std::string>& names)>;
+    const std::vector<std::string>& names, const synthesis_options& options)>;
 void set_partition_verify(partition_verify_fn fn);
 [[nodiscard]] bool partition_verify_installed();
 

@@ -5,11 +5,11 @@
 #include <atomic>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 
 #include "util/memtrack.hpp"
 #include "util/metrics.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/trace.hpp"
 
 namespace compact {
@@ -65,8 +65,8 @@ std::string load_text(const std::atomic<std::uint64_t>* words,
 }
 
 struct path_store {
-  std::mutex mutex;
-  std::string path;
+  annotated_mutex mutex;
+  std::string path COMPACT_GUARDED_BY(mutex);
 };
 
 path_store& postmortem_path() {
@@ -192,7 +192,7 @@ void write_flight_postmortem(std::ostream& os, const std::string& reason) {
 void set_flight_record_path(const std::string& path) {
   {
     path_store& s = postmortem_path();
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const mutex_lock lock(s.mutex);
     s.path = path;
   }
   if (!path.empty()) {
@@ -203,7 +203,7 @@ void set_flight_record_path(const std::string& path) {
 
 std::string flight_record_path() {
   path_store& s = postmortem_path();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const mutex_lock lock(s.mutex);
   return s.path;
 }
 

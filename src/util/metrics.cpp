@@ -24,31 +24,31 @@ void metric_histogram::observe(double value) {
   const std::size_t i = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   ++buckets_[i];
   ++count_;
   sum_ += value;
 }
 
 std::uint64_t metric_histogram::count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return count_;
 }
 
 double metric_histogram::sum() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return sum_;
 }
 
 std::uint64_t metric_histogram::bucket_count(std::size_t i) const {
   check(i < buckets_.size(), "metric_histogram: bucket index out of range");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return buckets_[i];
 }
 
 double metric_histogram::quantile(double q) const {
   check(q >= 0.0 && q <= 1.0, "metric_histogram: quantile must be in [0, 1]");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   if (count_ == 0) return 0.0;
   // Rank of the target observation (1-based), then walk the buckets. The
   // comparisons carry a tolerance proportional to the total count: q *
@@ -78,7 +78,7 @@ double metric_histogram::quantile(double q) const {
 }
 
 void metric_histogram::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -87,7 +87,7 @@ void metric_histogram::reset() {
 // --- series ----------------------------------------------------------------
 
 void metric_series::append(double seconds, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   // Bounded retention: once the buffer fills, keep every other stored point
   // and double the accept stride, so a service-mode process holds at most
   // max_points() points whose spacing coarsens deterministically (the same
@@ -107,17 +107,17 @@ void metric_series::append(double seconds, double value) {
 }
 
 std::vector<std::pair<double, double>> metric_series::points() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return points_;
 }
 
 std::size_t metric_series::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   return points_.size();
 }
 
 void metric_series::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   points_.clear();
   stride_ = 1;
   skip_ = 0;
@@ -163,14 +163,14 @@ metrics_registry::entry& metrics_registry::find_or_create(
 }
 
 metric_counter& metrics_registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entry& e = find_or_create(name, "counter");
   if (!e.counter) e.counter = std::make_unique<metric_counter>();
   return *e.counter;
 }
 
 metric_gauge& metrics_registry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entry& e = find_or_create(name, "gauge");
   if (!e.gauge) e.gauge = std::make_unique<metric_gauge>();
   return *e.gauge;
@@ -178,7 +178,7 @@ metric_gauge& metrics_registry::gauge(const std::string& name) {
 
 metric_histogram& metrics_registry::histogram(const std::string& name,
                                               std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entry& e = find_or_create(name, "histogram");
   if (!e.histogram)
     e.histogram = std::make_unique<metric_histogram>(std::move(bounds));
@@ -186,7 +186,7 @@ metric_histogram& metrics_registry::histogram(const std::string& name,
 }
 
 metric_series& metrics_registry::series(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const mutex_lock lock(mutex_);
   entry& e = find_or_create(name, "series");
   if (!e.series) e.series = std::make_unique<metric_series>();
   return *e.series;
@@ -196,7 +196,7 @@ std::vector<std::pair<std::string, std::string>> metrics_registry::names()
     const {
   std::vector<std::pair<std::string, std::string>> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     out.reserve(entries_.size());
     for (const auto& [name, e] : entries_) out.emplace_back(name, e->kind);
   }
@@ -209,7 +209,7 @@ void metrics_registry::write_json(std::ostream& os) const {
   // metric objects carry their own synchronization).
   std::vector<std::pair<std::string, entry*>> entries;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     entries = entries_;
   }
   std::sort(entries.begin(), entries.end(),
@@ -256,7 +256,7 @@ void metrics_registry::write_json(std::ostream& os) const {
 void metrics_registry::reset() {
   std::vector<std::pair<std::string, entry*>> entries;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     entries = entries_;
   }
   for (const auto& [name, e] : entries) {

@@ -14,11 +14,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace compact {
 
@@ -76,10 +77,11 @@ class metric_histogram {
 
  private:
   std::vector<double> bounds_;
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  mutable annotated_mutex mutex_;
+  // bounds_.size() + 1 buckets (overflow last).
+  std::vector<std::uint64_t> buckets_ COMPACT_GUARDED_BY(mutex_);
+  std::uint64_t count_ COMPACT_GUARDED_BY(mutex_) = 0;
+  double sum_ COMPACT_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Append-only (seconds, value) series for convergence-style metrics (e.g.
@@ -99,16 +101,16 @@ class metric_series {
   /// Current accept stride: 1 until the first downsample, then 2, 4, ...
   /// Only every stride()-th append is stored.
   [[nodiscard]] std::size_t stride() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     return stride_;
   }
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::pair<double, double>> points_;
-  std::size_t stride_ = 1;
-  std::size_t skip_ = 0;
+  mutable annotated_mutex mutex_;
+  std::vector<std::pair<double, double>> points_ COMPACT_GUARDED_BY(mutex_);
+  std::size_t stride_ COMPACT_GUARDED_BY(mutex_) = 1;
+  std::size_t skip_ COMPACT_GUARDED_BY(mutex_) = 0;
 };
 
 /// Globally enable/disable metric publication from the instrumented hot
@@ -143,10 +145,13 @@ class metrics_registry {
 
  private:
   struct entry;
-  entry& find_or_create(const std::string& name, const char* kind);
+  entry& find_or_create(const std::string& name, const char* kind)
+      COMPACT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, entry*>> entries_;  // insertion order
+  mutable annotated_mutex mutex_;
+  // Insertion order; entries leak by design (process-lifetime handles).
+  std::vector<std::pair<std::string, entry*>> entries_
+      COMPACT_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry used by all built-in instrumentation.

@@ -1,0 +1,69 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety) as no-op
+// macros on every other compiler, plus an annotated std::mutex wrapper.
+//
+// libstdc++'s std::mutex carries no capability attributes, so locking it
+// is invisible to the analysis; annotated_mutex forwards to std::mutex and
+// declares itself a capability, and mutex_lock is the matching scoped
+// guard. Classes whose state is protected by a mutex mark each field with
+// COMPACT_GUARDED_BY(mutex_): clang then rejects, at compile time, any
+// access that does not hold the lock. The annotations are enforced by the
+// clang-thread-safety CI job; under GCC and MSVC they expand to nothing
+// and the wrapper behaves exactly like std::mutex + std::lock_guard.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define COMPACT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COMPACT_THREAD_ANNOTATION(x)
+#endif
+
+#define COMPACT_CAPABILITY(x) COMPACT_THREAD_ANNOTATION(capability(x))
+#define COMPACT_SCOPED_CAPABILITY COMPACT_THREAD_ANNOTATION(scoped_lockable)
+#define COMPACT_GUARDED_BY(x) COMPACT_THREAD_ANNOTATION(guarded_by(x))
+#define COMPACT_PT_GUARDED_BY(x) COMPACT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define COMPACT_REQUIRES(...) \
+  COMPACT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define COMPACT_ACQUIRE(...) \
+  COMPACT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define COMPACT_RELEASE(...) \
+  COMPACT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define COMPACT_TRY_ACQUIRE(...) \
+  COMPACT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define COMPACT_EXCLUDES(...) \
+  COMPACT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define COMPACT_RETURN_CAPABILITY(x) \
+  COMPACT_THREAD_ANNOTATION(lock_returned(x))
+#define COMPACT_NO_THREAD_SAFETY_ANALYSIS \
+  COMPACT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace compact {
+
+/// std::mutex with capability attributes so -Wthread-safety can track it.
+class COMPACT_CAPABILITY("mutex") annotated_mutex {
+ public:
+  void lock() COMPACT_ACQUIRE() { mutex_.lock(); }
+  void unlock() COMPACT_RELEASE() { mutex_.unlock(); }
+  bool try_lock() COMPACT_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII guard for annotated_mutex (std::lock_guard itself is unannotated,
+/// so using it would leave the acquire/release invisible to the analysis).
+class COMPACT_SCOPED_CAPABILITY mutex_lock {
+ public:
+  explicit mutex_lock(annotated_mutex& m) COMPACT_ACQUIRE(m) : mutex_(m) {
+    mutex_.lock();
+  }
+  ~mutex_lock() COMPACT_RELEASE() { mutex_.unlock(); }
+  mutex_lock(const mutex_lock&) = delete;
+  mutex_lock& operator=(const mutex_lock&) = delete;
+
+ private:
+  annotated_mutex& mutex_;
+};
+
+}  // namespace compact

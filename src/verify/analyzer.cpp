@@ -26,8 +26,10 @@ int artifacts::resolve_variable_count() const {
 const std::vector<check_descriptor>& all_checks() {
   static const std::vector<check_descriptor> registry = [] {
     std::vector<check_descriptor> checks;
-    for (auto family : {labeling_checks, structure_checks, mapping_checks,
-                        equivalence_checks, partition_checks}) {
+    for (auto family :
+         {labeling_checks, structure_checks, mapping_checks,
+          equivalence_checks, partition_checks, electrical_checks,
+          fault_checks}) {
       std::vector<check_descriptor> contributed = family();
       for (check_descriptor& c : contributed)
         checks.push_back(std::move(c));
@@ -56,13 +58,18 @@ bool applicable(const check_descriptor& c, const artifacts& a) {
   if (c.needs_spec && !a.has_spec()) return false;
   if (c.needs_partitioned && !a.has_partitioned()) return false;
   if (c.needs_partitioned_spec && !a.has_partitioned_spec()) return false;
+  if (c.needs_electrical && !a.has_electrical()) return false;
+  if (c.needs_criticality && !a.has_criticality()) return false;
   return true;
 }
 
 bool is_equivalence(const check_descriptor& c) {
-  // PAR003 is the stitched symbolic-equivalence check: same cost profile as
-  // the EQV family, so the same opt-out gates it.
-  return c.id.rfind("EQV", 0) == 0 || c.id == "PAR003";
+  // PAR003 is the stitched symbolic-equivalence check, and the FLT family
+  // re-runs the extraction fixpoint per junction fault: same cost profile
+  // as the EQV family, so the same opt-out gates them. (FLT is additionally
+  // opt-in through artifacts::criticality.)
+  return c.id.rfind("EQV", 0) == 0 || c.id == "PAR003" ||
+         c.id.rfind("FLT", 0) == 0;
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,11 +26,22 @@
 #include "core/bdd_graph.hpp"
 #include "core/labeling.hpp"
 #include "core/mapping.hpp"
+#include "verify/criticality.hpp"
 #include "verify/diagnostics.hpp"
+#include "verify/electrical.hpp"
 #include "xbar/crossbar.hpp"
 #include "xbar/partitioned.hpp"
 
 namespace compact::verify {
+
+/// Scratch slot the expensive engine-backed checks (ELC/FLT) fill when the
+/// caller provides one, so the CLI and the api facade can export the full
+/// engine results (criticality map, margin stats) without re-running the
+/// analysis after analyze() returns.
+struct analysis_cache {
+  std::optional<electrical_report> electrical;
+  std::optional<criticality_report> criticality;
+};
 
 /// Everything the analyzer may look at, all non-owning and optional except
 /// the design itself. `variable_count < 0` means "infer from the spec
@@ -45,6 +57,14 @@ struct artifacts {
   const bdd::manager* spec = nullptr;
   const std::vector<bdd::node_handle>* spec_roots = nullptr;
   const std::vector<std::string>* spec_names = nullptr;
+  /// Opting into the ELCxxx electrical-integrity checks: non-null enables
+  /// them and supplies the device corner + margin threshold.
+  const electrical_options* electrical = nullptr;
+  /// Opting into the FLTxxx fault-criticality checks (symbolic, same cost
+  /// profile as the equivalence family — one fixpoint per junction fault).
+  const criticality_options* criticality = nullptr;
+  /// Optional scratch for engine results; may be null.
+  analysis_cache* cache = nullptr;
   int variable_count = -1;
 
   /// The effective input-variable count: explicit, else the spec's, else
@@ -65,6 +85,16 @@ struct artifacts {
     return partitioned != nullptr && spec != nullptr &&
            spec_roots != nullptr && spec_names != nullptr;
   }
+  /// ELC/FLT run on whichever conduction graph is present.
+  [[nodiscard]] bool has_conduction_graph() const {
+    return design != nullptr || partitioned != nullptr;
+  }
+  [[nodiscard]] bool has_electrical() const {
+    return electrical != nullptr && has_conduction_graph();
+  }
+  [[nodiscard]] bool has_criticality() const {
+    return criticality != nullptr && has_conduction_graph();
+  }
 };
 
 struct check_descriptor {
@@ -79,6 +109,8 @@ struct check_descriptor {
   bool needs_spec = false;      // design + spec manager/roots/names
   bool needs_partitioned = false;       // partitioned design
   bool needs_partitioned_spec = false;  // partitioned + spec
+  bool needs_electrical = false;   // electrical options + some design
+  bool needs_criticality = false;  // criticality options + some design
   // Null for a "companion" check whose findings are emitted by a sibling's
   // pass over the same artifacts (e.g. MAP003 rides on MAP002's grid diff).
   // Companions still appear in the registry for SARIF rule metadata and are
@@ -88,7 +120,8 @@ struct check_descriptor {
 
 /// All registered checks, in stable ID order. The families live in
 /// checks_labeling.cpp, checks_structure.cpp, checks_mapping.cpp,
-/// checks_equivalence.cpp and checks_partition.cpp.
+/// checks_equivalence.cpp, checks_partition.cpp, checks_electrical.cpp and
+/// checks_fault.cpp.
 [[nodiscard]] const std::vector<check_descriptor>& all_checks();
 
 /// Registry lookup; throws compact::error for unknown IDs.
@@ -100,5 +133,7 @@ struct check_descriptor {
 [[nodiscard]] std::vector<check_descriptor> mapping_checks();
 [[nodiscard]] std::vector<check_descriptor> equivalence_checks();
 [[nodiscard]] std::vector<check_descriptor> partition_checks();
+[[nodiscard]] std::vector<check_descriptor> electrical_checks();
+[[nodiscard]] std::vector<check_descriptor> fault_checks();
 
 }  // namespace compact::verify

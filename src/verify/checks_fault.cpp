@@ -1,0 +1,122 @@
+// Fault-criticality checks (FLTxxx): symbolic single-fault observability
+// over the sneak-path fixpoint (verify/criticality). Opt-in through
+// artifacts::criticality — each junction fault costs one reachability
+// fixpoint, the same cost profile as the equivalence family.
+//
+//   FLT001  fault-criticality        per-design single-point-of-failure map
+//   FLT002  defect-sneak-path        stuck-closed defect at an off junction
+//                                    flips an output (companion)
+#include <string>
+
+#include "verify/checks.hpp"
+#include "verify/criticality.hpp"
+
+namespace compact::verify {
+namespace {
+
+std::string junction_text(const junction_criticality& j, bool partitioned) {
+  std::string text =
+      "junction (" + std::to_string(j.row) + ", " + std::to_string(j.column) +
+      ")";
+  if (partitioned) text += " of array " + std::to_string(j.array);
+  return text;
+}
+
+// FLT001 (+ FLT002 companion) — run the criticality engine once, summarize
+// the single-point-of-failure map and flag defect-vulnerable off junctions.
+void check_fault_criticality(const artifacts& a, report& out) {
+  const criticality_options& options = *a.criticality;
+  const int variables = a.resolve_variable_count();
+  criticality_report cr =
+      a.partitioned != nullptr
+          ? analyze_criticality(*a.partitioned, variables, options)
+          : analyze_criticality(*a.design, variables, options);
+  const bool partitioned = a.partitioned != nullptr;
+
+  {
+    diagnostic d;
+    d.check_id = "FLT001";
+    d.level = severity::note;
+    d.message = std::to_string(cr.critical_count) + " of " +
+                std::to_string(cr.junction_count) +
+                " analyzed junctions are single points of failure";
+    if (!cr.junctions.empty() && cr.junctions.front().critical()) {
+      const junction_criticality& worst = cr.junctions.front();
+      d.message += "; worst: " + junction_text(worst, partitioned) +
+                   " flips " +
+                   std::to_string(worst.affected_outputs.size()) +
+                   " output(s)";
+      d.anchors = {junction_entity(worst.row, worst.column)};
+    }
+    if (cr.truncated)
+      d.message += " (scan truncated at " +
+                   std::to_string(cr.faults_analyzed) +
+                   " analyzed faults; unlisted junctions are unknown, not "
+                   "non-critical)";
+    out.add(std::move(d));
+  }
+
+  // Stuck-closed defects at unprogrammed crosspoints are manufacturing
+  // sneak paths the design cannot mask; surface them individually.
+  int defect_sneaks = 0;
+  for (const junction_criticality& j : cr.junctions) {
+    if (j.kind != xbar::literal_kind::off || !j.stuck_closed_critical)
+      continue;
+    ++defect_sneaks;
+    if (defect_sneaks > 16) continue;  // summary below covers the rest
+    diagnostic d;
+    d.check_id = "FLT002";
+    d.level = severity::warning;
+    d.message = "a stuck-closed defect at unprogrammed " +
+                junction_text(j, partitioned) + " creates a sneak path that "
+                "flips " + std::to_string(j.affected_outputs.size()) +
+                " output(s)";
+    d.fix = "re-map with the junction's row/column separated, or screen the "
+            "die for shorts at this crosspoint";
+    d.anchors = {junction_entity(j.row, j.column)};
+    out.add(std::move(d));
+  }
+  if (defect_sneaks > 16) {
+    diagnostic d;
+    d.check_id = "FLT002";
+    d.level = severity::warning;
+    d.message = std::to_string(defect_sneaks - 16) +
+                " further unprogrammed junctions are defect-sneak "
+                "vulnerable (see the criticality map for the full list)";
+    out.add(std::move(d));
+  }
+
+  if (a.cache != nullptr) a.cache->criticality = std::move(cr);
+}
+
+}  // namespace
+
+std::vector<check_descriptor> fault_checks() {
+  std::vector<check_descriptor> checks;
+  check_descriptor c;
+
+  c.id = "FLT001";
+  c.name = "fault-criticality";
+  c.description =
+      "Symbolic per-junction stuck-open/stuck-closed criticality map: which "
+      "single faults can flip an output";
+  c.default_severity = severity::note;
+  c.needs_criticality = true;
+  c.run = check_fault_criticality;
+  checks.push_back(c);
+
+  c = {};
+  c.id = "FLT002";
+  c.name = "defect-sneak-path";
+  c.description =
+      "A stuck-closed defect at an unprogrammed crosspoint would create an "
+      "output-flipping sneak path";
+  c.default_severity = severity::warning;
+  c.needs_criticality = true;
+  c.run = nullptr;  // companion: FLT001's engine pass emits it
+  checks.push_back(c);
+
+  return checks;
+}
+
+}  // namespace compact::verify

@@ -1,0 +1,287 @@
+#include "verify/electrical.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/trace.hpp"
+
+namespace compact::verify {
+namespace {
+
+// The shared resistive-network view: every nanowire of every fragment is one
+// node (rows first, then columns, fragment by fragment), every non-off
+// junction is a device edge, every inter-array bridge a bridge edge. The
+// single-array overload builds the degenerate one-fragment version.
+struct wire_graph {
+  struct edge {
+    int a = 0;
+    int b = 0;
+    bool bridge = false;
+  };
+  struct sensed_output {
+    std::string name;
+    int array = 0;
+    int row = 0;
+    int wire = 0;
+  };
+
+  int wires = 0;
+  int input_wire = -1;
+  std::vector<edge> edges;
+  std::vector<std::vector<int>> incident;  // wire -> edge indices
+  std::vector<sensed_output> outputs;
+  std::vector<bool> sensed;  // wire carries a sensing resistor
+
+  void add_edge(int a, int b, bool bridge) {
+    const int id = static_cast<int>(edges.size());
+    edges.push_back({a, b, bridge});
+    incident[static_cast<std::size_t>(a)].push_back(id);
+    incident[static_cast<std::size_t>(b)].push_back(id);
+  }
+};
+
+void add_fragment(wire_graph& g, const xbar::crossbar& fragment, int array,
+                  int row_offset, int column_offset) {
+  for (int r = 0; r < fragment.rows(); ++r)
+    for (int c = 0; c < fragment.columns(); ++c) {
+      if (fragment.at(r, c).kind == xbar::literal_kind::off) continue;
+      g.add_edge(row_offset + r, column_offset + c, false);
+    }
+  if (fragment.input_row() >= 0) g.input_wire = row_offset + fragment.input_row();
+  for (const xbar::output_port& port : fragment.outputs()) {
+    if (port.row < 0 || port.row >= fragment.rows()) continue;
+    const int wire = row_offset + port.row;
+    g.outputs.push_back({port.name, array, port.row, wire});
+    g.sensed[static_cast<std::size_t>(wire)] = true;
+  }
+}
+
+wire_graph build_graph(const xbar::crossbar& design) {
+  wire_graph g;
+  g.wires = design.rows() + design.columns();
+  g.incident.resize(static_cast<std::size_t>(g.wires));
+  g.sensed.assign(static_cast<std::size_t>(g.wires), false);
+  add_fragment(g, design, 0, 0, design.rows());
+  return g;
+}
+
+wire_graph build_graph(const xbar::partitioned_design& design) {
+  wire_graph g;
+  std::vector<int> offset(static_cast<std::size_t>(design.array_count()), 0);
+  for (int f = 0; f < design.array_count(); ++f) {
+    offset[static_cast<std::size_t>(f)] = g.wires;
+    g.wires += design.fragment(f).rows() + design.fragment(f).columns();
+  }
+  g.incident.resize(static_cast<std::size_t>(g.wires));
+  g.sensed.assign(static_cast<std::size_t>(g.wires), false);
+  for (int f = 0; f < design.array_count(); ++f)
+    add_fragment(g, design.fragment(f), f, offset[static_cast<std::size_t>(f)],
+                 offset[static_cast<std::size_t>(f)] +
+                     design.fragment(f).rows());
+  const auto wire_of = [&](const xbar::wire_ref& w) {
+    const int base = offset[static_cast<std::size_t>(w.array)];
+    return w.kind == xbar::wire_kind::row
+               ? base + w.index
+               : base + design.fragment(w.array).rows() + w.index;
+  };
+  for (const xbar::bridge& b : design.connections()) {
+    if (b.a.array < 0 || b.a.array >= design.array_count() || b.b.array < 0 ||
+        b.b.array >= design.array_count())
+      continue;  // malformed bridge; PAR002 flags it
+    const int wa = wire_of(b.a);
+    const int wb = wire_of(b.b);
+    if (wa < 0 || wa >= g.wires || wb < 0 || wb >= g.wires) continue;
+    g.add_edge(wa, wb, true);
+  }
+  return g;
+}
+
+/// 0/1-weighted BFS distance in *device* hops from `source` (bridges are
+/// free). -1 for unreachable wires.
+std::vector<int> device_distance(const wire_graph& g, int source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.wires), -1);
+  if (source < 0) return dist;
+  std::deque<int> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const int w = frontier.front();
+    frontier.pop_front();
+    for (const int e : g.incident[static_cast<std::size_t>(w)]) {
+      const wire_graph::edge& edge = g.edges[static_cast<std::size_t>(e)];
+      const int other = edge.a == w ? edge.b : edge.a;
+      const int d = dist[static_cast<std::size_t>(w)] + (edge.bridge ? 0 : 1);
+      if (dist[static_cast<std::size_t>(other)] != -1 &&
+          dist[static_cast<std::size_t>(other)] <= d)
+        continue;
+      dist[static_cast<std::size_t>(other)] = d;
+      if (edge.bridge)
+        frontier.push_front(other);
+      else
+        frontier.push_back(other);
+    }
+  }
+  return dist;
+}
+
+/// Bounded DFS enumeration of simple input-to-output paths inside the
+/// corridor. Counts paths up to options.max_sneak_paths with at most
+/// options.max_sneak_depth device hops each; sets `truncated` whenever a
+/// budget cut makes the count a lower bound instead of an exact total.
+struct sneak_count {
+  int paths = 0;
+  bool truncated = false;
+};
+
+void sneak_dfs(const wire_graph& g, const std::vector<bool>& corridor,
+               std::vector<bool>& visited, int wire, int target, int depth,
+               const electrical_options& options, long long& budget,
+               sneak_count& out) {
+  if (out.paths >= options.max_sneak_paths || budget <= 0) {
+    out.truncated = true;
+    return;
+  }
+  if (wire == target) {
+    ++out.paths;
+    return;
+  }
+  visited[static_cast<std::size_t>(wire)] = true;
+  for (const int e : g.incident[static_cast<std::size_t>(wire)]) {
+    const wire_graph::edge& edge = g.edges[static_cast<std::size_t>(e)];
+    const int other = edge.a == wire ? edge.b : edge.a;
+    if (!corridor[static_cast<std::size_t>(other)] ||
+        visited[static_cast<std::size_t>(other)])
+      continue;
+    const int next_depth = depth + (edge.bridge ? 0 : 1);
+    if (next_depth > options.max_sneak_depth) {
+      out.truncated = true;
+      continue;
+    }
+    --budget;
+    sneak_dfs(g, corridor, visited, other, target, next_depth, options, budget,
+              out);
+    if (out.paths >= options.max_sneak_paths) break;
+  }
+  visited[static_cast<std::size_t>(wire)] = false;
+}
+
+electrical_report analyze_graph(const wire_graph& g,
+                                const electrical_options& options) {
+  const trace_span span("analyze_electrical", "verify");
+  electrical_report report;
+  const analog::device_model& model = options.model;
+  const std::vector<int> from_input = device_distance(g, g.input_wire);
+
+  bool any_reachable = false;
+  for (const wire_graph::sensed_output& port : g.outputs) {
+    output_margin m;
+    m.name = port.name;
+    m.array = port.array;
+    m.row = port.row;
+    m.min_on_devices = from_input[static_cast<std::size_t>(port.wire)];
+    if (m.min_on_devices < 0) {
+      // No resistive path at all: the output can neither read 1 nor leak.
+      // The conduction-graph checks (XBR/EQV) own that finding.
+      m.safe = true;
+      report.outputs.push_back(std::move(m));
+      continue;
+    }
+
+    // Corridor: wires both reachable from the input and co-reachable from
+    // this output. Every simple conduction path is confined to it.
+    const std::vector<int> to_output = device_distance(g, port.wire);
+    std::vector<bool> corridor(static_cast<std::size_t>(g.wires), false);
+    int corridor_wires = 0;
+    int corridor_devices = 0;
+    int corridor_bridges = 0;
+    int sensed_loads = 0;
+    for (int w = 0; w < g.wires; ++w) {
+      if (from_input[static_cast<std::size_t>(w)] < 0 ||
+          to_output[static_cast<std::size_t>(w)] < 0)
+        continue;
+      corridor[static_cast<std::size_t>(w)] = true;
+      ++corridor_wires;
+      if (g.sensed[static_cast<std::size_t>(w)] && w != port.wire)
+        ++sensed_loads;
+    }
+    for (const wire_graph::edge& e : g.edges) {
+      if (!corridor[static_cast<std::size_t>(e.a)] ||
+          !corridor[static_cast<std::size_t>(e.b)])
+        continue;
+      if (e.bridge)
+        ++corridor_bridges;
+      else
+        ++corridor_devices;
+    }
+
+    // A simple path over N corridor wires has at most N - 1 edges, and at
+    // most all the corridor's device (bridge) edges.
+    const int hop_cap = std::max(corridor_wires - 1, 0);
+    m.worst_on_devices = std::min(corridor_devices, hop_cap);
+    m.bridge_crossings = std::min(corridor_bridges, hop_cap);
+    m.worst_on_resistance = m.worst_on_devices * model.r_on +
+                            m.bridge_crossings * options.bridge_resistance;
+
+    sneak_count sneak;
+    {
+      std::vector<bool> visited(static_cast<std::size_t>(g.wires), false);
+      long long budget = 64LL * options.max_sneak_paths;
+      sneak_dfs(g, corridor, visited, g.input_wire, port.wire, 0, options,
+                budget, sneak);
+    }
+    m.sneak_paths = sneak.paths;
+    m.sneak_truncated = sneak.truncated;
+
+    // Parallel leakage paths all enter the output row through distinct
+    // corridor edges; the exact enumeration tightens the bound when it
+    // completed within budget.
+    int entry_degree = 0;
+    for (const int e : g.incident[static_cast<std::size_t>(port.wire)]) {
+      const wire_graph::edge& edge = g.edges[static_cast<std::size_t>(e)];
+      const int other = edge.a == port.wire ? edge.b : edge.a;
+      if (corridor[static_cast<std::size_t>(other)]) ++entry_degree;
+    }
+    m.parallel_paths = std::max(
+        1, sneak.truncated ? entry_degree : std::min(entry_degree, m.sneak_paths));
+    m.best_off_resistance = model.r_off / m.parallel_paths;
+    m.margin_ratio =
+        m.best_off_resistance / std::max(m.worst_on_resistance, model.r_on);
+
+    // Divider bounds. Every other sensed wordline in the corridor could load
+    // the ON path; lump their sensing resistors in parallel with the
+    // output's own (pessimistic — real shunts sit upstream of part of the
+    // path resistance).
+    const double r_load = model.r_sense / (1 + sensed_loads);
+    m.min_high_voltage =
+        model.v_in * r_load / (r_load + m.worst_on_resistance);
+    m.max_low_voltage =
+        model.v_in * model.r_sense / (model.r_sense + m.best_off_resistance);
+
+    const double sense_level = model.threshold * model.v_in;
+    m.safe = m.margin_ratio >= options.margin_threshold &&
+             m.min_high_voltage >= sense_level &&
+             m.max_low_voltage < sense_level;
+
+    if (!any_reachable || m.margin_ratio < report.min_margin_ratio)
+      report.min_margin_ratio = m.margin_ratio;
+    any_reachable = true;
+    report.safe = report.safe && m.safe;
+    report.outputs.push_back(std::move(m));
+  }
+  if (!any_reachable) report.min_margin_ratio = 0.0;
+  return report;
+}
+
+}  // namespace
+
+electrical_report analyze_electrical(const xbar::crossbar& design,
+                                     const electrical_options& options) {
+  return analyze_graph(build_graph(design), options);
+}
+
+electrical_report analyze_electrical(const xbar::partitioned_design& design,
+                                     const electrical_options& options) {
+  return analyze_graph(build_graph(design), options);
+}
+
+}  // namespace compact::verify

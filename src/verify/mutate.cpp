@@ -22,6 +22,10 @@ const char* mutation_kind_name(mutation_kind kind) {
       return "literal_retarget";
     case mutation_kind::device_drop:
       return "device_drop";
+    case mutation_kind::connection_drop:
+      return "connection_drop";
+    case mutation_kind::ron_degrade:
+      return "ron_degrade";
   }
   return "?";
 }
@@ -30,8 +34,13 @@ std::string mutation::describe() const {
   std::string text = mutation_kind_name(kind);
   if (kind == mutation_kind::label_flip)
     return text + " node " + std::to_string(node);
-  return text + " junction (" + std::to_string(row) + ", " +
-         std::to_string(column) + ")";
+  if (kind == mutation_kind::connection_drop)
+    return text + " bridge " + std::to_string(connection);
+  if (kind == mutation_kind::ron_degrade) return text;
+  text += " junction (" + std::to_string(row) + ", " +
+          std::to_string(column) + ")";
+  if (array >= 0) text += " of array " + std::to_string(array);
+  return text;
 }
 
 namespace {
@@ -48,56 +57,106 @@ void sample_into(std::vector<mutation>& out,
     out.push_back(candidates[i * candidates.size() / limit]);
 }
 
+struct device_candidates {
+  std::vector<mutation> bridge_drops;
+  std::vector<mutation> literal_flips;
+  std::vector<mutation> retargets;
+  std::vector<mutation> device_drops;
+};
+
+void enumerate_devices(const xbar::crossbar& design, int array, int variables,
+                       device_candidates& out) {
+  for (int r = 0; r < design.rows(); ++r) {
+    for (int c = 0; c < design.columns(); ++c) {
+      const xbar::device& d = design.at(r, c);
+      mutation m;
+      m.row = r;
+      m.column = c;
+      m.array = array;
+      if (d.kind == literal_kind::on) {
+        m.kind = mutation_kind::bridge_drop;
+        out.bridge_drops.push_back(m);
+      }
+      if (d.kind != literal_kind::positive && d.kind != literal_kind::negative)
+        continue;
+      m.kind = mutation_kind::literal_flip;
+      out.literal_flips.push_back(m);
+      m.kind = mutation_kind::device_drop;
+      out.device_drops.push_back(m);
+      if (variables >= 2) {
+        m.kind = mutation_kind::literal_retarget;
+        out.retargets.push_back(m);
+      }
+    }
+  }
+}
+
+/// The crossbar a device mutation targets: a partitioned fragment when
+/// `array` names one, else the single-array copy.
+xbar::crossbar* target_design(const mutation& m, mutable_artifacts& out,
+                              const artifacts& base) {
+  if (m.array >= 0) {
+    if (base.partitioned == nullptr || m.array >= out.partitioned.array_count())
+      return nullptr;
+    return &out.partitioned.fragment(m.array);
+  }
+  return base.design != nullptr ? &out.design : nullptr;
+}
+
 }  // namespace
 
 std::vector<mutation> enumerate_mutations(const artifacts& a,
                                           std::size_t limit_per_kind) {
   std::vector<mutation> label_flips;
-  std::vector<mutation> bridge_drops;
-  std::vector<mutation> literal_flips;
-  std::vector<mutation> retargets;
-  std::vector<mutation> device_drops;
+  device_candidates devices;
+  std::vector<mutation> connection_drops;
+  std::vector<mutation> ron_degrades;
 
   if (a.labels != nullptr)
-    for (std::size_t v = 0; v < a.labels->label_of.size(); ++v)
-      label_flips.push_back(
-          {mutation_kind::label_flip, static_cast<int>(v), -1, -1});
-
-  if (a.design != nullptr) {
-    const int variables = a.resolve_variable_count();
-    for (int r = 0; r < a.design->rows(); ++r) {
-      for (int c = 0; c < a.design->columns(); ++c) {
-        const xbar::device& d = a.design->at(r, c);
-        if (d.kind == literal_kind::on)
-          bridge_drops.push_back({mutation_kind::bridge_drop, -1, r, c});
-        if (d.kind != literal_kind::positive &&
-            d.kind != literal_kind::negative)
-          continue;
-        literal_flips.push_back({mutation_kind::literal_flip, -1, r, c});
-        device_drops.push_back({mutation_kind::device_drop, -1, r, c});
-        if (variables >= 2)
-          retargets.push_back({mutation_kind::literal_retarget, -1, r, c});
-      }
+    for (std::size_t v = 0; v < a.labels->label_of.size(); ++v) {
+      mutation m;
+      m.kind = mutation_kind::label_flip;
+      m.node = static_cast<int>(v);
+      label_flips.push_back(m);
     }
+
+  const int variables = a.resolve_variable_count();
+  if (a.design != nullptr) enumerate_devices(*a.design, -1, variables, devices);
+  if (a.partitioned != nullptr) {
+    for (int f = 0; f < a.partitioned->array_count(); ++f)
+      enumerate_devices(a.partitioned->fragment(f), f, variables, devices);
+    for (std::size_t b = 0; b < a.partitioned->connections().size(); ++b) {
+      mutation m;
+      m.kind = mutation_kind::connection_drop;
+      m.connection = static_cast<int>(b);
+      connection_drops.push_back(m);
+    }
+  }
+  if (a.electrical != nullptr && a.has_conduction_graph()) {
+    mutation m;
+    m.kind = mutation_kind::ron_degrade;
+    ron_degrades.push_back(m);
   }
 
   std::vector<mutation> out;
   sample_into(out, label_flips, limit_per_kind);
-  sample_into(out, bridge_drops, limit_per_kind);
-  sample_into(out, literal_flips, limit_per_kind);
-  sample_into(out, retargets, limit_per_kind);
-  sample_into(out, device_drops, limit_per_kind);
+  sample_into(out, devices.bridge_drops, limit_per_kind);
+  sample_into(out, devices.literal_flips, limit_per_kind);
+  sample_into(out, devices.retargets, limit_per_kind);
+  sample_into(out, devices.device_drops, limit_per_kind);
+  sample_into(out, connection_drops, limit_per_kind);
+  sample_into(out, ron_degrades, limit_per_kind);
   return out;
 }
 
 bool apply_mutation(const artifacts& base, const mutation& m,
-                    xbar::crossbar& design, core::labeling& labels) {
+                    mutable_artifacts& out) {
   switch (m.kind) {
     case mutation_kind::label_flip: {
       if (m.node < 0 ||
-          static_cast<std::size_t>(m.node) >= labels.label_of.size())
+          static_cast<std::size_t>(m.node) >= out.labels.label_of.size())
         return false;
-      vh_label& l = labels.label_of[static_cast<std::size_t>(m.node)];
+      vh_label& l = out.labels.label_of[static_cast<std::size_t>(m.node)];
       // Deterministic cycle V -> H -> VH -> V: every flip changes the
       // node's nanowire demands, so a consistent mapping cannot survive.
       switch (l) {
@@ -114,49 +173,77 @@ bool apply_mutation(const artifacts& base, const mutation& m,
       return true;
     }
     case mutation_kind::bridge_drop: {
-      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
-          m.column >= design.columns())
+      xbar::crossbar* design = target_design(m, out, base);
+      if (design == nullptr || m.row < 0 || m.row >= design->rows() ||
+          m.column < 0 || m.column >= design->columns())
         return false;
-      if (design.at(m.row, m.column).kind != literal_kind::on) return false;
-      design.set(m.row, m.column, {literal_kind::off, -1});
+      if (design->at(m.row, m.column).kind != literal_kind::on) return false;
+      design->set(m.row, m.column, {literal_kind::off, -1});
       return true;
     }
     case mutation_kind::literal_flip: {
-      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
-          m.column >= design.columns())
+      xbar::crossbar* design = target_design(m, out, base);
+      if (design == nullptr || m.row < 0 || m.row >= design->rows() ||
+          m.column < 0 || m.column >= design->columns())
         return false;
-      const xbar::device d = design.at(m.row, m.column);
+      const xbar::device d = design->at(m.row, m.column);
       if (d.kind == literal_kind::positive)
-        design.set(m.row, m.column, {literal_kind::negative, d.variable});
+        design->set(m.row, m.column, {literal_kind::negative, d.variable});
       else if (d.kind == literal_kind::negative)
-        design.set(m.row, m.column, {literal_kind::positive, d.variable});
+        design->set(m.row, m.column, {literal_kind::positive, d.variable});
       else
         return false;
       return true;
     }
     case mutation_kind::literal_retarget: {
-      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
-          m.column >= design.columns())
+      xbar::crossbar* design = target_design(m, out, base);
+      if (design == nullptr || m.row < 0 || m.row >= design->rows() ||
+          m.column < 0 || m.column >= design->columns())
         return false;
-      const xbar::device d = design.at(m.row, m.column);
+      const xbar::device d = design->at(m.row, m.column);
       if (d.kind != literal_kind::positive &&
           d.kind != literal_kind::negative)
         return false;
       const int variables = base.resolve_variable_count();
       if (variables < 2) return false;
-      design.set(m.row, m.column,
-                 {d.kind, (d.variable + 1) % variables});
+      design->set(m.row, m.column, {d.kind, (d.variable + 1) % variables});
       return true;
     }
     case mutation_kind::device_drop: {
-      if (m.row < 0 || m.row >= design.rows() || m.column < 0 ||
-          m.column >= design.columns())
+      xbar::crossbar* design = target_design(m, out, base);
+      if (design == nullptr || m.row < 0 || m.row >= design->rows() ||
+          m.column < 0 || m.column >= design->columns())
         return false;
-      const xbar::device d = design.at(m.row, m.column);
+      const xbar::device d = design->at(m.row, m.column);
       if (d.kind != literal_kind::positive &&
           d.kind != literal_kind::negative)
         return false;
-      design.set(m.row, m.column, {literal_kind::off, -1});
+      design->set(m.row, m.column, {literal_kind::off, -1});
+      return true;
+    }
+    case mutation_kind::connection_drop: {
+      if (base.partitioned == nullptr || m.connection < 0 ||
+          static_cast<std::size_t>(m.connection) >=
+              out.partitioned.connections().size())
+        return false;
+      // partitioned_design only grows; rebuild it without the severed
+      // bridge.
+      xbar::partitioned_design cut;
+      for (const xbar::crossbar& fragment : out.partitioned.fragments())
+        cut.add_fragment(fragment);
+      for (std::size_t b = 0; b < out.partitioned.connections().size(); ++b) {
+        if (b == static_cast<std::size_t>(m.connection)) continue;
+        const xbar::bridge& bridge = out.partitioned.connections()[b];
+        cut.add_connection(bridge.a, bridge.b);
+      }
+      out.partitioned = std::move(cut);
+      return true;
+    }
+    case mutation_kind::ron_degrade: {
+      if (base.electrical == nullptr) return false;
+      // Collapse the device corner: R_on rises to R_off, so no ON path can
+      // outconduct the leakage bound and ELC001 must escalate to an error.
+      out.electrical.model.r_on = out.electrical.model.r_off;
       return true;
     }
   }
@@ -178,15 +265,21 @@ self_test_result run_self_test(const artifacts& a,
   }
 
   for (const mutation& m : enumerate_mutations(a, limit_per_kind)) {
-    xbar::crossbar design =
-        a.design != nullptr ? *a.design : xbar::crossbar(1, 1);
-    core::labeling labels =
-        a.labels != nullptr ? *a.labels : core::labeling{};
-    if (!apply_mutation(a, m, design, labels)) continue;
+    mutable_artifacts mutated_state;
+    if (a.design != nullptr) mutated_state.design = *a.design;
+    if (a.labels != nullptr) mutated_state.labels = *a.labels;
+    if (a.partitioned != nullptr) mutated_state.partitioned = *a.partitioned;
+    if (a.electrical != nullptr) mutated_state.electrical = *a.electrical;
+    if (!apply_mutation(a, m, mutated_state)) continue;
 
     artifacts mutated = a;
-    if (a.design != nullptr) mutated.design = &design;
-    if (a.labels != nullptr) mutated.labels = &labels;
+    mutated.cache = nullptr;  // engine results of the pristine run stay put
+    if (a.design != nullptr) mutated.design = &mutated_state.design;
+    if (a.labels != nullptr) mutated.labels = &mutated_state.labels;
+    if (a.partitioned != nullptr)
+      mutated.partitioned = &mutated_state.partitioned;
+    if (a.electrical != nullptr)
+      mutated.electrical = &mutated_state.electrical;
 
     self_test_outcome outcome;
     outcome.m = m;

@@ -3,9 +3,16 @@
 // The analyzer's checks are only trustworthy if they actually fire on
 // broken designs. This harness takes a known-good set of artifacts,
 // applies single-point mutations (flip a label, drop a bridge, flip or
-// retarget a literal, drop a device), re-runs the analyzer on the mutated
+// retarget a literal, drop a device, drop an inter-array connection,
+// degrade the device R_on corner), re-runs the analyzer on the mutated
 // copy and verifies every mutation is "killed" — at least one check
 // reports an error that the pristine design does not trigger.
+//
+// Mutations apply to single-array designs *and* to format-v2 partitioned
+// designs: device mutations carry an optional fragment index, and the
+// connection_drop kind severs one inter-array bridge so the PARxxx family
+// is mutation-kill-covered too. The electrical mutator (ron_degrade)
+// corrupts the device corner the ELCxxx checks bound against.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +21,9 @@
 
 #include "core/labeling.hpp"
 #include "verify/analyzer.hpp"
+#include "verify/electrical.hpp"
 #include "xbar/crossbar.hpp"
+#include "xbar/partitioned.hpp"
 
 namespace compact::verify {
 
@@ -24,6 +33,8 @@ enum class mutation_kind : std::uint8_t {
   literal_flip,      // swap one device's positive/negative polarity
   literal_retarget,  // point one device at a different input variable
   device_drop,       // turn one literal device off
+  connection_drop,   // sever one inter-array bridge (partitioned designs)
+  ron_degrade,       // collapse the R_off/R_on corner (electrical checks)
 };
 
 [[nodiscard]] const char* mutation_kind_name(mutation_kind kind);
@@ -33,21 +44,35 @@ struct mutation {
   int node = -1;    // label_flip: target graph node
   int row = -1;     // device mutations: junction row
   int column = -1;  // device mutations: junction column
+  /// Device mutations: fragment index of a partitioned design; -1 targets
+  /// the single-array artifact.
+  int array = -1;
+  /// connection_drop: index into partitioned_design::connections().
+  int connection = -1;
   [[nodiscard]] std::string describe() const;
 };
 
 /// All applicable single-point mutations for `a`, capped at
 /// `limit_per_kind` per kind by deterministic stride sampling (no RNG, so
-/// runs are reproducible). label_flip needs a labeling; the device
-/// mutations need a design.
+/// runs are reproducible). label_flip needs a labeling; device mutations
+/// need a design or a partitioned design; connection_drop needs bridges;
+/// ron_degrade needs the electrical options.
 [[nodiscard]] std::vector<mutation> enumerate_mutations(
     const artifacts& a, std::size_t limit_per_kind);
 
-/// Apply `m` to copies of the mutable artifacts. Returns false when the
-/// mutation does not apply (e.g. no such device). `design`/`labels` must
-/// start as copies of the originals.
+/// Deep copies of every mutable artifact, so one mutation can corrupt any
+/// of them while the originals stay pristine.
+struct mutable_artifacts {
+  xbar::crossbar design{1, 1};
+  core::labeling labels;
+  xbar::partitioned_design partitioned;
+  electrical_options electrical;
+};
+
+/// Apply `m` to `out` (which must hold copies of `base`'s artifacts).
+/// Returns false when the mutation does not apply (e.g. no such device).
 bool apply_mutation(const artifacts& base, const mutation& m,
-                    xbar::crossbar& design, core::labeling& labels);
+                    mutable_artifacts& out);
 
 struct self_test_outcome {
   mutation m;

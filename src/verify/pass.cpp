@@ -9,7 +9,12 @@ namespace {
 
 void run_verify(core::synthesis_context& ctx) {
   check(ctx.mapped.has_value(), "pipeline: verify needs a mapped design");
-  const artifacts a = make_artifacts(ctx);
+  artifacts a = make_artifacts(ctx);
+  electrical_options electrical;
+  if (ctx.options.verify_electrical) {
+    electrical.margin_threshold = ctx.options.verify_margin_threshold;
+    a.electrical = &electrical;
+  }
   ctx.verification = analyze(a);
   const report& r = *ctx.verification;
   ctx.attribute("verdict", r.clean() ? "clean" : "dirty");
@@ -25,13 +30,19 @@ void run_verify(core::synthesis_context& ctx) {
 report run_partition_verify(const xbar::partitioned_design& design,
                             const bdd::manager& spec,
                             const std::vector<bdd::node_handle>& roots,
-                            const std::vector<std::string>& names) {
+                            const std::vector<std::string>& names,
+                            const core::synthesis_options& options) {
   artifacts a;
   a.partitioned = &design;
   a.spec = &spec;
   a.spec_roots = &roots;
   a.spec_names = &names;
   a.variable_count = spec.variable_count();
+  electrical_options electrical;
+  if (options.verify_electrical) {
+    electrical.margin_threshold = options.verify_margin_threshold;
+    a.electrical = &electrical;
+  }
   return analyze(a);
 }
 

@@ -53,23 +53,33 @@ TEST(MutationHarnessTest, EnumerationCoversEveryKindDeterministically) {
 
 TEST(MutationHarnessTest, ApplyRejectsInapplicableMutations) {
   const synthesized s(frontend::make_parity(4));
-  xbar::crossbar design = s.ctx.mapped->design;
-  core::labeling labels = s.ctx.labels;
+  mutable_artifacts state;
+  state.design = s.ctx.mapped->design;
+  state.labels = s.ctx.labels;
 
   mutation bad;
   bad.kind = mutation_kind::bridge_drop;
   bad.row = 0;
   bad.column = 0;
   // Only applicable if (0, 0) really is a bridge.
-  const bool applied = apply_mutation(s.art(), bad, design, labels);
+  const bool applied = apply_mutation(s.art(), bad, state);
   EXPECT_EQ(applied,
             s.ctx.mapped->design.at(0, 0).kind == xbar::literal_kind::on);
 
   mutation out_of_range;
   out_of_range.kind = mutation_kind::literal_flip;
-  out_of_range.row = design.rows() + 5;
+  out_of_range.row = state.design.rows() + 5;
   out_of_range.column = 0;
-  EXPECT_FALSE(apply_mutation(s.art(), out_of_range, design, labels));
+  EXPECT_FALSE(apply_mutation(s.art(), out_of_range, state));
+
+  // connection_drop and ron_degrade need artifacts this run lacks.
+  mutation drop;
+  drop.kind = mutation_kind::connection_drop;
+  drop.connection = 0;
+  EXPECT_FALSE(apply_mutation(s.art(), drop, state));
+  mutation degrade;
+  degrade.kind = mutation_kind::ron_degrade;
+  EXPECT_FALSE(apply_mutation(s.art(), degrade, state));
 }
 
 /// The acceptance criterion: >= 30 mutation cases across the required

@@ -92,6 +92,7 @@ using namespace compact;
       "      [--trace-json F.jsonl] [--metrics-json F.json]\n"
       "      [--chrome-trace F.json] [--mem-limit BYTES] [--deadline S]\n"
       "      [--flight-record F.json] [--print] [--validate] [--verify]\n"
+      "      [--verify-electrical]\n"
       "  compact_cli stats <netlist> [synthesize options]\n"
       "  compact_cli evaluate <design.xbar> <assignment-bits>\n"
       "  compact_cli validate <design.xbar> <netlist> [--samples N]\n"
@@ -101,6 +102,8 @@ using namespace compact;
       "  compact_cli lint <netlist> [--method oct|mip] [--gamma G]\n"
       "      [--time-limit S] [--threads N] [--sarif F.sarif] [--json F]\n"
       "      [--fail-on note|warning|error] [--no-equivalence]\n"
+      "      [--electrical] [--margin-threshold R] [--criticality]\n"
+      "      [--criticality-json F] [--criticality-limit N]\n"
       "      [--self-test] [--mutations N]\n"
       "  compact_cli lint <design.xbar> <netlist> [lint options]\n";
   std::exit(2);
@@ -399,6 +402,10 @@ int cmd_synthesize_legacy(const std::vector<std::string>& args) {
       // keeps this working even if no other verify symbol is referenced.
       verify::install_pipeline_pass();
       options.verify_design = true;
+    } else if (a == "--verify-electrical") {
+      verify::install_pipeline_pass();
+      options.verify_design = true;
+      options.verify_electrical = true;
     } else {
       usage("unknown option " + a);
     }
@@ -558,7 +565,8 @@ void print_diagnostic(const api::diagnostic_v1& d, std::ostream& os) {
 int cmd_synthesize(const std::vector<std::string>& args) {
   if (args.empty()) usage("synthesize needs a netlist");
   for (const std::string& a : args)
-    if (a == "--baseline" || a == "--dot" || a == "--report")
+    if (a == "--baseline" || a == "--dot" || a == "--report" ||
+        a == "--verify-electrical")
       return cmd_synthesize_legacy(args);
 
   api::netlist_source source;
@@ -873,6 +881,11 @@ int cmd_lint_legacy(const std::vector<std::string>& args) {
   bool self_test = false;
   std::size_t mutations_per_kind = 4;
   std::optional<std::string> sarif_path, json_path;
+  verify::electrical_options electrical;
+  bool electrical_enabled = false;
+  verify::criticality_options criticality;
+  bool criticality_enabled = false;
+  std::optional<std::string> criticality_json_path;
 
   for (std::size_t i = positional; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -906,6 +919,21 @@ int cmd_lint_legacy(const std::vector<std::string>& args) {
       fail_on = *parsed;
     } else if (a == "--no-equivalence") {
       analyzer_options.equivalence = false;
+    } else if (a == "--electrical") {
+      electrical_enabled = true;
+    } else if (a == "--margin-threshold") {
+      electrical.margin_threshold = parse_double_flag(a, value());
+      if (electrical.margin_threshold <= 0.0)
+        usage("--margin-threshold must be positive");
+      electrical_enabled = true;
+    } else if (a == "--criticality") {
+      criticality_enabled = true;
+    } else if (a == "--criticality-json") {
+      criticality_json_path = value();
+      criticality_enabled = true;
+    } else if (a == "--criticality-limit") {
+      criticality.max_faults = parse_positive_flag(a, value());
+      criticality_enabled = true;
     } else if (a == "--self-test") {
       self_test = true;
     } else if (a == "--mutations") {
@@ -948,6 +976,10 @@ int cmd_lint_legacy(const std::vector<std::string>& args) {
   artifacts.spec_roots = &built.roots;
   artifacts.spec_names = &built.names;
   artifacts.variable_count = net.input_count();
+  if (electrical_enabled) artifacts.electrical = &electrical;
+  if (criticality_enabled) artifacts.criticality = &criticality;
+  verify::analysis_cache cache;
+  artifacts.cache = &cache;
 
   if (self_test) {
     const verify::self_test_result result =
@@ -973,6 +1005,25 @@ int cmd_lint_legacy(const std::vector<std::string>& args) {
   const verify::report report = verify::analyze(artifacts, analyzer_options);
   print_lint_report(report, std::cout);
 
+  if (criticality_json_path) {
+    // The FLT family fills the cache when the equivalence-cost class is
+    // enabled; otherwise (or when gating skipped it) run the engine
+    // directly so the requested map is always written.
+    verify::criticality_report crit;
+    if (cache.criticality.has_value())
+      crit = *cache.criticality;
+    else if (artifacts.partitioned != nullptr)
+      crit = verify::analyze_criticality(
+          *artifacts.partitioned, artifacts.resolve_variable_count(),
+          criticality);
+    else if (artifacts.design != nullptr)
+      crit = verify::analyze_criticality(
+          *artifacts.design, artifacts.resolve_variable_count(), criticality);
+    std::ofstream out(*criticality_json_path);
+    if (!out) throw error("cannot write " + *criticality_json_path);
+    verify::write_criticality_json(crit, out);
+    std::cout << "wrote " << *criticality_json_path << "\n";
+  }
   if (json_path) {
     std::ofstream out(*json_path);
     if (!out) throw error("cannot write " + *json_path);
@@ -998,7 +1049,7 @@ int cmd_lint(const std::vector<std::string>& args) {
   if (args.empty()) usage("lint needs a netlist or a design");
   for (const std::string& a : args)
     if (a == "--sarif" || a == "--json" || a == "--self-test" ||
-        a == "--mutations")
+        a == "--mutations" || a == "--criticality-json")
       return cmd_lint_legacy(args);
 
   const bool xbar_mode = args[0].ends_with(".xbar");
@@ -1039,6 +1090,18 @@ int cmd_lint(const std::vector<std::string>& args) {
       fail_on = v;
     } else if (a == "--no-equivalence") {
       options.equivalence = false;
+    } else if (a == "--electrical") {
+      options.electrical = true;
+    } else if (a == "--margin-threshold") {
+      options.margin_threshold = parse_double_flag(a, value());
+      if (options.margin_threshold <= 0.0)
+        usage("--margin-threshold must be positive");
+      options.electrical = true;
+    } else if (a == "--criticality") {
+      options.criticality = true;
+    } else if (a == "--criticality-limit") {
+      options.criticality_limit = parse_positive_flag(a, value());
+      options.criticality = true;
     } else {
       usage("unknown option " + a);
     }
@@ -1060,6 +1123,15 @@ int cmd_lint(const std::vector<std::string>& args) {
   std::cout << outcome.errors << " error(s), " << outcome.warnings
             << " warning(s), " << outcome.notes << " note(s); "
             << outcome.checks_run.size() << " checks run\n";
+  if (outcome.electrical_ran)
+    std::cout << "electrical: "
+              << (outcome.electrically_safe ? "safe" : "UNSAFE")
+              << " (min margin ratio " << outcome.min_margin_ratio << ")\n";
+  if (outcome.criticality_ran)
+    std::cout << "criticality: " << outcome.critical_junctions << "/"
+              << outcome.junctions_analyzed << " junctions critical"
+              << (outcome.criticality_truncated ? " (truncated)" : "")
+              << "\n";
   return outcome.clean(fail_on) ? 0 : 1;
 }
 

@@ -48,32 +48,35 @@ int main(int argc, char** argv) {
     source.text = demo_blif;
   }
 
-  api::synthesis_options_v1 options;
-  options.labeler = "mip";
-  options.gamma = 0.5;
-  options.time_limit_seconds = 30.0;
-  options.validate = true;  // check the design against the source BDDs
+  api::request_v1 request;
+  request.op = "synthesize";
+  request.api_version = COMPACT_API_VERSION;
+  request.source = source;
+  request.synthesis.labeler = "mip";
+  request.synthesis.gamma = 0.5;
+  request.synthesis.time_limit_seconds = 30.0;
+  request.synthesis.validate = true;  // check the design against source BDDs
 
-  try {
-    const api::synthesis_outcome r = api::synthesize(source, options);
-
-    std::cout << "outputs:";
-    for (const std::string& name : r.mapped.output_names())
-      std::cout << ' ' << name;
-    std::cout << "\nBDD graph nodes:         " << r.stats.graph_nodes
-              << "\nVH labels:               " << r.stats.vh_count
-              << "\nrows x cols:             " << r.stats.rows << " x "
-              << r.stats.columns
-              << "\nsemiperimeter:           " << r.stats.semiperimeter
-              << "\nmax dimension:           " << r.stats.max_dimension
-              << "\nlabeling proven optimal: "
-              << (r.stats.optimal ? "yes" : "no")
-              << "\nsynthesis time (s):      " << r.stats.synthesis_seconds
-              << "\n\nvalidity: " << (r.validation.passed ? "PASS" : "FAIL")
-              << " (" << r.validation.detail << ")\n";
-    return r.validation.passed ? 0 : 1;
-  } catch (const api::error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+  // handle() never throws: every failure comes back as a structured code.
+  const api::response_v1 r = api::handle(request);
+  if (!r.ok) {
+    std::cerr << api::error_code_name(r.code) << ": " << r.error_message
+              << "\n";
     return 2;
   }
+
+  std::cout << "outputs:";
+  for (const std::string& name : r.output_names) std::cout << ' ' << name;
+  std::cout << "\nBDD graph nodes:         " << r.stats.graph_nodes
+            << "\nVH labels:               " << r.stats.vh_count
+            << "\nrows x cols:             " << r.stats.rows << " x "
+            << r.stats.columns
+            << "\nsemiperimeter:           " << r.stats.semiperimeter
+            << "\nmax dimension:           " << r.stats.max_dimension
+            << "\nlabeling proven optimal: "
+            << (r.stats.optimal ? "yes" : "no")
+            << "\nsynthesis time (s):      " << r.stats.synthesis_seconds
+            << "\n\nvalidity: " << (r.validation.passed ? "PASS" : "FAIL")
+            << " (" << r.validation.detail << ")\n";
+  return r.validation.passed ? 0 : 1;
 }

@@ -26,24 +26,36 @@ int main() {
       "--1 1\n"
       ".end\n";
 
-  // 2. Synthesize a crossbar with minimal semiperimeter (Method 1).
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  const api::synthesis_outcome outcome = api::synthesize(source, options);
+  // 2. Synthesize a crossbar with minimal semiperimeter (Method 1). A
+  //    request_v1 is the v5 unit of work — the same JSON-serializable value
+  //    compact-serve executes over a socket.
+  api::request_v1 request;
+  request.op = "synthesize";
+  request.api_version = COMPACT_API_VERSION;
+  request.source = source;
+  request.synthesis.labeler = "oct";
+  const api::response_v1 response = api::handle(request);
+  if (!response.ok) {
+    std::cerr << api::error_code_name(response.code) << ": "
+              << response.error_message << "\n";
+    return 1;
+  }
 
-  std::cout << "f = (a & b) | c mapped to a " << outcome.stats.rows << " x "
-            << outcome.stats.columns << " crossbar\n"
-            << "  BDD graph nodes (n): " << outcome.stats.graph_nodes << "\n"
-            << "  VH labels (k):       " << outcome.stats.vh_count << "\n"
-            << "  semiperimeter S=n+k: " << outcome.stats.semiperimeter << "\n"
-            << "  max dimension D:     " << outcome.stats.max_dimension
+  const api::design mapped = api::design::from_text(response.design_text);
+  std::cout << "f = (a & b) | c mapped to a " << response.stats.rows << " x "
+            << response.stats.columns << " crossbar\n"
+            << "  BDD graph nodes (n): " << response.stats.graph_nodes << "\n"
+            << "  VH labels (k):       " << response.stats.vh_count << "\n"
+            << "  semiperimeter S=n+k: " << response.stats.semiperimeter
+            << "\n"
+            << "  max dimension D:     " << response.stats.max_dimension
             << "\n\n"
-            << outcome.mapped.render();
+            << mapped.render();
 
   // 3. Evaluate the crossbar: program the devices from an assignment and
   //    check for a conducting path from the input to the output wordline.
   const std::vector<bool> instance{true, true, false};  // a=1, b=1, c=0
-  const bool value = outcome.mapped.evaluate_output(instance, "f");
+  const bool value = mapped.evaluate_output(instance, "f");
   std::cout << "\nf(a=1, b=1, c=0) evaluates to " << (value ? "1" : "0")
             << " (expected 1)\n";
   return value ? 0 : 1;

@@ -1,11 +1,14 @@
 #include "api/compact_api.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "api/dispatch.hpp"
 #include "core/compact.hpp"
 #include "core/partition.hpp"
 #include "core/pipeline.hpp"
@@ -17,6 +20,7 @@
 #include "util/error.hpp"
 #include "util/flight_recorder.hpp"
 #include "util/telemetry.hpp"
+#include "util/watchdog.hpp"
 #include "verify/analyzer.hpp"
 #include "verify/pass.hpp"
 #include "xbar/evaluate.hpp"
@@ -334,13 +338,18 @@ bool design::evaluate_output(const std::vector<bool>& assignment,
 namespace {
 
 synthesis_outcome synthesize_impl(const netlist_source& source,
-                                  const synthesis_options_v1& options) {
+                                  const synthesis_options_v1& options,
+                                  const dispatch_caches& caches) {
   return translated([&]() -> synthesis_outcome {
     if (options.partition && options.separate_robdds)
       throw error(
           "partition and separate_robdds are mutually exclusive (the "
           "separate-ROBDD flow already composes one block per output)");
     core::synthesis_options core = to_core_options(options);
+    // A service injects its process-wide caches here; null members keep the
+    // core's private per-call caching.
+    core.cache = caches.label;
+    core.partition_memo = caches.partition;
 
     frontend::network net = load_network(source);
     if (options.minimize_network) net = frontend::minimize_network(net);
@@ -367,7 +376,10 @@ synthesis_outcome synthesize_impl(const netlist_source& source,
     if (options.verify) {
       // The pass body lives in the verify library; installing explicitly
       // keeps this working even if no other verify symbol is referenced.
-      verify::install_pipeline_pass();
+      // once: installation writes a global slot, and a service fans
+      // concurrent requests out across threads.
+      static std::once_flag installed;
+      std::call_once(installed, [] { verify::install_pipeline_pass(); });
       core.verify_design = true;
     }
 
@@ -481,10 +493,29 @@ synthesis_outcome synthesize_impl(const netlist_source& source,
   });
 }
 
+/// Fold a request-level deadline into the synthesis knobs: the solver's
+/// effort budget (time_limit_seconds) can never exceed the deadline, and the
+/// run-abort watchdog (deadline_seconds) is armed with the tighter of the
+/// two. Deadline 0 leaves the options untouched.
+synthesis_options_v1 with_deadline(synthesis_options_v1 options,
+                                   double deadline_seconds) {
+  if (deadline_seconds > 0.0) {
+    options.time_limit_seconds =
+        std::min(options.time_limit_seconds, deadline_seconds);
+    options.deadline_seconds =
+        options.deadline_seconds > 0.0
+            ? std::min(options.deadline_seconds, deadline_seconds)
+            : deadline_seconds;
+  }
+  return options;
+}
+
 }  // namespace
 
-synthesis_outcome synthesize(const netlist_source& source,
-                             const synthesis_options_v1& options) {
+synthesis_outcome dispatch_synthesize(const request_v1& request,
+                                      const dispatch_caches& caches) {
+  const synthesis_options_v1 options =
+      with_deadline(request.synthesis, request.deadline_seconds);
   // Arm the flight recorder before any work so the postmortem captures the
   // whole run; dump on any failure, then let the exception propagate (the
   // translated() wrapper inside synthesize_impl has already mapped it into
@@ -492,7 +523,7 @@ synthesis_outcome synthesize(const netlist_source& source,
   if (!options.flight_record_path.empty())
     compact::set_flight_record_path(options.flight_record_path);
   try {
-    return synthesize_impl(source, options);
+    return synthesize_impl(request.source, options, caches);
   } catch (const std::exception& e) {
     if (!options.flight_record_path.empty())
       compact::dump_flight_postmortem(std::string("api.synthesize failed: ") +
@@ -500,6 +531,25 @@ synthesis_outcome synthesize(const netlist_source& source,
     throw;
   }
 }
+
+// The deprecated v4 entry points are thin shims that construct a request_v1
+// and dispatch it — one execution path for old and new callers. Their
+// definitions reference their own deprecated declarations, hence the pragma.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+synthesis_outcome synthesize(const netlist_source& source,
+                             const synthesis_options_v1& options) {
+  request_v1 request;
+  request.op = "synthesize";
+  request.source = source;
+  request.synthesis = options;
+  return dispatch_synthesize(request, {});
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 // ---------------------------------------------------------------------------
 // lint
@@ -521,8 +571,14 @@ bool lint_outcome::clean(const std::string& fail_on) const {
   return errors == 0;
 }
 
-lint_outcome lint(const netlist_source& source,
-                  const lint_options_v1& options) {
+namespace {
+
+/// Lint a netlist end-to-end: synthesize it through the pipeline and keep
+/// every intermediate stage for the checks (labeling, mapping, structural,
+/// equivalence).
+lint_outcome lint_source_impl(const netlist_source& source,
+                              const lint_options_v1& options,
+                              const dispatch_caches& caches) {
   return translated([&]() -> lint_outcome {
     synthesis_options_v1 synth;
     synth.labeler = options.labeler;
@@ -530,18 +586,19 @@ lint_outcome lint(const netlist_source& source,
     synth.time_limit_seconds = options.time_limit_seconds;
     synth.threads = options.threads;
     core::synthesis_options core = to_core_options(synth);
+    core.cache = caches.label;
+    core.partition_memo = caches.partition;
 
     const frontend::network net = load_network(source);
     bdd::manager m(net.input_count());
     const frontend::sbdd built = frontend::build_sbdd(net, m);
 
-    // Run the full pipeline and keep every intermediate stage for the
-    // checks (labeling, mapping, structural, equivalence).
     core::synthesis_context ctx;
     ctx.manager = &m;
     ctx.roots = &built.roots;
     ctx.names = &built.names;
     ctx.options = core;
+    ctx.cache = core.cache;
     const core::pipeline pipeline = core::make_synthesis_pipeline(ctx.options);
     pipeline.run(ctx);
 
@@ -555,8 +612,9 @@ lint_outcome lint(const netlist_source& source,
   });
 }
 
-lint_outcome lint(const design& d, const netlist_source& source,
-                  const lint_options_v1& options) {
+/// Lint an existing design against the netlist it claims to implement.
+lint_outcome lint_design_impl(const design& d, const netlist_source& source,
+                              const lint_options_v1& options) {
   return translated([&]() -> lint_outcome {
     const frontend::network net = load_network(source);
     bdd::manager m(net.input_count());
@@ -575,5 +633,48 @@ lint_outcome lint(const design& d, const netlist_source& source,
     return run_lint(artifacts, options);
   });
 }
+
+}  // namespace
+
+lint_outcome dispatch_lint(const request_v1& request,
+                           const dispatch_caches& caches) {
+  lint_options_v1 options = request.lint;
+  // Request deadlines cap the solver budget and arm the abort watchdog for
+  // the duration of the dispatch (the lint pipeline has no scope of its
+  // own; outermost-wins semantics make this safe under nesting).
+  std::optional<resource_limit_scope> watchdog;
+  if (request.deadline_seconds > 0.0) {
+    options.time_limit_seconds =
+        std::min(options.time_limit_seconds, request.deadline_seconds);
+    resource_limits limits;
+    limits.deadline_seconds = request.deadline_seconds;
+    watchdog.emplace(limits);
+  }
+  if (!request.design_text.empty())
+    return lint_design_impl(design::from_text(request.design_text),
+                            request.source, options);
+  return lint_source_impl(request.source, options, caches);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+lint_outcome lint(const netlist_source& source,
+                  const lint_options_v1& options) {
+  request_v1 request;
+  request.op = "lint";
+  request.source = source;
+  request.lint = options;
+  return dispatch_lint(request, {});
+}
+
+lint_outcome lint(const design& d, const netlist_source& source,
+                  const lint_options_v1& options) {
+  return lint_design_impl(d, source, options);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace compact::api

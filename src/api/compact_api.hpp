@@ -20,21 +20,31 @@
 // versions without notice (see DESIGN.md). New integrations should include
 // only this header and link compact::all.
 //
-// Quickstart:
+// Quickstart (facade v5 — every operation is a request):
 //
-//   compact::api::netlist_source src;
-//   src.text = "...BLIF text...";              // or src.path = "adder.blif"
-//   compact::api::synthesis_options_v1 opt;
-//   opt.labeler = "mip";
-//   opt.gamma = 0.5;
-//   const compact::api::synthesis_outcome out =
-//       compact::api::synthesize(src, opt);
-//   std::cout << out.mapped.render();
+//   compact::api::request_v1 req;
+//   req.id = "r1";
+//   req.op = "synthesize";
+//   req.source.text = "...BLIF text...";       // or req.source.path = "..."
+//   req.synthesis.labeler = "mip";
+//   req.synthesis.gamma = 0.5;
+//   const compact::api::response_v1 resp = compact::api::handle(req);
+//   if (resp.ok) std::cout << resp.design_text;
+//   else std::cerr << compact::api::error_code_name(resp.code) << ": "
+//                  << resp.error_message << "\n";
+//
+// Long-running embedders (compact-serve, sweep harnesses) construct one
+// `service` and call service::handle() from any number of threads: requests
+// then share the process-wide labeling/partition caches with bounded memory.
+// The request/response pair serializes to JSON-lines (to_json /
+// request_from_json / response_from_json) — the same schema the daemon
+// speaks on its socket.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -51,7 +61,12 @@
 /// `electrical` / `margin_threshold` / `criticality` / `criticality_limit`
 /// lint options and the margin / criticality summary fields of
 /// lint_outcome.
-#define COMPACT_API_VERSION 4
+/// Version 5 redesigned the entry points around request_v1 / response_v1
+/// (op = synthesize | lint | evaluate, structured error_code_v1 taxonomy,
+/// JSON-lines serialization), added the `service` handle with shared
+/// bounded-memory caches, and deprecated the loose synthesize()/lint()
+/// functions in favor of thin shims over handle().
+#define COMPACT_API_VERSION 5
 
 namespace compact::api {
 
@@ -290,8 +305,17 @@ struct synthesis_outcome {
 
 /// Parse + BDD-build + synthesis in one call. Throws parse_error on bad
 /// input, infeasible_error when budgets admit no design, error otherwise.
-[[nodiscard]] synthesis_outcome synthesize(
-    const netlist_source& source, const synthesis_options_v1& options = {});
+///
+/// Deprecated in v5: a thin shim that constructs a request_v1 (op =
+/// "synthesize") and dispatches it; exceptions and the returned outcome are
+/// unchanged. Migrate to handle() / service::handle(), which add the
+/// structured error taxonomy, deadlines, and shared caches — see
+/// docs/serving.md for the v4 -> v5 migration table.
+[[deprecated(
+    "construct a request_v1 (op = \"synthesize\") and call "
+    "compact::api::handle(); see docs/serving.md")]] [[nodiscard]]
+synthesis_outcome synthesize(const netlist_source& source,
+                             const synthesis_options_v1& options = {});
 
 // ---------------------------------------------------------------------------
 // Lint
@@ -354,12 +378,202 @@ struct lint_outcome {
 
 /// Synthesize `source` and run every applicable static check on the
 /// intermediate artifacts (never simulating a single input vector).
-[[nodiscard]] lint_outcome lint(const netlist_source& source,
-                                const lint_options_v1& options = {});
+///
+/// Deprecated in v5: a shim over a request_v1 with op = "lint"; migrate to
+/// handle() / service::handle() (see docs/serving.md).
+[[deprecated(
+    "construct a request_v1 (op = \"lint\") and call compact::api::handle(); "
+    "see docs/serving.md")]] [[nodiscard]]
+lint_outcome lint(const netlist_source& source,
+                  const lint_options_v1& options = {});
 
 /// Check an existing design against the netlist it claims to implement
 /// (structural checks + symbolic equivalence).
-[[nodiscard]] lint_outcome lint(const design& d, const netlist_source& source,
-                                const lint_options_v1& options = {});
+///
+/// Deprecated in v5: set request_v1::design_text alongside the source in an
+/// op = "lint" request instead (see docs/serving.md).
+[[deprecated(
+    "construct a request_v1 (op = \"lint\", design_text set) and call "
+    "compact::api::handle(); see docs/serving.md")]] [[nodiscard]]
+lint_outcome lint(const design& d, const netlist_source& source,
+                  const lint_options_v1& options = {});
+
+// ---------------------------------------------------------------------------
+// Facade v5 — requests and responses
+//
+// Every operation the library offers is expressible as one request_v1 value:
+// the CLI, the compact-serve daemon, and out-of-tree embedders all speak
+// this schema, in-process (handle / service::handle) or as JSON-lines over a
+// pipe or socket (to_json / request_from_json). Responses never throw —
+// failures come back as a structured error code plus a human-readable
+// message, so a batch of thousands of requests degrades per-request instead
+// of aborting the batch.
+
+/// Structured failure taxonomy. Stable wire names via error_code_name().
+enum class error_code_v1 {
+  none = 0,          ///< success
+  invalid_request,   ///< malformed request: bad op, bad option value, ...
+  parse,             ///< netlist / design text could not be parsed
+  infeasible,        ///< budgets admit no design
+  resource_limit,    ///< memory budget exceeded (watchdog)
+  deadline_exceeded, ///< deadline passed (watchdog abort or queue shed)
+  overload,          ///< admission control rejected the request (queue full)
+  version_mismatch,  ///< request_v1::api_version != the library's version
+  internal,          ///< unexpected library failure
+};
+
+/// Stable lowercase wire name ("none", "invalid_request", ...).
+[[nodiscard]] const char* error_code_name(error_code_v1 code);
+/// Inverse of error_code_name; nullopt for unknown names.
+[[nodiscard]] std::optional<error_code_v1> parse_error_code(
+    const std::string& name);
+
+/// One unit of work. `op` selects the operation:
+///   * "synthesize" — `source` + `synthesis`; the response carries the
+///     serialized design, stats, and any validation/verification verdicts.
+///   * "lint"       — `source` + `lint` (+ optional `design_text` to check
+///     an existing design against the netlist).
+///   * "evaluate"   — `design_text` + `assignment`; the response carries the
+///     sensed output bits.
+struct request_v1 {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::string id;
+  std::string op = "synthesize";
+  /// When non-zero, the service rejects the request (version_mismatch)
+  /// unless it equals the library's api_version(). Set it to
+  /// COMPACT_API_VERSION to assert header/library/schema agreement across
+  /// the wire; 0 skips the check.
+  int api_version = 0;
+  /// Netlist input for synthesize / lint.
+  netlist_source source;
+  /// A serialized `.xbar` document: the design to evaluate, or the design to
+  /// lint against `source`.
+  std::string design_text;
+  /// Evaluate: one '0'/'1' per declared input, in declaration order.
+  std::string assignment;
+  synthesis_options_v1 synthesis;
+  lint_options_v1 lint;
+  /// Severity floor for response_v1::lint_clean ("note" | "warning" |
+  /// "error").
+  std::string fail_on = "warning";
+  /// End-to-end deadline in seconds; 0 = none. Caps the solver effort knob
+  /// (time_limit_seconds) and arms the run-abort watchdog
+  /// (synthesis_options_v1::deadline_seconds); under a server it is also the
+  /// shedding budget — a request whose queue wait alone exceeds it is
+  /// answered with deadline_exceeded without running.
+  double deadline_seconds = 0.0;
+};
+
+/// The answer to one request. `ok` is true exactly when `code` is none;
+/// sections irrelevant to the op keep their defaults (has_stats / lint_ran
+/// gate the meaningful ones).
+struct response_v1 {
+  std::string id;
+  bool ok = false;
+  error_code_v1 code = error_code_v1::internal;
+  std::string error_message;
+  /// Synthesize: the mapped design in `.xbar` text form (design::from_text
+  /// parses it back into a handle).
+  std::string design_text;
+  bool has_stats = false;
+  synthesis_stats_v1 stats;
+  check_result_v1 validation;
+  check_result_v1 verification;
+  std::vector<diagnostic_v1> diagnostics;
+  /// Lint summary (when lint_ran); mirrors lint_outcome including the
+  /// electrical / criticality engine summaries.
+  bool lint_ran = false;
+  bool lint_clean = false;
+  std::uint64_t lint_errors = 0;
+  std::uint64_t lint_warnings = 0;
+  std::uint64_t lint_notes = 0;
+  bool electrical_ran = false;
+  bool electrically_safe = false;
+  double min_margin_ratio = 0.0;
+  bool criticality_ran = false;
+  int junctions_analyzed = 0;
+  int critical_junctions = 0;
+  bool criticality_truncated = false;
+  /// Evaluate: one '0'/'1' per output, aligned with output_names.
+  std::string outputs;
+  std::vector<std::string> output_names;
+  /// Wall seconds spent executing the request (excludes queueing).
+  double service_seconds = 0.0;
+  /// Wall seconds spent queued before execution (0 outside a server).
+  double queue_seconds = 0.0;
+};
+
+/// Serialize to one single-line JSON object (no trailing newline) — the
+/// JSON-lines wire format of compact-serve. All option fields are written
+/// explicitly, so a logged line fully reproduces the run.
+[[nodiscard]] std::string to_json(const request_v1& request);
+[[nodiscard]] std::string to_json(const response_v1& response);
+
+/// Parse one JSON request line. Strict: unknown fields, wrong types, and
+/// malformed JSON throw parse_error (a server answers that with code
+/// `parse` rather than guessing).
+[[nodiscard]] request_v1 request_from_json(const std::string& text);
+/// Parse one JSON response line. Lenient: unknown fields are ignored, so a
+/// v5 client keeps working against servers that append response fields.
+[[nodiscard]] response_v1 response_from_json(const std::string& text);
+
+/// Cache counters exposed through service_stats_v1.
+struct cache_stats_v1 {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t content_bytes = 0;
+};
+
+struct service_options_v1 {
+  /// Share one labeling / partition-plan cache across every request the
+  /// service handles (identical subproblems across requests then hit
+  /// instead of recomputing). Designs are byte-identical either way.
+  bool share_label_cache = true;
+  bool share_partition_cache = true;
+  /// Combined byte budget for the shared caches (split evenly across the
+  /// enabled ones); 0 = unbounded. Exceeding it evicts least-recently-used
+  /// entries — see cache_stats_v1::evictions.
+  std::uint64_t cache_memory_limit_bytes = 0;
+};
+
+struct service_stats_v1 {
+  std::uint64_t requests = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  /// Successful synthesize requests (the designs/sec numerator).
+  std::uint64_t designs = 0;
+  cache_stats_v1 label_cache;
+  cache_stats_v1 partition_cache;
+};
+
+/// A long-lived request executor: one per process. Thread-safe — handle()
+/// may be called concurrently from any number of threads; requests share
+/// the service's bounded-memory labeling/partition caches. Results are
+/// bit-identical to one-shot handle() calls.
+class service {
+ public:
+  explicit service(const service_options_v1& options = {});
+  ~service();
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  /// Execute one request. Never throws the facade's exceptions: every
+  /// failure is a response with ok = false and a structured code.
+  [[nodiscard]] response_v1 handle(const request_v1& request);
+
+  [[nodiscard]] service_stats_v1 stats() const;
+  /// Drop every shared cache entry (counters reset too).
+  void clear_caches();
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+/// One-shot convenience: execute `request` with private (per-call) caches.
+/// Equivalent to constructing a throwaway service and handling one request.
+[[nodiscard]] response_v1 handle(const request_v1& request);
 
 }  // namespace compact::api

@@ -1,0 +1,38 @@
+// Internal bridge between the v5 request surface and the facade's
+// implementation: dispatch functions that execute one request_v1 with an
+// optional set of shared caches and either return the rich outcome or throw
+// the facade's exception hierarchy. service::handle() and the one-shot
+// handle() map the exceptions into error codes; the deprecated v4 shims
+// call these directly so their exception behavior is unchanged.
+//
+// NOT part of the stable facade — first-party code only.
+#pragma once
+
+#include "api/compact_api.hpp"
+
+namespace compact::core {
+class labeling_cache;
+class partition_cache;
+}  // namespace compact::core
+
+namespace compact::api {
+
+/// Shared state injected into a dispatched request. Null members mean the
+/// core falls back to its private per-call caches.
+struct dispatch_caches {
+  core::labeling_cache* label = nullptr;
+  core::partition_cache* partition = nullptr;
+};
+
+/// Execute an op = "synthesize" request (deadline mapping applied, flight
+/// recorder armed). Throws like the v4 synthesize().
+[[nodiscard]] synthesis_outcome dispatch_synthesize(
+    const request_v1& request, const dispatch_caches& caches);
+
+/// Execute an op = "lint" request: design_text set checks that design
+/// against the source, otherwise the netlist is synthesized and every
+/// intermediate artifact checked. Throws like the v4 lint() overloads.
+[[nodiscard]] lint_outcome dispatch_lint(const request_v1& request,
+                                         const dispatch_caches& caches);
+
+}  // namespace compact::api

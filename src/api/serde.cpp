@@ -1,0 +1,472 @@
+// JSON-lines serialization of the v5 request/response schema.
+//
+// One request or response per line, UTF-8, no embedded newlines (json_escape
+// escapes control characters) — the wire format of compact-serve and the
+// replay format of compact_loadgen. Requests parse strictly (unknown fields
+// are errors, so typos fail loudly at the server boundary); responses parse
+// leniently (unknown fields are ignored, so a v5 client keeps working
+// against a server that appends fields in v6).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/compact_api.hpp"
+#include "util/json.hpp"
+#include "util/telemetry.hpp"
+
+namespace compact::api {
+namespace {
+
+[[nodiscard]] std::string quoted(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+[[nodiscard]] std::string field(const char* key, const std::string& value) {
+  return std::string("\"") + key + "\":" + quoted(value);
+}
+[[nodiscard]] std::string field(const char* key, double value) {
+  return std::string("\"") + key + "\":" + json_number(value);
+}
+[[nodiscard]] std::string field(const char* key, bool value) {
+  return std::string("\"") + key + "\":" + (value ? "true" : "false");
+}
+[[nodiscard]] std::string field(const char* key, int value) {
+  return field(key, static_cast<double>(value));
+}
+[[nodiscard]] std::string field(const char* key, std::uint64_t value) {
+  return field(key, static_cast<double>(value));
+}
+[[nodiscard]] std::string field(const char* key, long long value) {
+  return field(key, static_cast<double>(value));
+}
+
+[[nodiscard]] std::string names_array(const std::vector<std::string>& names) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ',';
+    out += quoted(names[i]);
+  }
+  return out + "]";
+}
+
+// -------------------------------------------------------------------------
+// Writers
+
+[[nodiscard]] std::string synthesis_json(const synthesis_options_v1& o) {
+  std::string out = "{";
+  out += field("labeler", o.labeler);
+  out += ',' + field("gamma", o.gamma);
+  out += ',' + field("alignment", o.alignment);
+  out += ',' + field("time_limit_seconds", o.time_limit_seconds);
+  out += ',' + field("threads", o.threads);
+  out += ',' + field("max_rows", o.max_rows);
+  out += ',' + field("max_columns", o.max_columns);
+  out += ',' + field("partition", o.partition);
+  out += ',' + field("separate_robdds", o.separate_robdds);
+  out += ',' + field("minimize_network", o.minimize_network);
+  out += ',' + field("variable_order", o.variable_order);
+  out += ',' + field("kernelize", o.kernelize);
+  out += ',' + field("validate", o.validate);
+  out += ',' + field("verify", o.verify);
+  out += ',' + field("trace_json_path", o.trace_json_path);
+  out += ',' + field("memory_limit_bytes", o.memory_limit_bytes);
+  out += ',' + field("deadline_seconds", o.deadline_seconds);
+  out += ',' + field("flight_record_path", o.flight_record_path);
+  return out + "}";
+}
+
+[[nodiscard]] std::string lint_json(const lint_options_v1& o) {
+  std::string out = "{";
+  out += field("labeler", o.labeler);
+  out += ',' + field("gamma", o.gamma);
+  out += ',' + field("time_limit_seconds", o.time_limit_seconds);
+  out += ',' + field("threads", o.threads);
+  out += ',' + field("equivalence", o.equivalence);
+  out += ',' + field("electrical", o.electrical);
+  out += ',' + field("margin_threshold", o.margin_threshold);
+  out += ',' + field("criticality", o.criticality);
+  out += ',' + field("criticality_limit", o.criticality_limit);
+  return out + "}";
+}
+
+[[nodiscard]] std::string stats_json(const synthesis_stats_v1& s) {
+  std::string out = "{";
+  out += field("graph_nodes", s.graph_nodes);
+  out += ',' + field("vh_count", s.vh_count);
+  out += ',' + field("rows", s.rows);
+  out += ',' + field("columns", s.columns);
+  out += ',' + field("semiperimeter", s.semiperimeter);
+  out += ',' + field("max_dimension", s.max_dimension);
+  out += ',' + field("area", s.area);
+  out += ',' + field("power_proxy", s.power_proxy);
+  out += ',' + field("delay_steps", s.delay_steps);
+  out += ',' + field("optimal", s.optimal);
+  out += ',' + field("relative_gap", s.relative_gap);
+  out += ',' + field("synthesis_seconds", s.synthesis_seconds);
+  out += ',' + field("arrays", s.arrays);
+  out += ',' + field("cut_edges", s.cut_edges);
+  out += ',' + field("bridge_connections", s.bridge_connections);
+  out += ',' + field("total_semiperimeter", s.total_semiperimeter);
+  return out + "}";
+}
+
+[[nodiscard]] std::string check_json(const check_result_v1& c) {
+  std::string out = "{";
+  out += field("ran", c.ran);
+  out += ',' + field("passed", c.passed);
+  out += ',' + field("detail", c.detail);
+  return out + "}";
+}
+
+[[nodiscard]] std::string diagnostics_json(
+    const std::vector<diagnostic_v1>& diagnostics) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const diagnostic_v1& d = diagnostics[i];
+    if (i != 0) out += ',';
+    out += "{" + field("check", d.check);
+    out += ',' + field("severity", d.severity);
+    out += ',' + field("message", d.message);
+    if (!d.fix.empty()) out += ',' + field("fix", d.fix);
+    if (!d.anchors.empty())
+      out += ",\"anchors\":" + names_array(d.anchors);
+    out += "}";
+  }
+  return out + "]";
+}
+
+// -------------------------------------------------------------------------
+// Strict request parsing
+
+[[noreturn]] void fail(const std::string& message) {
+  throw compact::parse_error(message);
+}
+
+[[nodiscard]] int as_int(const json::value& v, const char* what) {
+  const double n = v.as_number();
+  const int i = static_cast<int>(n);
+  if (static_cast<double>(i) != n) fail(std::string(what) + " must be an integer");
+  return i;
+}
+
+[[nodiscard]] std::uint64_t as_u64(const json::value& v, const char* what) {
+  const double n = v.as_number();
+  if (n < 0) fail(std::string(what) + " must be >= 0");
+  return static_cast<std::uint64_t>(n);
+}
+
+void parse_source(const json::value& v, netlist_source& out) {
+  for (const auto& [key, val] : v.as_object()) {
+    if (key == "path")
+      out.path = val->as_string();
+    else if (key == "text")
+      out.text = val->as_string();
+    else if (key == "format")
+      out.format = val->as_string();
+    else
+      fail("unknown source field '" + key + "'");
+  }
+}
+
+void parse_synthesis(const json::value& v, synthesis_options_v1& o) {
+  for (const auto& [key, val] : v.as_object()) {
+    if (key == "labeler")
+      o.labeler = val->as_string();
+    else if (key == "gamma")
+      o.gamma = val->as_number();
+    else if (key == "alignment")
+      o.alignment = val->as_bool();
+    else if (key == "time_limit_seconds")
+      o.time_limit_seconds = val->as_number();
+    else if (key == "threads")
+      o.threads = as_int(*val, "threads");
+    else if (key == "max_rows")
+      o.max_rows = as_int(*val, "max_rows");
+    else if (key == "max_columns")
+      o.max_columns = as_int(*val, "max_columns");
+    else if (key == "partition")
+      o.partition = val->as_bool();
+    else if (key == "separate_robdds")
+      o.separate_robdds = val->as_bool();
+    else if (key == "minimize_network")
+      o.minimize_network = val->as_bool();
+    else if (key == "variable_order")
+      o.variable_order = val->as_string();
+    else if (key == "kernelize")
+      o.kernelize = val->as_bool();
+    else if (key == "validate")
+      o.validate = val->as_bool();
+    else if (key == "verify")
+      o.verify = val->as_bool();
+    else if (key == "trace_json_path")
+      o.trace_json_path = val->as_string();
+    else if (key == "memory_limit_bytes")
+      o.memory_limit_bytes = as_u64(*val, "memory_limit_bytes");
+    else if (key == "deadline_seconds")
+      o.deadline_seconds = val->as_number();
+    else if (key == "flight_record_path")
+      o.flight_record_path = val->as_string();
+    else
+      fail("unknown synthesis field '" + key + "'");
+  }
+}
+
+void parse_lint(const json::value& v, lint_options_v1& o) {
+  for (const auto& [key, val] : v.as_object()) {
+    if (key == "labeler")
+      o.labeler = val->as_string();
+    else if (key == "gamma")
+      o.gamma = val->as_number();
+    else if (key == "time_limit_seconds")
+      o.time_limit_seconds = val->as_number();
+    else if (key == "threads")
+      o.threads = as_int(*val, "threads");
+    else if (key == "equivalence")
+      o.equivalence = val->as_bool();
+    else if (key == "electrical")
+      o.electrical = val->as_bool();
+    else if (key == "margin_threshold")
+      o.margin_threshold = val->as_number();
+    else if (key == "criticality")
+      o.criticality = val->as_bool();
+    else if (key == "criticality_limit")
+      o.criticality_limit = as_int(*val, "criticality_limit");
+    else
+      fail("unknown lint field '" + key + "'");
+  }
+}
+
+// -------------------------------------------------------------------------
+// Lenient response parsing helpers
+
+void read_check(const json::value* v, check_result_v1& out) {
+  if (v == nullptr) return;
+  if (const json::value* ran = v->find("ran")) out.ran = ran->as_bool();
+  if (const json::value* passed = v->find("passed"))
+    out.passed = passed->as_bool();
+  if (const json::value* detail = v->find("detail"))
+    out.detail = detail->as_string();
+}
+
+void read_diagnostics(const json::value* v, std::vector<diagnostic_v1>& out) {
+  if (v == nullptr) return;
+  for (const json::value_ptr& item : v->as_array()) {
+    diagnostic_v1 d;
+    if (const json::value* check = item->find("check"))
+      d.check = check->as_string();
+    if (const json::value* severity = item->find("severity"))
+      d.severity = severity->as_string();
+    if (const json::value* message = item->find("message"))
+      d.message = message->as_string();
+    if (const json::value* fix = item->find("fix")) d.fix = fix->as_string();
+    if (const json::value* anchors = item->find("anchors"))
+      for (const json::value_ptr& a : anchors->as_array())
+        d.anchors.push_back(a->as_string());
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+std::string to_json(const request_v1& request) {
+  std::string out = "{";
+  out += field("id", request.id);
+  out += ',' + field("op", request.op);
+  if (request.api_version != 0)
+    out += ',' + field("api_version", request.api_version);
+  if (!request.source.path.empty() || !request.source.text.empty() ||
+      !request.source.format.empty()) {
+    out += ",\"source\":{";
+    out += field("path", request.source.path);
+    out += ',' + field("text", request.source.text);
+    out += ',' + field("format", request.source.format);
+    out += "}";
+  }
+  if (!request.design_text.empty())
+    out += ',' + field("design", request.design_text);
+  if (!request.assignment.empty())
+    out += ',' + field("assignment", request.assignment);
+  out += ',' + field("deadline_seconds", request.deadline_seconds);
+  out += ',' + field("fail_on", request.fail_on);
+  out += ",\"synthesis\":" + synthesis_json(request.synthesis);
+  out += ",\"lint\":" + lint_json(request.lint);
+  return out + "}";
+}
+
+std::string to_json(const response_v1& response) {
+  std::string out = "{";
+  out += field("id", response.id);
+  out += ',' + field("ok", response.ok);
+  out += ',' + field("code", std::string(error_code_name(response.code)));
+  if (!response.error_message.empty())
+    out += ',' + field("error", response.error_message);
+  if (!response.design_text.empty())
+    out += ',' + field("design", response.design_text);
+  if (response.has_stats) out += ",\"stats\":" + stats_json(response.stats);
+  if (response.validation.ran)
+    out += ",\"validation\":" + check_json(response.validation);
+  if (response.verification.ran)
+    out += ",\"verification\":" + check_json(response.verification);
+  if (!response.diagnostics.empty())
+    out += ",\"diagnostics\":" + diagnostics_json(response.diagnostics);
+  if (response.lint_ran) {
+    out += ",\"lint\":{";
+    out += field("clean", response.lint_clean);
+    out += ',' + field("errors", response.lint_errors);
+    out += ',' + field("warnings", response.lint_warnings);
+    out += ',' + field("notes", response.lint_notes);
+    if (response.electrical_ran) {
+      out += ",\"electrical\":{";
+      out += field("safe", response.electrically_safe);
+      out += ',' + field("min_margin_ratio", response.min_margin_ratio);
+      out += "}";
+    }
+    if (response.criticality_ran) {
+      out += ",\"criticality\":{";
+      out += field("junctions_analyzed", response.junctions_analyzed);
+      out += ',' + field("critical_junctions", response.critical_junctions);
+      out += ',' + field("truncated", response.criticality_truncated);
+      out += "}";
+    }
+    out += "}";
+  }
+  if (!response.outputs.empty())
+    out += ',' + field("outputs", response.outputs);
+  if (!response.output_names.empty())
+    out += ",\"output_names\":" + names_array(response.output_names);
+  out += ',' + field("service_seconds", response.service_seconds);
+  out += ',' + field("queue_seconds", response.queue_seconds);
+  return out + "}";
+}
+
+request_v1 request_from_json(const std::string& text) {
+  try {
+    const json::value_ptr doc = json::parse(text);
+    request_v1 r;
+    for (const auto& [key, val] : doc->as_object()) {
+      if (key == "id")
+        r.id = val->as_string();
+      else if (key == "op")
+        r.op = val->as_string();
+      else if (key == "api_version")
+        r.api_version = as_int(*val, "api_version");
+      else if (key == "source")
+        parse_source(*val, r.source);
+      else if (key == "design")
+        r.design_text = val->as_string();
+      else if (key == "assignment")
+        r.assignment = val->as_string();
+      else if (key == "deadline_seconds")
+        r.deadline_seconds = val->as_number();
+      else if (key == "fail_on")
+        r.fail_on = val->as_string();
+      else if (key == "synthesis")
+        parse_synthesis(*val, r.synthesis);
+      else if (key == "lint")
+        parse_lint(*val, r.lint);
+      else
+        fail("unknown request field '" + key + "'");
+    }
+    return r;
+  } catch (const compact::error& e) {
+    throw parse_error(e.what());
+  }
+}
+
+response_v1 response_from_json(const std::string& text) {
+  try {
+    const json::value_ptr doc = json::parse(text);
+    response_v1 r;
+    const json::value& v = *doc;
+    (void)v.as_object();  // must be an object
+    if (const json::value* id = v.find("id")) r.id = id->as_string();
+    if (const json::value* ok = v.find("ok")) r.ok = ok->as_bool();
+    if (const json::value* code = v.find("code")) {
+      const std::optional<error_code_v1> parsed =
+          parse_error_code(code->as_string());
+      if (!parsed) fail("unknown error code '" + code->as_string() + "'");
+      r.code = *parsed;
+    }
+    if (const json::value* e = v.find("error")) r.error_message = e->as_string();
+    if (const json::value* d = v.find("design")) r.design_text = d->as_string();
+    if (const json::value* stats = v.find("stats")) {
+      r.has_stats = true;
+      synthesis_stats_v1& s = r.stats;
+      if (const json::value* x = stats->find("graph_nodes"))
+        s.graph_nodes = static_cast<std::size_t>(x->as_number());
+      if (const json::value* x = stats->find("vh_count"))
+        s.vh_count = as_int(*x, "vh_count");
+      if (const json::value* x = stats->find("rows"))
+        s.rows = as_int(*x, "rows");
+      if (const json::value* x = stats->find("columns"))
+        s.columns = as_int(*x, "columns");
+      if (const json::value* x = stats->find("semiperimeter"))
+        s.semiperimeter = as_int(*x, "semiperimeter");
+      if (const json::value* x = stats->find("max_dimension"))
+        s.max_dimension = as_int(*x, "max_dimension");
+      if (const json::value* x = stats->find("area"))
+        s.area = static_cast<long long>(x->as_number());
+      if (const json::value* x = stats->find("power_proxy"))
+        s.power_proxy = as_int(*x, "power_proxy");
+      if (const json::value* x = stats->find("delay_steps"))
+        s.delay_steps = as_int(*x, "delay_steps");
+      if (const json::value* x = stats->find("optimal"))
+        s.optimal = x->as_bool();
+      if (const json::value* x = stats->find("relative_gap"))
+        s.relative_gap = x->as_number();
+      if (const json::value* x = stats->find("synthesis_seconds"))
+        s.synthesis_seconds = x->as_number();
+      if (const json::value* x = stats->find("arrays"))
+        s.arrays = as_int(*x, "arrays");
+      if (const json::value* x = stats->find("cut_edges"))
+        s.cut_edges = as_int(*x, "cut_edges");
+      if (const json::value* x = stats->find("bridge_connections"))
+        s.bridge_connections = as_int(*x, "bridge_connections");
+      if (const json::value* x = stats->find("total_semiperimeter"))
+        s.total_semiperimeter = as_int(*x, "total_semiperimeter");
+    }
+    read_check(v.find("validation"), r.validation);
+    read_check(v.find("verification"), r.verification);
+    read_diagnostics(v.find("diagnostics"), r.diagnostics);
+    if (const json::value* lint = v.find("lint")) {
+      r.lint_ran = true;
+      if (const json::value* x = lint->find("clean"))
+        r.lint_clean = x->as_bool();
+      if (const json::value* x = lint->find("errors"))
+        r.lint_errors = as_u64(*x, "errors");
+      if (const json::value* x = lint->find("warnings"))
+        r.lint_warnings = as_u64(*x, "warnings");
+      if (const json::value* x = lint->find("notes"))
+        r.lint_notes = as_u64(*x, "notes");
+      if (const json::value* e = lint->find("electrical")) {
+        r.electrical_ran = true;
+        if (const json::value* x = e->find("safe"))
+          r.electrically_safe = x->as_bool();
+        if (const json::value* x = e->find("min_margin_ratio"))
+          r.min_margin_ratio = x->as_number();
+      }
+      if (const json::value* c = lint->find("criticality")) {
+        r.criticality_ran = true;
+        if (const json::value* x = c->find("junctions_analyzed"))
+          r.junctions_analyzed = as_int(*x, "junctions_analyzed");
+        if (const json::value* x = c->find("critical_junctions"))
+          r.critical_junctions = as_int(*x, "critical_junctions");
+        if (const json::value* x = c->find("truncated"))
+          r.criticality_truncated = x->as_bool();
+      }
+    }
+    if (const json::value* o = v.find("outputs")) r.outputs = o->as_string();
+    if (const json::value* names = v.find("output_names"))
+      for (const json::value_ptr& n : names->as_array())
+        r.output_names.push_back(n->as_string());
+    if (const json::value* s = v.find("service_seconds"))
+      r.service_seconds = s->as_number();
+    if (const json::value* q = v.find("queue_seconds"))
+      r.queue_seconds = q->as_number();
+    return r;
+  } catch (const compact::error& e) {
+    throw parse_error(e.what());
+  }
+}
+
+}  // namespace compact::api

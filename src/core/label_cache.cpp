@@ -1,23 +1,14 @@
 #include "core/label_cache.hpp"
 
 #include "util/hash.hpp"
-#include "util/memtrack.hpp"
-#include "util/metrics.hpp"
 
 namespace compact::core {
 namespace {
 
-mem_account& cache_account() {
-  static mem_account& account = memtrack_account("cache.labeling");
-  return account;
-}
-
-// Estimated footprint of one stored entry: the canonical key string, the
-// labeling payload, and fixed bucket/bookkeeping overhead.
-std::uint64_t entry_bytes(const std::string& canonical,
-                          const cached_labeling& entry) {
-  return canonical.size() + entry.l.label_of.size() * sizeof(vh_label) +
-         sizeof(cached_labeling) + 48;
+// Estimated payload footprint of one stored entry; the memo adds the
+// canonical key string and fixed bucket/bookkeeping overhead itself.
+std::uint64_t payload_bytes(const cached_labeling& entry) {
+  return entry.l.label_of.size() * sizeof(vh_label) + sizeof(cached_labeling);
 }
 
 }  // namespace
@@ -50,58 +41,28 @@ label_cache_key make_label_cache_key(const bdd_graph& graph,
   return {hasher.digest(), std::move(canonical)};
 }
 
+labeling_cache::labeling_cache() : memo_("label_cache", "cache.labeling") {}
+
 std::optional<cached_labeling> labeling_cache::find(
     const label_cache_key& key) const {
-  const mutex_lock lock(mutex_);
-  const auto it = entries_.find(key.digest);
-  if (it != entries_.end())
-    for (const auto& [canonical, entry] : it->second)
-      if (canonical == key.canonical) {
-        ++counters_.hits;
-        if (metrics_enabled())
-          global_metrics().counter("label_cache.hits").increment();
-        return entry;
-      }
-  ++counters_.misses;
-  if (metrics_enabled())
-    global_metrics().counter("label_cache.misses").increment();
-  return std::nullopt;
+  return memo_.find(key.digest, key.canonical);
 }
 
 void labeling_cache::store(const label_cache_key& key, cached_labeling entry) {
-  const mutex_lock lock(mutex_);
-  bucket& slot = entries_[key.digest];
-  for (const auto& [canonical, existing] : slot)
-    if (canonical == key.canonical) return;  // first store wins
-  content_bytes_ += entry_bytes(key.canonical, entry);
-  slot.emplace_back(key.canonical, std::move(entry));
-  ++counters_.entries;
-  account_set(cache_account(), bytes_accounted_, content_bytes_);
-  if (metrics_enabled())
-    global_metrics()
-        .gauge("label_cache.entries")
-        .set(static_cast<double>(counters_.entries));
+  const std::uint64_t bytes = payload_bytes(entry);
+  memo_.store(key.digest, key.canonical, std::move(entry), bytes);
 }
 
-labeling_cache::counters labeling_cache::stats() const {
-  const mutex_lock lock(mutex_);
-  return counters_;
+labeling_cache::counters labeling_cache::stats() const { return memo_.stats(); }
+
+void labeling_cache::set_capacity_bytes(std::uint64_t capacity) {
+  memo_.set_capacity_bytes(capacity);
 }
 
-void labeling_cache::clear() {
-  const mutex_lock lock(mutex_);
-  entries_.clear();
-  counters_ = {};
-  content_bytes_ = 0;
-  account_set(cache_account(), bytes_accounted_, content_bytes_);
+std::uint64_t labeling_cache::capacity_bytes() const {
+  return memo_.capacity_bytes();
 }
 
-labeling_cache::~labeling_cache() {
-  // Drain the charge regardless of the current enabled flag. The lock is
-  // formally redundant in a destructor but keeps the guarded-field access
-  // visible to the thread-safety analysis.
-  const mutex_lock lock(mutex_);
-  if (bytes_accounted_ != 0) cache_account().sub(bytes_accounted_);
-}
+void labeling_cache::clear() { memo_.clear(); }
 
 }  // namespace compact::core

@@ -15,19 +15,21 @@
 //
 // The cache is thread-safe (the separate-ROBDD flow fans labeling out across
 // pool workers) and collision-safe: the full canonical key string is stored
-// alongside the digest and compared on lookup.
+// alongside the digest and compared on lookup. Storage and eviction live in
+// util/bounded_memo: set_capacity_bytes() caps the estimated content size
+// and evicts least-recently-used entries, which compact-serve uses to share
+// one process-wide cache across thousands of requests without unbounded
+// growth. Eviction only turns future hits into recomputes of identical
+// values — designs stay byte-identical.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <utility>
-#include <vector>
 
 #include "core/bdd_graph.hpp"
 #include "core/labeling.hpp"
-#include "util/thread_annotations.hpp"
+#include "util/bounded_memo.hpp"
 
 namespace compact::core {
 
@@ -61,38 +63,32 @@ struct cached_labeling {
 
 class labeling_cache {
  public:
-  /// Returns the entry stored under `key`, or nullopt. Counts a hit or miss.
+  /// Returns the entry stored under `key`, or nullopt. Counts a hit or miss;
+  /// a hit refreshes the entry's LRU recency.
   [[nodiscard]] std::optional<cached_labeling> find(
       const label_cache_key& key) const;
 
   /// Store `entry` under `key`. Racing stores of the same key keep the first
-  /// value; labelers are deterministic, so racing values are identical.
+  /// value; labelers are deterministic, so racing values are identical. May
+  /// evict least-recently-used entries when a capacity is set.
   void store(const label_cache_key& key, cached_labeling entry);
 
-  struct counters {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t entries = 0;
-  };
+  using counters = bounded_memo<cached_labeling>::counters;
   [[nodiscard]] counters stats() const;
+
+  /// Cap the estimated content bytes (the mem.cache.labeling gauge value).
+  /// 0 = unbounded (default). Lowering below current content evicts now.
+  void set_capacity_bytes(std::uint64_t capacity);
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
 
   void clear();
 
-  ~labeling_cache();
-  labeling_cache() = default;
+  labeling_cache();
   labeling_cache(const labeling_cache&) = delete;
   labeling_cache& operator=(const labeling_cache&) = delete;
 
  private:
-  using bucket = std::vector<std::pair<std::string, cached_labeling>>;
-  mutable annotated_mutex mutex_;
-  mutable counters counters_ COMPACT_GUARDED_BY(mutex_);
-  std::unordered_map<std::uint64_t, bucket> entries_
-      COMPACT_GUARDED_BY(mutex_);
-  // Estimated bytes held (keys + payload vectors + per-entry overhead) and
-  // the portion charged to the mem.cache.labeling account.
-  std::uint64_t content_bytes_ COMPACT_GUARDED_BY(mutex_) = 0;
-  std::uint64_t bytes_accounted_ COMPACT_GUARDED_BY(mutex_) = 0;
+  bounded_memo<cached_labeling> memo_;
 };
 
 }  // namespace compact::core

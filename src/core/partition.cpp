@@ -7,8 +7,6 @@
 #include "frontend/to_bdd.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
-#include "util/memtrack.hpp"
-#include "util/metrics.hpp"
 #include "util/watchdog.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -21,11 +19,6 @@ namespace {
 /// unchanged input: stored plans must never be served across algorithm
 /// revisions (the cache key includes this).
 constexpr int partition_algorithm_version = 1;
-
-mem_account& partition_cache_account() {
-  static mem_account& account = memtrack_account("cache.partition");
-  return account;
-}
 
 /// Refinement is a local search; a small fixed sweep bound keeps planning
 /// linear-ish while catching the boundary-misplacement the greedy pass
@@ -204,59 +197,34 @@ label_cache_key make_partition_cache_key(const bdd_graph& graph,
   return {hasher.digest(), std::move(canonical)};
 }
 
+partition_cache::partition_cache()
+    : memo_("partition_cache", "cache.partition") {}
+
 std::optional<partition_plan> partition_cache::find(
     const label_cache_key& key) const {
-  const mutex_lock lock(mutex_);
-  const auto it = entries_.find(key.digest);
-  if (it != entries_.end())
-    for (const auto& [canonical, plan] : it->second)
-      if (canonical == key.canonical) {
-        ++counters_.hits;
-        if (metrics_enabled())
-          global_metrics().counter("partition_cache.hits").increment();
-        return plan;
-      }
-  ++counters_.misses;
-  if (metrics_enabled())
-    global_metrics().counter("partition_cache.misses").increment();
-  return std::nullopt;
+  return memo_.find(key.digest, key.canonical);
 }
 
 void partition_cache::store(const label_cache_key& key, partition_plan plan) {
-  const mutex_lock lock(mutex_);
-  bucket& slot = entries_[key.digest];
-  for (const auto& [canonical, existing] : slot)
-    if (canonical == key.canonical) return;  // first store wins
-  content_bytes_ += key.canonical.size() +
-                    plan.fragment_of.size() * sizeof(int) +
-                    plan.cut_edges.size() * sizeof(std::size_t) +
-                    sizeof(partition_plan) + 48;
-  slot.emplace_back(key.canonical, std::move(plan));
-  ++counters_.entries;
-  account_set(partition_cache_account(), bytes_accounted_, content_bytes_);
-  if (metrics_enabled())
-    global_metrics()
-        .gauge("partition_cache.entries")
-        .set(static_cast<double>(counters_.entries));
+  const std::uint64_t bytes = plan.fragment_of.size() * sizeof(int) +
+                              plan.cut_edges.size() * sizeof(std::size_t) +
+                              sizeof(partition_plan);
+  memo_.store(key.digest, key.canonical, std::move(plan), bytes);
 }
 
 partition_cache::counters partition_cache::stats() const {
-  const mutex_lock lock(mutex_);
-  return counters_;
+  return memo_.stats();
 }
 
-void partition_cache::clear() {
-  const mutex_lock lock(mutex_);
-  entries_.clear();
-  counters_ = {};
-  content_bytes_ = 0;
-  account_set(partition_cache_account(), bytes_accounted_, content_bytes_);
+void partition_cache::set_capacity_bytes(std::uint64_t capacity) {
+  memo_.set_capacity_bytes(capacity);
 }
 
-partition_cache::~partition_cache() {
-  // Drain the charge regardless of the current enabled flag.
-  if (bytes_accounted_ != 0) partition_cache_account().sub(bytes_accounted_);
+std::uint64_t partition_cache::capacity_bytes() const {
+  return memo_.capacity_bytes();
 }
+
+void partition_cache::clear() { memo_.clear(); }
 
 partition_plan plan_partition(const bdd_graph& graph,
                               const partition_options& options,

@@ -66,34 +66,29 @@ struct partition_plan {
 /// Thread-safe memoization of partition plans, keyed like the labeling
 /// cache: an FNV-1a digest over the graph structure and the partition
 /// options, with the canonical string stored to rule out collisions.
+/// Storage and LRU eviction live in util/bounded_memo (account
+/// mem.cache.partition, metrics partition_cache.*); see labeling_cache.
 class partition_cache {
  public:
   [[nodiscard]] std::optional<partition_plan> find(
       const label_cache_key& key) const;
   void store(const label_cache_key& key, partition_plan plan);
 
-  struct counters {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t entries = 0;
-  };
+  using counters = bounded_memo<partition_plan>::counters;
   [[nodiscard]] counters stats() const;
+
+  /// Cap the estimated content bytes; 0 = unbounded (default).
+  void set_capacity_bytes(std::uint64_t capacity);
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
+
   void clear();
 
-  ~partition_cache();
-  partition_cache() = default;
+  partition_cache();
   partition_cache(const partition_cache&) = delete;
   partition_cache& operator=(const partition_cache&) = delete;
 
  private:
-  using bucket = std::vector<std::pair<std::string, partition_plan>>;
-  mutable annotated_mutex mutex_;
-  mutable counters counters_ COMPACT_GUARDED_BY(mutex_);
-  std::unordered_map<std::uint64_t, bucket> entries_
-      COMPACT_GUARDED_BY(mutex_);
-  // Estimated bytes held and the portion charged to mem.cache.partition.
-  std::uint64_t content_bytes_ COMPACT_GUARDED_BY(mutex_) = 0;
-  std::uint64_t bytes_accounted_ COMPACT_GUARDED_BY(mutex_) = 0;
+  bounded_memo<partition_plan> memo_;
 };
 
 /// Cache key for partitioning `graph` under `options` (graph node count +

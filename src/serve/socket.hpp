@@ -1,0 +1,49 @@
+// Unix-domain-socket transport for compact-serve, plus the tiny line-io
+// client helpers compact_loadgen and the smoke tests use.
+//
+// Protocol: JSON-lines, symmetric with run_stream() — the client writes one
+// request_v1 per line, the server writes one response_v1 per line (in
+// completion order; correlate by id). Connections are independent: each
+// accepted connection gets a reader thread that parses and submits into the
+// shared server, and responses are written back under a per-connection
+// mutex. POSIX only; on other platforms serve_unix() throws.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace compact::serve {
+
+struct socket_options {
+  /// Filesystem path of the listening socket (unlinked and re-bound).
+  std::string path;
+  /// Stop accepting and return after consuming this many request lines
+  /// across all connections; 0 = serve until `stop` is set.
+  std::size_t max_requests = 0;
+};
+
+/// Listen on a unix-domain socket and serve until max_requests is reached
+/// or `stop` (optional) becomes true; drains in-flight work before
+/// returning. Returns the number of request lines consumed. Throws
+/// compact::error on socket setup failures.
+std::size_t serve_unix(server& s, const socket_options& options,
+                       const std::atomic<bool>* stop = nullptr);
+
+// --- client helpers -------------------------------------------------------
+
+/// Connect to a unix-domain socket; throws compact::error on failure.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+/// Write `line` plus '\n'; returns false when the peer is gone (EPIPE).
+bool write_line(int fd, const std::string& line);
+
+/// Buffered line read: `buffer` carries the partial tail between calls.
+/// Returns false on EOF with nothing pending.
+bool read_line(int fd, std::string& buffer, std::string& line);
+
+void close_fd(int fd);
+
+}  // namespace compact::serve

@@ -1,6 +1,7 @@
-// The stable public facade (api/compact_api.hpp): synthesis, lint, the
-// opaque design handle, serialization round trips, and the error contract —
-// everything an embedding application can reach.
+// The stable public facade (api/compact_api.hpp): the v5 request/response
+// schema, the opaque design handle, serialization round trips, and the
+// structured error taxonomy — everything an embedding application can reach.
+// The deprecated v4 shims keep one compatibility test at the bottom.
 #include <gtest/gtest.h>
 
 #include "api/compact_api.hpp"
@@ -25,24 +26,36 @@ api::netlist_source majority_source() {
   return source;
 }
 
+api::request_v1 majority_request() {
+  api::request_v1 request;
+  request.op = "synthesize";
+  request.api_version = COMPACT_API_VERSION;
+  request.source = majority_source();
+  return request;
+}
+
 TEST(ApiTest, VersionMacroMatchesLibrary) {
   EXPECT_EQ(api::api_version(), COMPACT_API_VERSION);
 }
 
 TEST(ApiTest, SynthesizeMajorityEndToEnd) {
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  const api::synthesis_outcome out =
-      api::synthesize(majority_source(), options);
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
+  EXPECT_EQ(out.code, api::error_code_v1::none);
+  ASSERT_TRUE(out.has_stats);
 
   EXPECT_GT(out.stats.rows, 0);
   EXPECT_GT(out.stats.columns, 0);
   EXPECT_EQ(out.stats.semiperimeter,
             static_cast<int>(out.stats.graph_nodes) + out.stats.vh_count);
-  EXPECT_EQ(out.mapped.rows(), out.stats.rows);
-  EXPECT_EQ(out.mapped.columns(), out.stats.columns);
-  ASSERT_EQ(out.mapped.output_names().size(), 1u);
-  EXPECT_EQ(out.mapped.output_names()[0], "f");
+
+  const api::design mapped = api::design::from_text(out.design_text);
+  EXPECT_EQ(mapped.rows(), out.stats.rows);
+  EXPECT_EQ(mapped.columns(), out.stats.columns);
+  ASSERT_EQ(out.output_names.size(), 1u);
+  EXPECT_EQ(out.output_names[0], "f");
 
   // Truth table of majority(a, b, c), declared-input order.
   for (int bits = 0; bits < 8; ++bits) {
@@ -50,36 +63,36 @@ TEST(ApiTest, SynthesizeMajorityEndToEnd) {
     const bool b = (bits & 2) != 0;
     const bool c = (bits & 1) != 0;
     const bool expected = (a && b) || (a && c) || (b && c);
-    EXPECT_EQ(out.mapped.evaluate_output({a, b, c}, "f"), expected)
+    EXPECT_EQ(mapped.evaluate_output({a, b, c}, "f"), expected)
         << "assignment " << bits;
   }
 }
 
 TEST(ApiTest, DesignSerializationRoundTrips) {
-  const api::synthesis_outcome out = api::synthesize(majority_source());
-  const std::string text = out.mapped.to_text();
-  const api::design reloaded = api::design::from_text(text);
-  EXPECT_EQ(reloaded.rows(), out.mapped.rows());
-  EXPECT_EQ(reloaded.columns(), out.mapped.columns());
-  EXPECT_EQ(reloaded.to_text(), text);
-  EXPECT_EQ(reloaded.evaluate({true, true, false}),
-            out.mapped.evaluate({true, true, false}));
+  const api::response_v1 out = api::handle(majority_request());
+  ASSERT_TRUE(out.ok) << out.error_message;
+  const api::design reloaded = api::design::from_text(out.design_text);
+  EXPECT_EQ(reloaded.to_text(), out.design_text);
+  EXPECT_EQ(reloaded.rows(), out.stats.rows);
+  EXPECT_EQ(reloaded.columns(), out.stats.columns);
 }
 
 TEST(ApiTest, DesignIsCopyableAndMovable) {
-  const api::synthesis_outcome out = api::synthesize(majority_source());
-  api::design copy = out.mapped;
-  EXPECT_EQ(copy.to_text(), out.mapped.to_text());
+  const api::response_v1 out = api::handle(majority_request());
+  ASSERT_TRUE(out.ok) << out.error_message;
+  const api::design mapped = api::design::from_text(out.design_text);
+  api::design copy = mapped;
+  EXPECT_EQ(copy.to_text(), mapped.to_text());
   const api::design moved = std::move(copy);
-  EXPECT_EQ(moved.to_text(), out.mapped.to_text());
+  EXPECT_EQ(moved.to_text(), mapped.to_text());
 }
 
 TEST(ApiTest, ValidateAndVerifyReportClean) {
-  api::synthesis_options_v1 options;
-  options.validate = true;
-  options.verify = true;
-  const api::synthesis_outcome out =
-      api::synthesize(majority_source(), options);
+  api::request_v1 request = majority_request();
+  request.synthesis.validate = true;
+  request.synthesis.verify = true;
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
   EXPECT_TRUE(out.validation.ran);
   EXPECT_TRUE(out.validation.passed) << out.validation.detail;
   EXPECT_TRUE(out.verification.ran);
@@ -87,149 +100,239 @@ TEST(ApiTest, ValidateAndVerifyReportClean) {
 }
 
 TEST(ApiTest, SeparateRobddsAndThreadsMatchSharedResultsContract) {
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  options.separate_robdds = true;
-  options.threads = 2;
-  const api::synthesis_outcome out =
-      api::synthesize(majority_source(), options);
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  request.synthesis.separate_robdds = true;
+  request.synthesis.threads = 2;
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
   EXPECT_GT(out.stats.rows, 0);
-  EXPECT_EQ(out.mapped.evaluate_output({true, true, false}, "f"), true);
+  const api::design mapped = api::design::from_text(out.design_text);
+  EXPECT_EQ(mapped.evaluate_output({true, true, false}, "f"), true);
 }
 
-TEST(ApiTest, BadOptionsThrowApiError) {
-  api::synthesis_options_v1 bad_gamma;
-  bad_gamma.gamma = 1.5;
-  EXPECT_THROW((void)api::synthesize(majority_source(), bad_gamma),
-               api::error);
+TEST(ApiTest, BadOptionsReturnInvalidRequest) {
+  api::request_v1 bad_gamma = majority_request();
+  bad_gamma.synthesis.gamma = 1.5;
+  EXPECT_EQ(api::handle(bad_gamma).code, api::error_code_v1::invalid_request);
 
-  api::netlist_source bad_source;  // neither path nor text
-  EXPECT_THROW((void)api::synthesize(bad_source), api::error);
+  api::request_v1 no_source = majority_request();
+  no_source.source = {};  // neither path nor text
+  EXPECT_EQ(api::handle(no_source).code, api::error_code_v1::invalid_request);
 
-  api::netlist_source bad_format = majority_source();
-  bad_format.format = "vhdl";
-  EXPECT_THROW((void)api::synthesize(bad_format), api::parse_error);
+  api::request_v1 bad_format = majority_request();
+  bad_format.source.format = "vhdl";
+  EXPECT_EQ(api::handle(bad_format).code, api::error_code_v1::parse);
+
+  api::request_v1 bad_op = majority_request();
+  bad_op.op = "transmogrify";
+  const api::response_v1 out = api::handle(bad_op);
+  EXPECT_EQ(out.code, api::error_code_v1::invalid_request);
+  EXPECT_NE(out.error_message.find("transmogrify"), std::string::npos);
 }
 
-TEST(ApiTest, MalformedNetlistThrowsParseError) {
-  api::netlist_source source;
-  source.text = ".model broken\n.inputs a\n.outputs f\n.names a f\nZZ 1\n";
-  EXPECT_THROW((void)api::synthesize(source), api::parse_error);
+TEST(ApiTest, MalformedNetlistReturnsParseCode) {
+  api::request_v1 request = majority_request();
+  request.source.text =
+      ".model broken\n.inputs a\n.outputs f\n.names a f\nZZ 1\n";
+  const api::response_v1 out = api::handle(request);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.code, api::error_code_v1::parse);
 }
 
-TEST(ApiTest, InfeasibleBudgetThrowsInfeasibleError) {
-  api::synthesis_options_v1 options;
-  options.labeler = "mip";
-  options.max_rows = 1;
-  options.time_limit_seconds = 5.0;
-  EXPECT_THROW((void)api::synthesize(majority_source(), options),
-               api::infeasible_error);
+TEST(ApiTest, InfeasibleBudgetReturnsInfeasibleCode) {
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "mip";
+  request.synthesis.max_rows = 1;
+  request.synthesis.time_limit_seconds = 5.0;
+  const api::response_v1 out = api::handle(request);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.code, api::error_code_v1::infeasible);
+}
+
+TEST(ApiTest, VersionMismatchIsStructured) {
+  api::request_v1 request = majority_request();
+  request.api_version = COMPACT_API_VERSION + 1;
+  const api::response_v1 out = api::handle(request);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.code, api::error_code_v1::version_mismatch);
+  EXPECT_NE(out.error_message.find(std::to_string(COMPACT_API_VERSION)),
+            std::string::npos);
 }
 
 TEST(ApiTest, PartitionedSynthesisSplitsAndStaysCorrect) {
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  options.max_rows = 3;
-  options.max_columns = 3;
-  options.partition = true;
-  const api::synthesis_outcome out =
-      api::synthesize(majority_source(), options);
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  request.synthesis.max_rows = 3;
+  request.synthesis.max_columns = 3;
+  request.synthesis.partition = true;
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
   EXPECT_GE(out.stats.arrays, 2);
-  EXPECT_EQ(out.mapped.array_count(), out.stats.arrays);
   EXPECT_LE(out.stats.rows, 3);
   EXPECT_LE(out.stats.columns, 3);
   EXPECT_GT(out.stats.bridge_connections, 0);
   EXPECT_GE(out.stats.total_semiperimeter, out.stats.semiperimeter);
 
+  const api::design mapped = api::design::from_text(out.design_text);
+  EXPECT_EQ(mapped.array_count(), out.stats.arrays);
   for (int bits = 0; bits < 8; ++bits) {
     const bool a = (bits & 4) != 0;
     const bool b = (bits & 2) != 0;
     const bool c = (bits & 1) != 0;
     const bool expected = (a && b) || (a && c) || (b && c);
-    EXPECT_EQ(out.mapped.evaluate_output({a, b, c}, "f"), expected)
+    EXPECT_EQ(mapped.evaluate_output({a, b, c}, "f"), expected)
         << "assignment " << bits;
   }
 }
 
 TEST(ApiTest, PartitionedDesignSerializesAsV2AndRoundTrips) {
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  options.max_rows = 3;
-  options.max_columns = 3;
-  options.partition = true;
-  const api::synthesis_outcome out =
-      api::synthesize(majority_source(), options);
-  const std::string text = out.mapped.to_text();
-  EXPECT_EQ(text.rfind("xbar 2\n", 0), 0u) << text;
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  request.synthesis.max_rows = 3;
+  request.synthesis.max_columns = 3;
+  request.synthesis.partition = true;
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
+  EXPECT_EQ(out.design_text.rfind("xbar 2\n", 0), 0u) << out.design_text;
 
-  const api::design reloaded = api::design::from_text(text);
-  EXPECT_EQ(reloaded.array_count(), out.mapped.array_count());
-  EXPECT_EQ(reloaded.to_text(), text);
-  EXPECT_EQ(reloaded.evaluate({true, true, false}),
-            out.mapped.evaluate({true, true, false}));
+  const api::design reloaded = api::design::from_text(out.design_text);
+  EXPECT_EQ(reloaded.to_text(), out.design_text);
 }
 
 TEST(ApiTest, UnpartitionedGuardNamesTheOverflowDimension) {
-  api::synthesis_options_v1 options;
-  options.labeler = "oct";
-  options.max_rows = 2;
-  try {
-    (void)api::synthesize(majority_source(), options);
-    FAIL() << "expected infeasible_error";
-  } catch (const api::infeasible_error& e) {
-    EXPECT_NE(std::string(e.what()).find("rows"), std::string::npos)
-        << e.what();
-  }
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  request.synthesis.max_rows = 2;
+  const api::response_v1 out = api::handle(request);
+  EXPECT_EQ(out.code, api::error_code_v1::infeasible);
+  EXPECT_NE(out.error_message.find("rows"), std::string::npos)
+      << out.error_message;
 }
 
 TEST(ApiTest, PartitionRejectsSeparateRobdds) {
-  api::synthesis_options_v1 options;
-  options.partition = true;
-  options.separate_robdds = true;
-  EXPECT_THROW((void)api::synthesize(majority_source(), options), api::error);
+  api::request_v1 request = majority_request();
+  request.synthesis.partition = true;
+  request.synthesis.separate_robdds = true;
+  EXPECT_EQ(api::handle(request).code, api::error_code_v1::invalid_request);
 }
 
 TEST(ApiTest, LintCleanNetlist) {
-  api::lint_options_v1 options;
-  options.time_limit_seconds = 5.0;
-  const api::lint_outcome out = api::lint(majority_source(), options);
-  EXPECT_EQ(out.errors, 0u) << (out.diagnostics.empty()
-                                    ? ""
-                                    : out.diagnostics[0].message);
-  EXPECT_FALSE(out.checks_run.empty());
-  EXPECT_TRUE(out.clean("warning"));
+  api::request_v1 request = majority_request();
+  request.op = "lint";
+  request.lint.time_limit_seconds = 5.0;
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
+  EXPECT_TRUE(out.lint_ran);
+  EXPECT_EQ(out.lint_errors, 0u)
+      << (out.diagnostics.empty() ? "" : out.diagnostics[0].message);
+  EXPECT_TRUE(out.lint_clean);
 }
 
 TEST(ApiTest, LintFlagsCorruptedDesign) {
   // Hand-written two-device AND design with a negated literal: functionally
   // wrong, so the equivalence family must report an error.
-  const char* tiny_blif =
+  api::request_v1 request;
+  request.op = "lint";
+  request.source.text =
       ".model tiny\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
-  const char* bad_xbar =
+  request.design_text =
       "xbar 1\ndim 2 1\ninput 1\noutput 0 f\nd 0 0 +1\nd 1 0 -0\nend\n";
-  api::netlist_source source;
-  source.text = tiny_blif;
-  const api::design bad = api::design::from_text(bad_xbar);
-  const api::lint_outcome out = api::lint(bad, source);
-  EXPECT_GT(out.errors, 0u);
-  EXPECT_FALSE(out.clean("error"));
+  request.fail_on = "error";
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
+  EXPECT_GT(out.lint_errors, 0u);
+  EXPECT_FALSE(out.lint_clean);
 }
 
 TEST(ApiTest, LintCleanFailOnLevels) {
-  const char* tiny_blif =
+  api::request_v1 request;
+  request.op = "lint";
+  request.source.text =
       ".model tiny\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
   // Same design with an extra dead bitline: a warning but not an error.
-  const char* warn_xbar =
+  request.design_text =
       "xbar 1\ndim 2 2\ninput 1\noutput 0 f\nd 0 0 +1\nd 1 0 +0\nend\n";
-  api::netlist_source source;
-  source.text = tiny_blif;
-  const api::design warn = api::design::from_text(warn_xbar);
-  const api::lint_outcome out = api::lint(warn, source);
-  EXPECT_EQ(out.errors, 0u);
-  EXPECT_GT(out.warnings, 0u);
-  EXPECT_FALSE(out.clean("warning"));
-  EXPECT_TRUE(out.clean("error"));
-  EXPECT_THROW((void)out.clean("bogus"), api::error);
+  const api::response_v1 warn = api::handle(request);
+  ASSERT_TRUE(warn.ok) << warn.error_message;
+  EXPECT_EQ(warn.lint_errors, 0u);
+  EXPECT_GT(warn.lint_warnings, 0u);
+  EXPECT_FALSE(warn.lint_clean);  // default fail_on = warning
+
+  request.fail_on = "error";
+  const api::response_v1 ok = api::handle(request);
+  EXPECT_TRUE(ok.lint_clean);
+
+  request.fail_on = "bogus";
+  EXPECT_EQ(api::handle(request).code, api::error_code_v1::invalid_request);
 }
+
+TEST(ApiTest, EvaluateOpSensesTheDesign) {
+  const api::response_v1 built = api::handle(majority_request());
+  ASSERT_TRUE(built.ok) << built.error_message;
+
+  api::request_v1 request;
+  request.op = "evaluate";
+  request.design_text = built.design_text;
+  request.assignment = "110";  // a=1, b=1, c=0 -> majority = 1
+  const api::response_v1 out = api::handle(request);
+  ASSERT_TRUE(out.ok) << out.error_message;
+  EXPECT_EQ(out.outputs, "1");
+  ASSERT_EQ(out.output_names.size(), 1u);
+  EXPECT_EQ(out.output_names[0], "f");
+
+  request.assignment = "100";  // minority -> 0
+  EXPECT_EQ(api::handle(request).outputs, "0");
+
+  request.assignment = "1x0";
+  EXPECT_EQ(api::handle(request).code, api::error_code_v1::invalid_request);
+}
+
+// --- deprecated v4 shims ---------------------------------------------------
+// The loose entry points stay callable (they build a request_v1 internally);
+// out-of-tree code migrating at its own pace relies on identical behavior,
+// including the exception contract. This block is the only sanctioned use.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ApiTest, DeprecatedSynthesizeShimStillWorks) {
+  api::synthesis_options_v1 options;
+  options.labeler = "oct";
+  const api::synthesis_outcome out =
+      api::synthesize(majority_source(), options);
+  EXPECT_GT(out.stats.rows, 0);
+  EXPECT_EQ(out.mapped.evaluate_output({true, true, false}, "f"), true);
+
+  // The shim's result must be byte-identical to the v5 path.
+  api::request_v1 request = majority_request();
+  request.synthesis.labeler = "oct";
+  const api::response_v1 v5 = api::handle(request);
+  ASSERT_TRUE(v5.ok) << v5.error_message;
+  EXPECT_EQ(out.mapped.to_text(), v5.design_text);
+}
+
+TEST(ApiTest, DeprecatedShimsKeepTheExceptionContract) {
+  api::synthesis_options_v1 bad_gamma;
+  bad_gamma.gamma = 1.5;
+  EXPECT_THROW((void)api::synthesize(majority_source(), bad_gamma),
+               api::error);
+
+  api::netlist_source source;
+  source.text = ".model broken\n.inputs a\n.outputs f\n.names a f\nZZ 1\n";
+  EXPECT_THROW((void)api::synthesize(source), api::parse_error);
+
+  api::synthesis_options_v1 infeasible;
+  infeasible.labeler = "mip";
+  infeasible.max_rows = 1;
+  infeasible.time_limit_seconds = 5.0;
+  EXPECT_THROW((void)api::synthesize(majority_source(), infeasible),
+               api::infeasible_error);
+
+  const api::lint_outcome lint = api::lint(majority_source());
+  EXPECT_EQ(lint.errors, 0u);
+  EXPECT_TRUE(lint.clean("warning"));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace

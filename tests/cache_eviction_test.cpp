@@ -1,0 +1,165 @@
+// util/bounded_memo: exact-LRU eviction, collision-bucket integrity, and the
+// load-bearing property that a bounded cache changes only *when* results are
+// computed, never *what* — designs stay byte-identical with eviction forced.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/compact_api.hpp"
+#include "util/bounded_memo.hpp"
+
+namespace {
+
+namespace api = compact::api;
+using compact::bounded_memo;
+
+bounded_memo<int> make_memo() {
+  return bounded_memo<int>("test_memo", "cache.test");
+}
+
+TEST(BoundedMemoTest, StoreFindRoundTripAndCounters) {
+  bounded_memo<int> memo = make_memo();
+  EXPECT_FALSE(memo.find(1, "a").has_value());
+  memo.store(1, "a", 41, 100);
+  const auto hit = memo.find(1, "a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 41);
+
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.content_bytes, 100u);  // payload + canonical + overhead
+}
+
+TEST(BoundedMemoTest, FirstStoreWins) {
+  bounded_memo<int> memo = make_memo();
+  memo.store(7, "k", 1, 10);
+  memo.store(7, "k", 2, 10);  // racing duplicate: ignored
+  EXPECT_EQ(*memo.find(7, "k"), 1);
+  EXPECT_EQ(memo.stats().entries, 1u);
+}
+
+TEST(BoundedMemoTest, DigestCollisionsAreKeyedByCanonical) {
+  bounded_memo<int> memo = make_memo();
+  memo.store(9, "alpha", 1, 10);
+  memo.store(9, "beta", 2, 10);  // same digest, different key
+  EXPECT_EQ(*memo.find(9, "alpha"), 1);
+  EXPECT_EQ(*memo.find(9, "beta"), 2);
+  EXPECT_EQ(memo.stats().entries, 2u);
+}
+
+TEST(BoundedMemoTest, EvictsColdestAndFindRefreshesRecency) {
+  bounded_memo<int> memo = make_memo();
+  // Entry cost here: payload_bytes(100) + canonical(1) + overhead(48) = 149.
+  memo.set_capacity_bytes(2 * 149);
+  memo.store(1, "a", 1, 100);
+  memo.store(2, "b", 2, 100);
+  ASSERT_TRUE(memo.find(1, "a").has_value());  // refresh: b is now coldest
+  memo.store(3, "c", 3, 100);                  // over capacity -> evict b
+
+  EXPECT_TRUE(memo.find(1, "a").has_value());
+  EXPECT_FALSE(memo.find(2, "b").has_value());
+  EXPECT_TRUE(memo.find(3, "c").has_value());
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.content_bytes, 2u * 149u);
+}
+
+TEST(BoundedMemoTest, EvictionPatchesCollisionBuckets) {
+  bounded_memo<int> memo = make_memo();
+  // Three entries share one digest bucket; evicting the first exercises the
+  // swap-remove + locator-patch path, and the survivors must stay findable.
+  memo.store(5, "a", 1, 100);
+  memo.store(5, "b", 2, 100);
+  memo.store(5, "c", 3, 100);
+  memo.set_capacity_bytes(2 * 149);  // lowers below content: evict coldest
+  EXPECT_FALSE(memo.find(5, "a").has_value());
+  EXPECT_EQ(*memo.find(5, "b"), 2);
+  EXPECT_EQ(*memo.find(5, "c"), 3);
+  EXPECT_EQ(memo.stats().evictions, 1u);
+}
+
+TEST(BoundedMemoTest, ClearResetsEverything) {
+  bounded_memo<int> memo = make_memo();
+  memo.store(1, "a", 1, 10);
+  (void)memo.find(1, "a");
+  memo.clear();
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.content_bytes, 0u);
+  EXPECT_FALSE(memo.find(1, "a").has_value());
+}
+
+TEST(BoundedMemoTest, ZeroCapacityMeansUnbounded) {
+  bounded_memo<int> memo = make_memo();
+  for (int i = 0; i < 64; ++i)
+    memo.store(static_cast<std::uint64_t>(i), std::to_string(i), i, 1000);
+  EXPECT_EQ(memo.stats().entries, 64u);
+  EXPECT_EQ(memo.stats().evictions, 0u);
+}
+
+// --- regression: eviction never changes results ----------------------------
+
+constexpr const char* kCircuits[] = {
+    ".model m0\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n1-1 1\n"
+    "-11 1\n.end\n",
+    ".model m1\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
+    ".model m2\n.inputs a b c d\n.outputs f\n.names a b c d f\n1100 1\n"
+    "0011 1\n1111 1\n.end\n",
+};
+
+TEST(BoundedMemoTest, DesignsByteIdenticalWithEvictionForced) {
+  // Baseline: every circuit through a private unbounded service.
+  std::vector<std::string> baseline;
+  for (const char* text : kCircuits) {
+    api::request_v1 request;
+    request.op = "synthesize";
+    request.source.text = text;
+    request.synthesis.labeler = "oct";
+    const api::response_v1 resp = api::handle(request);
+    ASSERT_TRUE(resp.ok) << resp.error_message;
+    baseline.push_back(resp.design_text);
+  }
+
+  // A 1-byte cache budget cannot hold any entry, so every store evicts
+  // immediately: maximum cache churn, zero reuse. Results must not move.
+  api::service_options_v1 options;
+  options.cache_memory_limit_bytes = 2;  // 1 byte per cache after the split
+  api::service starved(options);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < std::size(kCircuits); ++i) {
+      api::request_v1 request;
+      request.op = "synthesize";
+      request.source.text = kCircuits[i];
+      request.synthesis.labeler = "oct";
+      const api::response_v1 resp = starved.handle(request);
+      ASSERT_TRUE(resp.ok) << resp.error_message;
+      EXPECT_EQ(resp.design_text, baseline[i]) << "circuit " << i;
+    }
+  }
+
+  const api::service_stats_v1 stats = starved.stats();
+  EXPECT_GT(stats.label_cache.evictions, 0u);
+  EXPECT_EQ(stats.label_cache.hits, 0u);  // nothing survives to be hit
+  EXPECT_LE(stats.label_cache.content_bytes, 1u);
+}
+
+TEST(BoundedMemoTest, SharedServiceCacheHitsOnRepeat) {
+  api::service shared;
+  api::request_v1 request;
+  request.op = "synthesize";
+  request.source.text = kCircuits[0];
+  request.synthesis.labeler = "oct";
+  const api::response_v1 first = shared.handle(request);
+  ASSERT_TRUE(first.ok) << first.error_message;
+  const api::response_v1 second = shared.handle(request);
+  ASSERT_TRUE(second.ok) << second.error_message;
+  EXPECT_EQ(first.design_text, second.design_text);
+  EXPECT_GT(shared.stats().label_cache.hits, 0u);
+}
+
+}  // namespace

@@ -105,7 +105,8 @@ using namespace compact;
       "      [--electrical] [--margin-threshold R] [--criticality]\n"
       "      [--criticality-json F] [--criticality-limit N]\n"
       "      [--self-test] [--mutations N]\n"
-      "  compact_cli lint <design.xbar> <netlist> [lint options]\n";
+      "  compact_cli lint <design.xbar> <netlist> [lint options]\n"
+      "  compact_cli version [--expect N]\n";
   std::exit(2);
 }
 
@@ -558,10 +559,38 @@ void print_diagnostic(const api::diagnostic_v1& d, std::ostream& os) {
   if (!d.fix.empty()) os << "  fix: " << d.fix << "\n";
 }
 
+/// Translate a failed facade response into the CLI's historical stderr text
+/// and exit codes (3 infeasible, 4 resource limit / deadline, 1 everything
+/// else). Returns nullopt when the response succeeded.
+std::optional<int> report_failure(const api::response_v1& resp) {
+  if (resp.ok) return std::nullopt;
+  switch (resp.code) {
+    case api::error_code_v1::infeasible:
+      std::cerr << "infeasible: " << resp.error_message << "\n";
+      return 3;
+    case api::error_code_v1::resource_limit:
+      std::cerr << "resource limit (memory): " << resp.error_message << "\n";
+      return 4;
+    case api::error_code_v1::deadline_exceeded:
+      std::cerr << "resource limit (deadline): " << resp.error_message << "\n";
+      return 4;
+    case api::error_code_v1::version_mismatch:
+      // Structured skew report: the same JSON a served response carries, so
+      // scripts can parse the error instead of scraping prose.
+      std::cerr << "version mismatch: " << resp.error_message << "\n"
+                << api::to_json(resp) << "\n";
+      return 1;
+    default:
+      std::cerr << "error: " << resp.error_message << "\n";
+      return 1;
+  }
+}
+
 /// `compact_cli synthesize` — netlist in, crossbar out, through the stable
-/// compact::api facade. Only --baseline / --dot / --report still detour into
-/// the transitional legacy path (they need pipeline internals the facade
-/// deliberately does not expose).
+/// compact::api facade (a request_v1 handled in process, exactly what
+/// compact-serve executes for the same JSON). Only --baseline / --dot /
+/// --report still detour into the transitional legacy path (they need
+/// pipeline internals the facade deliberately does not expose).
 int cmd_synthesize(const std::vector<std::string>& args) {
   if (args.empty()) usage("synthesize needs a netlist");
   for (const std::string& a : args)
@@ -657,8 +686,14 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   }
   const observability_dump dump{metrics_path, chrome_path};
 
-  const api::synthesis_outcome outcome = api::synthesize(source, options);
-  const api::synthesis_stats_v1& s = outcome.stats;
+  api::request_v1 request;
+  request.op = "synthesize";
+  request.api_version = COMPACT_API_VERSION;
+  request.source = source;
+  request.synthesis = options;
+  const api::response_v1 resp = api::handle(request);
+  if (const std::optional<int> rc = report_failure(resp)) return *rc;
+  const api::synthesis_stats_v1& s = resp.stats;
 
   table t({"metric", "value"});
   if (s.arrays > 1) {
@@ -685,28 +720,27 @@ int cmd_synthesize(const std::vector<std::string>& args) {
   t.add_row({"synthesis time (s)", cell(s.synthesis_seconds, 3)});
   t.print(std::cout);
 
-  if (outcome.verification.ran) {
-    std::cout << "\nverify: "
-              << (outcome.verification.passed ? "CLEAN" : "DIRTY") << " ("
-              << outcome.verification.detail << ")\n";
-    if (!outcome.verification.passed) {
-      for (const api::diagnostic_v1& d : outcome.diagnostics)
+  if (resp.verification.ran) {
+    std::cout << "\nverify: " << (resp.verification.passed ? "CLEAN" : "DIRTY")
+              << " (" << resp.verification.detail << ")\n";
+    if (!resp.verification.passed) {
+      for (const api::diagnostic_v1& d : resp.diagnostics)
         print_diagnostic(d, std::cout);
       return 1;
     }
   }
-  if (outcome.validation.ran) {
-    std::cout << "\nvalidity: "
-              << (outcome.validation.passed ? "PASS" : "FAIL") << " ("
-              << outcome.validation.detail << ")\n";
-    if (!outcome.validation.passed) return 1;
+  if (resp.validation.ran) {
+    std::cout << "\nvalidity: " << (resp.validation.passed ? "PASS" : "FAIL")
+              << " (" << resp.validation.detail << ")\n";
+    if (!resp.validation.passed) return 1;
   }
 
-  if (do_print) std::cout << '\n' << outcome.mapped.render();
+  if (do_print)
+    std::cout << '\n' << api::design::from_text(resp.design_text).render();
   if (out_path) {
     std::ofstream out(*out_path);
     if (!out) throw error("cannot write " + *out_path);
-    out << outcome.mapped.to_text();
+    out << resp.design_text;
     std::cout << "\nwrote " << *out_path << "\n";
   }
   return 0;
@@ -1107,32 +1141,72 @@ int cmd_lint(const std::vector<std::string>& args) {
     }
   }
 
-  api::netlist_source source;
-  source.path = netlist_path;
-  const api::lint_outcome outcome = [&] {
-    if (!xbar_mode) return api::lint(source, options);
+  api::request_v1 request;
+  request.op = "lint";
+  request.api_version = COMPACT_API_VERSION;
+  request.source.path = netlist_path;
+  request.lint = options;
+  request.fail_on = fail_on;
+  if (xbar_mode) {
     std::ifstream file(design_path);
     if (!file) throw error("cannot open " + design_path);
     std::ostringstream text;
     text << file.rdbuf();
-    return api::lint(api::design::from_text(text.str()), source, options);
-  }();
+    request.design_text = text.str();
+  }
+  const api::response_v1 resp = api::handle(request);
+  if (const std::optional<int> rc = report_failure(resp)) return *rc;
 
-  for (const api::diagnostic_v1& d : outcome.diagnostics)
+  for (const api::diagnostic_v1& d : resp.diagnostics)
     print_diagnostic(d, std::cout);
-  std::cout << outcome.errors << " error(s), " << outcome.warnings
-            << " warning(s), " << outcome.notes << " note(s); "
-            << outcome.checks_run.size() << " checks run\n";
-  if (outcome.electrical_ran)
-    std::cout << "electrical: "
-              << (outcome.electrically_safe ? "safe" : "UNSAFE")
-              << " (min margin ratio " << outcome.min_margin_ratio << ")\n";
-  if (outcome.criticality_ran)
-    std::cout << "criticality: " << outcome.critical_junctions << "/"
-              << outcome.junctions_analyzed << " junctions critical"
-              << (outcome.criticality_truncated ? " (truncated)" : "")
-              << "\n";
-  return outcome.clean(fail_on) ? 0 : 1;
+  std::cout << resp.lint_errors << " error(s), " << resp.lint_warnings
+            << " warning(s), " << resp.lint_notes << " note(s)\n";
+  if (resp.electrical_ran)
+    std::cout << "electrical: " << (resp.electrically_safe ? "safe" : "UNSAFE")
+              << " (min margin ratio " << resp.min_margin_ratio << ")\n";
+  if (resp.criticality_ran)
+    std::cout << "criticality: " << resp.critical_junctions << "/"
+              << resp.junctions_analyzed << " junctions critical"
+              << (resp.criticality_truncated ? " (truncated)" : "") << "\n";
+  return resp.lint_clean ? 0 : 1;
+}
+
+/// `compact_cli version` — print the schema version this binary was compiled
+/// against (COMPACT_API_VERSION) and the one the linked library implements
+/// (api_version()). Skew between the two — or against --expect N — is
+/// reported as the same structured version_mismatch response a served
+/// request would get, and exits 1.
+int cmd_version(const std::vector<std::string>& args) {
+  std::optional<int> expected;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--expect" && i + 1 < args.size())
+      expected = parse_positive_flag("--expect", args[++i]);
+    else
+      usage("unknown option " + args[i]);
+  }
+  std::cout << "header  COMPACT_API_VERSION " << COMPACT_API_VERSION << "\n"
+            << "library api_version()       " << api::api_version() << "\n";
+
+  const auto mismatch = [](const std::string& message) {
+    api::response_v1 resp;
+    resp.ok = false;
+    resp.code = api::error_code_v1::version_mismatch;
+    resp.error_message = message;
+    std::cerr << "version mismatch: " << message << "\n"
+              << api::to_json(resp) << "\n";
+    return 1;
+  };
+  if (api::api_version() != COMPACT_API_VERSION)
+    return mismatch("binary compiled against api version " +
+                    std::to_string(COMPACT_API_VERSION) +
+                    " but the library implements version " +
+                    std::to_string(api::api_version()));
+  if (expected && *expected != api::api_version())
+    return mismatch("expected api version " + std::to_string(*expected) +
+                    " but the library implements version " +
+                    std::to_string(api::api_version()));
+  std::cout << "versions agree\n";
+  return 0;
 }
 
 int cmd_margins(const std::vector<std::string>& args) {
@@ -1186,6 +1260,7 @@ int main(int argc, char** argv) {
     if (command == "equiv") return cmd_equiv(args);
     if (command == "margins") return cmd_margins(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "version") return cmd_version(args);
     usage("unknown command " + command);
   } catch (const infeasible_error& e) {
     dump_flight_postmortem(std::string("infeasible: ") + e.what());

@@ -1,0 +1,369 @@
+// compact_loadgen — replay a netlist corpus against compact-serve (or an
+// in-process service) at configurable concurrency and report throughput and
+// exact latency quantiles.
+//
+//   compact_loadgen --corpus DIR --socket /tmp/c.sock --concurrency 8
+//   compact_loadgen --corpus DIR --in-process shared --concurrency 8
+//   compact_loadgen --corpus DIR --dump-requests > requests.jsonl
+//
+// Every .blif in --corpus becomes one synthesize request per --repeat; the
+// schedule is striped across --concurrency client threads. Modes:
+//
+//   --socket PATH            JSON lines over a unix socket to a running
+//                            compact-serve (one connection per client
+//                            thread, one request outstanding per
+//                            connection)
+//   --in-process shared      one shared api::service in this process —
+//                            the daemon's cache behavior without a socket
+//   --in-process cold        a fresh service per request: the
+//                            one-process-per-request baseline the shared
+//                            modes are measured against
+//
+// options:
+//   --corpus DIR             directory of .blif netlists (required)
+//   --circuits a,b           restrict to these basenames (sans .blif)
+//   --repeat N               replay the corpus N times (default 1)
+//   --concurrency N          client threads (default 1)
+//   --method oct|mip         labeler for every request (default mip)
+//   --time-limit S           per-request solver budget (default 10)
+//   --deadline S             per-request deadline (0 = none)
+//   --out FILE               per-circuit mean latencies in google-benchmark
+//                            JSON, comparable with tools/bench_compare
+//   --verify                 re-synthesize each unique circuit directly and
+//                            require byte-identical design text
+//   --dump-requests          print the request lines and exit (feed the
+//                            daemon's stdin mode)
+//
+// Prints a summary JSON object (requests, failures, designs/sec, p50/p90/
+// p99 seconds) to stdout. Exit codes: 0 all requests succeeded (and
+// verified), 1 any failure, 2 usage.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/compact_api.hpp"
+#include "serve/socket.hpp"
+#include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+using namespace compact;
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr
+      << "usage: compact_loadgen --corpus DIR\n"
+         "           (--socket PATH | --in-process shared|cold |"
+         " --dump-requests)\n"
+         "           [--circuits a,b] [--repeat N] [--concurrency N]\n"
+         "           [--method oct|mip] [--time-limit S] [--deadline S]\n"
+         "           [--out FILE] [--verify]\n";
+  std::exit(2);
+}
+
+struct request_record {
+  std::string circuit;  ///< basename without extension
+  api::request_v1 request;
+};
+
+struct completion {
+  std::size_t schedule_index = 0;
+  bool ok = false;
+  std::string error;
+  double latency_seconds = 0.0;
+};
+
+/// Exact quantile of a sorted sample (nearest-rank).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::string corpus_dir;
+  std::optional<std::string> socket_path;
+  std::optional<std::string> in_process;
+  std::optional<std::string> out_path;
+  std::vector<std::string> circuits;
+  int repeat = 1;
+  int concurrency = 1;
+  std::string method = "mip";
+  double time_limit = 10.0;
+  double deadline = 0.0;
+  bool verify = false;
+  bool dump_requests = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    auto int_value = [&](const std::string& flag) {
+      try {
+        const int v = std::stoi(value());
+        if (v > 0) return v;
+      } catch (const std::exception&) {
+      }
+      usage(flag + " must be a positive integer");
+    };
+    if (a == "--corpus") {
+      corpus_dir = value();
+    } else if (a == "--socket") {
+      socket_path = value();
+    } else if (a == "--in-process") {
+      in_process = value();
+      if (*in_process != "shared" && *in_process != "cold")
+        usage("--in-process expects shared|cold");
+    } else if (a == "--circuits") {
+      std::stringstream list(value());
+      std::string name;
+      while (std::getline(list, name, ','))
+        if (!name.empty()) circuits.push_back(name);
+    } else if (a == "--repeat") {
+      repeat = int_value(a);
+    } else if (a == "--concurrency") {
+      concurrency = int_value(a);
+    } else if (a == "--method") {
+      method = value();
+      if (method != "oct" && method != "mip") usage("unknown method " + method);
+    } else if (a == "--time-limit") {
+      try {
+        time_limit = std::stod(value());
+      } catch (const std::exception&) {
+        usage("--time-limit expects a number");
+      }
+    } else if (a == "--deadline") {
+      try {
+        deadline = std::stod(value());
+      } catch (const std::exception&) {
+        usage("--deadline expects a number");
+      }
+    } else if (a == "--out") {
+      out_path = value();
+    } else if (a == "--verify") {
+      verify = true;
+    } else if (a == "--dump-requests") {
+      dump_requests = true;
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+  if (corpus_dir.empty()) usage("--corpus is required");
+  if (!dump_requests && !socket_path && !in_process)
+    usage("pick a mode: --socket, --in-process, or --dump-requests");
+
+  // --- build the schedule -------------------------------------------------
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() != ".blif") continue;
+    const std::string stem = entry.path().stem().string();
+    if (!circuits.empty() &&
+        std::find(circuits.begin(), circuits.end(), stem) == circuits.end())
+      continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cerr << "compact_loadgen: no matching .blif files in " << corpus_dir
+              << "\n";
+    return 1;
+  }
+
+  std::vector<request_record> schedule;
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& path : paths) {
+      request_record rec;
+      rec.circuit = std::filesystem::path(path).stem().string();
+      rec.request.id = rec.circuit + "#" + std::to_string(r);
+      rec.request.op = "synthesize";
+      rec.request.api_version = COMPACT_API_VERSION;
+      rec.request.source.path = path;
+      rec.request.synthesis.labeler = method;
+      rec.request.synthesis.time_limit_seconds = time_limit;
+      rec.request.deadline_seconds = deadline;
+      schedule.push_back(std::move(rec));
+    }
+  }
+
+  if (dump_requests) {
+    for (const request_record& rec : schedule)
+      std::cout << api::to_json(rec.request) << "\n";
+    return 0;
+  }
+
+  // --- replay -------------------------------------------------------------
+  // Client threads stripe over the schedule with an atomic cursor; each
+  // keeps one request outstanding (its own socket connection, or a direct
+  // call), so --concurrency is exactly the offered parallelism.
+  std::optional<api::service> shared_service;
+  if (in_process && *in_process == "shared") shared_service.emplace();
+
+  std::vector<completion> results(schedule.size());
+  std::mutex design_mutex;
+  std::map<std::string, std::string> served_designs;  // circuit -> text
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> transport_failed{false};
+  const stopwatch clock;
+
+  auto record = [&](std::size_t index, const api::response_v1& resp,
+                    double latency) {
+    completion& c = results[index];
+    c.schedule_index = index;
+    c.ok = resp.ok;
+    c.error = resp.ok ? ""
+                      : std::string(api::error_code_name(resp.code)) + ": " +
+                            resp.error_message;
+    c.latency_seconds = latency;
+    if (resp.ok && !resp.design_text.empty()) {
+      const std::lock_guard<std::mutex> lock(design_mutex);
+      served_designs.emplace(schedule[index].circuit, resp.design_text);
+    }
+  };
+
+  auto worker = [&] {
+    int fd = -1;
+    std::string buffer;
+    if (socket_path) {
+      try {
+        fd = serve::connect_unix(*socket_path);
+      } catch (const std::exception& e) {
+        std::cerr << "compact_loadgen: " << e.what() << "\n";
+        transport_failed.store(true);
+        return;
+      }
+    }
+    for (;;) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= schedule.size()) break;
+      const api::request_v1& request = schedule[index].request;
+      const stopwatch request_clock;
+      api::response_v1 resp;
+      try {
+        if (fd >= 0) {
+          std::string line;
+          if (!serve::write_line(fd, api::to_json(request)) ||
+              !serve::read_line(fd, buffer, line)) {
+            transport_failed.store(true);
+            break;
+          }
+          resp = api::response_from_json(line);
+        } else if (shared_service) {
+          resp = shared_service->handle(request);
+        } else {
+          resp = api::handle(request);  // cold: private caches per request
+        }
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.code = api::error_code_v1::internal;
+        resp.error_message = e.what();
+      }
+      record(index, resp, request_clock.seconds());
+    }
+    if (fd >= 0) serve::close_fd(fd);
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  for (int t = 0; t < concurrency; ++t) clients.emplace_back(worker);
+  for (std::thread& client : clients) client.join();
+  const double elapsed = clock.seconds();
+
+  if (transport_failed.load()) {
+    std::cerr << "compact_loadgen: transport failure (is the daemon up?)\n";
+    return 1;
+  }
+
+  // --- report -------------------------------------------------------------
+  std::size_t failed = 0;
+  std::vector<double> latencies;
+  std::map<std::string, std::pair<double, std::size_t>> per_circuit;
+  for (const completion& c : results) {
+    if (!c.ok) {
+      ++failed;
+      std::cerr << "compact_loadgen: request "
+                << schedule[c.schedule_index].request.id << " failed: "
+                << c.error << "\n";
+      continue;
+    }
+    latencies.push_back(c.latency_seconds);
+    auto& [sum, count] = per_circuit[schedule[c.schedule_index].circuit];
+    sum += c.latency_seconds;
+    ++count;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t succeeded = latencies.size();
+
+  std::size_t mismatched = 0;
+  if (verify) {
+    // Byte-identity against direct, uncached execution — the load-bearing
+    // property that caching and concurrency only change *when* a design is
+    // computed, never *what*.
+    for (const auto& [circuit, served_text] : served_designs) {
+      api::request_v1 direct;
+      direct.op = "synthesize";
+      direct.source.path = corpus_dir + "/" + circuit + ".blif";
+      direct.synthesis.labeler = method;
+      direct.synthesis.time_limit_seconds = time_limit;
+      const api::response_v1 resp = api::handle(direct);
+      if (!resp.ok || resp.design_text != served_text) {
+        ++mismatched;
+        std::cerr << "compact_loadgen: " << circuit
+                  << " served design differs from direct synthesis\n";
+      }
+    }
+  }
+
+  if (out_path) {
+    std::ofstream out(*out_path);
+    if (!out) {
+      std::cerr << "compact_loadgen: cannot write " << *out_path << "\n";
+      return 1;
+    }
+    // google-benchmark shape so tools/bench_compare can diff two replays.
+    out << "{\"benchmarks\": [";
+    bool first = true;
+    for (const auto& [circuit, bucket] : per_circuit) {
+      const double mean_ns = 1e9 * bucket.first /
+                             static_cast<double>(bucket.second);
+      if (!first) out << ",";
+      first = false;
+      out << "\n  {\"name\": \"serve/" << json_escape(circuit)
+          << "\", \"run_type\": \"iteration\", \"real_time\": "
+          << json_number(mean_ns) << ", \"cpu_time\": " << json_number(mean_ns)
+          << ", \"time_unit\": \"ns\"}";
+    }
+    out << "\n]}\n";
+  }
+
+  std::cout << "{\"requests\": " << schedule.size()
+            << ", \"succeeded\": " << succeeded << ", \"failed\": " << failed
+            << ", \"mismatched\": " << mismatched
+            << ", \"elapsed_seconds\": " << json_number(elapsed)
+            << ", \"designs_per_second\": "
+            << json_number(elapsed > 0.0
+                               ? static_cast<double>(succeeded) / elapsed
+                               : 0.0)
+            << ", \"latency_seconds\": {\"p50\": "
+            << json_number(quantile(latencies, 0.50))
+            << ", \"p90\": " << json_number(quantile(latencies, 0.90))
+            << ", \"p99\": " << json_number(quantile(latencies, 0.99))
+            << "}}\n";
+  return failed == 0 && mismatched == 0 ? 0 : 1;
+}

@@ -1,0 +1,227 @@
+// compact-serve — persistent synthesis/lint daemon over the facade v5
+// request/response schema (JSON lines; see docs/serving.md).
+//
+//   compact-serve [options]                 serve stdin -> stdout
+//   compact-serve --socket /tmp/c.sock      serve a unix-domain socket
+//
+// Every request line is a request_v1, every output line a response_v1
+// (completion order; correlate by id). Requests shard across a thread pool
+// and share one process-wide labeling + partition cache, so a corpus with
+// repeated structure gets cheaper as the daemon warms up.
+//
+// options:
+//   --socket PATH          listen on a unix-domain socket instead of stdin
+//   --threads N            pool workers (default 1)
+//   --queue-limit N        max requests in flight before answering
+//                          `overload` (default 0 = unbounded)
+//   --default-deadline S   deadline for requests that carry none
+//   --cache-limit BYTES    combined label+partition cache budget (K/M/G
+//                          suffixes; default 0 = unbounded); eviction keeps
+//                          results byte-identical, only slower
+//   --max-requests N       exit after consuming N requests (smoke tests)
+//   --metrics-json FILE    dump the full metrics registry on exit
+//   --summary-json FILE    write a serving summary on exit: request counts,
+//                          designs/sec, p50/p90/p99 latency, cache stats
+//   --quiet                suppress the stderr startup/shutdown banner
+//
+// Exit codes: 0 clean shutdown, 1 fatal setup error, 2 usage.
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/compact_api.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "util/memtrack.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+using namespace compact;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr << "usage: compact-serve [--socket PATH] [--threads N]\n"
+               "           [--queue-limit N] [--default-deadline S]\n"
+               "           [--cache-limit BYTES] [--max-requests N]\n"
+               "           [--metrics-json F] [--summary-json F] [--quiet]\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text,
+                        std::uint64_t multiplier = 1) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(text, &consumed);
+    if (consumed == text.size())
+      return static_cast<std::uint64_t>(value) * multiplier;
+  } catch (const std::exception&) {
+  }
+  usage(flag + " expects a non-negative integer, got '" + text + "'");
+}
+
+std::uint64_t parse_bytes(const std::string& flag, const std::string& text) {
+  std::string digits = text;
+  std::uint64_t multiplier = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': multiplier = 1024ULL; break;
+      case 'm': case 'M': multiplier = 1024ULL * 1024; break;
+      case 'g': case 'G': multiplier = 1024ULL * 1024 * 1024; break;
+      default: break;
+    }
+    if (multiplier != 1) digits.pop_back();
+  }
+  return parse_u64(flag, digits, multiplier);
+}
+
+void cache_summary(std::ostream& out, const char* name,
+                   const api::cache_stats_v1& c) {
+  out << "    \"" << name << "\": {\"hits\":" << c.hits
+      << ",\"misses\":" << c.misses << ",\"entries\":" << c.entries
+      << ",\"evictions\":" << c.evictions
+      << ",\"content_bytes\":" << c.content_bytes << "}";
+}
+
+/// Serving summary: counts, throughput, and latency quantiles from the
+/// serve.latency_seconds histogram. Plain JSON, one object.
+void write_summary(std::ostream& out, const serve::server& s,
+                   const api::service_stats_v1& service, double elapsed,
+                   std::size_t consumed) {
+  const serve::server_stats st = s.stats();
+  auto& latency = global_metrics().histogram("serve.latency_seconds", {});
+  out << "{\n"
+      << "  \"requests_consumed\": " << consumed << ",\n"
+      << "  \"submitted\": " << st.submitted << ",\n"
+      << "  \"completed\": " << st.completed << ",\n"
+      << "  \"succeeded\": " << st.succeeded << ",\n"
+      << "  \"failed\": " << st.failed << ",\n"
+      << "  \"overloaded\": " << st.overloaded << ",\n"
+      << "  \"shed\": " << st.shed << ",\n"
+      << "  \"designs\": " << st.designs << ",\n"
+      << "  \"elapsed_seconds\": " << json_number(elapsed) << ",\n"
+      << "  \"designs_per_second\": "
+      << json_number(elapsed > 0.0 ? static_cast<double>(st.designs) / elapsed
+                                   : 0.0)
+      << ",\n"
+      << "  \"latency_seconds\": {\"count\": " << latency.count()
+      << ", \"p50\": " << json_number(latency.quantile(0.50))
+      << ", \"p90\": " << json_number(latency.quantile(0.90))
+      << ", \"p99\": " << json_number(latency.quantile(0.99)) << "},\n"
+      << "  \"caches\": {\n";
+  cache_summary(out, "labeling", service.label_cache);
+  out << ",\n";
+  cache_summary(out, "partition", service.partition_cache);
+  out << "\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::optional<std::string> socket_path;
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> summary_path;
+  std::size_t max_requests = 0;
+  bool quiet = false;
+  serve::server_options options;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(a + " needs a value");
+      return args[i];
+    };
+    if (a == "--socket") {
+      socket_path = value();
+    } else if (a == "--threads") {
+      options.threads = static_cast<int>(parse_u64(a, value()));
+      if (options.threads < 1) usage("--threads must be positive");
+    } else if (a == "--queue-limit") {
+      options.queue_limit = parse_u64(a, value());
+    } else if (a == "--default-deadline") {
+      try {
+        options.default_deadline_seconds = std::stod(value());
+      } catch (const std::exception&) {
+        usage("--default-deadline expects a number");
+      }
+    } else if (a == "--cache-limit") {
+      options.service.cache_memory_limit_bytes = parse_bytes(a, value());
+    } else if (a == "--max-requests") {
+      max_requests = parse_u64(a, value());
+    } else if (a == "--metrics-json") {
+      metrics_path = value();
+    } else if (a == "--summary-json") {
+      summary_path = value();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+
+  // The daemon always observes itself: latency histograms, cache hit rates,
+  // and the mem.* gauges that the cache budget is enforced against.
+  set_metrics_enabled(true);
+  set_memtrack_enabled(true);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    serve::server s(options);
+    const stopwatch clock;
+    if (!quiet)
+      std::cerr << "compact-serve: api v" << api::api_version() << ", "
+                << options.threads << " thread(s), "
+                << (socket_path ? "socket " + *socket_path : "stdin") << "\n";
+
+    std::size_t consumed = 0;
+    if (socket_path) {
+      serve::socket_options sock;
+      sock.path = *socket_path;
+      sock.max_requests = max_requests;
+      consumed = serve::serve_unix(s, sock, &g_stop);
+    } else {
+      consumed = serve::run_stream(s, std::cin, std::cout, max_requests);
+    }
+    const double elapsed = clock.seconds();
+
+    const api::service_stats_v1 service = s.service().stats();
+    if (summary_path) {
+      std::ofstream out(*summary_path);
+      if (!out) throw api::error("cannot write " + *summary_path);
+      write_summary(out, s, service, elapsed, consumed);
+    }
+    if (metrics_path) {
+      publish_memtrack_metrics();
+      std::ofstream out(*metrics_path);
+      if (!out) throw api::error("cannot write " + *metrics_path);
+      global_metrics().write_json(out);
+      out << '\n';
+    }
+    if (!quiet) {
+      const serve::server_stats st = s.stats();
+      std::cerr << "compact-serve: " << consumed << " request(s), "
+                << st.succeeded << " ok, " << st.failed << " failed, "
+                << st.overloaded << " overloaded, label cache "
+                << service.label_cache.hits << "/"
+                << (service.label_cache.hits + service.label_cache.misses)
+                << " hit(s) in " << elapsed << "s\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "compact-serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
